@@ -1,0 +1,441 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (plus the in-text claims and our ablations), and runs
+   bechamel micro-benchmarks of the core kernels.
+
+   Usage:
+     dune exec bench/main.exe            -- every experiment (no perf)
+     dune exec bench/main.exe -- fig5    -- power/thermal profile maps
+     dune exec bench/main.exe -- fig6    -- reduction vs overhead curves
+     dune exec bench/main.exe -- table1  -- concentrated-hotspot table
+     dune exec bench/main.exe -- timing  -- critical-path overheads
+     dune exec bench/main.exe -- congestion
+     dune exec bench/main.exe -- ablation
+     dune exec bench/main.exe -- optimizer
+     dune exec bench/main.exe -- perf    -- bechamel kernels *)
+
+let line = String.make 78 '-'
+
+let header title paper_ref =
+  Printf.printf "\n%s\n%s\n(paper reference: %s)\n%s\n" line title paper_ref
+    line
+
+let sim_cycles = 1000
+
+let flow1 = lazy (Postplace.Experiment.test_set_1 ~sim_cycles ())
+let flow2 = lazy (Postplace.Experiment.test_set_2 ~sim_cycles ())
+
+(* --- FIG 5 ------------------------------------------------------------- *)
+
+let run_fig5 () =
+  header "FIG 5 -- power and thermal profiles of test set 1"
+    "Fig. 5: 40x40 maps; 'significant correlation between highly power \
+     consuming area and thermal hotspots'";
+  let fl = Lazy.force flow1 in
+  let power, thermal = Postplace.Experiment.fig5_maps fl in
+  Printf.printf "power map [W per tile], 40x40, top row first:\n";
+  Format.printf "%a@." Geo.Grid.pp_rows power;
+  Printf.printf "thermal map [K rise over ambient], 40x40, top row first:\n";
+  Format.printf "%a@." Geo.Grid.pp_rows thermal;
+  let m = Thermal.Metrics.of_map thermal in
+  Format.printf "summary: %a@." Thermal.Metrics.pp m;
+  let px, py = Geo.Grid.argmax power in
+  let tx, ty = Geo.Grid.argmax thermal in
+  Printf.printf
+    "peak power tile (%d,%d) vs peak thermal tile (%d,%d) -- the paper's \
+     correlation claim\n"
+    px py tx ty
+
+(* --- FIG 6 ------------------------------------------------------------- *)
+
+let pp_points points =
+  Printf.printf "%-10s %12s %14s %16s %12s\n" "scheme" "overhead[%]"
+    "dT-peak red[%]" "gradient red[%]" "timing[+%]";
+  List.iter
+    (fun (p : Postplace.Experiment.point) ->
+       Printf.printf "%-10s %12.2f %14.2f %16.2f %12.2f\n"
+         p.Postplace.Experiment.scheme p.area_overhead_pct
+         p.temp_reduction_pct p.gradient_reduction_pct p.timing_overhead_pct)
+    points
+
+let run_fig6 () =
+  header "FIG 6 -- temperature reduction vs area overhead (test set 1)"
+    "Fig. 6: Default / ERI / HW curves, 0..40% overhead; both ERI and HW \
+     above Default, gap grows with overhead, ERI vs HW within a small \
+     margin";
+  let fl = Lazy.force flow1 in
+  let fig6 = Postplace.Experiment.run_fig6 fl in
+  let base = fig6.Postplace.Experiment.base_eval in
+  Format.printf "base placement: %a@." Place.Placement.pp_summary
+    base.Postplace.Flow.placement;
+  Format.printf "base thermal:   %a@." Thermal.Metrics.pp
+    base.Postplace.Flow.metrics;
+  Printf.printf "hotspots: %d detected (paper: four scattered small)\n\n"
+    (List.length base.Postplace.Flow.hotspots);
+  pp_points
+    (fig6.Postplace.Experiment.default_points
+     @ fig6.Postplace.Experiment.eri_points
+     @ fig6.Postplace.Experiment.hw_points);
+  (* the paper's qualitative checks, verified on the spot *)
+  let reductions pts =
+    List.map (fun (p : Postplace.Experiment.point) -> p.temp_reduction_pct)
+      pts
+  in
+  let d = reductions fig6.Postplace.Experiment.default_points in
+  let e = reductions fig6.Postplace.Experiment.eri_points in
+  let h = reductions fig6.Postplace.Experiment.hw_points in
+  let all_above a b = List.for_all2 (fun x y -> x > y) a b in
+  Printf.printf "\ncheck: ERI curve above Default at every point: %b\n"
+    (all_above e d);
+  Printf.printf "check: HW curve above Default at every point:  %b\n"
+    (all_above h d);
+  Printf.printf "check: effectiveness increases with overhead:  %b\n"
+    (List.for_all
+       (fun xs -> xs = List.sort compare xs)
+       [ d; e ])
+
+(* --- TABLE I ------------------------------------------------------------ *)
+
+let run_table1 () =
+  header "TABLE I -- concentrated hotspot (test set 2)"
+    "Table I: Default 16.1%->11.3%, 32.2%->20.2%; ERI (20 rows) \
+     16.1%->13.1%, (40 rows) 32.2%->28.6%";
+  let fl = Lazy.force flow2 in
+  let rows = Postplace.Experiment.run_table1 fl in
+  Printf.printf "%-9s %16s %9s %13s %15s\n" "scheme" "area [um x um]" "rows"
+    "overhead[%]" "dT reduction[%]";
+  List.iter
+    (fun (r : Postplace.Experiment.table1_row) ->
+       Printf.printf "%-9s %7.0f x %6.0f %9s %13.1f %15.1f\n"
+         r.Postplace.Experiment.t1_scheme r.t1_width_um r.t1_height_um
+         (match r.t1_rows_inserted with
+          | None -> "-"
+          | Some k -> string_of_int k)
+         r.t1_overhead_pct r.t1_reduction_pct)
+    rows
+
+(* --- TIMING -------------------------------------------------------------- *)
+
+let run_timing () =
+  header "TIMING -- critical-path overhead of the techniques"
+    "in-text: 'the maximum timing overhead caused by applying the proposed \
+     methods is around 2%'";
+  let fl = Lazy.force flow1 in
+  let rows = Postplace.Experiment.run_timing fl in
+  Printf.printf "%-9s %13s %15s %18s\n" "scheme" "overhead[%]"
+    "critical [ps]" "timing vs base[%]";
+  List.iter
+    (fun (r : Postplace.Experiment.timing_summary) ->
+       Printf.printf "%-9s %13.1f %15.0f %18.2f\n"
+         r.Postplace.Experiment.ts_scheme r.ts_overhead_pct r.ts_critical_ps
+         r.ts_overhead_timing_pct)
+    rows;
+  (* the paper's claim concerns the *techniques*, so HW is measured against
+     the Default placement it starts from *)
+  (match rows with
+   | [ _; default_row; eri_row; hw_row ] ->
+     let marginal =
+       100.0
+       *. (hw_row.Postplace.Experiment.ts_critical_ps
+           -. default_row.Postplace.Experiment.ts_critical_ps)
+       /. default_row.Postplace.Experiment.ts_critical_ps
+     in
+     Printf.printf
+       "\nERI vs base: %+.2f%%; HW marginal vs its Default start: %+.2f%% \
+        (paper: around 2%%)\n"
+       eri_row.Postplace.Experiment.ts_overhead_timing_pct marginal
+   | _ -> ())
+
+(* --- CONGESTION ------------------------------------------------------------ *)
+
+let run_congestion () =
+  header "CONGESTION -- ERI by-product in the hotspot region"
+    "in-text: ERI 'increases the distance between rows of cells, thus \
+     reducing routing congestion in the hotspot regions'";
+  let fl = Lazy.force flow1 in
+  let rows = Postplace.Experiment.run_congestion fl in
+  Printf.printf "%-7s %16s %15s %22s\n" "scheme" "max util [frac]"
+    "overflow [um]" "hotspot demand [um]";
+  List.iter
+    (fun (r : Postplace.Experiment.congestion_summary) ->
+       Printf.printf "%-7s %16.3f %15.1f %22.1f\n"
+         r.Postplace.Experiment.cs_scheme r.cs_max_utilization
+         r.cs_overflow_um r.cs_hotspot_demand_um)
+    rows
+
+(* --- ABLATION ----------------------------------------------------------------- *)
+
+let run_ablation () =
+  header "ABLATION -- ERI row-placement granularity (test set 2)"
+    "design choice behind paper SIII-A: interleaving empty rows vs dropping \
+     one block; plus the future-work greedy optimizer";
+  let fl = Lazy.force flow2 in
+  let rows = Postplace.Experiment.run_ablation fl in
+  Printf.printf "%-18s %13s %17s\n" "variant" "overhead[%]"
+    "dT reduction[%]";
+  List.iter
+    (fun (r : Postplace.Experiment.ablation_row) ->
+       Printf.printf "%-18s %13.1f %17.2f\n"
+         r.Postplace.Experiment.ab_variant r.ab_overhead_pct
+         r.ab_reduction_pct)
+    rows
+
+(* --- OPTIMIZER ------------------------------------------------------------------ *)
+
+let run_optimizer () =
+  header "OPTIMIZER -- greedy empty-row budget allocation"
+    "paper future work: 'transforming them into suitable optimization \
+     problems (e.g., the amount of empty rows ... to be inserted)'";
+  let fl = Lazy.force flow2 in
+  let base = Postplace.Flow.evaluate fl fl.Postplace.Flow.base_placement in
+  List.iter
+    (fun rows ->
+       let heuristic = Postplace.Flow.apply_eri fl ~base ~rows in
+       let he =
+         Postplace.Flow.evaluate fl
+           heuristic.Postplace.Technique.eri_placement
+       in
+       let optimized = Postplace.Optimizer.greedy_rows fl ~rows () in
+       let oe =
+         Postplace.Flow.evaluate fl
+           optimized.Postplace.Optimizer.plan.Postplace.Technique
+             .eri_placement
+       in
+       let red ev =
+         Thermal.Metrics.reduction_pct
+           ~before:base.Postplace.Flow.metrics
+           ~after:ev.Postplace.Flow.metrics
+       in
+       Printf.printf
+         "budget %2d rows: heuristic ERI %.2f%% | greedy %.2f%% (%d coarse \
+          solves)\n"
+         rows (red he) (red oe)
+         optimized.Postplace.Optimizer.evaluations)
+    [ 8; 16; 24 ]
+
+(* --- ELECTROTHERMAL ------------------------------------------------------------ *)
+
+let run_electrothermal () =
+  header "ELECTROTHERMAL -- leakage/temperature feedback"
+    "paper SI motivation: 'the positive feedback between leakage power and \
+     temperature further exacerbates the thermal problem'";
+  let fl = Lazy.force flow2 in
+  let rows = Postplace.Experiment.run_electrothermal fl in
+  Printf.printf "%-6s %16s %18s %18s %8s\n" "scheme" "open-loop [K]"
+    "closed-loop [K]" "leak increase[%]" "iters";
+  List.iter
+    (fun (r : Postplace.Experiment.electrothermal_row) ->
+       Printf.printf "%-6s %16.3f %18.3f %18.2f %8d\n"
+         r.Postplace.Experiment.et_scheme r.et_open_loop_peak_k
+         r.et_closed_loop_peak_k r.et_leakage_increase_pct r.et_iterations)
+    rows;
+  (match rows with
+   | [ b; e ] ->
+     let open_red =
+       100.0
+       *. (b.Postplace.Experiment.et_open_loop_peak_k
+           -. e.Postplace.Experiment.et_open_loop_peak_k)
+       /. b.Postplace.Experiment.et_open_loop_peak_k
+     in
+     let closed_red =
+       100.0
+       *. (b.Postplace.Experiment.et_closed_loop_peak_k
+           -. e.Postplace.Experiment.et_closed_loop_peak_k)
+       /. b.Postplace.Experiment.et_closed_loop_peak_k
+     in
+     Printf.printf
+       "\nERI reduction: %.2f%% open loop vs %.2f%% under feedback\n"
+       open_red closed_red
+   | _ -> ())
+
+(* --- PACKAGE SWEEP --------------------------------------------------------------- *)
+
+let run_package () =
+  header "PACKAGE -- sensitivity to heat-removal capability"
+    "paper SII: 'it is possible to have different peak temperature and \
+     temperature gradient by using cooling mechanisms with different heat \
+     removal capabilities'";
+  let fl = Lazy.force flow1 in
+  let rows = Postplace.Experiment.run_package_sweep fl in
+  Printf.printf "%-18s %12s %14s %20s\n" "sink h [W/m2K]" "peak [K]"
+    "gradient [K]" "ERI reduction [%]";
+  List.iter
+    (fun (r : Postplace.Experiment.package_row) ->
+       Printf.printf "%-18.0f %12.3f %14.3f %20.2f\n"
+         r.Postplace.Experiment.pk_h_top_w_m2k r.pk_peak_k r.pk_gradient_k
+         r.pk_eri_reduction_pct)
+    rows
+
+(* --- BASELINES ----------------------------------------------------------------------- *)
+
+let run_baselines () =
+  header "BASELINES -- placement-time vs post-placement thermal awareness"
+    "paper SI: thermal-aware floorplanning exists at the architecture level \
+     (refs [7][8]); this compares a placement-time power-aware spreader \
+     against the paper's post-placement techniques at matched overhead";
+  let fl = Lazy.force flow1 in
+  let rows = Postplace.Experiment.run_baselines fl in
+  Printf.printf "%-20s %13s %15s %12s\n" "scheme" "overhead[%]"
+    "reduction[%]" "timing[+%]";
+  List.iter
+    (fun (r : Postplace.Experiment.baseline_row) ->
+       Printf.printf "%-20s %13.1f %15.2f %12.2f\n"
+         r.Postplace.Experiment.bl_scheme r.bl_overhead_pct
+         r.bl_reduction_pct r.bl_timing_pct)
+    rows
+
+(* --- GLITCH ------------------------------------------------------------------------ *)
+
+let run_glitch () =
+  header "GLITCH -- zero-delay vs event-driven activity"
+    "fidelity study: the paper annotates activity from VCS (event-driven); \
+     our cycle engine misses glitch transitions, quantified here";
+  let fl = Lazy.force flow1 in
+  let rows = Postplace.Experiment.run_glitch fl in
+  Printf.printf "%-28s %14s %14s %8s\n" "metric" "zero-delay" "event-driven"
+    "ratio";
+  List.iter
+    (fun (r : Postplace.Experiment.glitch_row) ->
+       Printf.printf "%-28s %14.4f %14.4f %8.2f\n"
+         r.Postplace.Experiment.gl_metric r.gl_zero_delay r.gl_event_driven
+         (r.gl_event_driven /. r.gl_zero_delay))
+    rows
+
+(* --- TRANSIENT (model validation) ------------------------------------------------- *)
+
+let run_transient () =
+  header "TRANSIENT -- validating the steady-state assumption"
+    "paper SII: 'the thermal time constant is in the order of tens of \
+     milliseconds, much larger than the clock periods in nanoseconds... we \
+     can neglect transient currents and solve at the steady state'";
+  let fl = Lazy.force flow1 in
+  let base = Postplace.Flow.evaluate fl fl.Postplace.Flow.base_placement in
+  let cfg =
+    { fl.Postplace.Flow.mesh_config with Thermal.Mesh.nx = 16; ny = 16 }
+  in
+  (* re-bin the power map at the coarse transient resolution *)
+  let power =
+    Power.Map.power_map base.Postplace.Flow.placement
+      ~per_cell_w:fl.Postplace.Flow.per_cell_w ~nx:16 ~ny:16
+  in
+  let r =
+    Thermal.Transient.step_response cfg ~power ~dt_s:2e-5 ~steps:60 ()
+  in
+  Printf.printf "steady-state peak: %.3f K\n"
+    r.Thermal.Transient.steady_peak_k;
+  Printf.printf "step-response tau(63%%): %.3e s = %.0f clock cycles at 1 GHz\n"
+    r.Thermal.Transient.tau_63_s
+    (r.Thermal.Transient.tau_63_s /. 1e-9);
+  Printf.printf "selected trajectory points (t [us] -> peak [K]):\n";
+  Array.iteri
+    (fun k t ->
+       if k mod 12 = 0 then
+         Printf.printf "  %8.1f -> %.3f\n" (t *. 1e6)
+           r.Thermal.Transient.peak_rise_k.(k))
+    r.Thermal.Transient.times_s;
+  Printf.printf
+    "check: tau >> clock period, steady-state analysis justified: %b\n"
+    (r.Thermal.Transient.tau_63_s > 1e-6)
+
+(* --- PERF (bechamel) -------------------------------------------------------------- *)
+
+let run_perf () =
+  header "PERF -- kernel micro-benchmarks (bechamel)" "n/a (engineering)";
+  let fl = Lazy.force flow1 in
+  let base = fl.Postplace.Flow.base_placement in
+  let nl = fl.Postplace.Flow.bench.Netgen.Benchmark.netlist in
+  let power_map =
+    Power.Map.power_map base ~per_cell_w:fl.Postplace.Flow.per_cell_w ~nx:40
+      ~ny:40
+  in
+  let problem = Thermal.Mesh.build fl.Postplace.Flow.mesh_config ~power:power_map in
+  let base_ev = lazy (Postplace.Flow.evaluate fl base) in
+  let sim = Logicsim.Sim.create nl in
+  let workload = fl.Postplace.Flow.workload in
+  let rng = Geo.Rng.create 99 in
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let tests =
+    Test.make_grouped ~name:"kernels"
+      [ Test.make ~name:"thermal:cg-solve-40x40x9"
+          (Staged.stage (fun () -> ignore (Thermal.Mesh.solve problem)));
+        Test.make ~name:"thermal:mesh-assembly"
+          (Staged.stage (fun () ->
+               ignore
+                 (Thermal.Mesh.build fl.Postplace.Flow.mesh_config
+                    ~power:power_map)));
+        Test.make ~name:"power:map-binning-12k"
+          (Staged.stage (fun () ->
+               ignore
+                 (Power.Map.power_map base
+                    ~per_cell_w:fl.Postplace.Flow.per_cell_w ~nx:40 ~ny:40)));
+        Test.make ~name:"sim:32-cycles-12k-cells"
+          (Staged.stage (fun () ->
+               Logicsim.Workload.run workload sim rng ~cycles:32));
+        Test.make ~name:"sta:full-timing-12k"
+          (Staged.stage (fun () ->
+               ignore (Sta.Timing.analyze base ())));
+        Test.make ~name:"eri:transform"
+          (Staged.stage (fun () ->
+               let ev = Lazy.force base_ev in
+               ignore
+                 (Postplace.Technique.empty_row_insertion base
+                    ~hotspots:ev.Postplace.Flow.hotspots ~rows:16)));
+        Test.make ~name:"place:hpwl-12k"
+          (Staged.stage (fun () -> ignore (Place.Placement.hpwl base))) ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter (fun name v -> rows := (name, v) :: !rows) results;
+  List.iter
+    (fun (name, v) ->
+       match Analyze.OLS.estimates v with
+       | Some [ ns ] ->
+         Printf.printf "%-32s %12.0f ns/run (%9.3f ms)\n" name ns
+           (ns /. 1.0e6)
+       | _ -> Printf.printf "%-32s (no estimate)\n" name)
+    (List.sort compare !rows)
+
+let all_experiments () =
+  run_fig5 ();
+  run_fig6 ();
+  run_table1 ();
+  run_timing ();
+  run_congestion ();
+  run_ablation ();
+  run_optimizer ();
+  run_electrothermal ();
+  run_package ();
+  run_baselines ();
+  run_glitch ();
+  run_transient ()
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] | [ "all" ] -> all_experiments ()
+  | [ "fig5" ] -> run_fig5 ()
+  | [ "fig6" ] -> run_fig6 ()
+  | [ "table1" ] -> run_table1 ()
+  | [ "timing" ] -> run_timing ()
+  | [ "congestion" ] -> run_congestion ()
+  | [ "ablation" ] -> run_ablation ()
+  | [ "optimizer" ] -> run_optimizer ()
+  | [ "electrothermal" ] -> run_electrothermal ()
+  | [ "package" ] -> run_package ()
+  | [ "glitch" ] -> run_glitch ()
+  | [ "baselines" ] -> run_baselines ()
+  | [ "transient" ] -> run_transient ()
+  | [ "perf" ] -> run_perf ()
+  | other ->
+    Printf.eprintf
+      "unknown experiment %s; expected one of all, fig5, fig6, table1, \
+       timing, congestion, ablation, optimizer, perf\n"
+      (String.concat " " other);
+    exit 2

@@ -1,0 +1,260 @@
+(* thermoplace: command-line driver for the post-placement temperature
+   reduction flow.
+
+     thermoplace flow     -- run the full flow and one technique
+     thermoplace report   -- netlist / placement / power / thermal summary
+     thermoplace maps     -- dump power and thermal maps (matrix or ascii)
+     thermoplace sweep    -- Default/ERI/HW reduction-vs-overhead sweep *)
+
+open Cmdliner
+
+(* --- shared options ------------------------------------------------------ *)
+
+let seed =
+  let doc = "Random seed for vectors and placement." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let cycles =
+  let doc = "Measured simulation cycles for switching activity." in
+  Arg.(value & opt int 1000 & info [ "cycles" ] ~docv:"N" ~doc)
+
+let utilization =
+  let doc = "Base placement row-utilization factor." in
+  Arg.(value & opt float 0.85 & info [ "utilization"; "u" ] ~docv:"U" ~doc)
+
+let test_set =
+  let doc =
+    "Benchmark workload: 'scattered' (test set 1, four scattered hotspots), \
+     'concentrated' (test set 2, one large hotspot), or 'small' (tiny \
+     3-unit smoke benchmark)."
+  in
+  Arg.(value & opt string "scattered" & info [ "test-set"; "t" ] ~docv:"SET"
+         ~doc)
+
+let prepare ~seed ~cycles ~utilization ~test_set =
+  match test_set with
+  | "scattered" ->
+    let bench = Netgen.Benchmark.nine_unit () in
+    Postplace.Flow.prepare ~seed ~utilization ~sim_cycles:cycles bench
+      (Logicsim.Workload.scattered_hotspots ~hot_units:[ 0; 4; 6; 8 ])
+  | "concentrated" ->
+    let bench = Netgen.Benchmark.nine_unit () in
+    Postplace.Flow.prepare ~seed ~utilization ~sim_cycles:cycles bench
+      (Logicsim.Workload.concentrated_hotspot ~hot_unit:2)
+  | "small" ->
+    let bench = Netgen.Benchmark.small () in
+    Postplace.Flow.prepare ~seed ~utilization ~sim_cycles:cycles bench
+      (Logicsim.Workload.make ~default:0.05 ~hot:[ (0, 0.5) ])
+  | other ->
+    Printf.eprintf "unknown test set %S\n" other;
+    exit 2
+
+(* --- flow ---------------------------------------------------------------- *)
+
+let technique_arg =
+  let doc = "Technique to apply: none, default, eri, hw." in
+  Arg.(value & opt string "eri" & info [ "technique" ] ~docv:"T" ~doc)
+
+let overhead_arg =
+  let doc = "Target area overhead as a fraction (e.g. 0.2 = 20%)." in
+  Arg.(value & opt float 0.2 & info [ "overhead" ] ~docv:"F" ~doc)
+
+let run_flow seed cycles utilization test_set technique overhead =
+  let flow = prepare ~seed ~cycles ~utilization ~test_set in
+  let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
+  Format.printf "base: %a@." Place.Placement.pp_summary
+    base.Postplace.Flow.placement;
+  Format.printf "base thermal: %a@." Thermal.Metrics.pp
+    base.Postplace.Flow.metrics;
+  let transformed =
+    match technique with
+    | "none" -> None
+    | "default" ->
+      Some
+        (Postplace.Flow.apply_default flow
+           ~utilization:(utilization /. (1.0 +. overhead)))
+    | "eri" ->
+      let rows =
+        max 1
+          (int_of_float
+             (overhead
+              *. float_of_int
+                   flow.Postplace.Flow.base_placement.Place.Placement.fp
+                     .Place.Floorplan.num_rows))
+      in
+      let r = Postplace.Flow.apply_eri flow ~base ~rows in
+      Some r.Postplace.Technique.eri_placement
+    | "hw" ->
+      let d =
+        Postplace.Flow.apply_default flow
+          ~utilization:(utilization /. (1.0 +. overhead))
+      in
+      let de = Postplace.Flow.evaluate flow d in
+      Some (Postplace.Flow.apply_hw flow ~on:de ())
+    | other ->
+      Printf.eprintf "unknown technique %S\n" other;
+      exit 2
+  in
+  (match transformed with
+   | None -> ()
+   | Some pl ->
+     let ev = Postplace.Flow.evaluate flow pl in
+     Format.printf "after %s: %a@." technique Thermal.Metrics.pp
+       ev.Postplace.Flow.metrics;
+     Format.printf
+       "area overhead %.1f%%, peak reduction %.2f%%, timing %+0.2f%%@."
+       (Postplace.Technique.area_overhead_pct
+          ~base:base.Postplace.Flow.placement pl)
+       (Thermal.Metrics.reduction_pct ~before:base.Postplace.Flow.metrics
+          ~after:ev.Postplace.Flow.metrics)
+       (Sta.Timing.overhead_pct ~before:base.Postplace.Flow.timing
+          ~after:ev.Postplace.Flow.timing));
+  0
+
+(* --- report ---------------------------------------------------------------- *)
+
+let run_report seed cycles utilization test_set =
+  let flow = prepare ~seed ~cycles ~utilization ~test_set in
+  let nl = flow.Postplace.Flow.bench.Netgen.Benchmark.netlist in
+  Format.printf "%a@."
+    Netlist.Stats.pp
+    (Netlist.Stats.compute flow.Postplace.Flow.tech nl);
+  Array.iter
+    (fun u ->
+       let cells = Netlist.Types.cells_of_unit nl u.Netgen.Benchmark.tag in
+       Format.printf "unit %d %-8s %6d cells  %s@." u.Netgen.Benchmark.tag
+         u.Netgen.Benchmark.unit_name (List.length cells)
+         u.Netgen.Benchmark.description)
+    flow.Postplace.Flow.bench.Netgen.Benchmark.units;
+  let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
+  Format.printf "placement: %a@." Place.Placement.pp_summary
+    base.Postplace.Flow.placement;
+  Format.printf "thermal:   %a@." Thermal.Metrics.pp
+    base.Postplace.Flow.metrics;
+  Format.printf "critical path: %.0f ps@."
+    base.Postplace.Flow.timing.Sta.Timing.critical_ps;
+  Format.printf "hotspots:@.";
+  List.iteri
+    (fun i h ->
+       Format.printf "  #%d %s tiles=%d cells=%d peak=%.3fK@." i
+         (Geo.Rect.to_string h.Postplace.Hotspot.rect)
+         (Postplace.Hotspot.tile_count h)
+         (List.length h.Postplace.Hotspot.cells)
+         h.Postplace.Hotspot.peak_rise_k)
+    base.Postplace.Flow.hotspots;
+  0
+
+(* --- maps ------------------------------------------------------------------- *)
+
+let ascii_arg =
+  let doc = "Render maps as terminal shading instead of numeric matrices." in
+  Arg.(value & flag & info [ "ascii" ] ~doc)
+
+let run_maps seed cycles utilization test_set ascii =
+  let flow = prepare ~seed ~cycles ~utilization ~test_set in
+  let power, thermal = Postplace.Experiment.fig5_maps flow in
+  let dump name g =
+    Format.printf "# %s (%dx%d, top row first)@." name (Geo.Grid.nx g)
+      (Geo.Grid.ny g);
+    if ascii then Format.printf "%a@." Geo.Grid.pp_shaded g
+    else Format.printf "%a@." Geo.Grid.pp_rows g
+  in
+  dump "power [W/tile]" power;
+  dump "thermal rise [K]" thermal;
+  0
+
+(* --- export ------------------------------------------------------------------ *)
+
+let outdir_arg =
+  let doc = "Directory for the exported files (created if missing)." in
+  Arg.(value & opt string "export" & info [ "outdir"; "o" ] ~docv:"DIR" ~doc)
+
+let run_export seed cycles utilization test_set outdir =
+  let flow = prepare ~seed ~cycles ~utilization ~test_set in
+  if not (Sys.file_exists outdir) then Unix.mkdir outdir 0o755;
+  let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
+  let pl = base.Postplace.Flow.placement in
+  let nl = flow.Postplace.Flow.bench.Netgen.Benchmark.netlist in
+  let path name = Filename.concat outdir name in
+  Netlist.Verilog.write_file (path "design.v") ~module_name:"design" nl;
+  Celllib.Lef.write_file (path "cells.lef") flow.Postplace.Flow.tech;
+  let fillers = Place.Filler.fill pl in
+  Place.Def_writer.write_file (path "design.def") ~fillers pl;
+  let problem =
+    Thermal.Mesh.build flow.Postplace.Flow.mesh_config
+      ~power:base.Postplace.Flow.power_map
+  in
+  Thermal.Spice.write_file (path "thermal.sp") problem;
+  let overlay =
+    { Place.Svg.heat = Some base.Postplace.Flow.thermal_map;
+      outlines =
+        List.map (fun h -> h.Postplace.Hotspot.rect)
+          base.Postplace.Flow.hotspots }
+  in
+  Place.Svg.write_file (path "layout.svg") ~fillers ~overlay pl;
+  Format.printf
+    "wrote %s/design.v (%d cells), cells.lef, design.def (%d fillers), \
+     thermal.sp (%d resistors), layout.svg@."
+    outdir
+    (Netlist.Types.num_cells nl)
+    (List.length fillers)
+    (Thermal.Spice.count_resistors problem);
+  0
+
+(* --- sweep ------------------------------------------------------------------- *)
+
+let run_sweep seed cycles utilization test_set =
+  let flow = prepare ~seed ~cycles ~utilization ~test_set in
+  let fig6 = Postplace.Experiment.run_fig6 flow in
+  Format.printf "%-10s %12s %14s %12s@." "scheme" "overhead[%]"
+    "reduction[%]" "timing[+%]";
+  List.iter
+    (fun (p : Postplace.Experiment.point) ->
+       Format.printf "%-10s %12.2f %14.2f %12.2f@."
+         p.Postplace.Experiment.scheme p.area_overhead_pct
+         p.temp_reduction_pct p.timing_overhead_pct)
+    (fig6.Postplace.Experiment.default_points
+     @ fig6.Postplace.Experiment.eri_points
+     @ fig6.Postplace.Experiment.hw_points);
+  0
+
+(* --- command wiring ------------------------------------------------------------ *)
+
+let flow_cmd =
+  let doc = "Run the flow and apply one temperature-reduction technique." in
+  Cmd.v (Cmd.info "flow" ~doc)
+    Term.(const run_flow $ seed $ cycles $ utilization $ test_set
+          $ technique_arg $ overhead_arg)
+
+let report_cmd =
+  let doc = "Print netlist, placement, power and thermal summaries." in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run_report $ seed $ cycles $ utilization $ test_set)
+
+let maps_cmd =
+  let doc = "Dump power and thermal maps (Fig. 5 data)." in
+  Cmd.v (Cmd.info "maps" ~doc)
+    Term.(const run_maps $ seed $ cycles $ utilization $ test_set
+          $ ascii_arg)
+
+let sweep_cmd =
+  let doc = "Reduction-vs-overhead sweep for all three schemes (Fig. 6)." in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run_sweep $ seed $ cycles $ utilization $ test_set)
+
+let export_cmd =
+  let doc =
+    "Export the design: structural Verilog, DEF placement, SPICE thermal \
+     netlist and an SVG layout with hotspot overlay."
+  in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const run_export $ seed $ cycles $ utilization $ test_set
+          $ outdir_arg)
+
+let () =
+  let doc = "post-placement temperature reduction (Liu & Nannarelli, DATE'10)" in
+  let info = Cmd.info "thermoplace" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ flow_cmd; report_cmd; maps_cmd; sweep_cmd; export_cmd ]))

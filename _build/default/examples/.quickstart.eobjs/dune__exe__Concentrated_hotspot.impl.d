@@ -1,0 +1,1 @@
+examples/concentrated_hotspot.ml: Format Geo List Place Postplace String Thermal

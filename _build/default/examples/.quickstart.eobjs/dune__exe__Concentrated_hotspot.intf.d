@@ -1,0 +1,1 @@
+examples/concentrated_hotspot.mli:

@@ -1,0 +1,1 @@
+examples/custom_circuit.ml: Array Celllib Format Geo Logicsim Netgen Netlist Place Postplace Printf Thermal

@@ -1,0 +1,1 @@
+examples/package_exploration.ml: Format List Postplace Power Thermal

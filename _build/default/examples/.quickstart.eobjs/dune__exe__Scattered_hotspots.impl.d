@@ -1,0 +1,1 @@
+examples/scattered_hotspots.ml: Format Geo List Place Postplace

@@ -1,0 +1,1 @@
+examples/wrapper_tradeoff.ml: Format List Place Postplace Sta Thermal

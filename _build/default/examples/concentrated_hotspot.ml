@@ -1,0 +1,49 @@
+(* The paper's test set 2: one large concentrated hotspot (the 20x20
+   multiplier at full tilt). Reproduces the shape of Table I and shows
+   where ERI actually inserts its rows.
+
+   Run with:  dune exec examples/concentrated_hotspot.exe *)
+
+let () =
+  Format.printf "preparing test set 2 (hot 20x20 multiplier)...@.";
+  let flow = Postplace.Experiment.test_set_2 () in
+  let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
+  Format.printf "base: %a@." Thermal.Metrics.pp base.Postplace.Flow.metrics;
+
+  (match base.Postplace.Flow.hotspots with
+   | [] -> failwith "no hotspot -- unexpected for test set 2"
+   | h :: _ ->
+     let fp = flow.Postplace.Flow.base_placement.Place.Placement.fp in
+     let lo, hi = Postplace.Hotspot.span_rows fp h in
+     Format.printf
+       "dominant hotspot: %d tiles, rows %d..%d of %d, %s@."
+       (Postplace.Hotspot.tile_count h) lo hi fp.Place.Floorplan.num_rows
+       (if Postplace.Hotspot.is_wide fp h then "wide (ERI territory)"
+        else "narrow"));
+
+  (* Table I, our numbers *)
+  let rows = Postplace.Experiment.run_table1 flow in
+  Format.printf
+    "@.%-9s %16s %6s %12s %14s@." "scheme" "area [um]" "rows" "overhead%"
+    "dT reduction%";
+  List.iter
+    (fun (r : Postplace.Experiment.table1_row) ->
+       Format.printf "%-9s %7.0f x %6.0f %6s %12.1f %14.1f@."
+         r.Postplace.Experiment.t1_scheme r.t1_width_um r.t1_height_um
+         (match r.t1_rows_inserted with
+          | None -> "-"
+          | Some k -> string_of_int k)
+         r.t1_overhead_pct r.t1_reduction_pct)
+    rows;
+  Format.printf
+    "(paper: Default 16.1%%->11.3%%, 32.2%%->20.2%%; ERI 16.1%%->13.1%%, \
+     32.2%%->28.6%%)@.";
+
+  (* show the insertion plan *)
+  let eri = Postplace.Flow.apply_eri flow ~base ~rows:16 in
+  Format.printf "@.ERI inserted empty rows after original rows: %s@."
+    (String.concat ", "
+       (List.map string_of_int eri.Postplace.Technique.inserted_after));
+  Format.printf "thermal profile after 16 inserted rows:@.";
+  let ev = Postplace.Flow.evaluate flow eri.Postplace.Technique.eri_placement in
+  Format.printf "%a@." Geo.Grid.pp_shaded ev.Postplace.Flow.thermal_map

@@ -1,0 +1,79 @@
+(* Building your own design against the public API: a 2-unit datapath
+   (a Wallace multiplier and a barrel shifter) assembled with the netlist
+   builder and the arithmetic generators, then pushed through the whole
+   flow with a custom workload and a custom package.
+
+   Run with:  dune exec examples/custom_circuit.exe *)
+
+module B = Netlist.Builder
+
+let build_design () =
+  let b = B.create () in
+  (* unit 0: an 8x8 Wallace multiplier with registered I/O *)
+  B.set_unit_tag b 0;
+  let a = Array.init 8 (fun i -> B.add_input ~name:(Printf.sprintf "a%d" i) b) in
+  let c = Array.init 8 (fun i -> B.add_input ~name:(Printf.sprintf "b%d" i) b) in
+  let a = Array.map (fun d -> B.add_dff b ~d) a in
+  let c = Array.map (fun d -> B.add_dff b ~d) c in
+  let product = Netgen.Multiplier.wallace_multiplier b ~a ~b:c in
+  Array.iter (fun n -> B.mark_output b (B.add_dff b ~d:n)) product;
+  (* unit 1: a 16-bit rotator *)
+  B.set_unit_tag b 1;
+  let data =
+    Array.init 16 (fun i -> B.add_input ~name:(Printf.sprintf "d%d" i) b)
+  in
+  let amount =
+    Array.init 4 (fun i -> B.add_input ~name:(Printf.sprintf "s%d" i) b)
+  in
+  let rot = Netgen.Shifter.rotate_left b ~data ~amount in
+  Array.iter (fun n -> B.mark_output b (B.add_dff b ~d:n)) rot;
+  B.set_unit_tag b (-1);
+  B.finish b
+
+let () =
+  let nl = build_design () in
+  let tech = Celllib.Tech.default_65nm in
+  Format.printf "%a@." Netlist.Stats.pp (Netlist.Stats.compute tech nl);
+  assert (Netlist.Check.is_well_formed nl);
+
+  (* wrap the netlist as a benchmark so the flow can use it *)
+  let bench =
+    { Netgen.Benchmark.netlist = nl;
+      units =
+        [| { Netgen.Benchmark.tag = 0; unit_name = "wmul8";
+             description = "8x8 Wallace multiplier" };
+           { Netgen.Benchmark.tag = 1; unit_name = "rot16";
+             description = "16-bit rotator" } |] }
+  in
+  (* only the multiplier is busy *)
+  let workload = Logicsim.Workload.make ~default:0.03 ~hot:[ (0, 0.45) ] in
+  let flow = Postplace.Flow.prepare ~seed:7 bench workload in
+
+  (* customize the package: a weaker heat sink makes everything hotter *)
+  let weak_sink =
+    { flow.Postplace.Flow.mesh_config with
+      Thermal.Mesh.stack =
+        Thermal.Stack.with_sink Thermal.Stack.default_9layer
+          ~h_top_w_m2k:2.0e5 }
+  in
+  let flow = { flow with Postplace.Flow.mesh_config = weak_sink } in
+
+  let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
+  Format.printf "custom design, weak sink: %a@." Thermal.Metrics.pp
+    base.Postplace.Flow.metrics;
+  Format.printf "thermal profile:@.%a@." Geo.Grid.pp_shaded
+    base.Postplace.Flow.thermal_map;
+
+  let rows =
+    flow.Postplace.Flow.base_placement.Place.Placement.fp
+      .Place.Floorplan.num_rows / 8
+  in
+  let eri = Postplace.Flow.apply_eri flow ~base ~rows in
+  let after =
+    Postplace.Flow.evaluate flow eri.Postplace.Technique.eri_placement
+  in
+  Format.printf "after ERI (%d rows): %a@." rows Thermal.Metrics.pp
+    after.Postplace.Flow.metrics;
+  Format.printf "reduction: %.2f%%@."
+    (Thermal.Metrics.reduction_pct ~before:base.Postplace.Flow.metrics
+       ~after:after.Postplace.Flow.metrics)

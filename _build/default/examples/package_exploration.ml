@@ -1,0 +1,58 @@
+(* Package and model exploration: how the cooling solution changes the
+   thermal picture (paper SII: "for the same total power, it is possible to
+   have different peak temperature and temperature gradient by using
+   cooling mechanisms with different heat removal capabilities"), plus the
+   two model extensions: leakage-temperature feedback and the transient
+   solve that justifies steady-state analysis.
+
+   Run with:  dune exec examples/package_exploration.exe *)
+
+let () =
+  let flow = Postplace.Experiment.test_set_2 () in
+
+  (* 1. package sweep: weaker sink -> hotter die, and the ERI benefit
+        shifts because lateral spreading changes *)
+  Format.printf "package sweep (ERI at ~20%% overhead under each sink):@.";
+  Format.printf "  %-14s %10s %12s %16s@." "h [W/m2K]" "peak [K]"
+    "gradient [K]" "ERI benefit [%]";
+  List.iter
+    (fun (r : Postplace.Experiment.package_row) ->
+       Format.printf "  %-14.0f %10.3f %12.3f %16.2f@."
+         r.Postplace.Experiment.pk_h_top_w_m2k r.pk_peak_k r.pk_gradient_k
+         r.pk_eri_reduction_pct)
+    (Postplace.Experiment.run_package_sweep
+       ~sinks:[ 1.0e5; 3.0e5; 1.0e6 ] flow);
+
+  (* 2. leakage-temperature feedback *)
+  Format.printf "@.leakage/temperature feedback on the base placement:@.";
+  let et =
+    Postplace.Electrothermal.evaluate flow
+      flow.Postplace.Flow.base_placement ()
+  in
+  Format.printf
+    "  open-loop peak %.3f K -> closed-loop %.3f K in %d iterations@."
+    et.Postplace.Electrothermal.open_loop_peak_k
+    et.Postplace.Electrothermal.metrics.Thermal.Metrics.peak_rise_k
+    et.Postplace.Electrothermal.iterations;
+  Format.printf "  leakage grows %.1f%% at temperature@."
+    (100.0
+     *. (et.Postplace.Electrothermal.leakage_w
+         -. et.Postplace.Electrothermal.nominal_leakage_w)
+     /. et.Postplace.Electrothermal.nominal_leakage_w);
+
+  (* 3. transient step response: the steady-state justification *)
+  Format.printf "@.transient step response (16x16 mesh):@.";
+  let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
+  let cfg =
+    { flow.Postplace.Flow.mesh_config with Thermal.Mesh.nx = 16; ny = 16 }
+  in
+  let power =
+    Power.Map.power_map base.Postplace.Flow.placement
+      ~per_cell_w:flow.Postplace.Flow.per_cell_w ~nx:16 ~ny:16
+  in
+  let r = Thermal.Transient.step_response cfg ~power ~dt_s:2e-5 ~steps:50 () in
+  Format.printf
+    "  tau(63%%) = %.0f us = %.0e clock cycles: thermal events are far \
+     slower than logic, as the paper assumes@."
+    (r.Thermal.Transient.tau_63_s *. 1e6)
+    (r.Thermal.Transient.tau_63_s /. 1e-9)

@@ -1,0 +1,53 @@
+(* Quickstart: the whole post-placement temperature-reduction flow in ~40
+   lines.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A benchmark circuit: three small arithmetic units (~700 cells).
+        [Netgen.Benchmark.nine_unit] gives the paper's full 12k-cell one. *)
+  let bench = Netgen.Benchmark.small () in
+
+  (* 2. A workload: unit 0 (the multiplier) switches hard, the rest idle.
+        This is what creates the hotspot. *)
+  let workload = Logicsim.Workload.make ~default:0.05 ~hot:[ (0, 0.5) ] in
+
+  (* 3. Prepare the flow: simulate for switching activity, floorplan,
+        globally place, legalize, estimate per-cell power. *)
+  let flow = Postplace.Flow.prepare ~seed:42 bench workload in
+
+  (* 4. Evaluate the compact base placement: power map -> RC thermal
+        network -> steady-state solve -> thermal map + hotspots + timing. *)
+  let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
+  let peak m = m.Thermal.Metrics.peak_rise_k in
+  Format.printf "base placement : %a@." Place.Placement.pp_summary
+    base.Postplace.Flow.placement;
+  Format.printf "base thermal   : %a@." Thermal.Metrics.pp
+    base.Postplace.Flow.metrics;
+  Format.printf "hotspots found : %d@."
+    (List.length base.Postplace.Flow.hotspots);
+
+  (* 5. Apply Empty Row Insertion next to the hotspots (~15%% area). *)
+  let rows =
+    flow.Postplace.Flow.base_placement.Place.Placement.fp
+      .Place.Floorplan.num_rows * 15 / 100
+  in
+  let eri = Postplace.Flow.apply_eri flow ~base ~rows in
+  let after =
+    Postplace.Flow.evaluate flow eri.Postplace.Technique.eri_placement
+  in
+  Format.printf "ERI (%d rows)  : %a@." rows Thermal.Metrics.pp
+    after.Postplace.Flow.metrics;
+  Format.printf
+    "peak temperature reduction: %.1f%% for %.1f%% extra area@."
+    (Thermal.Metrics.reduction_pct
+       ~before:base.Postplace.Flow.metrics
+       ~after:after.Postplace.Flow.metrics)
+    (Postplace.Technique.area_overhead_pct
+       ~base:base.Postplace.Flow.placement
+       after.Postplace.Flow.placement);
+  Format.printf "timing cost: %+.2f%% on the critical path@."
+    (Sta.Timing.overhead_pct ~before:base.Postplace.Flow.timing
+       ~after:after.Postplace.Flow.timing);
+  assert (peak after.Postplace.Flow.metrics
+          < peak base.Postplace.Flow.metrics)

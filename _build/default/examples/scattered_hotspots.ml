@@ -1,0 +1,59 @@
+(* The paper's test set 1: four scattered small hotspots on the full
+   nine-unit benchmark. Renders the power and thermal profiles as terminal
+   heat-maps (the paper's Fig. 5) and compares the three whitespace
+   allocation schemes at one area-overhead point (one slice of Fig. 6).
+
+   Run with:  dune exec examples/scattered_hotspots.exe *)
+
+let () =
+  Format.printf "preparing test set 1 (four scattered hot units)...@.";
+  let flow = Postplace.Experiment.test_set_1 () in
+  let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
+
+  Format.printf "@.power profile (40x40, '@@' = hottest):@.";
+  Format.printf "%a@." Geo.Grid.pp_shaded base.Postplace.Flow.power_map;
+  Format.printf "thermal profile:@.";
+  Format.printf "%a@." Geo.Grid.pp_shaded base.Postplace.Flow.thermal_map;
+
+  Format.printf "detected hotspots:@.";
+  List.iteri
+    (fun i h ->
+       Format.printf "  #%d: %s, %d tiles, %d cells, peak %.2f K@." i
+         (Geo.Rect.to_string h.Postplace.Hotspot.rect)
+         (Postplace.Hotspot.tile_count h)
+         (List.length h.Postplace.Hotspot.cells)
+         h.Postplace.Hotspot.peak_rise_k)
+    base.Postplace.Flow.hotspots;
+
+  (* one slice of Fig. 6 at ~20% area overhead *)
+  let overhead = 0.2 in
+  let util = flow.Postplace.Flow.base_utilization /. (1.0 +. overhead) in
+  let rows =
+    int_of_float
+      (overhead
+       *. float_of_int
+            flow.Postplace.Flow.base_placement.Place.Placement.fp
+              .Place.Floorplan.num_rows)
+  in
+  let default_pl = Postplace.Flow.apply_default flow ~utilization:util in
+  let default_ev = Postplace.Flow.evaluate flow default_pl in
+  let eri = Postplace.Flow.apply_eri flow ~base ~rows in
+  let eri_ev =
+    Postplace.Flow.evaluate flow eri.Postplace.Technique.eri_placement
+  in
+  let hw = Postplace.Flow.apply_hw flow ~on:default_ev () in
+  let hw_ev = Postplace.Flow.evaluate flow hw in
+
+  Format.printf "@.at ~%.0f%%%% area overhead:@." (100.0 *. overhead);
+  List.iter
+    (fun (name, ev) ->
+       let p = Postplace.Experiment.point_of_eval flow ~base ~scheme:name ev in
+       Format.printf
+         "  %-8s overhead %5.1f%%  peak reduction %5.2f%%  timing %+5.2f%%@."
+         name p.Postplace.Experiment.area_overhead_pct
+         p.Postplace.Experiment.temp_reduction_pct
+         p.Postplace.Experiment.timing_overhead_pct)
+    [ ("Default", default_ev); ("ERI", eri_ev); ("HW", hw_ev) ];
+  Format.printf
+    "@.thermal profile after ERI (same scale logic, new die outline):@.";
+  Format.printf "%a@." Geo.Grid.pp_shaded eri_ev.Postplace.Flow.thermal_map

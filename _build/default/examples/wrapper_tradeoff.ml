@@ -1,0 +1,57 @@
+(* Hotspot-wrapper trade-offs: margin size vs peak reduction vs timing
+   cost, and the suitability rule (the wrapper refuses hotspots that are
+   too large, exactly the paper's "not suitable for large hotspots").
+
+   Run with:  dune exec examples/wrapper_tradeoff.exe *)
+
+let () =
+  let flow = Postplace.Experiment.test_set_1 () in
+  let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
+
+  (* HW runs on a relaxed (Default) placement, the paper's setup *)
+  let util = flow.Postplace.Flow.base_utilization /. 1.2 in
+  let default_pl = Postplace.Flow.apply_default flow ~utilization:util in
+  let default_ev = Postplace.Flow.evaluate flow default_pl in
+  Format.printf "Default placement at util %.2f: peak %.3f K@." util
+    default_ev.Postplace.Flow.metrics.Thermal.Metrics.peak_rise_k;
+
+  let reduction ev =
+    Thermal.Metrics.reduction_pct ~before:base.Postplace.Flow.metrics
+      ~after:ev.Postplace.Flow.metrics
+  in
+  Format.printf "Default alone reduces the base peak by %.2f%%@.@."
+    (reduction default_ev);
+
+  Format.printf "wrapper margin sweep (reduction is vs the base placement):@.";
+  List.iter
+    (fun margin_um ->
+       let hw =
+         Postplace.Flow.apply_hw flow ~on:default_ev ~margin_um ()
+       in
+       let ev = Postplace.Flow.evaluate flow hw in
+       let marginal_timing =
+         Sta.Timing.overhead_pct
+           ~before:default_ev.Postplace.Flow.timing
+           ~after:ev.Postplace.Flow.timing
+       in
+       Format.printf
+         "  margin %4.1f um: peak reduction %5.2f%%, timing vs Default \
+          %+5.2f%%@."
+         margin_um (reduction ev) marginal_timing)
+    [ 2.0; 4.0; 8.0; 12.0 ];
+
+  (* suitability: force the wrapper onto an oversized hotspot and observe
+     that it skips (placement unchanged) *)
+  let hw_skipped =
+    Postplace.Flow.apply_hw flow ~on:default_ev ~max_hotspot_tiles:1 ()
+  in
+  Format.printf
+    "@.with max_hotspot_tiles = 1 every hotspot is 'too large': placement \
+     unchanged = %b@."
+    (hw_skipped.Place.Placement.locs
+     = default_ev.Postplace.Flow.placement.Place.Placement.locs);
+
+  (* the wrapper keeps every placement legal *)
+  let hw = Postplace.Flow.apply_hw flow ~on:default_ev () in
+  Format.printf "wrapper output is a legal placement: %b@."
+    (Place.Placement.validate hw = [])

@@ -1,0 +1,1 @@
+lib/celllib/info.ml: Kind Tech

@@ -1,0 +1,1 @@
+lib/celllib/info.mli: Kind Tech

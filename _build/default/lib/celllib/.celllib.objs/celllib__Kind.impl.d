@@ -1,0 +1,1 @@
+lib/celllib/kind.ml: Array Format Printf Stdlib

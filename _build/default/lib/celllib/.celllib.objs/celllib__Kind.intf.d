@@ -1,0 +1,1 @@
+lib/celllib/kind.mli: Format

@@ -1,0 +1,1 @@
+lib/celllib/lef.ml: Buffer Info Kind List Printf Tech

@@ -1,0 +1,37 @@
+type t = {
+  width_sites : int;
+  input_cap_ff : float;
+  intrinsic_ps : float;
+  slope_ps_per_ff : float;
+  internal_cap_ff : float;
+  leakage_nw : float;
+}
+
+let make ~w ~cin ~d0 ~k ~cint ~leak =
+  { width_sites = w; input_cap_ff = cin; intrinsic_ps = d0;
+    slope_ps_per_ff = k; internal_cap_ff = cint; leakage_nw = leak }
+
+let get = function
+  | Kind.Inv -> make ~w:3 ~cin:1.0 ~d0:8.0 ~k:4.0 ~cint:0.8 ~leak:8.0
+  | Kind.Buf -> make ~w:4 ~cin:1.0 ~d0:18.0 ~k:3.0 ~cint:1.4 ~leak:12.0
+  | Kind.Nand2 -> make ~w:4 ~cin:1.2 ~d0:12.0 ~k:4.5 ~cint:1.2 ~leak:12.0
+  | Kind.Nand3 -> make ~w:5 ~cin:1.3 ~d0:16.0 ~k:5.5 ~cint:1.5 ~leak:16.0
+  | Kind.Nor2 -> make ~w:4 ~cin:1.2 ~d0:14.0 ~k:5.0 ~cint:1.2 ~leak:12.0
+  | Kind.Nor3 -> make ~w:5 ~cin:1.3 ~d0:20.0 ~k:6.5 ~cint:1.5 ~leak:16.0
+  | Kind.And2 -> make ~w:5 ~cin:1.1 ~d0:22.0 ~k:4.0 ~cint:1.6 ~leak:15.0
+  | Kind.And3 -> make ~w:6 ~cin:1.2 ~d0:26.0 ~k:4.5 ~cint:1.9 ~leak:19.0
+  | Kind.Or2 -> make ~w:5 ~cin:1.1 ~d0:24.0 ~k:4.0 ~cint:1.6 ~leak:15.0
+  | Kind.Or3 -> make ~w:6 ~cin:1.2 ~d0:28.0 ~k:4.5 ~cint:1.9 ~leak:19.0
+  | Kind.Xor2 -> make ~w:7 ~cin:1.8 ~d0:32.0 ~k:5.0 ~cint:2.6 ~leak:24.0
+  | Kind.Xnor2 -> make ~w:7 ~cin:1.8 ~d0:32.0 ~k:5.0 ~cint:2.6 ~leak:24.0
+  | Kind.Aoi21 -> make ~w:5 ~cin:1.3 ~d0:18.0 ~k:5.5 ~cint:1.5 ~leak:16.0
+  | Kind.Oai21 -> make ~w:5 ~cin:1.3 ~d0:18.0 ~k:5.5 ~cint:1.5 ~leak:16.0
+  | Kind.Mux2 -> make ~w:7 ~cin:1.4 ~d0:30.0 ~k:5.0 ~cint:2.2 ~leak:22.0
+  | Kind.Dff -> make ~w:14 ~cin:1.6 ~d0:90.0 ~k:4.0 ~cint:5.5 ~leak:55.0
+  | Kind.Filler w ->
+    make ~w ~cin:0.0 ~d0:0.0 ~k:0.0 ~cint:0.0 ~leak:0.0
+
+let width_um tech kind =
+  float_of_int (get kind).width_sites *. tech.Tech.site_width_um
+
+let area_um2 tech kind = width_um tech kind *. tech.Tech.row_height_um

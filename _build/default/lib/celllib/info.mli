@@ -1,0 +1,23 @@
+(** Per-kind electrical and physical characterization.
+
+    A linear delay model [d = intrinsic + slope * C_load] and a
+    state-independent leakage model are enough for the paper's experiments
+    (relative timing overhead and power density). *)
+
+type t = {
+  width_sites : int;        (** cell width in placement sites *)
+  input_cap_ff : float;     (** capacitance of each input pin *)
+  intrinsic_ps : float;     (** unloaded cell delay *)
+  slope_ps_per_ff : float;  (** delay sensitivity to output load *)
+  internal_cap_ff : float;  (** equivalent switched cap per output toggle *)
+  leakage_nw : float;       (** static power at nominal corner *)
+}
+
+val get : Kind.t -> t
+(** Characterization of a kind; fillers have zero caps, delay and leakage. *)
+
+val width_um : Tech.t -> Kind.t -> float
+(** Physical width. *)
+
+val area_um2 : Tech.t -> Kind.t -> float
+(** Footprint area (width x row height). *)

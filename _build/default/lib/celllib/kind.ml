@@ -1,0 +1,89 @@
+type t =
+  | Inv
+  | Buf
+  | Nand2
+  | Nand3
+  | Nor2
+  | Nor3
+  | And2
+  | And3
+  | Or2
+  | Or3
+  | Xor2
+  | Xnor2
+  | Aoi21
+  | Oai21
+  | Mux2
+  | Dff
+  | Filler of int
+
+let all_logic =
+  [ Inv; Buf; Nand2; Nand3; Nor2; Nor3; And2; And3; Or2; Or3;
+    Xor2; Xnor2; Aoi21; Oai21; Mux2; Dff ]
+
+let filler_widths = [ 1; 2; 4; 8; 16; 32 ]
+
+let name = function
+  | Inv -> "INV"
+  | Buf -> "BUF"
+  | Nand2 -> "NAND2"
+  | Nand3 -> "NAND3"
+  | Nor2 -> "NOR2"
+  | Nor3 -> "NOR3"
+  | And2 -> "AND2"
+  | And3 -> "AND3"
+  | Or2 -> "OR2"
+  | Or3 -> "OR3"
+  | Xor2 -> "XOR2"
+  | Xnor2 -> "XNOR2"
+  | Aoi21 -> "AOI21"
+  | Oai21 -> "OAI21"
+  | Mux2 -> "MUX2"
+  | Dff -> "DFF"
+  | Filler w -> Printf.sprintf "FILL%d" w
+
+let num_inputs = function
+  | Inv | Buf | Dff -> 1
+  | Nand2 | Nor2 | And2 | Or2 | Xor2 | Xnor2 -> 2
+  | Nand3 | Nor3 | And3 | Or3 | Aoi21 | Oai21 | Mux2 -> 3
+  | Filler _ -> 0
+
+let is_sequential = function
+  | Dff -> true
+  | Inv | Buf | Nand2 | Nand3 | Nor2 | Nor3 | And2 | And3 | Or2 | Or3
+  | Xor2 | Xnor2 | Aoi21 | Oai21 | Mux2 | Filler _ -> false
+
+let is_filler = function
+  | Filler _ -> true
+  | Inv | Buf | Nand2 | Nand3 | Nor2 | Nor3 | And2 | And3 | Or2 | Or3
+  | Xor2 | Xnor2 | Aoi21 | Oai21 | Mux2 | Dff -> false
+
+let arity_error k v =
+  invalid_arg
+    (Printf.sprintf "Kind.eval %s: expected %d inputs, got %d"
+       (name k) (num_inputs k) (Array.length v))
+
+let eval k v =
+  if Array.length v <> num_inputs k then arity_error k v;
+  match k with
+  | Inv -> not v.(0)
+  | Buf -> v.(0)
+  | Nand2 -> not (v.(0) && v.(1))
+  | Nand3 -> not (v.(0) && v.(1) && v.(2))
+  | Nor2 -> not (v.(0) || v.(1))
+  | Nor3 -> not (v.(0) || v.(1) || v.(2))
+  | And2 -> v.(0) && v.(1)
+  | And3 -> v.(0) && v.(1) && v.(2)
+  | Or2 -> v.(0) || v.(1)
+  | Or3 -> v.(0) || v.(1) || v.(2)
+  | Xor2 -> v.(0) <> v.(1)
+  | Xnor2 -> v.(0) = v.(1)
+  | Aoi21 -> not ((v.(0) && v.(1)) || v.(2))
+  | Oai21 -> not ((v.(0) || v.(1)) && v.(2))
+  | Mux2 -> if v.(2) then v.(1) else v.(0)
+  | Dff -> invalid_arg "Kind.eval: DFF is not combinational"
+  | Filler _ -> invalid_arg "Kind.eval: filler cells have no function"
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+let pp ppf k = Format.pp_print_string ppf (name k)

@@ -1,0 +1,64 @@
+let all_macros () =
+  Kind.all_logic
+  @ List.map (fun w -> Kind.Filler w) Kind.filler_widths
+
+let pin_names k =
+  let n = Kind.num_inputs k in
+  let ins =
+    match n with
+    | 0 -> []
+    | 1 -> [ "a" ]
+    | 2 -> [ "a"; "b" ]
+    | 3 -> [ "a"; "b"; "c" ]
+    | n -> List.init n (Printf.sprintf "i%d")
+  in
+  let ins = if Kind.is_sequential k then ins @ [ "ck" ] else ins in
+  if Kind.is_filler k then [] else ins @ [ "z" ]
+
+let to_string tech =
+  let buf = Buffer.create 16384 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "VERSION 5.8 ;\nBUSBITCHARS \"[]\" ;\nDIVIDERCHAR \"/\" ;\n";
+  pr "UNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS\n\n";
+  pr "SITE unit_site\n  CLASS CORE ;\n  SIZE %.3f BY %.3f ;\nEND unit_site\n\n"
+    tech.Tech.site_width_um tech.Tech.row_height_um;
+  List.iter
+    (fun k ->
+       let name =
+         if Kind.is_filler k then Kind.name k else Kind.name k ^ "_X1"
+       in
+       let w = Info.width_um tech k in
+       pr "MACRO %s\n" name;
+       pr "  CLASS CORE %s;\n" (if Kind.is_filler k then "SPACER " else "");
+       pr "  ORIGIN 0 0 ;\n";
+       pr "  SIZE %.3f BY %.3f ;\n" w tech.Tech.row_height_um;
+       pr "  SITE unit_site ;\n";
+       List.iteri
+         (fun i pin ->
+            let dir =
+              if pin = "z" then "OUTPUT"
+              else "INPUT"
+            in
+            (* evenly spaced pin stubs along the cell's midline *)
+            let total = List.length (pin_names k) in
+            let x = w *. float_of_int (i + 1) /. float_of_int (total + 1) in
+            pr "  PIN %s\n    DIRECTION %s ;\n    PORT\n      LAYER metal1 ;\n\
+               \      RECT %.3f %.3f %.3f %.3f ;\n    END\n  END %s\n"
+              pin dir (x -. 0.05)
+              ((tech.Tech.row_height_um /. 2.0) -. 0.05)
+              (x +. 0.05)
+              ((tech.Tech.row_height_um /. 2.0) +. 0.05)
+              pin)
+         (pin_names k);
+       pr "END %s\n\n" name)
+    (all_macros ());
+  pr "END LIBRARY\n";
+  Buffer.contents buf
+
+let macro_count _tech = List.length (all_macros ())
+
+let write_file path tech =
+  let oc = open_out path in
+  (try output_string oc (to_string tech)
+   with e -> close_out oc; raise e);
+  close_out oc

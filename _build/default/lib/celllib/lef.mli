@@ -1,0 +1,12 @@
+(** LEF export of the synthetic cell library.
+
+    Emits technology and macro sections (SITE, MACRO with SIZE/CLASS/PIN
+    stubs) for every logic cell and filler — the static counterpart of the
+    DEF placement writer, enough for DEF viewers that insist on a LEF. *)
+
+val to_string : Tech.t -> string
+
+val write_file : string -> Tech.t -> unit
+
+val macro_count : Tech.t -> int
+(** Number of MACRO sections the export contains. *)

@@ -1,0 +1,27 @@
+type t = {
+  node_nm : int;
+  site_width_um : float;
+  row_height_um : float;
+  vdd_v : float;
+  clock_freq_hz : float;
+  wire_cap_ff_per_um : float;
+  wire_delay_ps_per_um : float;
+  delay_temp_coeff_per_k : float;
+  wire_temp_coeff_per_k : float;
+  leakage_doubling_k : float;
+}
+
+let default_65nm = {
+  node_nm = 65;
+  site_width_um = 0.2;
+  row_height_um = 2.0;
+  vdd_v = 1.0;
+  clock_freq_hz = 1.0e9;
+  wire_cap_ff_per_um = 0.30;
+  wire_delay_ps_per_um = 0.05;
+  delay_temp_coeff_per_k = 0.004;
+  wire_temp_coeff_per_k = 0.005;
+  leakage_doubling_k = 18.0;
+}
+
+let cycle_time_ps t = 1.0e12 /. t.clock_freq_hz

@@ -1,0 +1,28 @@
+(** Technology constants of the synthetic 65 nm-class process.
+
+    The numbers are in the published ballpark for a 65 nm bulk-CMOS
+    standard-cell process and a plastic BGA package; the experiments only
+    depend on their relative magnitudes (see DESIGN.md, substitutions). *)
+
+type t = {
+  node_nm : int;              (** marketing node, 65 *)
+  site_width_um : float;      (** placement site pitch *)
+  row_height_um : float;      (** standard-cell row height *)
+  vdd_v : float;              (** supply voltage *)
+  clock_freq_hz : float;      (** the paper runs the benchmark at 1 GHz *)
+  wire_cap_ff_per_um : float; (** average routed-wire capacitance *)
+  wire_delay_ps_per_um : float; (** lumped RC wire-delay coefficient *)
+  delay_temp_coeff_per_k : float;
+  (** fractional cell-delay increase per kelvin of temperature rise
+      (paper: MOS drive -4 % / 10 degC => ~ +0.004/K delay) *)
+  wire_temp_coeff_per_k : float;
+  (** fractional wire-delay increase per kelvin (paper: +5 % / 10 degC) *)
+  leakage_doubling_k : float;
+  (** temperature rise that doubles subthreshold leakage (the paper's
+      "positive feedback between leakage power and temperature") *)
+}
+
+val default_65nm : t
+
+val cycle_time_ps : t -> float
+(** Clock period implied by [clock_freq_hz], in picoseconds. *)

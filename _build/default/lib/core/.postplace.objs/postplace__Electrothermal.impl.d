@@ -1,0 +1,1 @@
+lib/core/electrothermal.ml: Array Float Flow Geo Place Power Thermal

@@ -1,0 +1,1 @@
+lib/core/electrothermal.mli: Flow Geo Place Thermal

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Electrothermal Float Flow Geo Hotspot List Logicsim Netgen Optimizer Place Power Route Sta Technique Thermal

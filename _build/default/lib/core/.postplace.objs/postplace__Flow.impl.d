@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Celllib Geo Hotspot List Logicsim Netgen Netlist Place Power Sta Technique Thermal

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Celllib Geo Hotspot Logicsim Netgen Netlist Place Power Sta Technique Thermal

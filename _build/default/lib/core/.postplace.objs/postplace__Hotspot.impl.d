@@ -1,0 +1,1 @@
+lib/core/hotspot.ml: Array Celllib Float Geo List Netlist Option Place Queue

@@ -1,0 +1,1 @@
+lib/core/hotspot.mli: Geo Netlist Place

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Flow List Place Power Technique Thermal

@@ -1,0 +1,1 @@
+lib/core/technique.ml: Array Celllib Float Geo Hashtbl Hotspot List Netlist Place

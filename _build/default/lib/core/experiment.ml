@@ -1,0 +1,369 @@
+let test_set_1 ?(seed = 42) ?(sim_cycles = 1000) () =
+  let bench = Netgen.Benchmark.nine_unit () in
+  (* mul16a (0), div16 (4), add64 (6) and cmp32 (8) sit in different
+     corners/edges of the 3x3 region grid -> four scattered hotspots *)
+  let workload =
+    Logicsim.Workload.scattered_hotspots ~hot_units:[ 0; 4; 6; 8 ]
+  in
+  Flow.prepare ~seed ~sim_cycles bench workload
+
+let test_set_2 ?(seed = 42) ?(sim_cycles = 1000) () =
+  let bench = Netgen.Benchmark.nine_unit () in
+  (* mul20 (tag 2) is the largest unit: one big concentrated hotspot *)
+  let workload = Logicsim.Workload.concentrated_hotspot ~hot_unit:2 in
+  Flow.prepare ~seed ~sim_cycles bench workload
+
+type point = {
+  scheme : string;
+  area_overhead_pct : float;
+  temp_reduction_pct : float;
+  gradient_reduction_pct : float;
+  peak_rise_k : float;
+  timing_overhead_pct : float;
+  hpwl_um : float;
+}
+
+let point_of_eval _flow ~base ~scheme (ev : Flow.evaluation) =
+  { scheme;
+    area_overhead_pct =
+      Technique.area_overhead_pct ~base:base.Flow.placement ev.Flow.placement;
+    temp_reduction_pct =
+      Thermal.Metrics.reduction_pct ~before:base.Flow.metrics
+        ~after:ev.Flow.metrics;
+    gradient_reduction_pct =
+      Thermal.Metrics.gradient_reduction_pct ~before:base.Flow.metrics
+        ~after:ev.Flow.metrics;
+    peak_rise_k = ev.Flow.metrics.Thermal.Metrics.peak_rise_k;
+    timing_overhead_pct =
+      Sta.Timing.overhead_pct ~before:base.Flow.timing ~after:ev.Flow.timing;
+    hpwl_um = Place.Placement.hpwl ev.Flow.placement }
+
+type fig6 = {
+  base_eval : Flow.evaluation;
+  default_points : point list;
+  eri_points : point list;
+  hw_points : point list;
+}
+
+let default_overheads = [ 0.05; 0.10; 0.15; 0.20; 0.25; 0.30; 0.35; 0.40 ]
+
+let rows_for_overhead flow frac =
+  let base_rows =
+    flow.Flow.base_placement.Place.Placement.fp.Place.Floorplan.num_rows
+  in
+  max 1 (int_of_float (Float.round (frac *. float_of_int base_rows)))
+
+let run_fig6 ?(overheads = default_overheads) flow =
+  let base = Flow.evaluate flow flow.Flow.base_placement in
+  let default_points =
+    List.map
+      (fun frac ->
+         let util = flow.Flow.base_utilization /. (1.0 +. frac) in
+         let pl = Flow.apply_default flow ~utilization:util in
+         point_of_eval flow ~base ~scheme:"Default" (Flow.evaluate flow pl))
+      overheads
+  in
+  let eri_points =
+    List.map
+      (fun frac ->
+         let rows = rows_for_overhead flow frac in
+         let r = Flow.apply_eri flow ~base ~rows in
+         point_of_eval flow ~base ~scheme:"ERI"
+           (Flow.evaluate flow r.Technique.eri_placement))
+      overheads
+  in
+  let hw_points =
+    List.map
+      (fun frac ->
+         let util = flow.Flow.base_utilization /. (1.0 +. frac) in
+         let pl = Flow.apply_default flow ~utilization:util in
+         let ev = Flow.evaluate flow pl in
+         let pl' = Flow.apply_hw flow ~on:ev () in
+         point_of_eval flow ~base ~scheme:"HW" (Flow.evaluate flow pl'))
+      overheads
+  in
+  { base_eval = base; default_points; eri_points; hw_points }
+
+type table1_row = {
+  t1_scheme : string;
+  t1_width_um : float;
+  t1_height_um : float;
+  t1_rows_inserted : int option;
+  t1_overhead_pct : float;
+  t1_reduction_pct : float;
+}
+
+let run_table1 ?(overheads = [ 0.161; 0.322 ]) flow =
+  let base = Flow.evaluate flow flow.Flow.base_placement in
+  let row_of ~scheme ~rows ev =
+    let core = ev.Flow.placement.Place.Placement.fp.Place.Floorplan.core in
+    { t1_scheme = scheme;
+      t1_width_um = Geo.Rect.width core;
+      t1_height_um = Geo.Rect.height core;
+      t1_rows_inserted = rows;
+      t1_overhead_pct =
+        Technique.area_overhead_pct ~base:base.Flow.placement
+          ev.Flow.placement;
+      t1_reduction_pct =
+        Thermal.Metrics.reduction_pct ~before:base.Flow.metrics
+          ~after:ev.Flow.metrics }
+  in
+  let defaults =
+    List.map
+      (fun frac ->
+         let util = flow.Flow.base_utilization /. (1.0 +. frac) in
+         let pl = Flow.apply_default flow ~utilization:util in
+         row_of ~scheme:"Default" ~rows:None (Flow.evaluate flow pl))
+      overheads
+  in
+  let eris =
+    List.map
+      (fun frac ->
+         let rows = rows_for_overhead flow frac in
+         let r = Flow.apply_eri flow ~base ~rows in
+         row_of ~scheme:"ERI" ~rows:(Some rows)
+           (Flow.evaluate flow r.Technique.eri_placement))
+      overheads
+  in
+  defaults @ eris
+
+type timing_summary = {
+  ts_scheme : string;
+  ts_overhead_pct : float;
+  ts_critical_ps : float;
+  ts_overhead_timing_pct : float;
+}
+
+let run_timing flow =
+  let base = Flow.evaluate flow flow.Flow.base_placement in
+  let summary scheme ev =
+    { ts_scheme = scheme;
+      ts_overhead_pct =
+        Technique.area_overhead_pct ~base:base.Flow.placement
+          ev.Flow.placement;
+      ts_critical_ps = ev.Flow.timing.Sta.Timing.critical_ps;
+      ts_overhead_timing_pct =
+        Sta.Timing.overhead_pct ~before:base.Flow.timing
+          ~after:ev.Flow.timing }
+  in
+  let default_pl =
+    Flow.apply_default flow
+      ~utilization:(flow.Flow.base_utilization /. 1.2)
+  in
+  let default_ev = Flow.evaluate flow default_pl in
+  let eri =
+    Flow.apply_eri flow ~base ~rows:(rows_for_overhead flow 0.2)
+  in
+  let eri_ev = Flow.evaluate flow eri.Technique.eri_placement in
+  let hw_pl = Flow.apply_hw flow ~on:default_ev () in
+  let hw_ev = Flow.evaluate flow hw_pl in
+  [ summary "base" base;
+    summary "Default" default_ev;
+    summary "ERI" eri_ev;
+    summary "HW" hw_ev ]
+
+type congestion_summary = {
+  cs_scheme : string;
+  cs_max_utilization : float;
+  cs_overflow_um : float;
+  cs_hotspot_demand_um : float;
+}
+
+let run_congestion flow =
+  let base = Flow.evaluate flow flow.Flow.base_placement in
+  let hot_rect =
+    match base.Flow.hotspots with
+    | h :: _ -> h.Hotspot.rect
+    | [] -> flow.Flow.base_placement.Place.Placement.fp.Place.Floorplan.core
+  in
+  let summarize scheme pl =
+    let r = Route.Congestion.estimate pl () in
+    { cs_scheme = scheme;
+      cs_max_utilization = r.Route.Congestion.max_utilization;
+      cs_overflow_um = r.Route.Congestion.overflow_um;
+      cs_hotspot_demand_um = Route.Congestion.hotspot_demand r hot_rect }
+  in
+  let eri = Flow.apply_eri flow ~base ~rows:(rows_for_overhead flow 0.2) in
+  [ summarize "base" flow.Flow.base_placement;
+    summarize "ERI" eri.Technique.eri_placement ]
+
+let fig5_maps flow =
+  let base = Flow.evaluate flow flow.Flow.base_placement in
+  (base.Flow.power_map, base.Flow.thermal_map)
+
+type electrothermal_row = {
+  et_scheme : string;
+  et_open_loop_peak_k : float;
+  et_closed_loop_peak_k : float;
+  et_leakage_increase_pct : float;
+  et_iterations : int;
+}
+
+let run_electrothermal flow =
+  let base = Flow.evaluate flow flow.Flow.base_placement in
+  let rows = rows_for_overhead flow 0.2 in
+  let eri = Flow.apply_eri flow ~base ~rows in
+  let row_of scheme pl =
+    let r = Electrothermal.evaluate flow pl () in
+    { et_scheme = scheme;
+      et_open_loop_peak_k = r.Electrothermal.open_loop_peak_k;
+      et_closed_loop_peak_k =
+        r.Electrothermal.metrics.Thermal.Metrics.peak_rise_k;
+      et_leakage_increase_pct =
+        100.0
+        *. (r.Electrothermal.leakage_w -. r.Electrothermal.nominal_leakage_w)
+        /. r.Electrothermal.nominal_leakage_w;
+      et_iterations = r.Electrothermal.iterations }
+  in
+  [ row_of "base" flow.Flow.base_placement;
+    row_of "ERI" eri.Technique.eri_placement ]
+
+type package_row = {
+  pk_h_top_w_m2k : float;
+  pk_peak_k : float;
+  pk_gradient_k : float;
+  pk_eri_reduction_pct : float;
+}
+
+let run_package_sweep ?(sinks = [ 2.0e5; 5.0e5; 1.0e6 ]) flow =
+  List.map
+    (fun h ->
+       let flow =
+         { flow with
+           Flow.mesh_config =
+             { flow.Flow.mesh_config with
+               Thermal.Mesh.stack =
+                 Thermal.Stack.with_sink
+                   flow.Flow.mesh_config.Thermal.Mesh.stack ~h_top_w_m2k:h } }
+       in
+       let base = Flow.evaluate flow flow.Flow.base_placement in
+       let eri =
+         Flow.apply_eri flow ~base ~rows:(rows_for_overhead flow 0.2)
+       in
+       let ev = Flow.evaluate flow eri.Technique.eri_placement in
+       { pk_h_top_w_m2k = h;
+         pk_peak_k = base.Flow.metrics.Thermal.Metrics.peak_rise_k;
+         pk_gradient_k = base.Flow.metrics.Thermal.Metrics.gradient_k;
+         pk_eri_reduction_pct =
+           Thermal.Metrics.reduction_pct ~before:base.Flow.metrics
+             ~after:ev.Flow.metrics })
+    sinks
+
+type baseline_row = {
+  bl_scheme : string;
+  bl_overhead_pct : float;
+  bl_reduction_pct : float;
+  bl_timing_pct : float;
+}
+
+let run_baselines ?(overhead = 0.2) flow =
+  let base = Flow.evaluate flow flow.Flow.base_placement in
+  let util = flow.Flow.base_utilization /. (1.0 +. overhead) in
+  let row_of scheme ev =
+    { bl_scheme = scheme;
+      bl_overhead_pct =
+        Technique.area_overhead_pct ~base:base.Flow.placement
+          ev.Flow.placement;
+      bl_reduction_pct =
+        Thermal.Metrics.reduction_pct ~before:base.Flow.metrics
+          ~after:ev.Flow.metrics;
+      bl_timing_pct =
+        Sta.Timing.overhead_pct ~before:base.Flow.timing
+          ~after:ev.Flow.timing }
+  in
+  let default_ev =
+    Flow.evaluate flow (Flow.apply_default flow ~utilization:util)
+  in
+  let aware_ev =
+    Flow.evaluate flow (Flow.apply_power_aware flow ~utilization:util)
+  in
+  let eri =
+    Flow.apply_eri flow ~base ~rows:(rows_for_overhead flow overhead)
+  in
+  let eri_ev = Flow.evaluate flow eri.Technique.eri_placement in
+  let hw_ev =
+    Flow.evaluate flow (Flow.apply_hw flow ~on:default_ev ())
+  in
+  [ row_of "Default (uniform)" default_ev;
+    row_of "power-aware place" aware_ev;
+    row_of "ERI (post-place)" eri_ev;
+    row_of "HW (post-place)" hw_ev ]
+
+type glitch_row = {
+  gl_metric : string;
+  gl_zero_delay : float;
+  gl_event_driven : float;
+}
+
+let run_glitch ?(cycles = 300) flow =
+  let nl = flow.Flow.bench.Netgen.Benchmark.netlist in
+  let pl = flow.Flow.base_placement in
+  let measure_with report =
+    let power =
+      Power.Model.compute pl
+        ~toggle_rate:report.Logicsim.Activity.toggle_rate
+    in
+    let cfg = flow.Flow.mesh_config in
+    let map =
+      Power.Map.power_map pl ~per_cell_w:power.Power.Model.per_cell_w
+        ~nx:cfg.Thermal.Mesh.nx ~ny:cfg.Thermal.Mesh.ny
+    in
+    let sol = Thermal.Mesh.solve (Thermal.Mesh.build cfg ~power:map) in
+    let metrics =
+      Thermal.Metrics.of_map (Thermal.Mesh.active_layer_grid sol)
+    in
+    (Logicsim.Activity.mean_toggle_rate report,
+     power.Power.Model.dynamic_w,
+     metrics.Thermal.Metrics.peak_rise_k)
+  in
+  let rng = Geo.Rng.create (flow.Flow.seed + 1001) in
+  let zsim = Logicsim.Sim.create nl in
+  let z_report =
+    Logicsim.Activity.measure zsim flow.Flow.workload (Geo.Rng.copy rng)
+      ~warmup:32 ~cycles
+  in
+  let esim = Logicsim.Event_sim.create nl in
+  let e_report =
+    Logicsim.Event_sim.measure esim flow.Flow.workload (Geo.Rng.copy rng)
+      ~warmup:32 ~cycles
+  in
+  let z_rate, z_dyn, z_peak = measure_with z_report in
+  let e_rate, e_dyn, e_peak = measure_with e_report in
+  [ { gl_metric = "mean toggle rate [1/cycle]"; gl_zero_delay = z_rate;
+      gl_event_driven = e_rate };
+    { gl_metric = "dynamic power [mW]"; gl_zero_delay = z_dyn *. 1e3;
+      gl_event_driven = e_dyn *. 1e3 };
+    { gl_metric = "peak rise [K]"; gl_zero_delay = z_peak;
+      gl_event_driven = e_peak } ]
+
+type ablation_row = {
+  ab_variant : string;
+  ab_overhead_pct : float;
+  ab_reduction_pct : float;
+}
+
+let run_ablation ?(overhead = 0.2) flow =
+  let base = Flow.evaluate flow flow.Flow.base_placement in
+  let rows = rows_for_overhead flow overhead in
+  let row_of name r =
+    let ev = Flow.evaluate flow r.Technique.eri_placement in
+    { ab_variant = name;
+      ab_overhead_pct =
+        Technique.area_overhead_pct ~base:base.Flow.placement
+          ev.Flow.placement;
+      ab_reduction_pct =
+        Thermal.Metrics.reduction_pct ~before:base.Flow.metrics
+          ~after:ev.Flow.metrics }
+  in
+  let interleaved =
+    Technique.empty_row_insertion ~style:`Interleaved base.Flow.placement
+      ~hotspots:base.Flow.hotspots ~rows
+  in
+  let clustered =
+    Technique.empty_row_insertion ~style:`Clustered base.Flow.placement
+      ~hotspots:base.Flow.hotspots ~rows
+  in
+  let optimized = Optimizer.greedy_rows flow ~rows () in
+  [ row_of "ERI interleaved" interleaved;
+    row_of "ERI clustered" clustered;
+    row_of "greedy optimizer" optimized.Optimizer.plan ]

@@ -1,0 +1,128 @@
+module P = Place.Placement
+
+type t = {
+  bench : Netgen.Benchmark.t;
+  tech : Celllib.Tech.t;
+  workload : Logicsim.Workload.t;
+  activity : Logicsim.Activity.report;
+  unit_areas : (int * float) array;
+  base_placement : P.t;
+  base_regions : Place.Regions.region array;
+  positions : Place.Global.positions;
+  per_cell_w : float array;
+  power_report : Power.Model.report;
+  seed : int;
+  base_utilization : float;
+  mesh_config : Thermal.Mesh.config;
+}
+
+let unit_cell_ids nl tag = Array.of_list (Netlist.Types.cells_of_unit nl tag)
+
+let cells_of_region t tag = unit_cell_ids t.bench.Netgen.Benchmark.netlist tag
+
+let compute_unit_areas tech bench =
+  let nl = bench.Netgen.Benchmark.netlist in
+  Array.map
+    (fun u ->
+       let tag = u.Netgen.Benchmark.tag in
+       let area =
+         List.fold_left
+           (fun acc cid ->
+              acc
+              +. Celllib.Info.area_um2 tech
+                   (Netlist.Types.cell nl cid).Netlist.Types.kind)
+           0.0
+           (Netlist.Types.cells_of_unit nl tag)
+       in
+       (tag, area))
+    bench.Netgen.Benchmark.units
+
+let prepare ?(seed = 42) ?(utilization = 0.85) ?(sim_cycles = 1000)
+    ?(warmup_cycles = 64) ?(mesh_config = Thermal.Mesh.default_config) bench
+    workload =
+  let tech = Celllib.Tech.default_65nm in
+  let nl = bench.Netgen.Benchmark.netlist in
+  let rng = Geo.Rng.create seed in
+  let sim = Logicsim.Sim.create nl in
+  let activity =
+    Logicsim.Activity.measure sim workload (Geo.Rng.split rng)
+      ~warmup:warmup_cycles ~cycles:sim_cycles
+  in
+  let unit_areas = compute_unit_areas tech bench in
+  let total_area = Array.fold_left (fun s (_, a) -> s +. a) 0.0 unit_areas in
+  let fp =
+    Place.Floorplan.create tech ~cell_area_um2:total_area ~utilization
+      ~aspect:1.0
+  in
+  let regions = Place.Regions.pack fp ~areas:unit_areas in
+  let cells_of tag = unit_cell_ids nl tag in
+  let positions =
+    Place.Global.place nl tech ~regions ~cells_of_region:cells_of
+      (Geo.Rng.split rng)
+  in
+  let base_placement =
+    Place.Legalize.run nl fp ~regions ~cells_of_region:cells_of ~positions
+  in
+  let power =
+    Power.Model.compute base_placement
+      ~toggle_rate:activity.Logicsim.Activity.toggle_rate
+  in
+  { bench; tech; workload; activity; unit_areas; base_placement;
+    base_regions = regions; positions;
+    per_cell_w = power.Power.Model.per_cell_w; power_report = power; seed;
+    base_utilization = utilization; mesh_config }
+
+type evaluation = {
+  placement : P.t;
+  power_map : Geo.Grid.t;
+  thermal_map : Geo.Grid.t;
+  metrics : Thermal.Metrics.t;
+  hotspots : Hotspot.t list;
+  timing : Sta.Timing.result;
+}
+
+let evaluate t pl =
+  let cfg = t.mesh_config in
+  let power_map =
+    Power.Map.power_map pl ~per_cell_w:t.per_cell_w
+      ~nx:cfg.Thermal.Mesh.nx ~ny:cfg.Thermal.Mesh.ny
+  in
+  let problem = Thermal.Mesh.build cfg ~power:power_map in
+  let solution = Thermal.Mesh.solve problem in
+  let thermal_map = Thermal.Mesh.active_layer_grid solution in
+  let metrics = Thermal.Metrics.of_map thermal_map in
+  let hotspots = Hotspot.detect ~thermal:thermal_map ~placement:pl () in
+  let timing = Sta.Timing.analyze pl ~thermal_map () in
+  { placement = pl; power_map; thermal_map; metrics; hotspots; timing }
+
+let apply_default t ~utilization =
+  let nl = t.bench.Netgen.Benchmark.netlist in
+  Technique.uniform_slack nl t.tech ~unit_areas:t.unit_areas
+    ~cells_of_region:(cells_of_region t) ~positions:t.positions
+    ~from_core:t.base_placement.P.fp.Place.Floorplan.core ~utilization
+    (Geo.Rng.create (t.seed + 7))
+
+let apply_power_aware t ~utilization =
+  let nl = t.bench.Netgen.Benchmark.netlist in
+  let unit_powers =
+    Array.map
+      (fun (tag, _) ->
+         (tag,
+          Power.Model.unit_power_w nl t.power_report ~tag))
+      t.unit_areas
+  in
+  Technique.power_aware_slack nl t.tech ~unit_areas:t.unit_areas
+    ~unit_powers ~cells_of_region:(cells_of_region t)
+    ~positions:t.positions
+    ~from_core:t.base_placement.P.fp.Place.Floorplan.core ~utilization
+    (Geo.Rng.create (t.seed + 11))
+
+let apply_eri t ~base ~rows =
+  ignore t;
+  Technique.empty_row_insertion base.placement
+    ~hotspots:base.hotspots ~rows
+
+let apply_hw t ~on ?margin_um ?max_hotspot_tiles () =
+  ignore t;
+  Technique.hotspot_wrapper on.placement ~hotspots:on.hotspots
+    ?margin_um ?max_hotspot_tiles ()

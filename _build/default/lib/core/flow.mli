@@ -1,0 +1,67 @@
+(** End-to-end flow: benchmark -> activity -> placement -> power -> thermal.
+
+    Mirrors the paper's Fig. 2: logic simulation annotates switching
+    activity, the placed netlist and per-cell powers feed the thermal
+    simulator, and the resulting thermal map (plus a user-specified area
+    overhead) drives the area-management techniques.
+
+    Per the paper, the techniques "reduce cell density while keeping (cell)
+    power consumption unchanged": per-cell powers are computed once on the
+    base placement and re-binned (not re-estimated) after each transform. *)
+
+type t = {
+  bench : Netgen.Benchmark.t;
+  tech : Celllib.Tech.t;
+  workload : Logicsim.Workload.t;
+  activity : Logicsim.Activity.report;
+  unit_areas : (int * float) array;  (** cell area per unit tag *)
+  base_placement : Place.Placement.t;
+  base_regions : Place.Regions.region array;
+  positions : Place.Global.positions; (** global placement, base core *)
+  per_cell_w : float array;
+  power_report : Power.Model.report;
+  seed : int;
+  base_utilization : float;
+  mesh_config : Thermal.Mesh.config;
+}
+
+val cells_of_region : t -> int -> Netlist.Types.cell_id array
+
+val prepare :
+  ?seed:int ->
+  ?utilization:float ->
+  ?sim_cycles:int ->
+  ?warmup_cycles:int ->
+  ?mesh_config:Thermal.Mesh.config ->
+  Netgen.Benchmark.t ->
+  Logicsim.Workload.t ->
+  t
+(** Defaults: seed 42, utilization 0.85 (the compact base placement),
+    1000 measured cycles after 64 warm-up cycles, 40 x 40 x 9 mesh. *)
+
+type evaluation = {
+  placement : Place.Placement.t;
+  power_map : Geo.Grid.t;     (** W per tile *)
+  thermal_map : Geo.Grid.t;   (** K rise, active layer *)
+  metrics : Thermal.Metrics.t;
+  hotspots : Hotspot.t list;
+  timing : Sta.Timing.result;
+}
+
+val evaluate : t -> Place.Placement.t -> evaluation
+(** Re-bin power at the placement, solve the thermal network, detect
+    hotspots, run temperature-derated STA. *)
+
+val apply_default : t -> utilization:float -> Place.Placement.t
+(** The Default scheme at a given utilization factor. *)
+
+val apply_eri : t -> base:evaluation -> rows:int -> Technique.eri_result
+(** ERI with [rows] extra rows next to [base]'s hotspots. *)
+
+val apply_power_aware : t -> utilization:float -> Place.Placement.t
+(** The placement-time thermal-aware baseline: whitespace distributed by
+    unit power instead of uniformly (see {!Technique.power_aware_slack}). *)
+
+val apply_hw : t -> on:evaluation -> ?margin_um:float ->
+  ?max_hotspot_tiles:int -> unit -> Place.Placement.t
+(** HW around [on]'s hotspots (usually a Default evaluation). *)

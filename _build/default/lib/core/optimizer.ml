@@ -1,0 +1,59 @@
+type result = {
+  plan : Technique.eri_result;
+  predicted_peak_k : float;
+  evaluations : int;
+}
+
+let peak_of flow pl ~nx =
+  let cfg =
+    { flow.Flow.mesh_config with Thermal.Mesh.nx; ny = nx }
+  in
+  let power =
+    Power.Map.power_map pl ~per_cell_w:flow.Flow.per_cell_w ~nx ~ny:nx
+  in
+  let solution = Thermal.Mesh.solve (Thermal.Mesh.build cfg ~power) in
+  (Thermal.Metrics.of_map (Thermal.Mesh.active_layer_grid solution))
+    .Thermal.Metrics.peak_rise_k
+
+let evaluate_plan flow ~after ~nx =
+  let r = Technique.apply_row_insertions flow.Flow.base_placement after in
+  peak_of flow r.Technique.eri_placement ~nx
+
+let greedy_rows flow ~rows ?(chunk = 4) ?(stride = 4) ?(coarse_nx = 20) () =
+  if rows <= 0 then invalid_arg "Optimizer.greedy_rows: non-positive budget";
+  if chunk <= 0 || stride <= 0 || coarse_nx <= 0 then
+    invalid_arg "Optimizer.greedy_rows: non-positive parameter";
+  let base = flow.Flow.base_placement in
+  let num_rows = base.Place.Placement.fp.Place.Floorplan.num_rows in
+  let candidates =
+    let rec collect r acc = if r >= num_rows then List.rev acc
+      else collect (r + stride) (r :: acc)
+    in
+    collect 0 []
+  in
+  let evaluations = ref 0 in
+  let plan = ref [] in
+  let remaining = ref rows in
+  while !remaining > 0 do
+    let step = min chunk !remaining in
+    let best = ref None in
+    List.iter
+      (fun cand ->
+         let trial = !plan @ List.init step (fun _ -> cand) in
+         let peak = evaluate_plan flow ~after:trial ~nx:coarse_nx in
+         incr evaluations;
+         match !best with
+         | Some (_, best_peak) when best_peak <= peak -> ()
+         | _ -> best := Some (cand, peak))
+      candidates;
+    (match !best with
+     | Some (cand, _) ->
+       plan := !plan @ List.init step (fun _ -> cand)
+     | None -> assert false);
+    remaining := !remaining - step
+  done;
+  let final = Technique.apply_row_insertions base !plan in
+  { plan = final;
+    predicted_peak_k =
+      peak_of flow final.Technique.eri_placement ~nx:coarse_nx;
+    evaluations = !evaluations + 1 }

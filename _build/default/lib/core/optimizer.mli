@@ -1,0 +1,35 @@
+(** Greedy row-budget optimization — the paper's stated future work
+    ("improve the efficiency of the approaches by transforming them into
+    suitable optimization problems, e.g. the amount of empty rows ... to be
+    inserted").
+
+    The optimizer spends an empty-row budget one chunk at a time: every
+    candidate insertion position is evaluated with a true (coarse-mesh)
+    thermal solve of the resulting placement, and the position with the
+    lowest peak temperature wins. This is slower than plain ERI but needs
+    no hotspot heuristics and handles multiple competing warm regions. *)
+
+type result = {
+  plan : Technique.eri_result;      (** the chosen insertions applied *)
+  predicted_peak_k : float;         (** coarse-mesh peak of the final plan *)
+  evaluations : int;                (** thermal solves spent *)
+}
+
+val greedy_rows :
+  Flow.t ->
+  rows:int ->
+  ?chunk:int ->
+  ?stride:int ->
+  ?coarse_nx:int ->
+  unit ->
+  result
+(** [greedy_rows flow ~rows ()] allocates [rows] empty rows on the flow's
+    base placement. [chunk] rows are committed per greedy step (default 4),
+    candidate positions are every [stride]-th row (default 4), and candidate
+    evaluation uses a [coarse_nx] x [coarse_nx] thermal grid (default 20).
+    Raises [Invalid_argument] on a non-positive budget. *)
+
+val evaluate_plan : Flow.t -> after:int list -> nx:int -> float
+(** Peak temperature rise (K) of the base placement with the given
+    insertion plan applied, on an [nx] x [nx] mesh. Exposed for tests and
+    for comparing optimizer output against heuristic ERI. *)

@@ -1,0 +1,1 @@
+lib/geometry/rng.ml: Array Float Int64

@@ -1,0 +1,1 @@
+lib/geometry/stats.ml: Array Float

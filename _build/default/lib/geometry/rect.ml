@@ -1,0 +1,49 @@
+type t = { lx : float; ly : float; hx : float; hy : float }
+
+let make ~lx ~ly ~hx ~hy =
+  { lx = Float.min lx hx; ly = Float.min ly hy;
+    hx = Float.max lx hx; hy = Float.max ly hy }
+
+let of_corner ~x ~y ~w ~h =
+  assert (w >= 0.0 && h >= 0.0);
+  { lx = x; ly = y; hx = x +. w; hy = y +. h }
+
+let width r = r.hx -. r.lx
+let height r = r.hy -. r.ly
+let area r = width r *. height r
+let center_x r = 0.5 *. (r.lx +. r.hx)
+let center_y r = 0.5 *. (r.ly +. r.hy)
+
+let contains r ~x ~y = x >= r.lx && x < r.hx && y >= r.ly && y < r.hy
+
+let intersects a b =
+  a.lx < b.hx && b.lx < a.hx && a.ly < b.hy && b.ly < a.hy
+
+let intersection a b =
+  if intersects a b then
+    Some { lx = Float.max a.lx b.lx; ly = Float.max a.ly b.ly;
+           hx = Float.min a.hx b.hx; hy = Float.min a.hy b.hy }
+  else None
+
+let overlap_area a b =
+  match intersection a b with
+  | None -> 0.0
+  | Some r -> area r
+
+let union a b =
+  { lx = Float.min a.lx b.lx; ly = Float.min a.ly b.ly;
+    hx = Float.max a.hx b.hx; hy = Float.max a.hy b.hy }
+
+let inflate r m =
+  assert (m >= 0.0);
+  { lx = r.lx -. m; ly = r.ly -. m; hx = r.hx +. m; hy = r.hy +. m }
+
+let clip r ~within:w =
+  let lx = Float.max r.lx w.lx and ly = Float.max r.ly w.ly in
+  let hx = Float.min r.hx w.hx and hy = Float.min r.hy w.hy in
+  { lx; ly; hx = Float.max lx hx; hy = Float.max ly hy }
+
+let pp ppf r =
+  Format.fprintf ppf "[%.3f,%.3f .. %.3f,%.3f]" r.lx r.ly r.hx r.hy
+
+let to_string r = Format.asprintf "%a" pp r

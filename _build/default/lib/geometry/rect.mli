@@ -1,0 +1,44 @@
+(** Axis-aligned rectangles in micrometers.
+
+    The convention throughout the project is that a rectangle is the
+    half-open box [\[lx, hx) x \[ly, hy)]; zero-area rectangles are legal
+    (used for degenerate hotspots) but never produced by layout code. *)
+
+type t = { lx : float; ly : float; hx : float; hy : float }
+
+val make : lx:float -> ly:float -> hx:float -> hy:float -> t
+(** [make] normalizes the corners so that [lx <= hx] and [ly <= hy]. *)
+
+val of_corner : x:float -> y:float -> w:float -> h:float -> t
+(** Rectangle from the lower-left corner and a (non-negative) size. *)
+
+val width : t -> float
+val height : t -> float
+val area : t -> float
+val center_x : t -> float
+val center_y : t -> float
+
+val contains : t -> x:float -> y:float -> bool
+(** Point membership in the half-open box. *)
+
+val intersects : t -> t -> bool
+(** True when the open interiors overlap (touching edges do not count). *)
+
+val intersection : t -> t -> t option
+(** Overlap region, when the interiors overlap. *)
+
+val overlap_area : t -> t -> float
+(** Area of the overlap, 0 when disjoint. *)
+
+val union : t -> t -> t
+(** Smallest rectangle covering both. *)
+
+val inflate : t -> float -> t
+(** [inflate r m] grows every side outward by margin [m] ([m] >= 0). *)
+
+val clip : t -> within:t -> t
+(** Clamp [t] to lie inside [within]; may produce a zero-area rectangle. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

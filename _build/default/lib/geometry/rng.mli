@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic step of the reproduction flows its randomness through an
+    explicit [Rng.t] created from a seed, so that every experiment is exactly
+    reproducible and independent streams can be split off without coupling. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances by one step. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (both produce the same stream). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val gaussian : t -> mean:float -> sigma:float -> float
+(** Box-Muller normal sample. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,44 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun s x -> s +. ((x -. m) *. (x -. m))) 0.0 a in
+    acc /. float_of_int n
+  end
+
+let stddev a = sqrt (variance a)
+
+let percentile a p =
+  if Array.length a = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = p *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = min (n - 1) (lo + 1) in
+  let frac = pos -. float_of_int lo in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let minimum a = Array.fold_left Float.min infinity a
+let maximum a = Array.fold_left Float.max neg_infinity a
+
+let histogram a ~bins =
+  if Array.length a = 0 then invalid_arg "Stats.histogram: empty array";
+  if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";
+  let lo = minimum a and hi = maximum a in
+  let span = if hi > lo then hi -. lo else 1.0 in
+  let counts = Array.make bins 0 in
+  let deposit x =
+    let i = int_of_float (float_of_int bins *. (x -. lo) /. span) in
+    let i = min (bins - 1) (max 0 i) in
+    counts.(i) <- counts.(i) + 1
+  in
+  Array.iter deposit a;
+  Array.init bins (fun i ->
+      (lo +. (span *. float_of_int i /. float_of_int bins), counts.(i)))

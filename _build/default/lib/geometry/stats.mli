@@ -1,0 +1,20 @@
+(** Small descriptive-statistics helpers shared by the experiment reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 on arrays shorter than 2. *)
+
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [\[0,1\]], linear interpolation between order
+    statistics. Raises [Invalid_argument] on the empty array. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val histogram : float array -> bins:int -> (float * int) array
+(** [histogram a ~bins] returns [(left_edge, count)] per bin over the data
+    range. Raises [Invalid_argument] on the empty array or [bins <= 0]. *)

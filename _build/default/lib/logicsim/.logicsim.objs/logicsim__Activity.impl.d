@@ -1,0 +1,1 @@
+lib/logicsim/activity.ml: Array Geo Netlist Sim Workload

@@ -1,0 +1,1 @@
+lib/logicsim/activity.mli: Geo Netlist Sim Workload

@@ -1,0 +1,1 @@
+lib/logicsim/density.ml: Array Celllib Float Netlist Workload

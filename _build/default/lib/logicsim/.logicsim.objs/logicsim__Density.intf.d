@@ -1,0 +1,1 @@
+lib/logicsim/density.mli: Netlist Workload

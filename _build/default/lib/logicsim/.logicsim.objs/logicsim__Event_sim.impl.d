@@ -1,0 +1,1 @@
+lib/logicsim/event_sim.ml: Activity Array Celllib Geo List Netlist Workload

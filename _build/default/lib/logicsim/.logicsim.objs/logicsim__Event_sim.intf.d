@@ -1,0 +1,1 @@
+lib/logicsim/event_sim.mli: Activity Geo Netlist Workload

@@ -1,0 +1,1 @@
+lib/logicsim/sim.ml: Array Celllib List Netlist Queue

@@ -1,0 +1,1 @@
+lib/logicsim/sim.mli: Netlist

@@ -1,0 +1,1 @@
+lib/logicsim/vcd.ml: Array Buffer Char List Netlist Printf Sim String Workload

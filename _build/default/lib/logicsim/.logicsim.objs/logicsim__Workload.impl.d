@@ -1,0 +1,1 @@
+lib/logicsim/workload.ml: Array Geo List Netlist Sim

@@ -1,0 +1,1 @@
+lib/logicsim/workload.mli: Geo Sim

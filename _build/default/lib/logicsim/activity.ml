@@ -1,0 +1,27 @@
+type report = {
+  measured_cycles : int;
+  toggle_rate : float array;
+  static_prob : float array;
+}
+
+let measure sim workload rng ~warmup ~cycles =
+  if cycles <= 0 then invalid_arg "Activity.measure: cycles <= 0";
+  Workload.run workload sim rng ~cycles:warmup;
+  Sim.reset_counters sim;
+  Workload.run workload sim rng ~cycles;
+  let nl = Sim.netlist sim in
+  let n = Netlist.Types.num_nets nl in
+  let fcycles = float_of_int cycles in
+  { measured_cycles = cycles;
+    toggle_rate =
+      Array.init n (fun nid -> float_of_int (Sim.toggles sim nid) /. fcycles);
+    static_prob =
+      Array.init n (fun nid -> float_of_int (Sim.ones sim nid) /. fcycles) }
+
+let mean_toggle_rate r = Geo.Stats.mean r.toggle_rate
+
+let of_constant_rate nl ~rate =
+  let n = Netlist.Types.num_nets nl in
+  { measured_cycles = 0;
+    toggle_rate = Array.make n rate;
+    static_prob = Array.make n 0.5 }

@@ -1,0 +1,19 @@
+(** Switching-activity measurement: per-net toggle rates and static
+    probabilities extracted from simulation, the input of power analysis. *)
+
+type report = {
+  measured_cycles : int;
+  toggle_rate : float array;  (** per net: toggles per clock cycle *)
+  static_prob : float array;  (** per net: fraction of cycles at logic 1 *)
+}
+
+val measure : Sim.t -> Workload.t -> Geo.Rng.t -> warmup:int -> cycles:int ->
+  report
+(** Run [warmup] unrecorded cycles (to flush X-ish initial state), reset the
+    counters, then record [cycles] cycles. [cycles] must be positive. *)
+
+val mean_toggle_rate : report -> float
+
+val of_constant_rate : Netlist.Types.t -> rate:float -> report
+(** Synthetic report giving every net the same toggle rate — handy for
+    tests and for decoupling power experiments from simulation noise. *)

@@ -1,0 +1,24 @@
+(** Probabilistic switching-activity estimation (transition densities).
+
+    An analytical alternative to vector simulation: static signal
+    probabilities and transition densities are propagated through the gates
+    using the Boolean-difference rule (Najm's transition-density model,
+    adapted to cycle-based semantics where a net toggles at most once per
+    cycle). Spatial correlation from reconvergent fan-out is ignored, so the
+    result is an approximation — the library uses it as an independent
+    cross-check on the simulator and for quick what-if power estimates. *)
+
+type estimate = {
+  prob : float array;     (** per net: static probability of logic 1 *)
+  density : float array;  (** per net: expected toggles per cycle, in [0,1] *)
+}
+
+val propagate : Netlist.Types.t -> input_density:(int -> float) ->
+  ?iterations:int -> unit -> estimate
+(** [propagate nl ~input_density ()] assigns each primary input [k] the
+    toggle probability [input_density k] (static probability 0.5) and
+    propagates through the logic. Sequential loops are resolved by
+    [iterations] rounds of re-propagation (default 8). *)
+
+val of_workload : Netlist.Types.t -> Workload.t -> estimate
+(** Convenience wrapper deriving per-input densities from a workload. *)

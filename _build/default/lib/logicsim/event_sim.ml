@@ -1,0 +1,151 @@
+module T = Netlist.Types
+
+type t = {
+  nl : T.t;
+  values : bool array;            (* per net *)
+  staged_inputs : bool array;     (* per primary input *)
+  dff_state : bool array;         (* per cell *)
+  toggle_count : int array;       (* per net, glitches included *)
+  ones_count : int array;
+  mutable n_cycles : int;
+  mutable settle_waves : int;
+  (* scratch wave state, sized once *)
+  cell_seen : int array;          (* last wave a cell was evaluated in *)
+  mutable wave_id : int;
+}
+
+let create nl =
+  let values = Array.make (T.num_nets nl) false in
+  T.iter_nets nl ~f:(fun nid n ->
+      match n.T.driver with
+      | T.Constant v -> values.(nid) <- v
+      | T.Primary_input _ | T.Cell_output _ -> ());
+  (* settle the combinational logic once so the initial state is
+     consistent (cells in id order are topological, see Sim): transitions
+     during this pseudo-reset are not counted *)
+  T.iter_cells nl ~f:(fun _ c ->
+      if not (Celllib.Kind.is_sequential c.T.kind) then
+        values.(c.T.output)
+        <- Celllib.Kind.eval c.T.kind
+             (Array.map (fun n -> values.(n)) c.T.inputs));
+  { nl;
+    values;
+    staged_inputs = Array.make (T.num_primary_inputs nl) false;
+    dff_state = Array.make (T.num_cells nl) false;
+    toggle_count = Array.make (T.num_nets nl) 0;
+    ones_count = Array.make (T.num_nets nl) 0;
+    n_cycles = 0;
+    settle_waves = 0;
+    cell_seen = Array.make (T.num_cells nl) (-1);
+    wave_id = 0 }
+
+let netlist t = t.nl
+let set_input t k v = t.staged_inputs.(k) <- v
+let input_value t k = t.staged_inputs.(k)
+let cycles t = t.n_cycles
+let value t nid = t.values.(nid)
+let toggles t nid = t.toggle_count.(nid)
+let ones t nid = t.ones_count.(nid)
+
+let reset_counters t =
+  Array.fill t.toggle_count 0 (Array.length t.toggle_count) 0;
+  Array.fill t.ones_count 0 (Array.length t.ones_count) 0;
+  t.n_cycles <- 0
+
+let apply_change t nid v =
+  if t.values.(nid) <> v then begin
+    t.values.(nid) <- v;
+    t.toggle_count.(nid) <- t.toggle_count.(nid) + 1;
+    true
+  end else false
+
+(* One wave: all nets in [changed] just switched; every combinational gate
+   sinking one of them is re-evaluated once, and outputs that differ switch
+   in the next wave (unit gate delay). *)
+let propagate_wave t changed =
+  let nl = t.nl in
+  let next = ref [] in
+  t.wave_id <- t.wave_id + 1;
+  List.iter
+    (fun nid ->
+       Array.iter
+         (fun (cid, _pin) ->
+            if t.cell_seen.(cid) <> t.wave_id then begin
+              t.cell_seen.(cid) <- t.wave_id;
+              let c = T.cell nl cid in
+              if not (Celllib.Kind.is_sequential c.T.kind) then begin
+                let ins =
+                  Array.map (fun n -> t.values.(n)) c.T.inputs
+                in
+                let v = Celllib.Kind.eval c.T.kind ins in
+                if v <> t.values.(c.T.output) then
+                  next := (c.T.output, v) :: !next
+              end
+            end)
+         (T.net nl nid).T.sinks)
+    changed;
+  (* apply the next wave's changes; a gate scheduled twice keeps the last
+     computed value (there is one entry per cell because of cell_seen) *)
+  List.filter_map
+    (fun (nid, v) -> if apply_change t nid v then Some nid else None)
+    !next
+
+let step t =
+  let nl = t.nl in
+  (* wave 0: flip-flop outputs and primary inputs release their new values *)
+  let wave0 = ref [] in
+  T.iter_cells nl ~f:(fun cid c ->
+      if Celllib.Kind.is_sequential c.T.kind then
+        if apply_change t c.T.output t.dff_state.(cid) then
+          wave0 := c.T.output :: !wave0);
+  Array.iteri
+    (fun k nid ->
+       if apply_change t nid t.staged_inputs.(k) then
+         wave0 := nid :: !wave0)
+    nl.T.primary_inputs;
+  let waves = ref 0 in
+  let changed = ref !wave0 in
+  let cap = T.num_cells nl + 2 in
+  while !changed <> [] do
+    incr waves;
+    if !waves > cap then failwith "Event_sim.step: failed to settle";
+    changed := propagate_wave t !changed
+  done;
+  t.settle_waves <- !waves;
+  (* capture *)
+  T.iter_cells nl ~f:(fun cid c ->
+      if Celllib.Kind.is_sequential c.T.kind then
+        t.dff_state.(cid) <- t.values.(c.T.inputs.(0)));
+  Array.iteri
+    (fun nid v -> if v then t.ones_count.(nid) <- t.ones_count.(nid) + 1)
+    t.values;
+  t.n_cycles <- t.n_cycles + 1
+
+let last_settle_waves t = t.settle_waves
+
+let measure t workload rng ~warmup ~cycles =
+  if cycles <= 0 then invalid_arg "Event_sim.measure: cycles <= 0";
+  let nl = t.nl in
+  let tags = nl.T.pi_tags in
+  let drive () =
+    Array.iteri
+      (fun k _nid ->
+         let p = Workload.activity workload ~tag:tags.(k) in
+         if Geo.Rng.bernoulli rng p then
+           set_input t k (not (input_value t k)))
+      nl.T.primary_inputs
+  in
+  for _ = 1 to warmup do
+    drive ();
+    step t
+  done;
+  reset_counters t;
+  for _ = 1 to cycles do
+    drive ();
+    step t
+  done;
+  let n = T.num_nets nl in
+  let fc = float_of_int cycles in
+  { Activity.measured_cycles = cycles;
+    toggle_rate = Array.init n (fun nid -> float_of_int t.toggle_count.(nid) /. fc);
+    static_prob = Array.init n (fun nid -> float_of_int t.ones_count.(nid) /. fc) }

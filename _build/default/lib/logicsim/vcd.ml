@@ -1,0 +1,75 @@
+module T = Netlist.Types
+
+(* VCD identifier codes: printable ASCII 33..126, multi-character base-94. *)
+let code_of_index i =
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod 94)) in
+    let acc = String.make 1 c ^ acc in
+    if i < 94 then acc else go ((i / 94) - 1) acc
+  in
+  go i ""
+
+let sanitize name =
+  String.map
+    (fun c ->
+       match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+       | _ -> '_')
+    name
+
+let record sim ~drive ~cycles ?nets () =
+  if cycles <= 0 then invalid_arg "Vcd.record: cycles <= 0";
+  let nl = Sim.netlist sim in
+  let nets =
+    match nets with
+    | Some l -> l
+    | None -> List.init (T.num_nets nl) (fun i -> i)
+  in
+  let buf = Buffer.create 65536 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "$date thermoplace simulation $end\n";
+  pr "$version thermoplace 1.0 $end\n";
+  pr "$timescale 1 ns $end\n";
+  pr "$scope module design $end\n";
+  List.iteri
+    (fun k nid ->
+       pr "$var wire 1 %s %s $end\n" (code_of_index k)
+         (sanitize (T.net nl nid).T.net_name))
+    nets;
+  pr "$upscope $end\n$enddefinitions $end\n";
+  (* initial values *)
+  pr "$dumpvars\n";
+  List.iteri
+    (fun k nid ->
+       pr "%d%s\n" (if Sim.value sim nid then 1 else 0) (code_of_index k))
+    nets;
+  pr "$end\n";
+  let last = Array.of_list (List.map (Sim.value sim) nets) in
+  for cycle = 0 to cycles - 1 do
+    drive cycle;
+    Sim.step sim;
+    let header_done = ref false in
+    List.iteri
+      (fun k nid ->
+         let v = Sim.value sim nid in
+         if v <> last.(k) then begin
+           if not !header_done then begin
+             pr "#%d\n" (cycle + 1);
+             header_done := true
+           end;
+           last.(k) <- v;
+           pr "%d%s\n" (if v then 1 else 0) (code_of_index k)
+         end)
+      nets
+  done;
+  Buffer.contents buf
+
+let record_workload sim workload rng ~cycles ?nets () =
+  record sim ~drive:(fun _ -> Workload.drive workload sim rng) ~cycles ?nets
+    ()
+
+let write_file path sim workload rng ~cycles ?nets () =
+  let oc = open_out path in
+  (try output_string oc (record_workload sim workload rng ~cycles ?nets ())
+   with e -> close_out oc; raise e);
+  close_out oc

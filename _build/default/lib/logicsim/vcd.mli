@@ -1,0 +1,25 @@
+(** VCD (value-change dump) export of simulation traces.
+
+    Standard waveform interchange: the dump can be opened in GTKWave or any
+    other VCD viewer. One VCD timestep per clock cycle (zero-delay
+    semantics; intra-cycle glitches are not represented). *)
+
+val record :
+  Sim.t ->
+  drive:(int -> unit) ->
+  cycles:int ->
+  ?nets:Netlist.Types.net_id list ->
+  unit ->
+  string
+(** [record sim ~drive ~cycles ()] runs [cycles] cycles, calling [drive k]
+    before cycle [k] (0-based) so the caller can stage inputs, and returns
+    the VCD text. By default every net is dumped; restrict with [nets]. *)
+
+val record_workload :
+  Sim.t -> Workload.t -> Geo.Rng.t -> cycles:int ->
+  ?nets:Netlist.Types.net_id list -> unit -> string
+(** Convenience wrapper driving the simulator from a workload. *)
+
+val write_file :
+  string -> Sim.t -> Workload.t -> Geo.Rng.t -> cycles:int ->
+  ?nets:Netlist.Types.net_id list -> unit -> unit

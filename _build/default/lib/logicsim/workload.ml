@@ -1,0 +1,43 @@
+type t = {
+  default : float;
+  hot : (int * float) list;
+}
+
+let check p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Workload: probability out of range"
+
+let uniform p =
+  check p;
+  { default = p; hot = [] }
+
+let make ~default ~hot =
+  check default;
+  List.iter (fun (_, p) -> check p) hot;
+  { default; hot }
+
+let scattered_hotspots ~hot_units =
+  make ~default:0.02 ~hot:(List.map (fun u -> (u, 0.5)) hot_units)
+
+let concentrated_hotspot ~hot_unit =
+  make ~default:0.02 ~hot:[ (hot_unit, 0.5) ]
+
+let activity t ~tag =
+  match List.assoc_opt tag t.hot with
+  | Some p -> p
+  | None -> t.default
+
+let drive t sim rng =
+  let nl = Sim.netlist sim in
+  let tags = nl.Netlist.Types.pi_tags in
+  Array.iteri
+    (fun k _nid ->
+       let p = activity t ~tag:tags.(k) in
+       if Geo.Rng.bernoulli rng p then
+         Sim.set_input sim k (not (Sim.input_value sim k)))
+    nl.Netlist.Types.primary_inputs
+
+let run t sim rng ~cycles =
+  for _ = 1 to cycles do
+    drive t sim rng;
+    Sim.step sim
+  done

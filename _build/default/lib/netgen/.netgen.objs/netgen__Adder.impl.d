@@ -1,0 +1,1 @@
+lib/netgen/adder.ml: Array Netlist Prim Printf

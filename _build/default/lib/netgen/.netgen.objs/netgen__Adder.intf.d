@@ -1,0 +1,1 @@
+lib/netgen/adder.mli: Netlist

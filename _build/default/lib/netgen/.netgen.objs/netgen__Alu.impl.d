@@ -1,0 +1,1 @@
+lib/netgen/alu.ml: Adder Array Netlist Prim

@@ -1,0 +1,1 @@
+lib/netgen/alu.mli: Netlist

@@ -1,0 +1,1 @@
+lib/netgen/benchmark.ml: Adder Alu Array Comparator Divider List Mac Multiplier Netlist Prim Printf Shifter

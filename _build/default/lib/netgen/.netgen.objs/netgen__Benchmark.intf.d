@@ -1,0 +1,1 @@
+lib/netgen/benchmark.mli: Netlist

@@ -1,0 +1,1 @@
+lib/netgen/comparator.ml: Array Netlist Prim

@@ -1,0 +1,1 @@
+lib/netgen/divider.ml: Array Netlist Prim

@@ -1,0 +1,1 @@
+lib/netgen/divider.mli: Netlist

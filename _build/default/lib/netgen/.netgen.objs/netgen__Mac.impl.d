@@ -1,0 +1,1 @@
+lib/netgen/mac.ml: Adder Array Multiplier Netlist

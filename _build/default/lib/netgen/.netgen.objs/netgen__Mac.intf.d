@@ -1,0 +1,1 @@
+lib/netgen/mac.mli: Netlist

@@ -1,0 +1,1 @@
+lib/netgen/multiplier.ml: Adder Array List Netlist Prim

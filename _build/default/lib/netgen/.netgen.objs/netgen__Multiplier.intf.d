@@ -1,0 +1,1 @@
+lib/netgen/multiplier.mli: Netlist

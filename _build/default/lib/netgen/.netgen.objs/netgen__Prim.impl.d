@@ -1,0 +1,1 @@
+lib/netgen/prim.ml: Array Celllib Netlist Printf

@@ -1,0 +1,1 @@
+lib/netgen/prim.mli: Netlist

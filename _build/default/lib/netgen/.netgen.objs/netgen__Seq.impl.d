@@ -1,0 +1,1 @@
+lib/netgen/seq.ml: Array List Netlist Prim

@@ -1,0 +1,1 @@
+lib/netgen/seq.mli: Netlist

@@ -1,0 +1,1 @@
+lib/netgen/shifter.ml: Array Netlist Prim

@@ -1,0 +1,1 @@
+lib/netgen/shifter.mli: Netlist

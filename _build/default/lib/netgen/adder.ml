@@ -1,0 +1,80 @@
+type net = Netlist.Types.net_id
+
+let check_widths name a b =
+  if Array.length a <> Array.length b || Array.length a = 0 then
+    invalid_arg (Printf.sprintf "Adder.%s: bus width mismatch" name)
+
+let ripple_carry t ~a ~b ~cin =
+  check_widths "ripple_carry" a b;
+  let n = Array.length a in
+  let sums = Array.make n cin in
+  let carry = ref cin in
+  for i = 0 to n - 1 do
+    let s, c = Prim.full_adder t a.(i) b.(i) !carry in
+    sums.(i) <- s;
+    carry := c
+  done;
+  (sums, !carry)
+
+(* Per-group propagate/generate with an explicit lookahead network inside
+   each 4-bit group; groups are chained by their group-carry. *)
+let carry_lookahead t ~a ~b ~cin =
+  check_widths "carry_lookahead" a b;
+  let n = Array.length a in
+  let sums = Array.make n cin in
+  let group = 4 in
+  let carry_in = ref cin in
+  let i = ref 0 in
+  while !i < n do
+    let lo = !i in
+    let len = min group (n - lo) in
+    let p = Array.init len (fun j -> Prim.xor2 t a.(lo + j) b.(lo + j)) in
+    let g = Array.init len (fun j -> Prim.and2 t a.(lo + j) b.(lo + j)) in
+    (* c_{j+1} = g_j or (p_j and c_j), unrolled so each carry is 2 gates
+       from the group carry-in rather than a ripple through full adders. *)
+    let carries = Array.make (len + 1) !carry_in in
+    for j = 0 to len - 1 do
+      carries.(j + 1) <- Prim.or2 t g.(j) (Prim.and2 t p.(j) carries.(j))
+    done;
+    for j = 0 to len - 1 do
+      sums.(lo + j) <- Prim.xor2 t p.(j) carries.(j)
+    done;
+    carry_in := carries.(len);
+    i := lo + len
+  done;
+  (sums, !carry_in)
+
+let carry_select t ~a ~b ~cin ~group =
+  check_widths "carry_select" a b;
+  if group <= 0 then invalid_arg "Adder.carry_select: group <= 0";
+  let n = Array.length a in
+  let zero = Netlist.Builder.add_constant t false in
+  let one = Netlist.Builder.add_constant t true in
+  let sums = Array.make n cin in
+  let carry = ref cin in
+  let i = ref 0 in
+  while !i < n do
+    let lo = !i in
+    let len = min group (n - lo) in
+    let sub v = Array.sub v lo len in
+    if lo = 0 then begin
+      let s, c = ripple_carry t ~a:(sub a) ~b:(sub b) ~cin in
+      Array.blit s 0 sums lo len;
+      carry := c
+    end else begin
+      let s0, c0 = ripple_carry t ~a:(sub a) ~b:(sub b) ~cin:zero in
+      let s1, c1 = ripple_carry t ~a:(sub a) ~b:(sub b) ~cin:one in
+      let sel = !carry in
+      let s = Prim.mux2_bus t ~a:s0 ~b:s1 ~sel in
+      Array.blit s 0 sums lo len;
+      carry := Prim.mux2 t ~a:c0 ~b:c1 ~sel
+    end;
+    i := lo + len
+  done;
+  (sums, !carry)
+
+let subtractor t ~a ~b =
+  check_widths "subtractor" a b;
+  let nb = Array.map (Prim.inv t) b in
+  let one = Netlist.Builder.add_constant t true in
+  ripple_carry t ~a ~b:nb ~cin:one

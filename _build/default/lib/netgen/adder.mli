@@ -1,0 +1,21 @@
+(** Adder generators. Buses are LSB-first; widths must match. *)
+
+type net = Netlist.Types.net_id
+
+val ripple_carry : Netlist.Builder.t -> a:net array -> b:net array ->
+  cin:net -> net array * net
+(** Classic ripple-carry chain; returns [(sum, carry_out)]. *)
+
+val carry_lookahead : Netlist.Builder.t -> a:net array -> b:net array ->
+  cin:net -> net array * net
+(** 4-bit-group carry-lookahead adder: faster carry chain, more gates. *)
+
+val carry_select : Netlist.Builder.t -> a:net array -> b:net array ->
+  cin:net -> group:int -> net array * net
+(** Carry-select with fixed [group] size (> 0); duplicates per-group ripple
+    adders for both carry assumptions and muxes the result. *)
+
+val subtractor : Netlist.Builder.t -> a:net array -> b:net array ->
+  net array * net
+(** Two's-complement [a - b] via inverted [b] and carry-in 1; the second
+    component is the borrow-free flag (carry out). *)

@@ -1,0 +1,18 @@
+type net = Netlist.Types.net_id
+
+type op_select = { op0 : net; op1 : net }
+
+let alu t ~a ~b ~op =
+  if Array.length a <> Array.length b || Array.length a = 0 then
+    invalid_arg "Alu.alu: bus width mismatch";
+  let zero = Netlist.Builder.add_constant t false in
+  let add_sum, add_c = Adder.carry_lookahead t ~a ~b ~cin:zero in
+  let sub_sum, sub_c = Adder.subtractor t ~a ~b in
+  let ands = Array.init (Array.length a) (fun i -> Prim.and2 t a.(i) b.(i)) in
+  let xors = Array.init (Array.length a) (fun i -> Prim.xor2 t a.(i) b.(i)) in
+  let arith = Prim.mux2_bus t ~a:add_sum ~b:sub_sum ~sel:op.op0 in
+  let logic = Prim.mux2_bus t ~a:ands ~b:xors ~sel:op.op0 in
+  let result = Prim.mux2_bus t ~a:arith ~b:logic ~sel:op.op1 in
+  let flag = Prim.mux2 t ~a:add_c ~b:sub_c ~sel:op.op0 in
+  let flag = Prim.mux2 t ~a:flag ~b:zero ~sel:op.op1 in
+  (result, flag)

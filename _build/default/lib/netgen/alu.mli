@@ -1,0 +1,11 @@
+(** A small load/logic/arithmetic ALU used as one benchmark unit. *)
+
+type net = Netlist.Types.net_id
+
+type op_select = { op0 : net; op1 : net }
+(** 2-bit operation code: 00 add, 01 subtract, 10 bitwise and, 11 bitwise
+    xor. *)
+
+val alu : Netlist.Builder.t -> a:net array -> b:net array -> op:op_select ->
+  net array * net
+(** Result bus and the carry/borrow flag (meaningful for 00/01). *)

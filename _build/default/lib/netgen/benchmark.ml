@@ -1,0 +1,121 @@
+type unit_info = {
+  tag : int;
+  unit_name : string;
+  description : string;
+}
+
+type t = {
+  netlist : Netlist.Types.t;
+  units : unit_info array;
+}
+
+module B = Netlist.Builder
+
+let registered_inputs t ~prefix ~width =
+  Prim.register_bus t (Prim.inputs t ~prefix ~width)
+
+let finish_unit t outputs =
+  let regs = Prim.register_bus t outputs in
+  Prim.outputs t regs
+
+let gen_mul_array t ~width =
+  let a = registered_inputs t ~prefix:"ma" ~width in
+  let b = registered_inputs t ~prefix:"mb" ~width in
+  finish_unit t (Multiplier.array_multiplier t ~a ~b)
+
+let gen_mul_wallace t ~width =
+  let a = registered_inputs t ~prefix:"wa" ~width in
+  let b = registered_inputs t ~prefix:"wb" ~width in
+  finish_unit t (Multiplier.wallace_multiplier t ~a ~b)
+
+let gen_mac t ~width =
+  let a = registered_inputs t ~prefix:"xa" ~width in
+  let b = registered_inputs t ~prefix:"xb" ~width in
+  let acc = Mac.mac t ~a ~b ~acc_width:((2 * width) + 8) in
+  Prim.outputs t acc
+
+let gen_div t ~width =
+  let dividend = registered_inputs t ~prefix:"dn" ~width in
+  let divisor = registered_inputs t ~prefix:"dd" ~width in
+  let q, r = Divider.array_divider t ~dividend ~divisor in
+  finish_unit t (Array.append q r)
+
+let gen_alu t ~width =
+  let a = registered_inputs t ~prefix:"aa" ~width in
+  let b = registered_inputs t ~prefix:"ab" ~width in
+  let op0 = B.add_input ~name:"aop0" t and op1 = B.add_input ~name:"aop1" t in
+  let result, flag = Alu.alu t ~a ~b ~op:{ Alu.op0; op1 } in
+  finish_unit t (Array.append result [| flag |])
+
+let gen_adder t ~width =
+  let a = registered_inputs t ~prefix:"sa" ~width in
+  let b = registered_inputs t ~prefix:"sb" ~width in
+  let zero = B.add_constant t false in
+  let sum, cout = Adder.carry_select t ~a ~b ~cin:zero ~group:8 in
+  finish_unit t (Array.append sum [| cout |])
+
+let gen_shift t ~width =
+  let data = registered_inputs t ~prefix:"ha" ~width in
+  let log2w =
+    let rec go k = if 1 lsl k >= width then k else go (k + 1) in
+    go 1
+  in
+  let amount = registered_inputs t ~prefix:"hs" ~width:log2w in
+  let right = Shifter.barrel_right t ~data ~amount in
+  let rot = Shifter.rotate_left t ~data ~amount in
+  let mixed = Array.init width (fun i -> Prim.xor2 t right.(i) rot.(i)) in
+  finish_unit t mixed
+
+let gen_cmp t ~width ~pairs =
+  let outs = ref [] in
+  for p = 0 to pairs - 1 do
+    let a = registered_inputs t ~prefix:(Printf.sprintf "c%da" p) ~width in
+    let b = registered_inputs t ~prefix:(Printf.sprintf "c%db" p) ~width in
+    let lt, eq, gt = Comparator.compare_full t ~a ~b in
+    outs := gt :: eq :: lt :: !outs
+  done;
+  finish_unit t (Array.of_list (List.rev !outs))
+
+let build units =
+  let t = B.create () in
+  let infos =
+    List.mapi
+      (fun tag (unit_name, description, gen) ->
+         B.set_unit_tag t tag;
+         gen t;
+         { tag; unit_name; description })
+      units
+  in
+  B.set_unit_tag t (-1);
+  { netlist = B.finish t; units = Array.of_list infos }
+
+let nine_unit () =
+  build
+    [ ("mul16a", "16x16 array multiplier", fun t -> gen_mul_array t ~width:16);
+      ("mul16b", "16x16 Wallace multiplier",
+       fun t -> gen_mul_wallace t ~width:16);
+      ("mul20", "20x20 array multiplier", fun t -> gen_mul_array t ~width:20);
+      ("mac16", "16-bit multiply-accumulate", fun t -> gen_mac t ~width:16);
+      ("div16", "16/16 restoring array divider", fun t -> gen_div t ~width:16);
+      ("alu32", "32-bit add/sub/and/xor ALU", fun t -> gen_alu t ~width:32);
+      ("add64", "64-bit carry-select adder", fun t -> gen_adder t ~width:64);
+      ("shift32", "32-bit barrel shift/rotate unit",
+       fun t -> gen_shift t ~width:32);
+      ("cmp32", "two 32-bit magnitude comparators",
+       fun t -> gen_cmp t ~width:32 ~pairs:2) ]
+
+let small () =
+  build
+    [ ("mul4", "4x4 array multiplier", fun t -> gen_mul_array t ~width:4);
+      ("add8", "8-bit carry-lookahead adder",
+       fun t ->
+         let a = registered_inputs t ~prefix:"sa" ~width:8 in
+         let b = registered_inputs t ~prefix:"sb" ~width:8 in
+         let zero = B.add_constant t false in
+         let sum, c = Adder.carry_lookahead t ~a ~b ~cin:zero in
+         finish_unit t (Array.append sum [| c |]));
+      ("cmp8", "8-bit comparator", fun t -> gen_cmp t ~width:8 ~pairs:1) ]
+
+let unit_of_cell t cid =
+  let tag = (Netlist.Types.cell t.netlist cid).Netlist.Types.unit_tag in
+  if tag >= 0 && tag < Array.length t.units then Some t.units.(tag) else None

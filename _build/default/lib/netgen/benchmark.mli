@@ -1,0 +1,28 @@
+(** The paper's synthetic benchmark: nine arithmetic units of various sizes
+    (~12k standard cells), each tagged so that workloads can control the
+    size and position of hotspots. *)
+
+type unit_info = {
+  tag : int;            (** dense id, also the index into [units] *)
+  unit_name : string;
+  description : string;
+}
+
+type t = {
+  netlist : Netlist.Types.t;
+  units : unit_info array;
+}
+
+val nine_unit : unit -> t
+(** The full benchmark: two 16x16 multipliers (array and Wallace), a 20x20
+    multiplier, a 16-bit MAC, a 16/16 divider, a 32-bit ALU, a 64-bit
+    carry-select adder, a 32-bit barrel-shift unit and a comparator bank.
+    Unit inputs and outputs are registered, mimicking a synthesized
+    pipelined datapath. *)
+
+val small : unit -> t
+(** A three-unit miniature (a few hundred cells) for fast tests: 4x4
+    multiplier, 8-bit ripple adder, 8-bit comparator. *)
+
+val unit_of_cell : t -> Netlist.Types.cell_id -> unit_info option
+(** Owning unit of a cell, when the cell is tagged. *)

@@ -1,0 +1,30 @@
+type net = Netlist.Types.net_id
+
+let check a b =
+  if Array.length a <> Array.length b || Array.length a = 0 then
+    invalid_arg "Comparator: bus width mismatch"
+
+let equal t ~a ~b =
+  check a b;
+  let eqs = Array.init (Array.length a) (fun i -> Prim.xnor2 t a.(i) b.(i)) in
+  Prim.and_reduce t eqs
+
+(* From the MSB down: lt = (not a_i and b_i) or (eq_i and lt_below). *)
+let less_than t ~a ~b =
+  check a b;
+  let n = Array.length a in
+  let zero = Netlist.Builder.add_constant t false in
+  let lt = ref zero in
+  for i = 0 to n - 1 do
+    let bit_lt = Prim.and2 t (Prim.inv t a.(i)) b.(i) in
+    let bit_eq = Prim.xnor2 t a.(i) b.(i) in
+    lt := Prim.or2 t bit_lt (Prim.and2 t bit_eq !lt)
+  done;
+  !lt
+
+let compare_full t ~a ~b =
+  check a b;
+  let lt = less_than t ~a ~b in
+  let eq = equal t ~a ~b in
+  let gt = Prim.nor2 t lt eq in
+  (lt, eq, gt)

@@ -1,0 +1,13 @@
+(** Magnitude and equality comparators. *)
+
+type net = Netlist.Types.net_id
+
+val equal : Netlist.Builder.t -> a:net array -> b:net array -> net
+(** Single net, 1 when the buses carry equal values. *)
+
+val less_than : Netlist.Builder.t -> a:net array -> b:net array -> net
+(** Unsigned a < b, built as a ripple of per-bit compare slices from MSB. *)
+
+val compare_full : Netlist.Builder.t -> a:net array -> b:net array ->
+  net * net * net
+(** [(lt, eq, gt)]. *)

@@ -1,0 +1,41 @@
+type net = Netlist.Types.net_id
+
+(* Controlled add/subtract cell: when sub=1 computes a + not(b) + cin
+   (i.e. one bit-slice of a - b), when sub=0 computes a + b + cin. *)
+let cas t ~a ~b ~cin ~sub =
+  let bx = Prim.xor2 t b sub in
+  Prim.full_adder t a bx cin
+
+(* Restoring-style array: each row conditionally subtracts the divisor from
+   the running remainder prefix; the quotient bit is the "no borrow" flag
+   and a mux row restores the remainder when the subtraction went negative. *)
+let array_divider t ~dividend ~divisor =
+  let n = Array.length dividend and m = Array.length divisor in
+  if n = 0 || m = 0 then invalid_arg "Divider.array_divider";
+  let zero = Netlist.Builder.add_constant t false in
+  let one = Netlist.Builder.add_constant t true in
+  let quotient = Array.make n zero in
+  (* remainder register, m+1 bits to hold the trial-subtraction borrow *)
+  let rem = ref (Array.make m zero) in
+  for step = n - 1 downto 0 do
+    (* shift remainder left by one, bring in dividend bit *)
+    let shifted = Array.make (m + 1) zero in
+    shifted.(0) <- dividend.(step);
+    Array.blit !rem 0 shifted 1 m;
+    (* trial subtract divisor (zero-extended to m+1 bits) *)
+    let diff = Array.make (m + 1) zero in
+    let carry = ref one in
+    for i = 0 to m do
+      let b = if i < m then divisor.(i) else zero in
+      let s, c = cas t ~a:shifted.(i) ~b ~cin:!carry ~sub:one in
+      diff.(i) <- s;
+      carry := c
+    done;
+    let no_borrow = !carry in
+    quotient.(step) <- no_borrow;
+    (* keep the difference when it is non-negative, else restore *)
+    let next = Prim.mux2_bus t
+        ~a:(Array.sub shifted 0 m) ~b:(Array.sub diff 0 m) ~sel:no_borrow in
+    rem := next
+  done;
+  (quotient, !rem)

@@ -1,0 +1,10 @@
+(** Unsigned array divider (non-restoring style, controlled add/subtract). *)
+
+type net = Netlist.Types.net_id
+
+val array_divider : Netlist.Builder.t -> dividend:net array ->
+  divisor:net array -> net array * net array
+(** [array_divider t ~dividend ~divisor] returns [(quotient, remainder)] for
+    unsigned operands; [|quotient| = |dividend|], [|remainder| = |divisor|].
+    Built from rows of controlled add/subtract cells, the classic dense
+    arithmetic array. *)

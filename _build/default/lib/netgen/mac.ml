@@ -1,0 +1,19 @@
+type net = Netlist.Types.net_id
+
+(* acc <= acc + a*b each cycle: the feedback loop is cut by the accumulator
+   flip-flops, created with forward-wired D pins. *)
+let mac t ~a ~b ~acc_width =
+  let pw = Array.length a + Array.length b in
+  if acc_width < pw then invalid_arg "Mac.mac: accumulator too narrow";
+  let product = Multiplier.array_multiplier t ~a ~b in
+  let zero = Netlist.Builder.add_constant t false in
+  let product_ext = Array.make acc_width zero in
+  Array.blit product 0 product_ext 0 pw;
+  let banks =
+    Array.init acc_width (fun _ -> Netlist.Builder.add_dff_feedback t)
+  in
+  let acc_q = Array.map fst banks in
+  let sum, _carry =
+    Adder.ripple_carry t ~a:product_ext ~b:acc_q ~cin:zero in
+  Array.iteri (fun i (_, connect) -> connect sum.(i)) banks;
+  acc_q

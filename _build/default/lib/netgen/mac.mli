@@ -1,0 +1,9 @@
+(** Pipelined multiply-accumulate unit (the classic DSP hotspot). *)
+
+type net = Netlist.Types.net_id
+
+val mac : Netlist.Builder.t -> a:net array -> b:net array ->
+  acc_width:int -> net array
+(** [mac t ~a ~b ~acc_width] multiplies [a * b] each cycle and adds the
+    product into a registered accumulator of [acc_width] bits (must be at
+    least [|a| + |b|]); returns the accumulator outputs (Q pins). *)

@@ -1,0 +1,80 @@
+type net = Netlist.Types.net_id
+
+let partial_products t a b =
+  Array.map (fun bj -> Array.map (fun ai -> Prim.and2 t ai bj) a) b
+
+(* Row-by-row carry-save reduction: each row adds one shifted partial
+   product into a running (sum, carry) pair; the last carries ripple. *)
+let array_multiplier t ~a ~b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then invalid_arg "Multiplier.array_multiplier";
+  let pp = partial_products t a b in
+  let zero = Netlist.Builder.add_constant t false in
+  let width = na + nb in
+  let acc = Array.make width zero in
+  Array.blit pp.(0) 0 acc 0 na;
+  let carries = ref [] in
+  for j = 1 to nb - 1 do
+    let row_carry = ref zero in
+    for i = 0 to na - 1 do
+      let s, c = Prim.full_adder t acc.(i + j) pp.(j).(i) !row_carry in
+      acc.(i + j) <- s;
+      row_carry := c
+    done;
+    carries := (j + na, !row_carry) :: !carries
+  done;
+  (* Fold the per-row carries into the upper bits with half adders. *)
+  List.iter
+    (fun (pos, c) ->
+       let carry = ref c in
+       let i = ref pos in
+       while !carry <> zero && !i < width do
+         let s, cn = Prim.half_adder t acc.(!i) !carry in
+         acc.(!i) <- s;
+         carry := cn;
+         incr i
+       done)
+    (List.rev !carries);
+  acc
+
+(* Wallace: keep per-column bit lists, compress columns with full/half
+   adders until every column has at most two bits, then one ripple add. *)
+let wallace_multiplier t ~a ~b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then invalid_arg "Multiplier.wallace_multiplier";
+  let width = na + nb in
+  let cols = Array.make width [] in
+  for j = 0 to nb - 1 do
+    for i = 0 to na - 1 do
+      cols.(i + j) <- Prim.and2 t a.(i) b.(j) :: cols.(i + j)
+    done
+  done;
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    let next = Array.make width [] in
+    for k = 0 to width - 1 do
+      let rec compress = function
+        | x :: y :: z :: rest ->
+          progressed := true;
+          let s, c = Prim.full_adder t x y z in
+          if k + 1 < width then next.(k + 1) <- c :: next.(k + 1);
+          s :: compress rest
+        | rest -> rest
+      in
+      next.(k) <- compress cols.(k) @ next.(k)
+    done;
+    Array.blit next 0 cols 0 width
+  done;
+  let zero = Netlist.Builder.add_constant t false in
+  let pick col = match col with
+    | [] -> (zero, zero)
+    | [ x ] -> (x, zero)
+    | [ x; y ] -> (x, y)
+    | _ -> assert false
+  in
+  let xs = Array.make width zero and ys = Array.make width zero in
+  Array.iteri (fun k col -> let x, y = pick col in xs.(k) <- x; ys.(k) <- y)
+    cols;
+  let sums, _ = Adder.ripple_carry t ~a:xs ~b:ys ~cin:zero in
+  sums

@@ -1,0 +1,13 @@
+(** Unsigned combinational multiplier generators. *)
+
+type net = Netlist.Types.net_id
+
+val array_multiplier : Netlist.Builder.t -> a:net array -> b:net array ->
+  net array
+(** Carry-save array multiplier; result width is [|a| + |b|]. This is the
+    densest unit of the benchmark and the natural hotspot source. *)
+
+val wallace_multiplier : Netlist.Builder.t -> a:net array -> b:net array ->
+  net array
+(** Wallace-tree reduction of the partial products followed by a final
+    ripple adder; same function, different physical structure. *)

@@ -1,0 +1,46 @@
+type net = Netlist.Types.net_id
+
+module B = Netlist.Builder
+
+let xnor_lfsr t ~width ~taps =
+  if width <= 0 then invalid_arg "Seq.xnor_lfsr: width <= 0";
+  if taps = [] || List.exists (fun i -> i < 0 || i >= width) taps then
+    invalid_arg "Seq.xnor_lfsr: bad taps";
+  let banks = Array.init width (fun _ -> B.add_dff_feedback t) in
+  let q = Array.map fst banks in
+  (* shift: bit i captures bit i-1; bit 0 captures the XNOR feedback *)
+  let tap_nets = List.map (fun i -> q.(i)) taps in
+  let feedback =
+    match tap_nets with
+    | [ only ] -> Prim.inv t only
+    | first :: rest ->
+      (* xnor-reduce: invert the xor-reduction *)
+      Prim.inv t (List.fold_left (fun acc n -> Prim.xor2 t acc n) first rest)
+    | [] -> assert false
+  in
+  Array.iteri
+    (fun i (_, connect) ->
+       if i = 0 then connect feedback else connect q.(i - 1))
+    banks;
+  q
+
+let counter t ~width ~enable =
+  if width <= 0 then invalid_arg "Seq.counter: width <= 0";
+  let banks = Array.init width (fun _ -> B.add_dff_feedback t) in
+  let q = Array.map fst banks in
+  (* ripple increment: d_i = q_i xor carry_i, carry_{i+1} = q_i and carry_i *)
+  let carry = ref enable in
+  Array.iteri
+    (fun i (_, connect) ->
+       let d = Prim.xor2 t q.(i) !carry in
+       carry := Prim.and2 t q.(i) !carry;
+       connect d)
+    banks;
+  q
+
+let gray_encode t bus =
+  let n = Array.length bus in
+  if n = 0 then invalid_arg "Seq.gray_encode: empty bus";
+  Array.init n (fun i ->
+      if i = n - 1 then Prim.buf t bus.(i)
+      else Prim.xor2 t bus.(i) bus.(i + 1))

@@ -1,0 +1,21 @@
+(** Sequential building blocks: LFSRs and counters.
+
+    These exercise the builder's flip-flop feedback mechanism and give the
+    benchmark generator sequential stimulus sources whose activity is
+    self-sustaining (no primary-input workload needed). *)
+
+type net = Netlist.Types.net_id
+
+val xnor_lfsr : Netlist.Builder.t -> width:int -> taps:int list -> net array
+(** Fibonacci linear-feedback shift register with an XNOR feedback (so the
+    all-zero power-up state is a valid sequence state). Returns the
+    register outputs, index 0 = the bit receiving the feedback. [taps] are
+    bit indices into the register (all < [width]); with maximal-length taps
+    the sequence period is [2^width - 1]. *)
+
+val counter : Netlist.Builder.t -> width:int -> enable:net -> net array
+(** Binary up-counter: increments by one each cycle while [enable] is 1.
+    Returns the count bits, LSB first. *)
+
+val gray_encode : Netlist.Builder.t -> net array -> net array
+(** Combinational binary-to-Gray conversion ([g_i = b_i xor b_{i+1}]). *)

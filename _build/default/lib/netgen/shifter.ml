@@ -1,0 +1,28 @@
+type net = Netlist.Types.net_id
+
+let stage t data ~sel ~source =
+  let n = Array.length data in
+  Array.init n (fun i -> Prim.mux2 t ~a:data.(i) ~b:(source i) ~sel)
+
+let barrel t ~data ~amount ~shifted_bit =
+  if Array.length data = 0 then invalid_arg "Shifter: empty data bus";
+  let zero = Netlist.Builder.add_constant t false in
+  let n = Array.length data in
+  let current = ref data in
+  Array.iteri
+    (fun s sel ->
+       let k = 1 lsl s in
+       let cur = !current in
+       let source i =
+         match shifted_bit with
+         | `Left -> if i >= k then cur.(i - k) else zero
+         | `Right -> if i + k < n then cur.(i + k) else zero
+         | `Rotate -> cur.((i - k + (n * (1 + (k / n)))) mod n)
+       in
+       current := stage t cur ~sel ~source)
+    amount;
+  !current
+
+let barrel_left t ~data ~amount = barrel t ~data ~amount ~shifted_bit:`Left
+let barrel_right t ~data ~amount = barrel t ~data ~amount ~shifted_bit:`Right
+let rotate_left t ~data ~amount = barrel t ~data ~amount ~shifted_bit:`Rotate

@@ -1,0 +1,16 @@
+(** Mux-based barrel shifter. *)
+
+type net = Netlist.Types.net_id
+
+val barrel_left : Netlist.Builder.t -> data:net array -> amount:net array ->
+  net array
+(** Logical left shift of [data] by the binary [amount]; vacated low bits
+    are zero. [|amount|] mux stages of [|data|] muxes each. *)
+
+val barrel_right : Netlist.Builder.t -> data:net array -> amount:net array ->
+  net array
+(** Logical right shift. *)
+
+val rotate_left : Netlist.Builder.t -> data:net array -> amount:net array ->
+  net array
+(** Circular left rotation. *)

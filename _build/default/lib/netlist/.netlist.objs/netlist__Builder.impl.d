@@ -1,0 +1,1 @@
+lib/netlist/builder.ml: Array Celllib List Printf Queue Types

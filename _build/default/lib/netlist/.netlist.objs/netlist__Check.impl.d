@@ -1,0 +1,1 @@
+lib/netlist/check.ml: Array Celllib Format List Types

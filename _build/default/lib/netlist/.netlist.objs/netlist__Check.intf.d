@@ -1,0 +1,1 @@
+lib/netlist/check.mli: Format Types

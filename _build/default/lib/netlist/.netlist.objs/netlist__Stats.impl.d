@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Array Celllib Format List Map Queue Types

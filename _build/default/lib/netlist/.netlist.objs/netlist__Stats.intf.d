@@ -1,0 +1,1 @@
+lib/netlist/stats.mli: Celllib Format Types

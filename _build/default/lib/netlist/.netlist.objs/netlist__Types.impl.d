@@ -1,0 +1,1 @@
+lib/netlist/types.ml: Array Celllib Int Set

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Celllib List Printf String Types

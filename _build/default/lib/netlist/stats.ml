@@ -1,0 +1,103 @@
+type t = {
+  cells : int;
+  nets : int;
+  primary_inputs : int;
+  primary_outputs : int;
+  flip_flops : int;
+  combinational : int;
+  total_cell_area_um2 : float;
+  max_fanout : int;
+  logic_depth : int;
+  kind_counts : (Celllib.Kind.t * int) list;
+}
+
+(* Longest path in the combinational DAG by dynamic programming over a
+   topological order (Kahn); flip-flop outputs and primary inputs are depth-0
+   sources, flip-flop D pins are sinks. *)
+let logic_depth (nl : Types.t) =
+  let n = Types.num_cells nl in
+  let indeg = Array.make n 0 in
+  let comb_driver = Array.make (Types.num_nets nl) (-1) in
+  Types.iter_cells nl ~f:(fun cid c ->
+      if not (Celllib.Kind.is_sequential c.Types.kind) then
+        comb_driver.(c.Types.output) <- cid);
+  let preds_of cid =
+    let c = Types.cell nl cid in
+    Array.to_list c.Types.inputs
+    |> List.filter_map (fun nid ->
+        let d = comb_driver.(nid) in
+        if d >= 0 then Some d else None)
+  in
+  let succs = Array.make n [] in
+  for cid = 0 to n - 1 do
+    List.iter
+      (fun p ->
+         succs.(p) <- cid :: succs.(p);
+         indeg.(cid) <- indeg.(cid) + 1)
+      (preds_of cid)
+  done;
+  let depth = Array.make n 0 in
+  let queue = Queue.create () in
+  Array.iteri
+    (fun cid d ->
+       if d = 0 then begin
+         depth.(cid) <-
+           (if Celllib.Kind.is_sequential (Types.cell nl cid).Types.kind
+            then 0 else 1);
+         Queue.add cid queue
+       end)
+    indeg;
+  let best = ref 0 in
+  while not (Queue.is_empty queue) do
+    let cid = Queue.pop queue in
+    if depth.(cid) > !best then best := depth.(cid);
+    List.iter
+      (fun s ->
+         let gate = if Celllib.Kind.is_sequential (Types.cell nl s).Types.kind
+           then 0 else 1 in
+         if depth.(cid) + gate > depth.(s) then depth.(s) <- depth.(cid) + gate;
+         indeg.(s) <- indeg.(s) - 1;
+         if indeg.(s) = 0 then Queue.add s queue)
+      succs.(cid)
+  done;
+  !best
+
+let compute tech (nl : Types.t) =
+  let module M = Map.Make (struct
+      type t = Celllib.Kind.t
+      let compare = Celllib.Kind.compare
+    end) in
+  let counts = ref M.empty in
+  let area = ref 0.0 in
+  let ffs = ref 0 in
+  Types.iter_cells nl ~f:(fun _ c ->
+      let k = c.Types.kind in
+      counts := M.update k (function None -> Some 1 | Some n -> Some (n + 1))
+          !counts;
+      area := !area +. Celllib.Info.area_um2 tech k;
+      if Celllib.Kind.is_sequential k then incr ffs);
+  let max_fanout = ref 0 in
+  Types.iter_nets nl ~f:(fun _ n ->
+      max_fanout := max !max_fanout (Array.length n.Types.sinks));
+  { cells = Types.num_cells nl;
+    nets = Types.num_nets nl;
+    primary_inputs = Types.num_primary_inputs nl;
+    primary_outputs = Types.num_primary_outputs nl;
+    flip_flops = !ffs;
+    combinational = Types.num_cells nl - !ffs;
+    total_cell_area_um2 = !area;
+    max_fanout = !max_fanout;
+    logic_depth = logic_depth nl;
+    kind_counts = M.bindings !counts }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>cells: %d (%d comb, %d ff)@,nets: %d@,PIs: %d, POs: %d@,\
+     cell area: %.1f um^2@,max fanout: %d@,logic depth: %d@,kinds:@,"
+    t.cells t.combinational t.flip_flops t.nets t.primary_inputs
+    t.primary_outputs t.total_cell_area_um2 t.max_fanout t.logic_depth;
+  List.iter
+    (fun (k, n) ->
+       Format.fprintf ppf "  %-8s %6d@," (Celllib.Kind.name k) n)
+    t.kind_counts;
+  Format.fprintf ppf "@]"

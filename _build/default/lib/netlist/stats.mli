@@ -1,0 +1,22 @@
+(** Summary statistics of a netlist (sizes, composition, logic depth). *)
+
+type t = {
+  cells : int;
+  nets : int;
+  primary_inputs : int;
+  primary_outputs : int;
+  flip_flops : int;
+  combinational : int;
+  total_cell_area_um2 : float;
+  max_fanout : int;
+  logic_depth : int;  (** longest combinational path, in gate counts *)
+  kind_counts : (Celllib.Kind.t * int) list;  (** sorted by kind *)
+}
+
+val compute : Celllib.Tech.t -> Types.t -> t
+
+val logic_depth : Types.t -> int
+(** Longest register-to-register / input-to-register combinational chain,
+    counted in gates. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+type cell_id = int
+type net_id = int
+
+type driver =
+  | Primary_input of int
+  | Cell_output of cell_id
+  | Constant of bool
+
+type cell = {
+  kind : Celllib.Kind.t;
+  cell_name : string;
+  inputs : net_id array;
+  output : net_id;
+  unit_tag : int;
+}
+
+type net = {
+  net_name : string;
+  driver : driver;
+  sinks : (cell_id * int) array;
+}
+
+type t = {
+  cells : cell array;
+  nets : net array;
+  primary_inputs : net_id array;
+  primary_outputs : net_id array;
+  pi_tags : int array;
+}
+
+let num_cells t = Array.length t.cells
+let num_nets t = Array.length t.nets
+let num_primary_inputs t = Array.length t.primary_inputs
+let num_primary_outputs t = Array.length t.primary_outputs
+
+let cell t id = t.cells.(id)
+let net t id = t.nets.(id)
+
+let fanout t id = Array.length t.nets.(id).sinks
+
+let cells_of_unit t tag =
+  let acc = ref [] in
+  for id = Array.length t.cells - 1 downto 0 do
+    if t.cells.(id).unit_tag = tag then acc := id :: !acc
+  done;
+  !acc
+
+let unit_tags t =
+  let module S = Set.Make (Int) in
+  let s =
+    Array.fold_left
+      (fun s c -> if c.unit_tag >= 0 then S.add c.unit_tag s else s)
+      S.empty t.cells
+  in
+  S.elements s
+
+let fold_cells t ~init ~f =
+  let acc = ref init in
+  Array.iteri (fun id c -> acc := f !acc id c) t.cells;
+  !acc
+
+let iter_cells t ~f = Array.iteri f t.cells
+let iter_nets t ~f = Array.iteri f t.nets

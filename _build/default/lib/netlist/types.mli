@@ -1,0 +1,63 @@
+(** Gate-level netlist representation.
+
+    Cells and nets are stored in flat arrays and referenced by dense integer
+    ids, which keeps the simulator, placer and thermal binning cache-friendly
+    at the benchmark's ~12k-cell scale.
+
+    Modelling conventions:
+    - every logic cell drives exactly one net (multi-output macros such as a
+      full adder are decomposed into library gates by the generators);
+    - the clock network is implicit: [Dff] cells are clocked by a global
+      clock that is not represented as a net;
+    - a net has exactly one driver: a cell output, a primary input, or a
+      constant. *)
+
+type cell_id = int
+type net_id = int
+
+type driver =
+  | Primary_input of int  (** index into [primary_inputs] *)
+  | Cell_output of cell_id
+  | Constant of bool
+
+type cell = {
+  kind : Celllib.Kind.t;
+  cell_name : string;
+  inputs : net_id array;   (** length equals [Kind.num_inputs kind] *)
+  output : net_id;         (** the net this cell drives *)
+  unit_tag : int;          (** benchmark unit this cell belongs to; -1 = none *)
+}
+
+type net = {
+  net_name : string;
+  driver : driver;
+  sinks : (cell_id * int) array;  (** fanout as (cell, input-pin index) *)
+}
+
+type t = {
+  cells : cell array;
+  nets : net array;
+  primary_inputs : net_id array;
+  primary_outputs : net_id array;
+  pi_tags : int array;  (** unit tag of each primary input, aligned *)
+}
+
+val num_cells : t -> int
+val num_nets : t -> int
+val num_primary_inputs : t -> int
+val num_primary_outputs : t -> int
+
+val cell : t -> cell_id -> cell
+val net : t -> net_id -> net
+
+val fanout : t -> net_id -> int
+
+val cells_of_unit : t -> int -> cell_id list
+(** All cell ids carrying a given unit tag, in id order. *)
+
+val unit_tags : t -> int list
+(** Sorted list of distinct unit tags (excluding -1). *)
+
+val fold_cells : t -> init:'a -> f:('a -> cell_id -> cell -> 'a) -> 'a
+val iter_cells : t -> f:(cell_id -> cell -> unit) -> unit
+val iter_nets : t -> f:(net_id -> net -> unit) -> unit

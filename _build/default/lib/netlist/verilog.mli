@@ -1,0 +1,20 @@
+(** Structural Verilog export.
+
+    Writes a gate-level netlist as a flat Verilog-2001 module over the
+    synthetic library's cell names, so a design built here can be inspected
+    with standard tools (or read into an open-source flow). The clock pin
+    of flip-flops is wired to a top-level [clk] port. *)
+
+val cell_module_name : Celllib.Kind.t -> string
+(** Verilog module name used for a library cell (e.g. ["NAND2_X1"]). *)
+
+val port_names : Celllib.Kind.t -> string list
+(** Input port names of a kind, in pin order (["a"; "b"; ...]); flip-flops
+    additionally have ["ck"] wired to the global clock. *)
+
+val to_channel : out_channel -> ?module_name:string -> Types.t -> unit
+
+val to_string : ?module_name:string -> Types.t -> string
+(** The whole module as a string (tests and small designs). *)
+
+val write_file : string -> ?module_name:string -> Types.t -> unit

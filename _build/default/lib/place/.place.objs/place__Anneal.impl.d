@@ -1,0 +1,1 @@
+lib/place/anneal.ml: Array Floorplan Geo List Netlist Placement

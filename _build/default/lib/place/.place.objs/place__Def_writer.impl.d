@@ -1,0 +1,1 @@
+lib/place/def_writer.ml: Array Buffer Celllib Filler Float Floorplan Geo List Netlist Placement Printf

@@ -1,0 +1,1 @@
+lib/place/def_writer.mli: Filler Placement

@@ -1,0 +1,1 @@
+lib/place/filler.ml: Array Celllib Floorplan List Netlist Placement Printf

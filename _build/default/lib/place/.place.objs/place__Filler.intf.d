@@ -1,0 +1,1 @@
+lib/place/filler.mli: Celllib Placement

@@ -1,0 +1,1 @@
+lib/place/floorplan.ml: Celllib Float Format Geo

@@ -1,0 +1,1 @@
+lib/place/global.ml: Array Celllib Float Geo List Netlist Partition Regions

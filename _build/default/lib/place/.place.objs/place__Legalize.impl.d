@@ -1,0 +1,1 @@
+lib/place/legalize.ml: Array Celllib Netlist Placement Regions

@@ -1,0 +1,1 @@
+lib/place/legalize.mli: Floorplan Global Netlist Placement Regions

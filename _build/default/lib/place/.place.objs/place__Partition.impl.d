@@ -1,0 +1,1 @@
+lib/place/partition.ml: Array Float Hashtbl List Netlist Option

@@ -1,0 +1,1 @@
+lib/place/partition.mli: Geo Netlist

@@ -1,0 +1,1 @@
+lib/place/placement.ml: Array Celllib Floorplan Format Geo List Netlist

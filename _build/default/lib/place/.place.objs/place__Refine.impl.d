@@ -1,0 +1,1 @@
+lib/place/refine.ml: Array List Netlist Placement

@@ -1,0 +1,1 @@
+lib/place/regions.ml: Array Celllib Float Floorplan Geo List

@@ -1,0 +1,1 @@
+lib/place/regions.mli: Floorplan Geo

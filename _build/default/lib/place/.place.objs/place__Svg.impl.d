@@ -1,0 +1,1 @@
+lib/place/svg.ml: Array Buffer Celllib Filler Floorplan Geo List Netlist Placement Printf

@@ -1,0 +1,1 @@
+lib/place/svg.mli: Filler Geo Placement

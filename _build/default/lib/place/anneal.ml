@@ -1,0 +1,158 @@
+module T = Netlist.Types
+
+type config = {
+  initial_temp_um : float;
+  cooling : float;
+  moves_per_round : int;
+  rounds : int;
+}
+
+let default_config =
+  { initial_temp_um = 50.0; cooling = 0.85; moves_per_round = 2000;
+    rounds = 20 }
+
+type stats = {
+  attempted : int;
+  accepted : int;
+  uphill_accepted : int;
+  hpwl_before_um : float;
+  hpwl_after_um : float;
+}
+
+let nets_of_cell nl cid =
+  let c = T.cell nl cid in
+  c.T.output :: Array.to_list c.T.inputs |> List.sort_uniq compare
+
+(* A swap of two cells in the same row keeping the pair's span; valid when
+   both fit, i.e. when widths are equal or the sites between them allow the
+   realignment without touching neighbours. We only generate swaps between
+   cells that are horizontally adjacent in their row, where span
+   preservation is always safe. *)
+
+let optimize ?(config = default_config) pl rng =
+  let nl = pl.Placement.nl in
+  let locs = Array.copy pl.Placement.locs in
+  let current = Placement.make nl pl.Placement.fp locs in
+  let hpwl_before_um = Placement.hpwl current in
+  let n_cells = T.num_cells nl in
+  (* per-row ordered members, maintained incrementally as arrays *)
+  let rows = ref (Placement.row_members current) in
+  let refresh_rows () = rows := Placement.row_members current in
+  let hpwl_of nets =
+    List.fold_left (fun acc nid -> acc +. Placement.net_hpwl current nid)
+      0.0 nets
+  in
+  let attempted = ref 0 and accepted = ref 0 and uphill = ref 0 in
+  (* best-seen tracking: the running total is maintained from deltas, and
+     the best configuration is snapshotted so the result is never worse
+     than the input even if the walk ends warm *)
+  let running_total = ref hpwl_before_um in
+  let best_total = ref hpwl_before_um in
+  let best_locs = ref (Array.copy locs) in
+  let note_acceptance delta =
+    running_total := !running_total +. delta;
+    if !running_total < !best_total then begin
+      best_total := !running_total;
+      best_locs := Array.copy locs
+    end
+  in
+  let temp = ref config.initial_temp_um in
+  let metropolis delta =
+    delta < 0.0
+    || (!temp > 0.0 && Geo.Rng.float rng 1.0 < exp (-.delta /. !temp))
+  in
+  (* move 1: swap a random cell with its right neighbour in the row *)
+  let try_swap () =
+    let cid = Geo.Rng.int rng n_cells in
+    let row = locs.(cid).Placement.row in
+    let members = (!rows).(row) in
+    let rec right_of = function
+      | a :: b :: _ when a = cid -> Some b
+      | _ :: rest -> right_of rest
+      | [] -> None
+    in
+    match right_of members with
+    | None -> false
+    | Some nb ->
+      let affected =
+        List.sort_uniq compare (nets_of_cell nl cid @ nets_of_cell nl nb)
+      in
+      let before = hpwl_of affected in
+      let wa = Placement.width_sites current cid in
+      let wb = Placement.width_sites current nb in
+      let sa = locs.(cid).Placement.site in
+      let sb = locs.(nb).Placement.site in
+      let old_a = locs.(cid) and old_b = locs.(nb) in
+      locs.(cid) <- { old_a with Placement.site = sb + wb - wa };
+      locs.(nb) <- { old_b with Placement.site = sa };
+      let delta = hpwl_of affected -. before in
+      if metropolis delta then begin
+        incr accepted;
+        if delta > 0.0 then incr uphill;
+        note_acceptance delta;
+        refresh_rows ();
+        true
+      end else begin
+        locs.(cid) <- old_a;
+        locs.(nb) <- old_b;
+        false
+      end
+  in
+  (* move 2: relocate a cell into a random free gap of a nearby row *)
+  let try_relocate () =
+    let cid = Geo.Rng.int rng n_cells in
+    let w = Placement.width_sites current cid in
+    let fp = current.Placement.fp in
+    let target_row =
+      let r = locs.(cid).Placement.row + Geo.Rng.int rng 5 - 2 in
+      max 0 (min (fp.Floorplan.num_rows - 1) r)
+    in
+    (* find gaps in the target row *)
+    let members = (!rows).(target_row) in
+    let gaps = ref [] in
+    let cursor = ref 0 in
+    List.iter
+      (fun other ->
+         if other <> cid then begin
+           let s = locs.(other).Placement.site in
+           if s - !cursor >= w then gaps := (!cursor, s - !cursor) :: !gaps;
+           cursor := s + Placement.width_sites current other
+         end)
+      members;
+    if fp.Floorplan.sites_per_row - !cursor >= w then
+      gaps := (!cursor, fp.Floorplan.sites_per_row - !cursor) :: !gaps;
+    match !gaps with
+    | [] -> false
+    | gaps ->
+      let gap_site, gap_w = List.nth gaps (Geo.Rng.int rng (List.length gaps)) in
+      let site = gap_site + Geo.Rng.int rng (gap_w - w + 1) in
+      let affected = nets_of_cell nl cid in
+      let before = hpwl_of affected in
+      let old = locs.(cid) in
+      locs.(cid) <- { Placement.row = target_row; site };
+      let delta = hpwl_of affected -. before in
+      if metropolis delta then begin
+        incr accepted;
+        if delta > 0.0 then incr uphill;
+        note_acceptance delta;
+        refresh_rows ();
+        true
+      end else begin
+        locs.(cid) <- old;
+        false
+      end
+  in
+  for _round = 1 to config.rounds do
+    for _move = 1 to config.moves_per_round do
+      incr attempted;
+      let _ = if Geo.Rng.bool rng then try_swap () else try_relocate () in
+      ()
+    done;
+    temp := !temp *. config.cooling
+  done;
+  (* restore the best-seen configuration *)
+  Array.blit !best_locs 0 locs 0 (Array.length locs);
+  ( current,
+    { attempted = !attempted; accepted = !accepted;
+      uphill_accepted = !uphill; hpwl_before_um;
+      hpwl_after_um = Placement.hpwl current } )

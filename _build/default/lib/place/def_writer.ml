@@ -1,0 +1,50 @@
+let units_per_um = 1000.0
+
+let du v = int_of_float (Float.round (v *. units_per_um))
+
+let to_string ?(design_name = "design") ?(fillers = []) (pl : Placement.t) =
+  let buf = Buffer.create 65536 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let fp = pl.Placement.fp in
+  let tech = fp.Floorplan.tech in
+  let core = fp.Floorplan.core in
+  pr "VERSION 5.8 ;\nDIVIDERCHAR \"/\" ;\nBUSBITCHARS \"[]\" ;\n";
+  pr "DESIGN %s ;\nUNITS DISTANCE MICRONS %d ;\n" design_name
+    (int_of_float units_per_um);
+  pr "DIEAREA ( %d %d ) ( %d %d ) ;\n"
+    (du core.Geo.Rect.lx) (du core.Geo.Rect.ly)
+    (du core.Geo.Rect.hx) (du core.Geo.Rect.hy);
+  let site_w = du tech.Celllib.Tech.site_width_um in
+  for r = 0 to fp.Floorplan.num_rows - 1 do
+    pr "ROW core_row_%d unit_site 0 %d %s DO %d BY 1 STEP %d 0 ;\n" r
+      (du (Floorplan.row_y fp r))
+      (if r mod 2 = 0 then "N" else "FS")
+      fp.Floorplan.sites_per_row site_w
+  done;
+  let nl = pl.Placement.nl in
+  let n_components = Netlist.Types.num_cells nl + List.length fillers in
+  pr "COMPONENTS %d ;\n" n_components;
+  Netlist.Types.iter_cells nl ~f:(fun cid c ->
+      let rect = Placement.cell_rect pl cid in
+      let l = pl.Placement.locs.(cid) in
+      pr "- u%d %s_X1 + PLACED ( %d %d ) %s ;\n" cid
+        (Celllib.Kind.name c.Netlist.Types.kind)
+        (du rect.Geo.Rect.lx) (du rect.Geo.Rect.ly)
+        (if l.Placement.row mod 2 = 0 then "N" else "FS"));
+  List.iteri
+    (fun i f ->
+       let x = Floorplan.site_x fp f.Filler.f_site in
+       let y = Floorplan.row_y fp f.Filler.f_row in
+       pr "- fill%d %s + PLACED ( %d %d ) %s ;\n" i
+         (Celllib.Kind.name f.Filler.f_kind)
+         (du x) (du y)
+         (if f.Filler.f_row mod 2 = 0 then "N" else "FS"))
+    fillers;
+  pr "END COMPONENTS\nEND DESIGN\n";
+  Buffer.contents buf
+
+let write_file path ?design_name ?fillers pl =
+  let oc = open_out path in
+  (try output_string oc (to_string ?design_name ?fillers pl)
+   with e -> close_out oc; raise e);
+  close_out oc

@@ -1,0 +1,12 @@
+(** DEF-style placement export.
+
+    Emits a (reduced) DEF 5.8 view of a placement: DIEAREA, ROW statements,
+    COMPONENTS with PLACED locations, and optionally the filler cells —
+    enough for visual inspection in any DEF viewer and for diffing
+    placements in tests. Distance units: 1000 DEF units per µm. *)
+
+val to_string : ?design_name:string -> ?fillers:Filler.filler list ->
+  Placement.t -> string
+
+val write_file : string -> ?design_name:string ->
+  ?fillers:Filler.filler list -> Placement.t -> unit

@@ -1,0 +1,62 @@
+type filler = {
+  f_row : int;
+  f_site : int;
+  f_kind : Celllib.Kind.t;
+}
+
+let widths_desc =
+  List.sort (fun a b -> compare b a) Celllib.Kind.filler_widths
+
+(* Greedy decomposition of a [width]-site gap starting at [site]. The width
+   set contains 1, so any gap decomposes exactly. *)
+let cover_gap ~row ~site ~width acc =
+  let acc = ref acc in
+  let site = ref site and width = ref width in
+  while !width > 0 do
+    let w = List.find (fun w -> w <= !width) widths_desc in
+    acc := { f_row = row; f_site = !site; f_kind = Celllib.Kind.Filler w }
+           :: !acc;
+    site := !site + w;
+    width := !width - w
+  done;
+  !acc
+
+let fill pl =
+  let fp = pl.Placement.fp in
+  let members = Placement.row_members pl in
+  let acc = ref [] in
+  Array.iteri
+    (fun row cells ->
+       let cursor = ref 0 in
+       List.iter
+         (fun cid ->
+            let s = pl.Placement.locs.(cid).Placement.site in
+            if s > !cursor then
+              acc := cover_gap ~row ~site:!cursor ~width:(s - !cursor) !acc;
+            cursor := s + Placement.width_sites pl cid)
+         cells;
+       let cap = fp.Floorplan.sites_per_row in
+       if cap > !cursor then
+         acc := cover_gap ~row ~site:!cursor ~width:(cap - !cursor) !acc)
+    members;
+  List.rev !acc
+
+let filler_width f =
+  match f.f_kind with
+  | Celllib.Kind.Filler w -> w
+  | k ->
+    invalid_arg
+      (Printf.sprintf "Filler.filler_width: not a filler (%s)"
+         (Celllib.Kind.name k))
+
+let total_filler_sites fs =
+  List.fold_left (fun acc f -> acc + filler_width f) 0 fs
+
+let covers_all_gaps pl fs =
+  let fp = pl.Placement.fp in
+  let total_sites = fp.Floorplan.num_rows * fp.Floorplan.sites_per_row in
+  let cell_sites =
+    Netlist.Types.fold_cells pl.Placement.nl ~init:0
+      ~f:(fun acc cid _ -> acc + Placement.width_sites pl cid)
+  in
+  cell_sites + total_filler_sites fs = total_sites

@@ -1,0 +1,58 @@
+type t = {
+  tech : Celllib.Tech.t;
+  core : Geo.Rect.t;
+  num_rows : int;
+  sites_per_row : int;
+}
+
+let create_explicit tech ~num_rows ~sites_per_row =
+  if num_rows <= 0 || sites_per_row <= 0 then
+    invalid_arg "Floorplan.create_explicit: non-positive dimensions";
+  let w = float_of_int sites_per_row *. tech.Celllib.Tech.site_width_um in
+  let h = float_of_int num_rows *. tech.Celllib.Tech.row_height_um in
+  { tech; core = Geo.Rect.of_corner ~x:0.0 ~y:0.0 ~w ~h;
+    num_rows; sites_per_row }
+
+let create tech ~cell_area_um2 ~utilization ~aspect =
+  if utilization <= 0.0 || utilization > 1.0 then
+    invalid_arg "Floorplan.create: utilization out of (0,1]";
+  if cell_area_um2 <= 0.0 then
+    invalid_arg "Floorplan.create: non-positive cell area";
+  if aspect <= 0.0 then invalid_arg "Floorplan.create: non-positive aspect";
+  let target = cell_area_um2 /. utilization in
+  let height = sqrt (target /. aspect) in
+  let rh = tech.Celllib.Tech.row_height_um in
+  let num_rows = max 1 (int_of_float (Float.round (height /. rh))) in
+  let width = target /. (float_of_int num_rows *. rh) in
+  let sw = tech.Celllib.Tech.site_width_um in
+  let sites_per_row = max 1 (int_of_float (Float.ceil (width /. sw))) in
+  create_explicit tech ~num_rows ~sites_per_row
+
+let with_extra_rows t n =
+  if n < 0 then invalid_arg "Floorplan.with_extra_rows: negative count";
+  create_explicit t.tech ~num_rows:(t.num_rows + n)
+    ~sites_per_row:t.sites_per_row
+
+let core_area_um2 t = Geo.Rect.area t.core
+
+let row_y t i =
+  assert (i >= 0 && i < t.num_rows);
+  float_of_int i *. t.tech.Celllib.Tech.row_height_um
+
+let row_rect t i =
+  Geo.Rect.of_corner ~x:0.0 ~y:(row_y t i)
+    ~w:(Geo.Rect.width t.core) ~h:t.tech.Celllib.Tech.row_height_um
+
+let row_of_y t y =
+  let rh = t.tech.Celllib.Tech.row_height_um in
+  if y < 0.0 || y >= Geo.Rect.height t.core then None
+  else Some (min (t.num_rows - 1) (int_of_float (y /. rh)))
+
+let site_x t s = float_of_int s *. t.tech.Celllib.Tech.site_width_um
+
+let utilization_of t ~cell_area_um2 = cell_area_um2 /. core_area_um2 t
+
+let pp ppf t =
+  Format.fprintf ppf "core %.1f x %.1f um (%d rows x %d sites)"
+    (Geo.Rect.width t.core) (Geo.Rect.height t.core)
+    t.num_rows t.sites_per_row

@@ -1,0 +1,38 @@
+(** Fixed-outline row-based floorplan.
+
+    The core is a rectangle at origin (0,0) tiled with horizontal
+    standard-cell rows of the technology's row height; each row is an
+    integer number of placement sites wide. *)
+
+type t = {
+  tech : Celllib.Tech.t;
+  core : Geo.Rect.t;
+  num_rows : int;
+  sites_per_row : int;
+}
+
+val create : Celllib.Tech.t -> cell_area_um2:float -> utilization:float ->
+  aspect:float -> t
+(** Smallest roughly-[aspect] (width/height) core such that
+    [cell_area / core_area = utilization]. Raises [Invalid_argument] when
+    [utilization] is outside (0,1] or [cell_area] is non-positive. *)
+
+val create_explicit : Celllib.Tech.t -> num_rows:int -> sites_per_row:int -> t
+
+val with_extra_rows : t -> int -> t
+(** Same width, [n] more rows — the ERI core after row insertion. *)
+
+val core_area_um2 : t -> float
+val row_y : t -> int -> float
+(** Bottom edge of a row. *)
+
+val row_rect : t -> int -> Geo.Rect.t
+val row_of_y : t -> float -> int option
+(** Row whose span contains the given y. *)
+
+val site_x : t -> int -> float
+(** Left edge of a site column. *)
+
+val utilization_of : t -> cell_area_um2:float -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,104 @@
+module T = Netlist.Types
+
+exception Region_overflow of int
+
+let width_sites nl cid =
+  (Celllib.Info.get (T.cell nl cid).T.kind).Celllib.Info.width_sites
+
+(* Deal [cells] (already sorted) into rows [row_lo..row_hi] within site span
+   [site_lo..site_hi]: rows receive cells by cumulative width so that every
+   row carries about the same occupancy; within a row, gaps are spread
+   evenly by fractional accumulation. *)
+let pack nl ~tag ~cells ~row_lo ~row_hi ~site_lo ~site_hi ~assign =
+  let nrows = row_hi - row_lo + 1 in
+  let capacity = site_hi - site_lo + 1 in
+  let widths = Array.map (width_sites nl) cells in
+  let total = Array.fold_left ( + ) 0 widths in
+  if total > nrows * capacity then raise (Region_overflow tag);
+  let n = Array.length cells in
+  let target_per_row =
+    float_of_int total /. float_of_int nrows
+  in
+  (* split indices: row r gets cells while cumulative width < (r+1)*target *)
+  let row_of = Array.make n 0 in
+  let cum = ref 0 in
+  let row = ref 0 in
+  let row_used = Array.make nrows 0 in
+  for i = 0 to n - 1 do
+    let threshold = target_per_row *. float_of_int (!row + 1) in
+    if float_of_int (!cum + (widths.(i) / 2)) > threshold
+       && !row < nrows - 1
+    then incr row;
+    (* never overfill a row *)
+    while row_used.(!row) + widths.(i) > capacity && !row < nrows - 1 do
+      incr row
+    done;
+    if row_used.(!row) + widths.(i) > capacity then raise (Region_overflow tag);
+    row_of.(i) <- !row;
+    row_used.(!row) <- row_used.(!row) + widths.(i);
+    cum := !cum + widths.(i)
+  done;
+  (* per row: even gap distribution *)
+  let start = ref 0 in
+  for r = 0 to nrows - 1 do
+    (* find the slice of cells in this row *)
+    let stop = ref !start in
+    while !stop < n && row_of.(!stop) = r do incr stop done;
+    let k = !stop - !start in
+    if k > 0 then begin
+      let used = row_used.(r) in
+      let free = capacity - used in
+      let cursor = ref site_lo in
+      for j = 0 to k - 1 do
+        let gap =
+          (free * (j + 1) / (k + 1)) - (free * j / (k + 1))
+        in
+        cursor := !cursor + gap;
+        let i = !start + j in
+        assign cells.(i) { Placement.row = row_lo + r; site = !cursor };
+        cursor := !cursor + widths.(i)
+      done
+    end;
+    start := !stop
+  done
+
+let sort_cells_by nl cells key =
+  let arr = Array.copy cells in
+  let ws = width_sites nl in
+  Array.sort
+    (fun a b ->
+       let ya, xa = (fun (x, y) -> (y, x)) (key a) in
+       let yb, xb = (fun (x, y) -> (y, x)) (key b) in
+       let c = compare ya yb in
+       if c <> 0 then c
+       else begin
+         let c = compare xa xb in
+         if c <> 0 then c else compare (ws a) (ws b)
+       end)
+    arr;
+  arr
+
+let run nl fp ~regions ~cells_of_region ~positions =
+  let locs =
+    Array.make (T.num_cells nl) { Placement.row = 0; site = 0 }
+  in
+  Array.iter
+    (fun r ->
+       let cells = cells_of_region r.Regions.tag in
+       let key cid = positions.(cid) in
+       let sorted = sort_cells_by nl cells key in
+       pack nl ~tag:r.Regions.tag ~cells:sorted
+         ~row_lo:r.Regions.row_lo ~row_hi:r.Regions.row_hi
+         ~site_lo:r.Regions.site_lo ~site_hi:r.Regions.site_hi
+         ~assign:(fun cid loc -> locs.(cid) <- loc))
+    regions;
+  Placement.make nl fp locs
+
+let legalize_region_rows pl ~cells ~order_key ~row_lo ~row_hi ~site_lo
+    ~site_hi =
+  let nl = pl.Placement.nl in
+  let locs = Array.copy pl.Placement.locs in
+  let sorted = sort_cells_by nl cells order_key in
+  pack nl ~tag:(-1) ~cells:sorted ~row_lo ~row_hi ~site_lo ~site_hi
+    ~assign:(fun cid loc -> locs.(cid) <- loc);
+  locs

@@ -1,0 +1,29 @@
+(** Row legalization: snap continuous global positions to rows and sites.
+
+    Cells are processed region by region; inside a region they are ordered
+    by their global y then x, dealt into the region's rows by cumulative
+    area, and whitespace within each row is distributed evenly between the
+    cells — the uniform-density behaviour of production placers the paper
+    starts from. *)
+
+exception Region_overflow of int
+(** Raised (with the offending tag) when a region cannot hold its cells. *)
+
+val run :
+  Netlist.Types.t ->
+  Floorplan.t ->
+  regions:Regions.region array ->
+  cells_of_region:(int -> Netlist.Types.cell_id array) ->
+  positions:Global.positions ->
+  Placement.t
+
+val legalize_region_rows :
+  Placement.t ->
+  cells:Netlist.Types.cell_id array ->
+  order_key:(Netlist.Types.cell_id -> float * float) ->
+  row_lo:int -> row_hi:int -> site_lo:int -> site_hi:int ->
+  Placement.loc array
+(** Lower-level entry used by the techniques: re-pack [cells] into the row
+    span, preserving [order_key] order, spreading whitespace evenly.
+    Returns a full loc array based on the placement's current locs with the
+    given cells moved. Raises {!Region_overflow} with tag -1 on overflow. *)

@@ -1,0 +1,121 @@
+module T = Netlist.Types
+
+type loc = {
+  row : int;
+  site : int;
+}
+
+type t = {
+  nl : T.t;
+  fp : Floorplan.t;
+  locs : loc array;
+}
+
+let make nl fp locs =
+  if Array.length locs <> T.num_cells nl then
+    invalid_arg "Placement.make: locs length mismatch";
+  { nl; fp; locs }
+
+let width_sites t cid =
+  (Celllib.Info.get (T.cell t.nl cid).T.kind).Celllib.Info.width_sites
+
+let cell_rect t cid =
+  let l = t.locs.(cid) in
+  let tech = t.fp.Floorplan.tech in
+  let sw = tech.Celllib.Tech.site_width_um in
+  let rh = tech.Celllib.Tech.row_height_um in
+  Geo.Rect.of_corner
+    ~x:(float_of_int l.site *. sw)
+    ~y:(float_of_int l.row *. rh)
+    ~w:(float_of_int (width_sites t cid) *. sw)
+    ~h:rh
+
+let cell_center t cid =
+  let r = cell_rect t cid in
+  (Geo.Rect.center_x r, Geo.Rect.center_y r)
+
+let net_cells t nid =
+  let n = T.net t.nl nid in
+  let sinks = Array.to_list (Array.map fst n.T.sinks) in
+  let all =
+    match n.T.driver with
+    | T.Cell_output cid -> cid :: sinks
+    | T.Primary_input _ | T.Constant _ -> sinks
+  in
+  List.sort_uniq compare all
+
+let net_bbox t nid =
+  match net_cells t nid with
+  | [] | [ _ ] -> None
+  | first :: rest ->
+    let fx, fy = cell_center t first in
+    let r0 = Geo.Rect.make ~lx:fx ~ly:fy ~hx:fx ~hy:fy in
+    Some
+      (List.fold_left
+         (fun acc cid ->
+            let x, y = cell_center t cid in
+            Geo.Rect.union acc (Geo.Rect.make ~lx:x ~ly:y ~hx:x ~hy:y))
+         r0 rest)
+
+let net_hpwl t nid =
+  match net_bbox t nid with
+  | None -> 0.0
+  | Some r -> Geo.Rect.width r +. Geo.Rect.height r
+
+let hpwl t =
+  let acc = ref 0.0 in
+  for nid = 0 to T.num_nets t.nl - 1 do
+    acc := !acc +. net_hpwl t nid
+  done;
+  !acc
+
+let total_cell_area t =
+  T.fold_cells t.nl ~init:0.0 ~f:(fun acc _ c ->
+      acc +. Celllib.Info.area_um2 t.fp.Floorplan.tech c.T.kind)
+
+let utilization t =
+  Floorplan.utilization_of t.fp ~cell_area_um2:(total_cell_area t)
+
+type violation =
+  | Out_of_bounds of T.cell_id
+  | Overlap of T.cell_id * T.cell_id
+
+let pp_violation ppf = function
+  | Out_of_bounds cid -> Format.fprintf ppf "cell %d out of bounds" cid
+  | Overlap (a, b) -> Format.fprintf ppf "cells %d and %d overlap" a b
+
+let row_members t =
+  let rows = Array.make t.fp.Floorplan.num_rows [] in
+  T.iter_cells t.nl ~f:(fun cid _ ->
+      let l = t.locs.(cid) in
+      if l.row >= 0 && l.row < t.fp.Floorplan.num_rows then
+        rows.(l.row) <- cid :: rows.(l.row));
+  Array.map
+    (fun members ->
+       List.sort (fun a b -> compare t.locs.(a).site t.locs.(b).site) members)
+    rows
+
+let validate t =
+  let issues = ref [] in
+  let fp = t.fp in
+  T.iter_cells t.nl ~f:(fun cid _ ->
+      let l = t.locs.(cid) in
+      if l.row < 0 || l.row >= fp.Floorplan.num_rows || l.site < 0
+         || l.site + width_sites t cid > fp.Floorplan.sites_per_row
+      then issues := Out_of_bounds cid :: !issues);
+  Array.iter
+    (fun members ->
+       let rec scan = function
+         | a :: (b :: _ as rest) ->
+           if t.locs.(a).site + width_sites t a > t.locs.(b).site then
+             issues := Overlap (a, b) :: !issues;
+           scan rest
+         | [ _ ] | [] -> ()
+       in
+       scan members)
+    (row_members t);
+  List.rev !issues
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%a, %d cells, util %.3f, HPWL %.0f um"
+    Floorplan.pp t.fp (T.num_cells t.nl) (utilization t) (hpwl t)

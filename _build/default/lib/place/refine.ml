@@ -1,0 +1,76 @@
+module T = Netlist.Types
+
+type stats = {
+  passes : int;
+  swaps : int;
+  hpwl_before_um : float;
+  hpwl_after_um : float;
+}
+
+(* Nets incident to a cell: its output plus every input. *)
+let nets_of_cell nl cid =
+  let c = T.cell nl cid in
+  c.T.output :: Array.to_list c.T.inputs |> List.sort_uniq compare
+
+let hpwl_of_nets pl nets =
+  List.fold_left (fun acc nid -> acc +. Placement.net_hpwl pl nid) 0.0 nets
+
+(* Swap two horizontally adjacent cells a (left) and b (right), keeping the
+   pair's combined span: b moves to a's left edge, a right-aligns to the
+   pair's right edge. *)
+let swapped_locs (pl : Placement.t) a b =
+  let locs = pl.Placement.locs in
+  let wa = Placement.width_sites pl a and wb = Placement.width_sites pl b in
+  let sa = locs.(a).Placement.site and sb = locs.(b).Placement.site in
+  let right_edge = sb + wb in
+  ( { locs.(a) with Placement.site = right_edge - wa },
+    { locs.(b) with Placement.site = sa } )
+
+let greedy_swaps ?(max_passes = 4) pl =
+  let nl = pl.Placement.nl in
+  let locs = Array.copy pl.Placement.locs in
+  (* [current] aliases [locs]: mutating the array is how trial swaps are
+     evaluated in place without rebuilding the placement *)
+  let current = Placement.make nl pl.Placement.fp locs in
+  let hpwl_before_um = Placement.hpwl current in
+  let swaps = ref 0 in
+  let passes = ref 0 in
+  let improved = ref true in
+  while !improved && !passes < max_passes do
+    improved := false;
+    incr passes;
+    let rows = Placement.row_members current in
+    Array.iter
+      (fun members ->
+         let rec walk = function
+           | a :: b :: rest ->
+             let affected =
+               List.sort_uniq compare
+                 (nets_of_cell nl a @ nets_of_cell nl b)
+             in
+             let before = hpwl_of_nets current affected in
+             let la, lb = swapped_locs current a b in
+             let old_a = locs.(a) and old_b = locs.(b) in
+             locs.(a) <- la;
+             locs.(b) <- lb;
+             let after = hpwl_of_nets current affected in
+             if after +. 1e-9 < before then begin
+               incr swaps;
+               improved := true;
+               (* the pair exchanged order: [a] is now the left neighbour
+                  of the remaining cells *)
+               walk (a :: rest)
+             end else begin
+               locs.(a) <- old_a;
+               locs.(b) <- old_b;
+               walk (b :: rest)
+             end
+           | [ _ ] | [] -> ()
+         in
+         walk members)
+      rows
+  done;
+  let final = current in
+  ( final,
+    { passes = !passes; swaps = !swaps; hpwl_before_um;
+      hpwl_after_um = Placement.hpwl final } )

@@ -1,0 +1,94 @@
+type region = {
+  tag : int;
+  rect : Geo.Rect.t;
+  row_lo : int;
+  row_hi : int;
+  site_lo : int;
+  site_hi : int;
+}
+
+let make_region fp ~tag ~row_lo ~row_hi ~site_lo ~site_hi =
+  let tech = fp.Floorplan.tech in
+  let sw = tech.Celllib.Tech.site_width_um in
+  let rh = tech.Celllib.Tech.row_height_um in
+  let rect =
+    Geo.Rect.of_corner
+      ~x:(float_of_int site_lo *. sw)
+      ~y:(float_of_int row_lo *. rh)
+      ~w:(float_of_int (site_hi - site_lo + 1) *. sw)
+      ~h:(float_of_int (row_hi - row_lo + 1) *. rh)
+  in
+  { tag; rect; row_lo; row_hi; site_lo; site_hi }
+
+(* Split [total] items into [parts] chunks with sizes proportional to
+   [weights], every chunk non-empty; returns inclusive (lo, hi) pairs. *)
+let proportional_split ~total ~weights =
+  let parts = Array.length weights in
+  assert (parts > 0 && total >= parts);
+  let wsum = Array.fold_left ( +. ) 0.0 weights in
+  let bounds = Array.make parts (0, 0) in
+  let used = ref 0 in
+  for i = 0 to parts - 1 do
+    let remaining_parts = parts - i - 1 in
+    let ideal =
+      if wsum <= 0.0 then (total - !used) / (parts - i)
+      else int_of_float (Float.round (weights.(i) /. wsum *. float_of_int total))
+    in
+    let size = max 1 (min ideal (total - !used - remaining_parts)) in
+    bounds.(i) <- (!used, !used + size - 1);
+    used := !used + size
+  done;
+  (* give leftover to the last chunk *)
+  let lo, _ = bounds.(parts - 1) in
+  bounds.(parts - 1) <- (lo, total - 1);
+  bounds
+
+let pack fp ~areas =
+  let n = Array.length areas in
+  if n = 0 then invalid_arg "Regions.pack: no areas";
+  let ncols = int_of_float (Float.ceil (sqrt (float_of_int n))) in
+  (* distribute units into columns round-robin by index, keeping tag order *)
+  let cols = Array.make ncols [] in
+  Array.iteri
+    (fun i ua -> cols.(i mod ncols) <- ua :: cols.(i mod ncols))
+    areas;
+  let cols = Array.map List.rev cols in
+  let cols = Array.to_list cols |> List.filter (fun c -> c <> []) in
+  let cols = Array.of_list cols in
+  let col_weights =
+    Array.map (fun col -> List.fold_left (fun s (_, a) -> s +. a) 0.0 col) cols
+  in
+  let col_bounds =
+    proportional_split ~total:fp.Floorplan.sites_per_row ~weights:col_weights
+  in
+  let regions = ref [] in
+  Array.iteri
+    (fun ci col ->
+       let site_lo, site_hi = col_bounds.(ci) in
+       let weights = Array.of_list (List.map snd col) in
+       let row_bounds =
+         proportional_split ~total:fp.Floorplan.num_rows ~weights
+       in
+       List.iteri
+         (fun ri (tag, _) ->
+            let row_lo, row_hi = row_bounds.(ri) in
+            regions :=
+              make_region fp ~tag ~row_lo ~row_hi ~site_lo ~site_hi
+              :: !regions)
+         col)
+    cols;
+  let arr = Array.of_list (List.rev !regions) in
+  Array.sort (fun a b -> compare a.tag b.tag) arr;
+  arr
+
+let region_of_tag regions tag =
+  match Array.find_opt (fun r -> r.tag = tag) regions with
+  | Some r -> r
+  | None -> raise Not_found
+
+let whole_core fp =
+  [| make_region fp ~tag:(-1) ~row_lo:0 ~row_hi:(fp.Floorplan.num_rows - 1)
+       ~site_lo:0 ~site_hi:(fp.Floorplan.sites_per_row - 1) |]
+
+let capacity_sites r =
+  (r.row_hi - r.row_lo + 1) * (r.site_hi - r.site_lo + 1)

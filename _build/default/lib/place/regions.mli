@@ -1,0 +1,31 @@
+(** Unit placement regions.
+
+    The benchmark's nine arithmetic units get their own rectangular regions
+    arranged in a column grid, areas proportional to the units' cell areas —
+    the floorplan stage of the paper's flow ("nine arithmetic units of
+    various sizes"). Regions snap to row and site boundaries so the
+    legalizer can work with whole row segments. *)
+
+type region = {
+  tag : int;          (** owning unit tag *)
+  rect : Geo.Rect.t;  (** region footprint inside the core *)
+  row_lo : int;       (** first row covered (inclusive) *)
+  row_hi : int;       (** last row covered (inclusive) *)
+  site_lo : int;      (** first site column covered (inclusive) *)
+  site_hi : int;      (** last site column covered (inclusive) *)
+}
+
+val pack : Floorplan.t -> areas:(int * float) array -> region array
+(** [pack fp ~areas] splits the core into one region per (tag, cell-area)
+    entry: tags are laid out in ceil(sqrt n) columns; column widths are
+    proportional to their area sums, region heights within a column to the
+    unit areas. Every region spans at least one row and one site. *)
+
+val region_of_tag : region array -> int -> region
+(** Raises [Not_found] for an unknown tag. *)
+
+val whole_core : Floorplan.t -> region array
+(** Single region covering everything (for untagged netlists). *)
+
+val capacity_sites : region -> int
+(** Number of placement sites inside the region. *)

@@ -1,0 +1,104 @@
+type overlay = {
+  heat : Geo.Grid.t option;
+  outlines : Geo.Rect.t list;
+}
+
+let no_overlay = { heat = None; outlines = [] }
+
+(* qualitative palette, one colour per unit tag (cycled) *)
+let unit_colors =
+  [| "#4e79a7"; "#f28e2b"; "#59a14f"; "#e15759"; "#76b7b2"; "#edc948";
+     "#b07aa1"; "#ff9da7"; "#9c755f" |]
+
+let color_of_tag tag =
+  if tag < 0 then "#888888"
+  else unit_colors.(tag mod Array.length unit_colors)
+
+let to_string ?(scale = 4.0) ?(fillers = []) ?(overlay = no_overlay)
+    (pl : Placement.t) =
+  let fp = pl.Placement.fp in
+  let core = fp.Floorplan.core in
+  let w = Geo.Rect.width core *. scale in
+  let h = Geo.Rect.height core *. scale in
+  (* SVG y grows downward; flip so row 0 is at the bottom like a die plot *)
+  let sx x = x *. scale in
+  let sy y = h -. (y *. scale) in
+  let buf = Buffer.create 65536 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" \
+      height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n" w h w h;
+  pr "<rect x=\"0\" y=\"0\" width=\"%.0f\" height=\"%.0f\" \
+      fill=\"#fafafa\" stroke=\"#222\"/>\n" w h;
+  (* rows *)
+  for r = 0 to fp.Floorplan.num_rows - 1 do
+    let rect = Floorplan.row_rect fp r in
+    pr "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+        fill=\"none\" stroke=\"#dddddd\" stroke-width=\"0.5\"/>\n"
+      (sx rect.Geo.Rect.lx)
+      (sy rect.Geo.Rect.hy)
+      (sx (Geo.Rect.width rect))
+      (sx (Geo.Rect.height rect))
+  done;
+  (* fillers below cells *)
+  List.iter
+    (fun f ->
+       match f.Filler.f_kind with
+       | Celllib.Kind.Filler width ->
+         let x = Floorplan.site_x fp f.Filler.f_site in
+         let y = Floorplan.row_y fp f.Filler.f_row in
+         let tech = fp.Floorplan.tech in
+         pr "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+             fill=\"#e8e8e8\"/>\n"
+           (sx x)
+           (sy (y +. tech.Celllib.Tech.row_height_um))
+           (sx (float_of_int width *. tech.Celllib.Tech.site_width_um))
+           (sx tech.Celllib.Tech.row_height_um)
+       | _ -> ())
+    fillers;
+  (* cells *)
+  Netlist.Types.iter_cells pl.Placement.nl ~f:(fun cid c ->
+      let rect = Placement.cell_rect pl cid in
+      pr "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+          fill=\"%s\" fill-opacity=\"0.85\"/>\n"
+        (sx rect.Geo.Rect.lx)
+        (sy rect.Geo.Rect.hy)
+        (sx (Geo.Rect.width rect))
+        (sx (Geo.Rect.height rect))
+        (color_of_tag c.Netlist.Types.unit_tag));
+  (* heat overlay *)
+  (match overlay.heat with
+   | None -> ()
+   | Some grid ->
+     let lo = Geo.Grid.min_value grid and hi = Geo.Grid.max_value grid in
+     let span = if hi > lo then hi -. lo else 1.0 in
+     Geo.Grid.iteri grid ~f:(fun ~ix ~iy v ->
+         let alpha = 0.45 *. (v -. lo) /. span in
+         if alpha > 0.02 then begin
+           let rect = Geo.Grid.tile_rect grid ~ix ~iy in
+           pr "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+               fill=\"#ff2200\" fill-opacity=\"%.3f\"/>\n"
+             (sx rect.Geo.Rect.lx)
+             (sy rect.Geo.Rect.hy)
+             (sx (Geo.Rect.width rect))
+             (sx (Geo.Rect.height rect))
+             alpha
+         end));
+  (* outlines *)
+  List.iter
+    (fun rect ->
+       pr "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+           fill=\"none\" stroke=\"#cc0000\" stroke-width=\"2\" \
+           stroke-dasharray=\"6 3\"/>\n"
+         (sx rect.Geo.Rect.lx)
+         (sy rect.Geo.Rect.hy)
+         (sx (Geo.Rect.width rect))
+         (sx (Geo.Rect.height rect)))
+    overlay.outlines;
+  pr "</svg>\n";
+  Buffer.contents buf
+
+let write_file path ?scale ?fillers ?overlay pl =
+  let oc = open_out path in
+  (try output_string oc (to_string ?scale ?fillers ?overlay pl)
+   with e -> close_out oc; raise e);
+  close_out oc

@@ -1,0 +1,1 @@
+lib/power/map.ml: Array Geo Netlist Place

@@ -1,0 +1,1 @@
+lib/power/map.mli: Geo Place

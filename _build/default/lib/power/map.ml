@@ -1,0 +1,16 @@
+let power_map pl ~per_cell_w ~nx ~ny =
+  let nl = pl.Place.Placement.nl in
+  if Array.length per_cell_w <> Netlist.Types.num_cells nl then
+    invalid_arg "Power.Map.power_map: per_cell_w length mismatch";
+  let core = pl.Place.Placement.fp.Place.Floorplan.core in
+  let grid = Geo.Grid.create ~nx ~ny ~extent:core in
+  Netlist.Types.iter_cells nl ~f:(fun cid _ ->
+      let w = per_cell_w.(cid) in
+      if w > 0.0 then
+        Geo.Grid.deposit grid (Place.Placement.cell_rect pl cid) w);
+  grid
+
+let density_map pl ~per_cell_w ~nx ~ny =
+  let grid = power_map pl ~per_cell_w ~nx ~ny in
+  let ta = Geo.Grid.tile_area grid in
+  Geo.Grid.map grid ~f:(fun w -> w /. ta)

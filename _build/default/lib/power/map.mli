@@ -1,0 +1,15 @@
+(** Power-density maps: bin per-cell power into the thermal grid tiles.
+
+    A standard cell contributes to every tile its footprint overlaps,
+    proportionally to the overlap area — the paper's "power value in a
+    thermal cell is the sum of power consumptions in all the standard cells
+    that it covers". *)
+
+val power_map : Place.Placement.t -> per_cell_w:float array ->
+  nx:int -> ny:int -> Geo.Grid.t
+(** Grid over the placement's core; tile values are watts. *)
+
+val density_map : Place.Placement.t -> per_cell_w:float array ->
+  nx:int -> ny:int -> Geo.Grid.t
+(** Same, in W/µm² (power divided by tile area): the quantity the paper's
+    techniques actually reduce. *)

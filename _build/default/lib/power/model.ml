@@ -1,0 +1,68 @@
+module T = Netlist.Types
+
+type report = {
+  per_cell_w : float array;
+  per_cell_dynamic_w : float array;
+  per_cell_leakage_w : float array;
+  dynamic_w : float;
+  leakage_w : float;
+}
+
+let total_w r = r.dynamic_w +. r.leakage_w
+
+let sink_pin_cap_ff nl nid =
+  Array.fold_left
+    (fun acc (cid, _pin) ->
+       acc +. (Celllib.Info.get (T.cell nl cid).T.kind).Celllib.Info.input_cap_ff)
+    0.0 (T.net nl nid).T.sinks
+
+let compute_gen nl tech ~toggle_rate ~wire_length_um =
+  if Array.length toggle_rate <> T.num_nets nl then
+    invalid_arg "Power.Model.compute: toggle_rate length mismatch";
+  let vdd = tech.Celllib.Tech.vdd_v in
+  let f = tech.Celllib.Tech.clock_freq_hz in
+  let cw = tech.Celllib.Tech.wire_cap_ff_per_um in
+  let n = T.num_cells nl in
+  let per_cell = Array.make n 0.0 in
+  let per_dyn = Array.make n 0.0 in
+  let per_leak = Array.make n 0.0 in
+  let dyn = ref 0.0 and leak = ref 0.0 in
+  T.iter_cells nl ~f:(fun cid c ->
+      let info = Celllib.Info.get c.T.kind in
+      let leak_w = info.Celllib.Info.leakage_nw *. 1.0e-9 in
+      let alpha = toggle_rate.(c.T.output) in
+      let cap_ff =
+        info.Celllib.Info.internal_cap_ff
+        +. sink_pin_cap_ff nl c.T.output
+        +. (cw *. wire_length_um c.T.output)
+      in
+      let dyn_w = 0.5 *. alpha *. cap_ff *. 1.0e-15 *. vdd *. vdd *. f in
+      per_cell.(cid) <- dyn_w +. leak_w;
+      per_dyn.(cid) <- dyn_w;
+      per_leak.(cid) <- leak_w;
+      dyn := !dyn +. dyn_w;
+      leak := !leak +. leak_w);
+  { per_cell_w = per_cell; per_cell_dynamic_w = per_dyn;
+    per_cell_leakage_w = per_leak; dynamic_w = !dyn; leakage_w = !leak }
+
+let compute pl ~toggle_rate =
+  let nl = pl.Place.Placement.nl in
+  let tech = pl.Place.Placement.fp.Place.Floorplan.tech in
+  compute_gen nl tech ~toggle_rate
+    ~wire_length_um:(fun nid -> Place.Placement.net_hpwl pl nid)
+
+let compute_without_wires nl tech ~toggle_rate =
+  compute_gen nl tech ~toggle_rate ~wire_length_um:(fun _ -> 0.0)
+
+let unit_power_w nl r ~tag =
+  T.fold_cells nl ~init:0.0 ~f:(fun acc cid c ->
+      if c.T.unit_tag = tag then acc +. r.per_cell_w.(cid) else acc)
+
+let leakage_at_rise tech ~nominal_w ~rise_k =
+  nominal_w *. (2.0 ** (rise_k /. tech.Celllib.Tech.leakage_doubling_k))
+
+let per_cell_with_leakage_at tech r ~rise_of_cell =
+  Array.init (Array.length r.per_cell_w) (fun cid ->
+      r.per_cell_dynamic_w.(cid)
+      +. leakage_at_rise tech ~nominal_w:r.per_cell_leakage_w.(cid)
+           ~rise_k:(rise_of_cell cid))

@@ -1,0 +1,44 @@
+(** Activity-annotated power estimation.
+
+    Per cell, in watts:
+    - dynamic: [0.5 * alpha * C * Vdd^2 * f] where [alpha] is the toggle
+      rate of the cell's output net, and [C] sums the cell's internal
+      equivalent capacitance, the fanout pin capacitances, and an
+      HPWL-proportional wire capacitance from the placement;
+    - leakage: the library's per-kind static power.
+
+    This mirrors what Power Compiler computes from annotated switching
+    activity at this abstraction level. Filler cells consume nothing. *)
+
+type report = {
+  per_cell_w : float array;          (** total (dynamic + leakage) per cell *)
+  per_cell_dynamic_w : float array;  (** dynamic component per cell *)
+  per_cell_leakage_w : float array;  (** nominal-corner leakage per cell *)
+  dynamic_w : float;
+  leakage_w : float;
+}
+
+val total_w : report -> float
+
+val compute : Place.Placement.t -> toggle_rate:float array -> report
+(** [compute pl ~toggle_rate] expects [toggle_rate] per net (toggles per
+    cycle), e.g. {!Logicsim.Activity.report.toggle_rate} or the density
+    engine's estimate. *)
+
+val compute_without_wires : Netlist.Types.t -> Celllib.Tech.t ->
+  toggle_rate:float array -> report
+(** Placement-independent variant (no wire capacitance) — used before a
+    placement exists, and to isolate the wire contribution in tests. *)
+
+val unit_power_w : Netlist.Types.t -> report -> tag:int -> float
+(** Aggregate power of one benchmark unit. *)
+
+val leakage_at_rise : Celllib.Tech.t -> nominal_w:float -> rise_k:float ->
+  float
+(** Subthreshold leakage at a local temperature rise: nominal scaled by
+    [2^(rise / leakage_doubling_k)]. *)
+
+val per_cell_with_leakage_at : Celllib.Tech.t -> report ->
+  rise_of_cell:(int -> float) -> float array
+(** Per-cell total power with leakage re-evaluated at each cell's local
+    temperature — one step of the electrothermal feedback loop. *)

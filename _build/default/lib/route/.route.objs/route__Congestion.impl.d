@@ -1,0 +1,1 @@
+lib/route/congestion.ml: Celllib Float Geo Netlist Place

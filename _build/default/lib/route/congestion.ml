@@ -1,0 +1,60 @@
+type report = {
+  demand : Geo.Grid.t;
+  capacity_um : float;
+  max_utilization : float;
+  overflow_um : float;
+  overflowed_tiles : int;
+}
+
+let estimate pl ?(nx = 40) ?(ny = 40) ?(tracks_per_layer = 0.5) ?(layers = 4)
+    () =
+  let nl = pl.Place.Placement.nl in
+  let fp = pl.Place.Placement.fp in
+  let core = fp.Place.Floorplan.core in
+  let demand = Geo.Grid.create ~nx ~ny ~extent:core in
+  for nid = 0 to Netlist.Types.num_nets nl - 1 do
+    match Place.Placement.net_bbox pl nid with
+    | None -> ()
+    | Some bbox ->
+      let wl = Geo.Rect.width bbox +. Geo.Rect.height bbox in
+      if wl > 0.0 then begin
+        (* nets with collinear pins have a zero-area bbox; give it a hair
+           of thickness so the deposit lands on the tiles along the line *)
+        let r =
+          if Geo.Rect.area bbox > 0.0 then bbox
+          else
+            Geo.Rect.inflate bbox
+              (0.25
+               *. Float.min (Geo.Grid.tile_width demand)
+                    (Geo.Grid.tile_height demand))
+        in
+        Geo.Grid.deposit demand r wl
+      end
+  done;
+  (* Capacity: tracks at a pitch of 2 sites on [layers] routing layers over
+     the tile span. *)
+  let tech = fp.Place.Floorplan.tech in
+  let pitch = 2.0 *. tech.Celllib.Tech.site_width_um in
+  let tw = Geo.Grid.tile_width demand and th = Geo.Grid.tile_height demand in
+  let tracks = tracks_per_layer *. float_of_int layers in
+  let capacity = tracks *. ((tw /. pitch *. th) +. (th /. pitch *. tw)) /. 2.0 in
+  let max_util = ref 0.0 in
+  let overflow = ref 0.0 in
+  let over_tiles = ref 0 in
+  Geo.Grid.iteri demand ~f:(fun ~ix:_ ~iy:_ d ->
+      let u = d /. capacity in
+      if u > !max_util then max_util := u;
+      if d > capacity then begin
+        overflow := !overflow +. (d -. capacity);
+        incr over_tiles
+      end);
+  { demand; capacity_um = capacity; max_utilization = !max_util;
+    overflow_um = !overflow; overflowed_tiles = !over_tiles }
+
+let hotspot_demand r rect =
+  let acc = ref 0.0 in
+  Geo.Grid.iteri r.demand ~f:(fun ~ix ~iy d ->
+      let tile = Geo.Grid.tile_rect r.demand ~ix ~iy in
+      let ov = Geo.Rect.overlap_area tile rect in
+      if ov > 0.0 then acc := !acc +. (d *. ov /. Geo.Rect.area tile));
+  !acc

@@ -1,0 +1,23 @@
+(** Probabilistic routing-congestion estimation.
+
+    Each net's expected wire (its HPWL) is smeared uniformly over the tiles
+    of its bounding box; tile demand against a per-tile track capacity gives
+    a congestion map. This is enough to measure the paper's stated ERI
+    by-product: "it increases the distance between rows of cells, thus
+    reducing routing congestion in the hotspot regions". *)
+
+type report = {
+  demand : Geo.Grid.t;         (** wirelength demand per tile, µm *)
+  capacity_um : float;         (** routing capacity per tile, µm *)
+  max_utilization : float;     (** peak demand / capacity *)
+  overflow_um : float;         (** total demand above capacity *)
+  overflowed_tiles : int;
+}
+
+val estimate : Place.Placement.t -> ?nx:int -> ?ny:int ->
+  ?tracks_per_layer:float -> ?layers:int -> unit -> report
+(** Defaults: 40 x 40 tiles, 2 horizontal + 2 vertical routing layers with
+    a wiring pitch of twice the site width. *)
+
+val hotspot_demand : report -> Geo.Rect.t -> float
+(** Total demand inside a region (e.g. a hotspot rect). *)

@@ -1,0 +1,1 @@
+lib/sta/timing.ml: Array Celllib Float Geo List Netlist Place

@@ -1,0 +1,148 @@
+module T = Netlist.Types
+
+type result = {
+  arrival_ps : float array;
+  critical_ps : float;
+  critical_net : T.net_id;
+  critical_path : T.cell_id list;
+}
+
+type env = {
+  nl : T.t;
+  tech : Celllib.Tech.t;
+  wire_length_um : T.net_id -> float;
+  rise_at_cell : T.cell_id -> float;
+  rise_at_net : T.net_id -> float;
+}
+
+let load_cap_ff env nid =
+  let pin_caps =
+    Array.fold_left
+      (fun acc (cid, _) ->
+         acc
+         +. (Celllib.Info.get (T.cell env.nl cid).T.kind).Celllib.Info.input_cap_ff)
+      0.0 (T.net env.nl nid).T.sinks
+  in
+  pin_caps
+  +. (env.tech.Celllib.Tech.wire_cap_ff_per_um *. env.wire_length_um nid)
+
+let cell_delay_ps env cid =
+  let c = T.cell env.nl cid in
+  let info = Celllib.Info.get c.T.kind in
+  let base =
+    info.Celllib.Info.intrinsic_ps
+    +. (info.Celllib.Info.slope_ps_per_ff *. load_cap_ff env c.T.output)
+  in
+  base *. (1.0 +. (env.tech.Celllib.Tech.delay_temp_coeff_per_k
+                   *. env.rise_at_cell cid))
+
+let wire_delay_ps env nid =
+  env.tech.Celllib.Tech.wire_delay_ps_per_um
+  *. env.wire_length_um nid
+  *. (1.0 +. (env.tech.Celllib.Tech.wire_temp_coeff_per_k
+              *. env.rise_at_net nid))
+
+(* Longest-path DP over the combinational DAG in topological order.
+   Sources (primary inputs, constants, flip-flop outputs) arrive at 0; each
+   combinational cell adds its gate delay, each net its wire delay. The
+   predecessor of each net's arrival is remembered for path recovery. *)
+let run env =
+  let nl = env.nl in
+  let n_nets = T.num_nets nl in
+  let arrival = Array.make n_nets 0.0 in
+  let pred_cell = Array.make n_nets (-1) in
+  let order =
+    (* cells in id order are topological for combinational logic (the
+       builder creates a gate only after its input nets), matching the
+       simulator's assumption; sequential cells are skipped. *)
+    let keep = ref [] in
+    T.iter_cells nl ~f:(fun cid c ->
+        if not (Celllib.Kind.is_sequential c.T.kind) then
+          keep := cid :: !keep);
+    List.rev !keep
+  in
+  List.iter
+    (fun cid ->
+       let c = T.cell nl cid in
+       let worst_in =
+         Array.fold_left
+           (fun acc nid -> Float.max acc arrival.(nid))
+           0.0 c.T.inputs
+       in
+       let t =
+         worst_in +. cell_delay_ps env cid +. wire_delay_ps env c.T.output
+       in
+       if t > arrival.(c.T.output) then begin
+         arrival.(c.T.output) <- t;
+         pred_cell.(c.T.output) <- cid
+       end)
+    order;
+  (* Worst endpoint: any flip-flop D pin or primary output. *)
+  let critical_net = ref 0 and critical = ref neg_infinity in
+  let consider nid =
+    if arrival.(nid) > !critical then begin
+      critical := arrival.(nid);
+      critical_net := nid
+    end
+  in
+  T.iter_cells nl ~f:(fun _ c ->
+      if Celllib.Kind.is_sequential c.T.kind then consider c.T.inputs.(0));
+  Array.iter consider nl.T.primary_outputs;
+  if !critical = neg_infinity then critical := 0.0;
+  (* Recover the path by walking predecessors. *)
+  let rec walk nid acc =
+    let cid = pred_cell.(nid) in
+    if cid < 0 then acc
+    else begin
+      let c = T.cell nl cid in
+      let worst_nid =
+        Array.fold_left
+          (fun best cand ->
+             if best < 0 || arrival.(cand) > arrival.(best) then cand
+             else best)
+          (-1) c.T.inputs
+      in
+      if worst_nid < 0 then cid :: acc else walk worst_nid (cid :: acc)
+    end
+  in
+  { arrival_ps = arrival;
+    critical_ps = !critical;
+    critical_net = !critical_net;
+    critical_path = walk !critical_net [] }
+
+let rise_lookup_at thermal_map (x, y) =
+  match thermal_map with
+  | None -> 0.0
+  | Some g ->
+    (match Geo.Grid.tile_of_point g ~x ~y with
+     | Some (ix, iy) -> Geo.Grid.get g ~ix ~iy
+     | None -> 0.0)
+
+let analyze pl ?thermal_map () =
+  let nl = pl.Place.Placement.nl in
+  let tech = pl.Place.Placement.fp.Place.Floorplan.tech in
+  run
+    { nl; tech;
+      wire_length_um = (fun nid -> Place.Placement.net_hpwl pl nid);
+      rise_at_cell =
+        (fun cid ->
+           rise_lookup_at thermal_map (Place.Placement.cell_center pl cid));
+      rise_at_net =
+        (fun nid ->
+           match Place.Placement.net_bbox pl nid with
+           | None -> 0.0
+           | Some r ->
+             rise_lookup_at thermal_map
+               (Geo.Rect.center_x r, Geo.Rect.center_y r)) }
+
+let analyze_unplaced nl tech =
+  run
+    { nl; tech;
+      wire_length_um = (fun _ -> 0.0);
+      rise_at_cell = (fun _ -> 0.0);
+      rise_at_net = (fun _ -> 0.0) }
+
+let overhead_pct ~before ~after =
+  if before.critical_ps <= 0.0 then 0.0
+  else
+    100.0 *. (after.critical_ps -. before.critical_ps) /. before.critical_ps

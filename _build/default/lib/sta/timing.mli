@@ -1,0 +1,27 @@
+(** Static timing analysis with temperature derating.
+
+    Linear delay model per cell ([intrinsic + slope * C_load]) plus an
+    HPWL-proportional wire delay per net. Both are derated with local
+    temperature using the paper's coefficients (drive strength -4 % per
+    10 °C => longer cell delay; wire delay +5 % per 10 °C), which is what
+    makes the "max ~2 % timing overhead" experiment reproducible. *)
+
+type result = {
+  arrival_ps : float array;      (** per net: latest arrival at the net *)
+  critical_ps : float;           (** worst register-to-register arrival *)
+  critical_net : Netlist.Types.net_id;
+  critical_path : Netlist.Types.cell_id list;
+  (** cells along the critical path, source first *)
+}
+
+val analyze : Place.Placement.t -> ?thermal_map:Geo.Grid.t -> unit -> result
+(** Placement-aware analysis. When [thermal_map] is given (temperature rise
+    over ambient, any grid over the core), each cell's delay is derated by
+    the rise at its location and each net's wire delay by the rise at its
+    bounding-box center. *)
+
+val analyze_unplaced : Netlist.Types.t -> Celllib.Tech.t -> result
+(** Zero-wire-load analysis (before placement). *)
+
+val overhead_pct : before:result -> after:result -> float
+(** Critical-path change in percent; positive = slower. *)

@@ -1,0 +1,1 @@
+lib/thermal/cg.ml: Array Sparse

@@ -1,0 +1,1 @@
+lib/thermal/dense.ml: Array Sparse

@@ -1,0 +1,1 @@
+lib/thermal/mesh.ml: Array Cg Geo Printf Sparse Stack

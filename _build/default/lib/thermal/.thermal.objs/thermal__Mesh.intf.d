@@ -1,0 +1,1 @@
+lib/thermal/mesh.mli: Geo Sparse Stack

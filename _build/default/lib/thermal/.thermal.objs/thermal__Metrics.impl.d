@@ -1,0 +1,1 @@
+lib/thermal/metrics.ml: Format Geo

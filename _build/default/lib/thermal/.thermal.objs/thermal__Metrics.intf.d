@@ -1,0 +1,1 @@
+lib/thermal/metrics.mli: Format Geo

@@ -1,0 +1,1 @@
+lib/thermal/sparse.ml: Array Float

@@ -1,0 +1,1 @@
+lib/thermal/spice.ml: Array Buffer List Mesh Printf Sparse String

@@ -1,0 +1,1 @@
+lib/thermal/spice.mli: Mesh

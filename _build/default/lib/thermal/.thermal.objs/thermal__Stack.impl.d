@@ -1,0 +1,1 @@
+lib/thermal/stack.ml: Array

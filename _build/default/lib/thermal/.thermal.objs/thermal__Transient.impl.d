@@ -1,0 +1,1 @@
+lib/thermal/transient.ml: Array Cg Float Geo Mesh Sparse Stack

@@ -1,0 +1,71 @@
+type outcome = {
+  x : float array;
+  iterations : int;
+  residual : float;
+  converged : bool;
+}
+
+let dot a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm a = sqrt (dot a a)
+
+let solve m ~b ?(tol = 1e-9) ?max_iter ?x0 () =
+  let n = Sparse.dim m in
+  if Array.length b <> n then invalid_arg "Cg.solve: rhs dimension mismatch";
+  let max_iter = match max_iter with Some k -> k | None -> 4 * n in
+  let diag = Sparse.diagonal m in
+  Array.iter
+    (fun d -> if d <= 0.0 then
+        invalid_arg "Cg.solve: non-positive diagonal entry")
+    diag;
+  let x = match x0 with
+    | Some v ->
+      if Array.length v <> n then invalid_arg "Cg.solve: x0 mismatch";
+      Array.copy v
+    | None -> Array.make n 0.0
+  in
+  let r = Array.make n 0.0 in
+  Sparse.mul m x r;
+  for i = 0 to n - 1 do r.(i) <- b.(i) -. r.(i) done;
+  let bnorm = norm b in
+  if bnorm = 0.0 then
+    { x = Array.make n 0.0; iterations = 0; residual = 0.0; converged = true }
+  else begin
+    let z = Array.init n (fun i -> r.(i) /. diag.(i)) in
+    let p = Array.copy z in
+    let ap = Array.make n 0.0 in
+    let rz = ref (dot r z) in
+    let iterations = ref 0 in
+    let converged = ref (norm r /. bnorm <= tol) in
+    while (not !converged) && !iterations < max_iter do
+      incr iterations;
+      Sparse.mul m p ap;
+      let alpha = !rz /. dot p ap in
+      for i = 0 to n - 1 do
+        x.(i) <- x.(i) +. (alpha *. p.(i));
+        r.(i) <- r.(i) -. (alpha *. ap.(i))
+      done;
+      if norm r /. bnorm <= tol then converged := true
+      else begin
+        for i = 0 to n - 1 do z.(i) <- r.(i) /. diag.(i) done;
+        let rz' = dot r z in
+        let beta = rz' /. !rz in
+        rz := rz';
+        for i = 0 to n - 1 do p.(i) <- z.(i) +. (beta *. p.(i)) done
+      end
+    done;
+    (* true residual for the report *)
+    Sparse.mul m x ap;
+    let res = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = b.(i) -. ap.(i) in
+      res := !res +. (d *. d)
+    done;
+    { x; iterations = !iterations; residual = sqrt !res /. bnorm;
+      converged = !converged }
+  end

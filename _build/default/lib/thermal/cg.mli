@@ -1,0 +1,19 @@
+(** Jacobi-preconditioned conjugate gradients for SPD systems.
+
+    At steady state the paper's SPICE netlist of resistors, current sources
+    and voltage sources reduces to the linear system [G T = P] with an SPD
+    conductance matrix; CG computes the identical operating point. *)
+
+type outcome = {
+  x : float array;
+  iterations : int;
+  residual : float;  (** final ||b - A x|| / ||b|| *)
+  converged : bool;
+}
+
+val solve : Sparse.t -> b:float array -> ?tol:float -> ?max_iter:int ->
+  ?x0:float array -> unit -> outcome
+(** Defaults: [tol] 1e-9 (relative), [max_iter] 4 * dim, [x0] zero.
+    Raises [Invalid_argument] on dimension mismatch or a non-positive
+    diagonal entry (the preconditioner needs positivity, and a thermal
+    conductance matrix always satisfies it). *)

@@ -1,0 +1,121 @@
+type config = {
+  nx : int;
+  ny : int;
+  stack : Stack.t;
+}
+
+let default_config = { nx = 40; ny = 40; stack = Stack.default_9layer }
+
+type problem = {
+  p_config : config;
+  p_extent : Geo.Rect.t;
+  p_matrix : Sparse.t;
+  p_rhs : float array;
+}
+
+let matrix p = p.p_matrix
+let rhs p = p.p_rhs
+
+let node_index cfg ~ix ~iy ~iz =
+  assert (ix >= 0 && ix < cfg.nx && iy >= 0 && iy < cfg.ny
+          && iz >= 0 && iz < Stack.num_layers cfg.stack);
+  (((iz * cfg.ny) + iy) * cfg.nx) + ix
+
+let um_to_m v = v *. 1.0e-6
+
+(* Conductance between two stacked cells: half-cell resistances in series,
+   each R = (thickness/2) / (k * A). *)
+let vertical_conductance ~area_m2 (a : Stack.layer) (b : Stack.layer) =
+  let r_half (l : Stack.layer) =
+    um_to_m l.Stack.thickness_um /. 2.0
+    /. (l.Stack.conductivity_w_mk *. area_m2)
+  in
+  1.0 /. (r_half a +. r_half b)
+
+(* Lateral conductance inside one layer: uniform k, full cell pitch. *)
+let lateral_conductance ~k ~cross_m2 ~pitch_m = k *. cross_m2 /. pitch_m
+
+let build cfg ~power =
+  begin match Stack.validate cfg.stack with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Mesh.build: " ^ msg)
+  end;
+  if Geo.Grid.nx power <> cfg.nx || Geo.Grid.ny power <> cfg.ny then
+    invalid_arg "Mesh.build: power grid dimensions mismatch";
+  let extent = Geo.Grid.extent power in
+  let stack = cfg.stack in
+  let nz = Stack.num_layers stack in
+  let n = cfg.nx * cfg.ny * nz in
+  let dx = um_to_m (Geo.Rect.width extent /. float_of_int cfg.nx) in
+  let dy = um_to_m (Geo.Rect.height extent /. float_of_int cfg.ny) in
+  let tile_area = dx *. dy in
+  let b = Sparse.builder ~n in
+  let couple i j g =
+    Sparse.add b i i g;
+    Sparse.add b j j g;
+    Sparse.add b i j (-.g);
+    Sparse.add b j i (-.g)
+  in
+  let ground i g = if g > 0.0 then Sparse.add b i i g in
+  for iz = 0 to nz - 1 do
+    let layer = stack.Stack.layers.(iz) in
+    let dz = um_to_m layer.Stack.thickness_um in
+    let k = layer.Stack.conductivity_w_mk in
+    for iy = 0 to cfg.ny - 1 do
+      for ix = 0 to cfg.nx - 1 do
+        let i = node_index cfg ~ix ~iy ~iz in
+        (* lateral east and north couplings (west/south added by peers) *)
+        if ix + 1 < cfg.nx then
+          couple i (node_index cfg ~ix:(ix + 1) ~iy ~iz)
+            (lateral_conductance ~k ~cross_m2:(dy *. dz) ~pitch_m:dx);
+        if iy + 1 < cfg.ny then
+          couple i (node_index cfg ~ix ~iy:(iy + 1) ~iz)
+            (lateral_conductance ~k ~cross_m2:(dx *. dz) ~pitch_m:dy);
+        (* vertical coupling upward *)
+        if iz + 1 < nz then
+          couple i (node_index cfg ~ix ~iy ~iz:(iz + 1))
+            (vertical_conductance ~area_m2:tile_area layer
+               stack.Stack.layers.(iz + 1));
+        (* boundary conductances to ambient *)
+        if iz = 0 then ground i (stack.Stack.h_bottom_w_m2k *. tile_area);
+        if iz = nz - 1 then ground i (stack.Stack.h_top_w_m2k *. tile_area);
+        let h_side = stack.Stack.h_side_w_m2k in
+        if h_side > 0.0 then begin
+          if ix = 0 || ix = cfg.nx - 1 then ground i (h_side *. dy *. dz);
+          if iy = 0 || iy = cfg.ny - 1 then ground i (h_side *. dx *. dz)
+        end
+      done
+    done
+  done;
+  let rhs = Array.make n 0.0 in
+  let zp = stack.Stack.power_layer in
+  Geo.Grid.iteri power ~f:(fun ~ix ~iy w ->
+      rhs.(node_index cfg ~ix ~iy ~iz:zp) <- w);
+  { p_config = cfg; p_extent = extent; p_matrix = Sparse.of_builder b;
+    p_rhs = rhs }
+
+type solution = {
+  config : config;
+  extent : Geo.Rect.t;
+  temp : float array;
+  cg_iterations : int;
+  cg_residual : float;
+}
+
+let solve ?(tol = 1e-10) p =
+  let outcome = Cg.solve p.p_matrix ~b:p.p_rhs ~tol () in
+  if not outcome.Cg.converged then
+    failwith
+      (Printf.sprintf "Mesh.solve: CG stalled (residual %.3e after %d iters)"
+         outcome.Cg.residual outcome.Cg.iterations);
+  { config = p.p_config; extent = p.p_extent; temp = outcome.Cg.x;
+    cg_iterations = outcome.Cg.iterations;
+    cg_residual = outcome.Cg.residual }
+
+let layer_grid s ~iz =
+  let cfg = s.config in
+  Geo.Grid.of_function ~nx:cfg.nx ~ny:cfg.ny ~extent:s.extent
+    ~f:(fun ~ix ~iy -> s.temp.(node_index cfg ~ix ~iy ~iz))
+
+let active_layer_grid s =
+  layer_grid s ~iz:s.config.stack.Stack.power_layer

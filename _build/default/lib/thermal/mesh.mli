@@ -1,0 +1,46 @@
+(** Assembly and solution of the 3-D thermal RC network.
+
+    The die footprint is tiled [nx] x [ny] per layer (the paper's grid is
+    40 x 40 x 9 = 14400 cells); each thermal cell couples to its six
+    neighbours through series half-cell resistances, boundary faces couple
+    to the ambient reference through the stack's effective conductances,
+    and the power map injects current into the active layer. Temperatures
+    are kelvins of rise over ambient. *)
+
+type config = {
+  nx : int;
+  ny : int;
+  stack : Stack.t;
+}
+
+val default_config : config
+(** 40 x 40 over {!Stack.default_9layer}. *)
+
+type problem
+
+val build : config -> power:Geo.Grid.t -> problem
+(** [power] is a W-per-tile grid whose extent is the die footprint and
+    whose dimensions must equal [nx] x [ny]. *)
+
+val matrix : problem -> Sparse.t
+val rhs : problem -> float array
+
+type solution = {
+  config : config;
+  extent : Geo.Rect.t;
+  temp : float array;       (** node temperature rises, x-major per layer *)
+  cg_iterations : int;
+  cg_residual : float;
+}
+
+val solve : ?tol:float -> problem -> solution
+(** Raises [Failure] when CG does not converge (never observed on a valid
+    stack; guards against assembly bugs). *)
+
+val node_index : config -> ix:int -> iy:int -> iz:int -> int
+
+val layer_grid : solution -> iz:int -> Geo.Grid.t
+(** Temperature-rise map of one layer over the die extent. *)
+
+val active_layer_grid : solution -> Geo.Grid.t
+(** The thermal map of the paper's figures: the power-injection layer. *)

@@ -1,0 +1,30 @@
+type t = {
+  peak_rise_k : float;
+  mean_rise_k : float;
+  min_rise_k : float;
+  gradient_k : float;
+  hottest_tile : int * int;
+}
+
+let of_map g =
+  let peak = Geo.Grid.max_value g in
+  let low = Geo.Grid.min_value g in
+  { peak_rise_k = peak;
+    mean_rise_k = Geo.Grid.mean g;
+    min_rise_k = low;
+    gradient_k = peak -. low;
+    hottest_tile = Geo.Grid.argmax g }
+
+let reduction_pct ~before ~after =
+  if before.peak_rise_k <= 0.0 then 0.0
+  else 100.0 *. (before.peak_rise_k -. after.peak_rise_k) /. before.peak_rise_k
+
+let gradient_reduction_pct ~before ~after =
+  if before.gradient_k <= 0.0 then 0.0
+  else 100.0 *. (before.gradient_k -. after.gradient_k) /. before.gradient_k
+
+let pp ppf t =
+  let ix, iy = t.hottest_tile in
+  Format.fprintf ppf
+    "peak %.3f K, mean %.3f K, min %.3f K, gradient %.3f K, hottest (%d,%d)"
+    t.peak_rise_k t.mean_rise_k t.min_rise_k t.gradient_k ix iy

@@ -1,0 +1,19 @@
+(** Scalar figures of merit of a thermal map. *)
+
+type t = {
+  peak_rise_k : float;      (** maximum temperature rise over ambient *)
+  mean_rise_k : float;
+  min_rise_k : float;
+  gradient_k : float;       (** max - min, the paper's temperature gradient *)
+  hottest_tile : int * int; (** (ix, iy) of the peak *)
+}
+
+val of_map : Geo.Grid.t -> t
+
+val reduction_pct : before:t -> after:t -> float
+(** The paper's "temperature reduction": percentage drop of the peak rise.
+    Positive = improvement. *)
+
+val gradient_reduction_pct : before:t -> after:t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+type material = {
+  volumetric_heat_j_m3k : float;
+}
+
+let default_capacitance = { volumetric_heat_j_m3k = 1.6e6 }
+
+type response = {
+  times_s : float array;
+  peak_rise_k : float array;
+  steady_peak_k : float;
+  tau_63_s : float;
+}
+
+let node_capacitances cfg ~extent material =
+  let stack = cfg.Mesh.stack in
+  let nz = Stack.num_layers stack in
+  let n = cfg.Mesh.nx * cfg.Mesh.ny * nz in
+  let dx = Geo.Rect.width extent /. float_of_int cfg.Mesh.nx *. 1e-6 in
+  let dy = Geo.Rect.height extent /. float_of_int cfg.Mesh.ny *. 1e-6 in
+  let c = Array.make n 0.0 in
+  for iz = 0 to nz - 1 do
+    let dz = stack.Stack.layers.(iz).Stack.thickness_um *. 1e-6 in
+    let cap = material.volumetric_heat_j_m3k *. dx *. dy *. dz in
+    for iy = 0 to cfg.Mesh.ny - 1 do
+      for ix = 0 to cfg.Mesh.nx - 1 do
+        c.(Mesh.node_index cfg ~ix ~iy ~iz) <- cap
+      done
+    done
+  done;
+  c
+
+(* Backward Euler: (G + C/dt) T_{k+1} = P + (C/dt) T_k. The shifted matrix
+   is SPD whenever G is, so CG applies; consecutive steps warm-start. *)
+let step_response cfg ~power ?(material = default_capacitance)
+    ?(dt_s = 2e-6) ?(steps = 60) () =
+  if dt_s <= 0.0 || steps <= 0 then
+    invalid_arg "Transient.step_response: non-positive dt or steps";
+  let problem = Mesh.build cfg ~power in
+  let g = Mesh.matrix problem in
+  let p = Mesh.rhs problem in
+  let n = Sparse.dim g in
+  let extent = Geo.Grid.extent power in
+  let caps = node_capacitances cfg ~extent material in
+  (* steady state for normalization *)
+  let steady = Cg.solve g ~b:p ~tol:1e-10 () in
+  let steady_peak_k = Array.fold_left Float.max 0.0 steady.Cg.x in
+  (* shifted matrix: G plus C/dt on the diagonal *)
+  let b = Sparse.builder ~n in
+  for i = 0 to n - 1 do
+    Sparse.iter_row g i ~f:(fun j v -> Sparse.add b i j v);
+    Sparse.add b i i (caps.(i) /. dt_s)
+  done;
+  let shifted = Sparse.of_builder b in
+  let temp = ref (Array.make n 0.0) in
+  let times = Array.make (steps + 1) 0.0 in
+  let peaks = Array.make (steps + 1) 0.0 in
+  for k = 1 to steps do
+    let rhs =
+      Array.init n (fun i -> p.(i) +. (caps.(i) /. dt_s *. !temp.(i)))
+    in
+    let sol = Cg.solve shifted ~b:rhs ~tol:1e-10 ~x0:!temp () in
+    temp := sol.Cg.x;
+    times.(k) <- float_of_int k *. dt_s;
+    peaks.(k) <- Array.fold_left Float.max 0.0 !temp
+  done;
+  (* time to 63.2% of the steady peak, linear interpolation *)
+  let target = 0.632 *. steady_peak_k in
+  let tau =
+    let rec find k =
+      if k > steps then times.(steps) (* not reached within the window *)
+      else if peaks.(k) >= target then begin
+        if k = 0 then times.(0)
+        else begin
+          let frac =
+            (target -. peaks.(k - 1)) /. (peaks.(k) -. peaks.(k - 1))
+          in
+          times.(k - 1) +. (frac *. (times.(k) -. times.(k - 1)))
+        end
+      end
+      else find (k + 1)
+    in
+    find 1
+  in
+  { times_s = times; peak_rise_k = peaks; steady_peak_k; tau_63_s = tau }

@@ -1,0 +1,1 @@
+test/test_celllib.ml: Alcotest Array Celllib List Printf String

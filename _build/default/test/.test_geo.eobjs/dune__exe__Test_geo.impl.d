@@ -1,0 +1,1 @@
+test/test_geo.ml: Alcotest Array Float Format Geo List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float Geo Lazy List Netgen Netlist Place Postplace Printf Sta Thermal

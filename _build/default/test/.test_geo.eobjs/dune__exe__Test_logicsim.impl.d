@@ -1,0 +1,1 @@
+test/test_logicsim.ml: Alcotest Array Celllib Float Geo List Logicsim Netgen Netlist Printf String

@@ -1,0 +1,1 @@
+test/test_netgen.ml: Alcotest Array Geo Hashtbl List Logicsim Netgen Netlist Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_place.ml: Alcotest Array Celllib Float Format Geo List Netgen Netlist Place Printf String

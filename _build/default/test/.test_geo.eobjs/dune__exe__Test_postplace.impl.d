@@ -1,0 +1,1 @@
+test/test_postplace.ml: Alcotest Array Celllib Float Geo Lazy List Logicsim Netgen Netlist Place Postplace Power Printf QCheck QCheck_alcotest Sta Thermal

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Celllib Geo List Logicsim Netgen Netlist Place Power Printf

@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Celllib Float Geo List Netgen Netlist Place Route

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Celllib Geo List Netgen Netlist Place Sta

@@ -1,0 +1,1 @@
+test/test_thermal.ml: Alcotest Array Float Geo List Printf QCheck QCheck_alcotest String Thermal

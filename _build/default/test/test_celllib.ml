@@ -1,0 +1,170 @@
+(* Tests for the synthetic 65nm cell library: logic functions, arities,
+   physical and electrical characterization. *)
+
+module K = Celllib.Kind
+
+let bits n width = Array.init width (fun i -> (n lsr i) land 1 = 1)
+
+(* Exhaustive truth-table check of every combinational kind against an
+   independent reference implementation. *)
+let reference k (v : bool array) =
+  match k with
+  | K.Inv -> not v.(0)
+  | K.Buf -> v.(0)
+  | K.Nand2 -> not (v.(0) && v.(1))
+  | K.Nand3 -> not (v.(0) && v.(1) && v.(2))
+  | K.Nor2 -> not (v.(0) || v.(1))
+  | K.Nor3 -> not (v.(0) || v.(1) || v.(2))
+  | K.And2 -> v.(0) && v.(1)
+  | K.And3 -> v.(0) && v.(1) && v.(2)
+  | K.Or2 -> v.(0) || v.(1)
+  | K.Or3 -> v.(0) || v.(1) || v.(2)
+  | K.Xor2 -> (v.(0) || v.(1)) && not (v.(0) && v.(1))
+  | K.Xnor2 -> not ((v.(0) || v.(1)) && not (v.(0) && v.(1)))
+  | K.Aoi21 -> not ((v.(0) && v.(1)) || v.(2))
+  | K.Oai21 -> not ((v.(0) || v.(1)) && v.(2))
+  | K.Mux2 -> if v.(2) then v.(1) else v.(0)
+  | K.Dff | K.Filler _ -> assert false
+
+let test_truth_tables () =
+  List.iter
+    (fun k ->
+       if not (K.is_sequential k) then begin
+         let arity = K.num_inputs k in
+         for n = 0 to (1 lsl arity) - 1 do
+           let v = bits n arity in
+           Alcotest.(check bool)
+             (Printf.sprintf "%s(%d)" (K.name k) n)
+             (reference k v) (K.eval k v)
+         done
+       end)
+    K.all_logic
+
+let test_arity_matches_eval () =
+  List.iter
+    (fun k ->
+       if not (K.is_sequential k) then begin
+         let wrong = Array.make (K.num_inputs k + 1) false in
+         match K.eval k wrong with
+         | _ -> Alcotest.failf "%s accepted wrong arity" (K.name k)
+         | exception Invalid_argument _ -> ()
+       end)
+    K.all_logic
+
+let test_sequential_and_filler_eval_rejected () =
+  Alcotest.check_raises "dff"
+    (Invalid_argument "Kind.eval: DFF is not combinational")
+    (fun () -> ignore (K.eval K.Dff [| true |]));
+  (match K.eval (K.Filler 4) [||] with
+   | _ -> Alcotest.fail "filler eval should raise"
+   | exception Invalid_argument _ -> ())
+
+let test_classification () =
+  Alcotest.(check bool) "dff sequential" true (K.is_sequential K.Dff);
+  Alcotest.(check bool) "inv not sequential" false (K.is_sequential K.Inv);
+  Alcotest.(check bool) "filler is filler" true (K.is_filler (K.Filler 2));
+  Alcotest.(check bool) "dff not filler" false (K.is_filler K.Dff);
+  Alcotest.(check bool) "no filler in all_logic" true
+    (List.for_all (fun k -> not (K.is_filler k)) K.all_logic);
+  Alcotest.(check int) "filler has no inputs" 0 (K.num_inputs (K.Filler 8))
+
+let test_names_unique () =
+  let names = List.map K.name K.all_logic in
+  Alcotest.(check int) "unique names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_filler_widths () =
+  List.iter
+    (fun w ->
+       let info = Celllib.Info.get (K.Filler w) in
+       Alcotest.(check int) "width" w info.Celllib.Info.width_sites;
+       Alcotest.(check (float 0.0)) "no cap" 0.0 info.Celllib.Info.input_cap_ff;
+       Alcotest.(check (float 0.0)) "no leak" 0.0 info.Celllib.Info.leakage_nw;
+       Alcotest.(check (float 0.0)) "no internal cap" 0.0
+         info.Celllib.Info.internal_cap_ff)
+    K.filler_widths;
+  Alcotest.(check bool) "width 1 available (gaps always decompose)" true
+    (List.mem 1 K.filler_widths)
+
+let test_info_positive () =
+  List.iter
+    (fun k ->
+       let i = Celllib.Info.get k in
+       if i.Celllib.Info.width_sites <= 0 then
+         Alcotest.failf "%s non-positive width" (K.name k);
+       if i.Celllib.Info.input_cap_ff <= 0.0 then
+         Alcotest.failf "%s non-positive input cap" (K.name k);
+       if i.Celllib.Info.intrinsic_ps <= 0.0 then
+         Alcotest.failf "%s non-positive delay" (K.name k);
+       if i.Celllib.Info.leakage_nw <= 0.0 then
+         Alcotest.failf "%s non-positive leakage" (K.name k))
+    K.all_logic
+
+let test_area () =
+  let tech = Celllib.Tech.default_65nm in
+  let w = Celllib.Info.width_um tech K.Inv in
+  Alcotest.(check (float 1e-9)) "inv width"
+    (float_of_int (Celllib.Info.get K.Inv).Celllib.Info.width_sites
+     *. tech.Celllib.Tech.site_width_um)
+    w;
+  Alcotest.(check (float 1e-9)) "inv area"
+    (w *. tech.Celllib.Tech.row_height_um)
+    (Celllib.Info.area_um2 tech K.Inv);
+  Alcotest.(check bool) "dff bigger than inv" true
+    (Celllib.Info.area_um2 tech K.Dff > Celllib.Info.area_um2 tech K.Inv)
+
+let test_tech () =
+  let tech = Celllib.Tech.default_65nm in
+  Alcotest.(check int) "node" 65 tech.Celllib.Tech.node_nm;
+  Alcotest.(check (float 1e-9)) "1 GHz cycle" 1000.0
+    (Celllib.Tech.cycle_time_ps tech);
+  Alcotest.(check bool) "derating positive" true
+    (tech.Celllib.Tech.delay_temp_coeff_per_k > 0.0
+     && tech.Celllib.Tech.wire_temp_coeff_per_k
+        > tech.Celllib.Tech.delay_temp_coeff_per_k)
+
+let test_compare_equal () =
+  Alcotest.(check bool) "equal" true (K.equal K.Inv K.Inv);
+  Alcotest.(check bool) "not equal" false (K.equal K.Inv K.Buf);
+  Alcotest.(check bool) "filler widths distinguish" false
+    (K.equal (K.Filler 1) (K.Filler 2));
+  Alcotest.(check int) "compare reflexive" 0 (K.compare K.Mux2 K.Mux2)
+
+let test_lef_export () =
+  let tech = Celllib.Tech.default_65nm in
+  let lef = Celllib.Lef.to_string tech in
+  let count prefix =
+    String.split_on_char '\n' lef
+    |> List.filter (fun l ->
+        String.length l >= String.length prefix
+        && String.sub l 0 (String.length prefix) = prefix)
+    |> List.length
+  in
+  Alcotest.(check int) "one MACRO per library cell"
+    (Celllib.Lef.macro_count tech)
+    (count "MACRO ");
+  Alcotest.(check int) "one site" 1 (count "SITE unit_site");
+  (* every logic macro carries its output pin *)
+  Alcotest.(check bool) "output pins present" true
+    (count "  PIN z" = List.length K.all_logic)
+
+let () =
+  Alcotest.run "celllib"
+    [ ("kind",
+       [ Alcotest.test_case "truth tables exhaustive" `Quick
+           test_truth_tables;
+         Alcotest.test_case "arity enforcement" `Quick
+           test_arity_matches_eval;
+         Alcotest.test_case "dff/filler eval rejected" `Quick
+           test_sequential_and_filler_eval_rejected;
+         Alcotest.test_case "classification" `Quick test_classification;
+         Alcotest.test_case "names unique" `Quick test_names_unique;
+         Alcotest.test_case "compare/equal" `Quick test_compare_equal ]);
+      ("info",
+       [ Alcotest.test_case "filler widths" `Quick test_filler_widths;
+         Alcotest.test_case "positive characterization" `Quick
+           test_info_positive;
+         Alcotest.test_case "area" `Quick test_area ]);
+      ("tech", [ Alcotest.test_case "constants" `Quick test_tech ]);
+      ("lef", [ Alcotest.test_case "export" `Quick test_lef_export ]) ]

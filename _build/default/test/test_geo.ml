@@ -1,0 +1,354 @@
+(* Tests for the geometry substrate: RNG, rectangles, grids, statistics. *)
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (feq ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* --- Rng ---------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Geo.Rng.create 7 and b = Geo.Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Geo.Rng.bits64 a) (Geo.Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Geo.Rng.create 1 and b = Geo.Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Geo.Rng.bits64 a <> Geo.Rng.bits64 b)
+
+let test_rng_copy () =
+  let a = Geo.Rng.create 3 in
+  ignore (Geo.Rng.bits64 a);
+  let b = Geo.Rng.copy a in
+  Alcotest.(check int64) "copy continues identically"
+    (Geo.Rng.bits64 a) (Geo.Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let a = Geo.Rng.create 3 in
+  let b = Geo.Rng.split a in
+  Alcotest.(check bool) "split stream differs" true
+    (Geo.Rng.bits64 a <> Geo.Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let r = Geo.Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Geo.Rng.int r 13 in
+    if v < 0 || v >= 13 then Alcotest.failf "int out of bounds: %d" v
+  done
+
+let test_rng_float_bounds () =
+  let r = Geo.Rng.create 12 in
+  for _ = 1 to 1000 do
+    let v = Geo.Rng.float r 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "float out of bounds: %g" v
+  done
+
+let test_rng_bernoulli_extremes () =
+  let r = Geo.Rng.create 13 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never true" false (Geo.Rng.bernoulli r 0.0);
+    Alcotest.(check bool) "p=1 always true" true (Geo.Rng.bernoulli r 1.0)
+  done
+
+let test_rng_bernoulli_rate () =
+  let r = Geo.Rng.create 14 in
+  let hits = ref 0 in
+  let n = 20000 in
+  for _ = 1 to n do if Geo.Rng.bernoulli r 0.3 then incr hits done;
+  let rate = float_of_int !hits /. float_of_int n in
+  if Float.abs (rate -. 0.3) > 0.02 then
+    Alcotest.failf "bernoulli rate %.3f too far from 0.3" rate
+
+let test_rng_gaussian_moments () =
+  let r = Geo.Rng.create 15 in
+  let n = 20000 in
+  let samples =
+    Array.init n (fun _ -> Geo.Rng.gaussian r ~mean:2.0 ~sigma:3.0)
+  in
+  let mean = Geo.Stats.mean samples in
+  let sd = Geo.Stats.stddev samples in
+  if Float.abs (mean -. 2.0) > 0.1 then Alcotest.failf "mean %.3f" mean;
+  if Float.abs (sd -. 3.0) > 0.1 then Alcotest.failf "stddev %.3f" sd
+
+let test_rng_shuffle_permutation () =
+  let r = Geo.Rng.create 16 in
+  let a = Array.init 50 (fun i -> i) in
+  let b = Array.copy a in
+  Geo.Rng.shuffle r b;
+  Alcotest.(check bool) "shuffled differs (overwhelmingly likely)" true
+    (b <> a);
+  Array.sort compare b;
+  Alcotest.(check (array int)) "multiset preserved" a b
+
+(* --- Rect --------------------------------------------------------------- *)
+
+let rect lx ly hx hy = Geo.Rect.make ~lx ~ly ~hx ~hy
+
+let test_rect_normalization () =
+  let r = Geo.Rect.make ~lx:5.0 ~ly:7.0 ~hx:1.0 ~hy:2.0 in
+  check_float "lx" 1.0 r.Geo.Rect.lx;
+  check_float "ly" 2.0 r.Geo.Rect.ly;
+  check_float "hx" 5.0 r.Geo.Rect.hx;
+  check_float "hy" 7.0 r.Geo.Rect.hy
+
+let test_rect_dims () =
+  let r = rect 1.0 2.0 4.0 8.0 in
+  check_float "width" 3.0 (Geo.Rect.width r);
+  check_float "height" 6.0 (Geo.Rect.height r);
+  check_float "area" 18.0 (Geo.Rect.area r);
+  check_float "cx" 2.5 (Geo.Rect.center_x r);
+  check_float "cy" 5.0 (Geo.Rect.center_y r)
+
+let test_rect_contains_half_open () =
+  let r = rect 0.0 0.0 2.0 2.0 in
+  Alcotest.(check bool) "inside" true (Geo.Rect.contains r ~x:1.0 ~y:1.0);
+  Alcotest.(check bool) "low edge in" true (Geo.Rect.contains r ~x:0.0 ~y:0.0);
+  Alcotest.(check bool) "high edge out" false
+    (Geo.Rect.contains r ~x:2.0 ~y:1.0);
+  Alcotest.(check bool) "outside" false (Geo.Rect.contains r ~x:3.0 ~y:1.0)
+
+let test_rect_intersection () =
+  let a = rect 0.0 0.0 4.0 4.0 and b = rect 2.0 2.0 6.0 6.0 in
+  Alcotest.(check bool) "intersects" true (Geo.Rect.intersects a b);
+  (match Geo.Rect.intersection a b with
+   | None -> Alcotest.fail "expected overlap"
+   | Some r ->
+     check_float "ov area" 4.0 (Geo.Rect.area r));
+  check_float "overlap_area" 4.0 (Geo.Rect.overlap_area a b);
+  let c = rect 4.0 0.0 8.0 4.0 in
+  Alcotest.(check bool) "touching edges do not intersect" false
+    (Geo.Rect.intersects a c);
+  check_float "touching overlap 0" 0.0 (Geo.Rect.overlap_area a c)
+
+let test_rect_union_inflate_clip () =
+  let a = rect 0.0 0.0 1.0 1.0 and b = rect 2.0 3.0 4.0 5.0 in
+  let u = Geo.Rect.union a b in
+  check_float "union area" 20.0 (Geo.Rect.area u);
+  let i = Geo.Rect.inflate a 1.0 in
+  check_float "inflated area" 9.0 (Geo.Rect.area i);
+  let c = Geo.Rect.clip i ~within:(rect 0.0 0.0 10.0 10.0) in
+  check_float "clip area" 4.0 (Geo.Rect.area c);
+  let disjoint = Geo.Rect.clip b ~within:a in
+  check_float "disjoint clip has zero area" 0.0 (Geo.Rect.area disjoint)
+
+let rect_gen =
+  QCheck.Gen.(
+    map
+      (fun (a, b, c, d) -> Geo.Rect.make ~lx:a ~ly:b ~hx:c ~hy:d)
+      (quad (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)
+         (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+
+let rect_arb = QCheck.make rect_gen
+
+let prop_intersection_bounded =
+  QCheck.Test.make ~name:"intersection area bounded by both" ~count:500
+    (QCheck.pair rect_arb rect_arb)
+    (fun (a, b) ->
+       let ov = Geo.Rect.overlap_area a b in
+       ov <= Geo.Rect.area a +. 1e-6 && ov <= Geo.Rect.area b +. 1e-6
+       && ov >= 0.0)
+
+let prop_union_contains =
+  QCheck.Test.make ~name:"union covers both" ~count:500
+    (QCheck.pair rect_arb rect_arb)
+    (fun (a, b) ->
+       let u = Geo.Rect.union a b in
+       u.Geo.Rect.lx <= a.Geo.Rect.lx && u.Geo.Rect.hx >= b.Geo.Rect.hx
+       && u.Geo.Rect.ly <= Float.min a.Geo.Rect.ly b.Geo.Rect.ly
+       && u.Geo.Rect.hy >= Float.max a.Geo.Rect.hy b.Geo.Rect.hy)
+
+(* --- Grid --------------------------------------------------------------- *)
+
+let grid () =
+  Geo.Grid.create ~nx:4 ~ny:5 ~extent:(rect 0.0 0.0 8.0 10.0)
+
+let test_grid_basics () =
+  let g = grid () in
+  Alcotest.(check int) "nx" 4 (Geo.Grid.nx g);
+  Alcotest.(check int) "ny" 5 (Geo.Grid.ny g);
+  check_float "tile w" 2.0 (Geo.Grid.tile_width g);
+  check_float "tile h" 2.0 (Geo.Grid.tile_height g);
+  check_float "tile area" 4.0 (Geo.Grid.tile_area g);
+  check_float "initial total" 0.0 (Geo.Grid.total g);
+  Geo.Grid.set g ~ix:2 ~iy:3 5.0;
+  check_float "get" 5.0 (Geo.Grid.get g ~ix:2 ~iy:3);
+  Geo.Grid.add g ~ix:2 ~iy:3 1.5;
+  check_float "add" 6.5 (Geo.Grid.get g ~ix:2 ~iy:3);
+  Alcotest.(check (pair int int)) "argmax" (2, 3) (Geo.Grid.argmax g)
+
+let test_grid_tile_rect_tiles_extent () =
+  let g = grid () in
+  let total = ref 0.0 in
+  Geo.Grid.iteri g ~f:(fun ~ix ~iy _ ->
+      total := !total +. Geo.Rect.area (Geo.Grid.tile_rect g ~ix ~iy));
+  check_float ~eps:1e-6 "tiles cover extent" 80.0 !total
+
+let test_grid_tile_of_point () =
+  let g = grid () in
+  Geo.Grid.iteri g ~f:(fun ~ix ~iy _ ->
+      let r = Geo.Grid.tile_rect g ~ix ~iy in
+      match
+        Geo.Grid.tile_of_point g ~x:(Geo.Rect.center_x r)
+          ~y:(Geo.Rect.center_y r)
+      with
+      | Some (ix', iy') ->
+        Alcotest.(check (pair int int)) "center maps back" (ix, iy) (ix', iy')
+      | None -> Alcotest.fail "center not found");
+  Alcotest.(check bool) "outside -> None" true
+    (Geo.Grid.tile_of_point g ~x:(-1.0) ~y:0.0 = None)
+
+let test_grid_deposit_conserves () =
+  let g = grid () in
+  Geo.Grid.deposit g (rect 0.5 0.5 3.5 3.5) 7.0;
+  check_float ~eps:1e-9 "deposit conserved" 7.0 (Geo.Grid.total g)
+
+let test_grid_deposit_spans_tiles_proportionally () =
+  let g = grid () in
+  (* rect covering exactly tiles (0,0) and (1,0) halves *)
+  Geo.Grid.deposit g (rect 1.0 0.0 3.0 2.0) 4.0;
+  check_float "left half" 2.0 (Geo.Grid.get g ~ix:0 ~iy:0);
+  check_float "right half" 2.0 (Geo.Grid.get g ~ix:1 ~iy:0)
+
+let test_grid_deposit_outside_dropped () =
+  let g = grid () in
+  (* half the rect hangs off the left edge: only the inside half lands *)
+  Geo.Grid.deposit g (rect (-2.0) 0.0 2.0 2.0) 4.0;
+  check_float "clipped deposit scaled to covered area" 4.0 (Geo.Grid.total g);
+  let g2 = grid () in
+  Geo.Grid.deposit g2 (rect (-100.0) (-100.0) (-50.0) (-50.0)) 3.0;
+  check_float "fully outside drops" 0.0 (Geo.Grid.total g2)
+
+let test_grid_map_ops () =
+  let g = Geo.Grid.of_function ~nx:3 ~ny:3 ~extent:(rect 0.0 0.0 3.0 3.0)
+      ~f:(fun ~ix ~iy -> float_of_int (ix + iy)) in
+  let doubled = Geo.Grid.map g ~f:(fun v -> 2.0 *. v) in
+  check_float "map total" (2.0 *. Geo.Grid.total g) (Geo.Grid.total doubled);
+  let s = Geo.Grid.map2 g doubled ~f:( +. ) in
+  check_float "map2 total" (3.0 *. Geo.Grid.total g) (Geo.Grid.total s);
+  check_float "max" 4.0 (Geo.Grid.max_value g);
+  check_float "min" 0.0 (Geo.Grid.min_value g);
+  check_float "mean" (Geo.Grid.total g /. 9.0) (Geo.Grid.mean g);
+  let c = Geo.Grid.copy g in
+  Geo.Grid.set c ~ix:0 ~iy:0 99.0;
+  check_float "copy is independent" 0.0 (Geo.Grid.get g ~ix:0 ~iy:0)
+
+let test_grid_pp_rows () =
+  let g = grid () in
+  let s = Format.asprintf "%a" Geo.Grid.pp_rows g in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  Alcotest.(check int) "ny lines" 5 (List.length lines)
+
+let test_grid_pp_shaded () =
+  let g = grid () in
+  Geo.Grid.set g ~ix:0 ~iy:0 10.0;
+  let s = Format.asprintf "%a" Geo.Grid.pp_shaded g in
+  (* don't trim: cold rows are all spaces and must survive *)
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "ny lines" 5 (List.length lines);
+  List.iter
+    (fun l -> Alcotest.(check int) "nx chars" 4 (String.length l))
+    lines;
+  (* the hottest tile renders as '@', sitting bottom-left = last line *)
+  let last = List.nth lines 4 in
+  Alcotest.(check char) "hot corner" '@' last.[0];
+  Alcotest.(check char) "cold elsewhere" ' ' last.[1];
+  (* a flat grid renders entirely with the lowest ramp character *)
+  let flat = Format.asprintf "%a" Geo.Grid.pp_shaded (grid ()) in
+  String.iter
+    (fun c -> if c <> ' ' && c <> '\n' then
+        Alcotest.failf "flat grid rendered %c" c)
+    flat
+
+let prop_deposit_conservation =
+  QCheck.Test.make ~name:"deposit conserves mass for inside rects" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         quad (float_range 0.0 7.0) (float_range 0.0 9.0)
+           (float_range 0.1 1.0) (float_range 0.1 1.0)))
+    (fun (x, y, w, h) ->
+       let g = grid () in
+       let r = Geo.Rect.of_corner ~x ~y ~w:(Float.min w (8.0 -. x))
+           ~h:(Float.min h (10.0 -. y)) in
+       Geo.Grid.deposit g r 3.0;
+       Float.abs (Geo.Grid.total g -. 3.0) < 1e-6)
+
+(* --- Stats -------------------------------------------------------------- *)
+
+let test_stats_mean_var () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Geo.Stats.mean a);
+  check_float "variance" 1.25 (Geo.Stats.variance a);
+  check_float "stddev" (sqrt 1.25) (Geo.Stats.stddev a);
+  check_float "mean empty" 0.0 (Geo.Stats.mean [||]);
+  check_float "variance single" 0.0 (Geo.Stats.variance [| 5.0 |])
+
+let test_stats_percentile () =
+  let a = [| 4.0; 1.0; 3.0; 2.0 |] in
+  check_float "p0 = min" 1.0 (Geo.Stats.percentile a 0.0);
+  check_float "p1 = max" 4.0 (Geo.Stats.percentile a 1.0);
+  check_float "median" 2.5 (Geo.Stats.percentile a 0.5);
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Stats.percentile: empty array")
+    (fun () -> ignore (Geo.Stats.percentile [||] 0.5))
+
+let test_stats_extrema_histogram () =
+  let a = [| -1.0; 5.0; 2.0 |] in
+  check_float "min" (-1.0) (Geo.Stats.minimum a);
+  check_float "max" 5.0 (Geo.Stats.maximum a);
+  let h = Geo.Stats.histogram a ~bins:3 in
+  let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 h in
+  Alcotest.(check int) "histogram counts everything" 3 total;
+  Alcotest.(check int) "bins" 3 (Array.length h)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "geo"
+    [ ("rng",
+       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+         Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+         Alcotest.test_case "copy" `Quick test_rng_copy;
+         Alcotest.test_case "split" `Quick test_rng_split_independent;
+         Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+         Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+         Alcotest.test_case "bernoulli extremes" `Quick
+           test_rng_bernoulli_extremes;
+         Alcotest.test_case "bernoulli rate" `Quick test_rng_bernoulli_rate;
+         Alcotest.test_case "gaussian moments" `Quick
+           test_rng_gaussian_moments;
+         Alcotest.test_case "shuffle permutation" `Quick
+           test_rng_shuffle_permutation ]);
+      ("rect",
+       [ Alcotest.test_case "normalization" `Quick test_rect_normalization;
+         Alcotest.test_case "dimensions" `Quick test_rect_dims;
+         Alcotest.test_case "contains half-open" `Quick
+           test_rect_contains_half_open;
+         Alcotest.test_case "intersection" `Quick test_rect_intersection;
+         Alcotest.test_case "union/inflate/clip" `Quick
+           test_rect_union_inflate_clip ]
+       @ qc [ prop_intersection_bounded; prop_union_contains ]);
+      ("grid",
+       [ Alcotest.test_case "basics" `Quick test_grid_basics;
+         Alcotest.test_case "tiles cover extent" `Quick
+           test_grid_tile_rect_tiles_extent;
+         Alcotest.test_case "tile_of_point" `Quick test_grid_tile_of_point;
+         Alcotest.test_case "deposit conserves" `Quick
+           test_grid_deposit_conserves;
+         Alcotest.test_case "deposit proportional" `Quick
+           test_grid_deposit_spans_tiles_proportionally;
+         Alcotest.test_case "deposit outside dropped" `Quick
+           test_grid_deposit_outside_dropped;
+         Alcotest.test_case "map ops" `Quick test_grid_map_ops;
+         Alcotest.test_case "pp_rows shape" `Quick test_grid_pp_rows;
+         Alcotest.test_case "pp_shaded rendering" `Quick
+           test_grid_pp_shaded ]
+       @ qc [ prop_deposit_conservation ]);
+      ("stats",
+       [ Alcotest.test_case "mean/var" `Quick test_stats_mean_var;
+         Alcotest.test_case "percentile" `Quick test_stats_percentile;
+         Alcotest.test_case "extrema/histogram" `Quick
+           test_stats_extrema_histogram ]) ]

@@ -1,0 +1,311 @@
+(* End-to-end integration tests on the full nine-unit benchmark: the
+   qualitative claims of the paper must hold on every run. These use
+   reduced simulation cycles to stay fast; the bench executable runs the
+   full-fidelity versions. *)
+
+module P = Place.Placement
+
+(* One shared flow per test set (preparing the 12k-cell benchmark takes
+   under a second, evaluating a placement ~0.5 s). *)
+let flow1 = lazy (Postplace.Experiment.test_set_1 ~sim_cycles:200 ())
+let flow2 = lazy (Postplace.Experiment.test_set_2 ~sim_cycles:200 ())
+
+let base1 =
+  lazy
+    (let fl = Lazy.force flow1 in
+     Postplace.Flow.evaluate fl fl.Postplace.Flow.base_placement)
+
+let base2 =
+  lazy
+    (let fl = Lazy.force flow2 in
+     Postplace.Flow.evaluate fl fl.Postplace.Flow.base_placement)
+
+let test_base_placement_legal () =
+  let fl = Lazy.force flow1 in
+  Alcotest.(check int) "no violations" 0
+    (List.length (P.validate fl.Postplace.Flow.base_placement))
+
+let test_scattered_hotspots_detected () =
+  let ev = Lazy.force base1 in
+  let n = List.length ev.Postplace.Flow.hotspots in
+  if n < 2 then
+    Alcotest.failf "expected multiple scattered hotspots, found %d" n
+
+let test_concentrated_hotspot_detected () =
+  let ev = Lazy.force base2 in
+  (match ev.Postplace.Flow.hotspots with
+   | [] -> Alcotest.fail "no hotspot"
+   | h :: _ ->
+     (* the dominant hotspot must cover the hot unit (mul20, tag 2) *)
+     let fl = Lazy.force flow2 in
+     let nl = fl.Postplace.Flow.bench.Netgen.Benchmark.netlist in
+     let hot_cells = h.Postplace.Hotspot.cells in
+     let of_unit2 =
+       List.length
+         (List.filter
+            (fun cid ->
+               (Netlist.Types.cell nl cid).Netlist.Types.unit_tag = 2)
+            hot_cells)
+     in
+     let frac = float_of_int of_unit2 /. float_of_int (List.length hot_cells) in
+     if frac < 0.5 then
+       Alcotest.failf "hotspot only %.0f%% mul20 cells" (100.0 *. frac))
+
+let test_hotspot_covers_hot_units_ts1 () =
+  let fl = Lazy.force flow1 in
+  let ev = Lazy.force base1 in
+  let nl = fl.Postplace.Flow.bench.Netgen.Benchmark.netlist in
+  let hot_tags = [ 0; 4; 6; 8 ] in
+  List.iter
+    (fun h ->
+       let cells = h.Postplace.Hotspot.cells in
+       let hot_members =
+         List.length
+           (List.filter
+              (fun cid ->
+                 List.mem (Netlist.Types.cell nl cid).Netlist.Types.unit_tag
+                   hot_tags)
+              cells)
+       in
+       let frac =
+         float_of_int hot_members /. float_of_int (max 1 (List.length cells))
+       in
+       if frac < 0.5 then
+         Alcotest.failf "a detected hotspot is mostly cold cells (%.0f%%)"
+           (100.0 *. frac))
+    ev.Postplace.Flow.hotspots
+
+(* The paper's headline (Fig. 6): at equal area overhead both techniques
+   beat the uniform Default. *)
+let test_eri_beats_default_ts1 () =
+  let fl = Lazy.force flow1 in
+  let base = Lazy.force base1 in
+  let frac = 0.2 in
+  let util = fl.Postplace.Flow.base_utilization /. (1.0 +. frac) in
+  let d = Postplace.Flow.apply_default fl ~utilization:util in
+  let de = Postplace.Flow.evaluate fl d in
+  let rows =
+    int_of_float
+      (frac
+       *. float_of_int
+            fl.Postplace.Flow.base_placement.P.fp.Place.Floorplan.num_rows)
+  in
+  let e = Postplace.Flow.apply_eri fl ~base ~rows in
+  let ee = Postplace.Flow.evaluate fl e.Postplace.Technique.eri_placement in
+  let red ev =
+    Thermal.Metrics.reduction_pct ~before:base.Postplace.Flow.metrics
+      ~after:ev.Postplace.Flow.metrics
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ERI %.2f%% > Default %.2f%%" (red ee) (red de))
+    true
+    (red ee > red de);
+  Alcotest.(check bool) "both reductions positive" true
+    (red de > 0.0 && red ee > 0.0)
+
+let test_hw_beats_default_ts1 () =
+  let fl = Lazy.force flow1 in
+  let base = Lazy.force base1 in
+  let util = fl.Postplace.Flow.base_utilization /. 1.2 in
+  let d = Postplace.Flow.apply_default fl ~utilization:util in
+  let de = Postplace.Flow.evaluate fl d in
+  let hw = Postplace.Flow.apply_hw fl ~on:de () in
+  let he = Postplace.Flow.evaluate fl hw in
+  let red ev =
+    Thermal.Metrics.reduction_pct ~before:base.Postplace.Flow.metrics
+      ~after:ev.Postplace.Flow.metrics
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "HW %.2f%% > Default %.2f%%" (red he) (red de))
+    true
+    (red he > red de)
+
+(* Table I shape: on the concentrated hotspot ERI clearly beats Default at
+   matched overhead, and more so at the larger overhead. *)
+let test_table1_shape () =
+  let fl = Lazy.force flow2 in
+  let rows = Postplace.Experiment.run_table1 fl in
+  let find scheme overhead =
+    List.find
+      (fun r ->
+         r.Postplace.Experiment.t1_scheme = scheme
+         && Float.abs (r.Postplace.Experiment.t1_overhead_pct -. overhead)
+            < 3.0)
+      rows
+  in
+  let d16 = find "Default" 16.1 and d32 = find "Default" 32.2 in
+  let e16 = find "ERI" 16.1 and e32 = find "ERI" 32.2 in
+  Alcotest.(check bool) "ERI > Default @16%" true
+    (e16.Postplace.Experiment.t1_reduction_pct
+     > d16.Postplace.Experiment.t1_reduction_pct);
+  Alcotest.(check bool) "ERI > Default @32%" true
+    (e32.Postplace.Experiment.t1_reduction_pct
+     > d32.Postplace.Experiment.t1_reduction_pct);
+  Alcotest.(check bool) "more overhead helps ERI" true
+    (e32.Postplace.Experiment.t1_reduction_pct
+     > e16.Postplace.Experiment.t1_reduction_pct);
+  Alcotest.(check bool) "more overhead helps Default" true
+    (d32.Postplace.Experiment.t1_reduction_pct
+     > d16.Postplace.Experiment.t1_reduction_pct);
+  (* ERI grows only vertically, Default grows both dimensions *)
+  Alcotest.(check bool) "ERI width fixed" true
+    (Float.abs
+       (e16.Postplace.Experiment.t1_width_um
+        -. Geo.Rect.width
+             (Lazy.force flow2).Postplace.Flow.base_placement.P.fp
+               .Place.Floorplan.core)
+     < 1e-6)
+
+(* In-text claim: ERI's timing overhead stays small (paper: ~2 %). *)
+let test_eri_timing_overhead_small () =
+  let fl = Lazy.force flow1 in
+  let base = Lazy.force base1 in
+  let rows =
+    int_of_float
+      (0.2
+       *. float_of_int
+            fl.Postplace.Flow.base_placement.P.fp.Place.Floorplan.num_rows)
+  in
+  let e = Postplace.Flow.apply_eri fl ~base ~rows in
+  let ee = Postplace.Flow.evaluate fl e.Postplace.Technique.eri_placement in
+  let overhead =
+    Sta.Timing.overhead_pct ~before:base.Postplace.Flow.timing
+      ~after:ee.Postplace.Flow.timing
+  in
+  if overhead > 3.0 then
+    Alcotest.failf "ERI timing overhead %.2f%% exceeds the paper's ~2%%"
+      overhead
+
+(* In-text by-product: ERI lowers routing demand inside the hotspot. *)
+let test_eri_congestion_byproduct () =
+  let fl = Lazy.force flow1 in
+  match Postplace.Experiment.run_congestion fl with
+  | [ base; eri ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "hotspot demand %.0f -> %.0f"
+         base.Postplace.Experiment.cs_hotspot_demand_um
+         eri.Postplace.Experiment.cs_hotspot_demand_um)
+      true
+      (eri.Postplace.Experiment.cs_hotspot_demand_um
+       < base.Postplace.Experiment.cs_hotspot_demand_um)
+  | _ -> Alcotest.fail "unexpected congestion summary shape"
+
+(* All transformed placements stay legal on the full benchmark. *)
+let test_all_techniques_legal () =
+  let fl = Lazy.force flow1 in
+  let base = Lazy.force base1 in
+  let d = Postplace.Flow.apply_default fl ~utilization:0.6 in
+  Alcotest.(check int) "default legal" 0 (List.length (P.validate d));
+  let e = Postplace.Flow.apply_eri fl ~base ~rows:10 in
+  Alcotest.(check int) "eri legal" 0
+    (List.length (P.validate e.Postplace.Technique.eri_placement));
+  let de = Postplace.Flow.evaluate fl d in
+  let hw = Postplace.Flow.apply_hw fl ~on:de () in
+  Alcotest.(check int) "hw legal" 0 (List.length (P.validate hw))
+
+let test_fig5_maps_consistent () =
+  let fl = Lazy.force flow1 in
+  let power, thermal = Postplace.Experiment.fig5_maps fl in
+  Alcotest.(check int) "40x40 power" 40 (Geo.Grid.nx power);
+  Alcotest.(check int) "40x40 thermal" 40 (Geo.Grid.nx thermal);
+  (* the hottest thermal tile must be near a high-power tile: correlation
+     between the two maps is strongly positive *)
+  let n = 40 * 40 in
+  let p = Array.make n 0.0 and t = Array.make n 0.0 in
+  Geo.Grid.iteri power ~f:(fun ~ix ~iy v -> p.((iy * 40) + ix) <- v);
+  Geo.Grid.iteri thermal ~f:(fun ~ix ~iy v -> t.((iy * 40) + ix) <- v);
+  let mp = Geo.Stats.mean p and mt = Geo.Stats.mean t in
+  let cov = ref 0.0 and vp = ref 0.0 and vt = ref 0.0 in
+  for i = 0 to n - 1 do
+    cov := !cov +. ((p.(i) -. mp) *. (t.(i) -. mt));
+    vp := !vp +. ((p.(i) -. mp) ** 2.0);
+    vt := !vt +. ((t.(i) -. mt) ** 2.0)
+  done;
+  let corr = !cov /. sqrt (!vp *. !vt) in
+  if corr < 0.5 then
+    Alcotest.failf
+      "power/thermal correlation %.2f too weak (paper: 'significant \
+       correlation')"
+      corr
+
+(* Baselines: the placement-time power-aware spreader must beat uniform
+   Default (it uses power information) while ERI stays far cheaper in
+   timing. *)
+let test_baselines_ordering () =
+  let fl = Lazy.force flow1 in
+  match Postplace.Experiment.run_baselines fl with
+  | [ default; aware; eri; _hw ] ->
+    Alcotest.(check bool) "power-aware beats uniform Default" true
+      (aware.Postplace.Experiment.bl_reduction_pct
+       > default.Postplace.Experiment.bl_reduction_pct);
+    Alcotest.(check bool) "ERI beats uniform Default" true
+      (eri.Postplace.Experiment.bl_reduction_pct
+       > default.Postplace.Experiment.bl_reduction_pct);
+    Alcotest.(check bool) "ERI timing far below power-aware timing" true
+      (eri.Postplace.Experiment.bl_timing_pct
+       < aware.Postplace.Experiment.bl_timing_pct /. 2.0)
+  | _ -> Alcotest.fail "unexpected baselines shape"
+
+(* Ablation: interleaved rows beat a clustered block (the paper's design
+   choice in SIII-A). *)
+let test_ablation_interleaving_wins () =
+  let fl = Lazy.force flow2 in
+  let rows = Postplace.Experiment.run_ablation fl in
+  let find name =
+    List.find
+      (fun r -> r.Postplace.Experiment.ab_variant = name)
+      rows
+  in
+  let inter = find "ERI interleaved" and clus = find "ERI clustered" in
+  Alcotest.(check bool) "interleaved beats clustered" true
+    (inter.Postplace.Experiment.ab_reduction_pct
+     > clus.Postplace.Experiment.ab_reduction_pct)
+
+(* Glitch study: the event-driven engine must report at least as much
+   activity and power as the zero-delay engine. *)
+let test_glitch_factor_positive () =
+  let fl = Lazy.force flow1 in
+  match Postplace.Experiment.run_glitch ~cycles:120 fl with
+  | [ rate; power; peak ] ->
+    List.iter
+      (fun (r : Postplace.Experiment.glitch_row) ->
+         Alcotest.(check bool)
+           (r.Postplace.Experiment.gl_metric ^ " event >= zero-delay")
+           true
+           (r.gl_event_driven >= r.gl_zero_delay *. 0.999))
+      [ rate; power; peak ]
+  | _ -> Alcotest.fail "unexpected glitch shape"
+
+let () =
+  Alcotest.run "integration"
+    [ ("setup",
+       [ Alcotest.test_case "base placement legal" `Quick
+           test_base_placement_legal;
+         Alcotest.test_case "scattered hotspots" `Quick
+           test_scattered_hotspots_detected;
+         Alcotest.test_case "concentrated hotspot" `Quick
+           test_concentrated_hotspot_detected;
+         Alcotest.test_case "hotspots are the hot units" `Quick
+           test_hotspot_covers_hot_units_ts1 ]);
+      ("paper-claims",
+       [ Alcotest.test_case "ERI beats Default (fig6)" `Slow
+           test_eri_beats_default_ts1;
+         Alcotest.test_case "HW beats Default (fig6)" `Slow
+           test_hw_beats_default_ts1;
+         Alcotest.test_case "Table I shape" `Slow test_table1_shape;
+         Alcotest.test_case "ERI timing overhead small" `Slow
+           test_eri_timing_overhead_small;
+         Alcotest.test_case "ERI congestion by-product" `Slow
+           test_eri_congestion_byproduct;
+         Alcotest.test_case "power/thermal correlation (fig5)" `Quick
+           test_fig5_maps_consistent ]);
+      ("legality",
+       [ Alcotest.test_case "all techniques legal" `Slow
+           test_all_techniques_legal ]);
+      ("extensions",
+       [ Alcotest.test_case "baselines ordering" `Slow
+           test_baselines_ordering;
+         Alcotest.test_case "ablation: interleaving wins" `Slow
+           test_ablation_interleaving_wins;
+         Alcotest.test_case "glitch factor" `Slow
+           test_glitch_factor_positive ]) ]

@@ -1,0 +1,492 @@
+(* Tests for the cycle-based simulator, workloads, activity measurement and
+   the probabilistic transition-density engine. *)
+
+module B = Netlist.Builder
+module K = Celllib.Kind
+
+let test_comb_propagation_one_step () =
+  let b = B.create () in
+  let a = B.add_input b in
+  let n1 = B.add_gate b K.Inv [| a |] in
+  let n2 = B.add_gate b K.Inv [| n1 |] in
+  let n3 = B.add_gate b K.Inv [| n2 |] in
+  B.mark_output b n3;
+  let nl = B.finish b in
+  let sim = Logicsim.Sim.create nl in
+  Logicsim.Sim.set_input sim 0 true;
+  Logicsim.Sim.step sim;
+  Alcotest.(check bool) "inv chain in one cycle" false
+    (Logicsim.Sim.value sim n3);
+  Logicsim.Sim.set_input sim 0 false;
+  Logicsim.Sim.step sim;
+  Alcotest.(check bool) "flips back" true (Logicsim.Sim.value sim n3)
+
+let test_dff_one_cycle_delay () =
+  let b = B.create () in
+  let a = B.add_input b in
+  let q = B.add_dff b ~d:a in
+  B.mark_output b q;
+  let nl = B.finish b in
+  let sim = Logicsim.Sim.create nl in
+  Logicsim.Sim.set_input sim 0 true;
+  Logicsim.Sim.step sim;
+  Alcotest.(check bool) "q still 0 in capture cycle" false
+    (Logicsim.Sim.value sim q);
+  Logicsim.Sim.step sim;
+  Alcotest.(check bool) "q is 1 next cycle" true (Logicsim.Sim.value sim q)
+
+let test_dff_pipeline_depth () =
+  let b = B.create () in
+  let a = B.add_input b in
+  let q1 = B.add_dff b ~d:a in
+  let q2 = B.add_dff b ~d:q1 in
+  let q3 = B.add_dff b ~d:q2 in
+  B.mark_output b q3;
+  let nl = B.finish b in
+  let sim = Logicsim.Sim.create nl in
+  Logicsim.Sim.set_input sim 0 true;
+  Logicsim.Sim.step sim;
+  Logicsim.Sim.step sim;
+  Logicsim.Sim.step sim;
+  Alcotest.(check bool) "3-stage pipe not yet" false
+    (Logicsim.Sim.value sim q3);
+  Logicsim.Sim.step sim;
+  Alcotest.(check bool) "arrives cycle 4" true (Logicsim.Sim.value sim q3)
+
+let test_constants_hold () =
+  let b = B.create () in
+  let one = B.add_constant b true in
+  let zero = B.add_constant b false in
+  let n = B.add_gate b K.And2 [| one; zero |] in
+  B.mark_output b n;
+  let nl = B.finish b in
+  let sim = Logicsim.Sim.create nl in
+  Logicsim.Sim.step sim;
+  Alcotest.(check bool) "one" true (Logicsim.Sim.value sim one);
+  Alcotest.(check bool) "zero" false (Logicsim.Sim.value sim zero);
+  Alcotest.(check int) "constants never toggle" 0
+    (Logicsim.Sim.toggles sim one)
+
+let test_toggle_counting () =
+  let b = B.create () in
+  let a = B.add_input b in
+  let n = B.add_gate b K.Buf [| a |] in
+  B.mark_output b n;
+  let nl = B.finish b in
+  let sim = Logicsim.Sim.create nl in
+  for k = 1 to 6 do
+    Logicsim.Sim.set_input sim 0 (k mod 2 = 1);
+    Logicsim.Sim.step sim
+  done;
+  Alcotest.(check int) "pi toggles" 6 (Logicsim.Sim.toggles sim 0);
+  Alcotest.(check int) "buf follows" 6 (Logicsim.Sim.toggles sim n);
+  Alcotest.(check int) "cycles" 6 (Logicsim.Sim.cycles sim);
+  Logicsim.Sim.reset_counters sim;
+  Alcotest.(check int) "reset toggles" 0 (Logicsim.Sim.toggles sim 0);
+  Alcotest.(check int) "reset cycles" 0 (Logicsim.Sim.cycles sim);
+  Alcotest.(check bool) "state survives reset" true
+    (Logicsim.Sim.value sim 0 = Logicsim.Sim.value sim n)
+
+let test_ones_counting () =
+  let b = B.create () in
+  let a = B.add_input b in
+  let n = B.add_gate b K.Inv [| a |] in
+  B.mark_output b n;
+  let nl = B.finish b in
+  let sim = Logicsim.Sim.create nl in
+  Logicsim.Sim.set_input sim 0 true;
+  Logicsim.Sim.step sim;
+  Logicsim.Sim.step sim;
+  Logicsim.Sim.set_input sim 0 false;
+  Logicsim.Sim.step sim;
+  Alcotest.(check int) "pi ones" 2 (Logicsim.Sim.ones sim 0);
+  Alcotest.(check int) "inv ones" 1 (Logicsim.Sim.ones sim n)
+
+(* --- workloads ----------------------------------------------------------- *)
+
+let test_workload_activity () =
+  let w = Logicsim.Workload.make ~default:0.1 ~hot:[ (2, 0.9) ] in
+  Alcotest.(check (float 1e-9)) "hot" 0.9
+    (Logicsim.Workload.activity w ~tag:2);
+  Alcotest.(check (float 1e-9)) "cold" 0.1
+    (Logicsim.Workload.activity w ~tag:0);
+  Alcotest.(check (float 1e-9)) "untagged uses default" 0.1
+    (Logicsim.Workload.activity w ~tag:(-1))
+
+let test_workload_validation () =
+  (match Logicsim.Workload.uniform 1.5 with
+   | _ -> Alcotest.fail "p>1 accepted"
+   | exception Invalid_argument _ -> ());
+  (match Logicsim.Workload.make ~default:0.5 ~hot:[ (0, -0.1) ] with
+   | _ -> Alcotest.fail "p<0 accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_workload_shapes () =
+  let s = Logicsim.Workload.scattered_hotspots ~hot_units:[ 1; 3 ] in
+  Alcotest.(check bool) "hot unit high" true
+    (Logicsim.Workload.activity s ~tag:1 > 0.4);
+  Alcotest.(check bool) "cold unit low" true
+    (Logicsim.Workload.activity s ~tag:0 < 0.05);
+  let c = Logicsim.Workload.concentrated_hotspot ~hot_unit:7 in
+  Alcotest.(check bool) "concentrated hot" true
+    (Logicsim.Workload.activity c ~tag:7 > 0.4)
+
+let test_workload_zero_activity_settles () =
+  let bench = Netgen.Benchmark.small () in
+  let nl = bench.Netgen.Benchmark.netlist in
+  let sim = Logicsim.Sim.create nl in
+  let w = Logicsim.Workload.uniform 0.0 in
+  let rng = Geo.Rng.create 1 in
+  (* settle, then measure: with frozen inputs nothing may toggle *)
+  Logicsim.Workload.run w sim rng ~cycles:8;
+  Logicsim.Sim.reset_counters sim;
+  Logicsim.Workload.run w sim rng ~cycles:20;
+  let total = ref 0 in
+  for nid = 0 to Netlist.Types.num_nets nl - 1 do
+    total := !total + Logicsim.Sim.toggles sim nid
+  done;
+  Alcotest.(check int) "no toggles at zero activity" 0 !total
+
+let test_workload_full_activity () =
+  let bench = Netgen.Benchmark.small () in
+  let nl = bench.Netgen.Benchmark.netlist in
+  let sim = Logicsim.Sim.create nl in
+  let w = Logicsim.Workload.uniform 1.0 in
+  let rng = Geo.Rng.create 1 in
+  Logicsim.Workload.run w sim rng ~cycles:10;
+  Array.iter
+    (fun nid ->
+       Alcotest.(check int)
+         (Printf.sprintf "pi %d toggles every cycle" nid)
+         10
+         (Logicsim.Sim.toggles sim nid))
+    nl.Netlist.Types.primary_inputs
+
+(* --- activity measurement ------------------------------------------------ *)
+
+let test_activity_measure () =
+  let bench = Netgen.Benchmark.small () in
+  let nl = bench.Netgen.Benchmark.netlist in
+  let sim = Logicsim.Sim.create nl in
+  let w = Logicsim.Workload.uniform 0.4 in
+  let rng = Geo.Rng.create 5 in
+  let r = Logicsim.Activity.measure sim w rng ~warmup:16 ~cycles:600 in
+  Alcotest.(check int) "cycles recorded" 600
+    r.Logicsim.Activity.measured_cycles;
+  Array.iter
+    (fun rate ->
+       if rate < 0.0 || rate > 1.0 then
+         Alcotest.failf "toggle rate %g out of [0,1]" rate)
+    r.Logicsim.Activity.toggle_rate;
+  (* primary-input rates concentrate around the workload probability *)
+  let pi_rates =
+    Array.map
+      (fun nid -> r.Logicsim.Activity.toggle_rate.(nid))
+      nl.Netlist.Types.primary_inputs
+  in
+  let mean = Geo.Stats.mean pi_rates in
+  if Float.abs (mean -. 0.4) > 0.05 then
+    Alcotest.failf "mean PI rate %.3f far from 0.4" mean
+
+let test_activity_requires_cycles () =
+  let bench = Netgen.Benchmark.small () in
+  let sim = Logicsim.Sim.create bench.Netgen.Benchmark.netlist in
+  (match
+     Logicsim.Activity.measure sim (Logicsim.Workload.uniform 0.1)
+       (Geo.Rng.create 1) ~warmup:0 ~cycles:0
+   with
+   | _ -> Alcotest.fail "cycles=0 accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_activity_constant_rate () =
+  let bench = Netgen.Benchmark.small () in
+  let nl = bench.Netgen.Benchmark.netlist in
+  let r = Logicsim.Activity.of_constant_rate nl ~rate:0.25 in
+  Alcotest.(check (float 1e-9)) "rate" 0.25
+    r.Logicsim.Activity.toggle_rate.(0);
+  Alcotest.(check int) "length" (Netlist.Types.num_nets nl)
+    (Array.length r.Logicsim.Activity.toggle_rate)
+
+(* --- density engine ------------------------------------------------------- *)
+
+let density_of_gate kind input_densities =
+  let b = B.create () in
+  let pis = Array.map (fun _ -> B.add_input b) input_densities in
+  let n = B.add_gate b kind pis in
+  B.mark_output b n;
+  let nl = B.finish b in
+  let est =
+    Logicsim.Density.propagate nl
+      ~input_density:(fun k -> input_densities.(k)) ()
+  in
+  (est.Logicsim.Density.prob.(n), est.Logicsim.Density.density.(n))
+
+let test_density_gate_formulas () =
+  let p, d = density_of_gate K.And2 [| 0.2; 0.4 |] in
+  Alcotest.(check (float 1e-9)) "and2 prob" 0.25 p;
+  (* D = pb*Da + pa*Db with pa=pb=0.5 *)
+  Alcotest.(check (float 1e-9)) "and2 density" 0.3 d;
+  let p, d = density_of_gate K.Xor2 [| 0.2; 0.4 |] in
+  Alcotest.(check (float 1e-9)) "xor2 prob" 0.5 p;
+  Alcotest.(check (float 1e-9)) "xor2 density" 0.6 d;
+  let p, d = density_of_gate K.Inv [| 0.3 |] in
+  Alcotest.(check (float 1e-9)) "inv prob" 0.5 p;
+  Alcotest.(check (float 1e-9)) "inv density" 0.3 d
+
+let test_density_clamped () =
+  let _, d = density_of_gate K.Xor2 [| 0.9; 0.9 |] in
+  Alcotest.(check bool) "density clamped to 1" true (d <= 1.0)
+
+let test_density_vs_simulation () =
+  (* The analytical estimate should track simulation on the small benchmark
+     within a loose tolerance (reconvergence causes known error). *)
+  let bench = Netgen.Benchmark.small () in
+  let nl = bench.Netgen.Benchmark.netlist in
+  let w = Logicsim.Workload.uniform 0.3 in
+  let sim = Logicsim.Sim.create nl in
+  let measured =
+    Logicsim.Activity.measure sim w (Geo.Rng.create 9) ~warmup:32
+      ~cycles:1500
+  in
+  let est = Logicsim.Density.of_workload nl w in
+  let err = ref 0.0 and n = ref 0 in
+  Netlist.Types.iter_nets nl ~f:(fun nid _ ->
+      err :=
+        !err
+        +. Float.abs
+             (measured.Logicsim.Activity.toggle_rate.(nid)
+              -. est.Logicsim.Density.density.(nid));
+      incr n);
+  let mae = !err /. float_of_int !n in
+  (* reconvergent fan-out in the arithmetic arrays makes the independence
+     assumption optimistic; 0.2 toggles/cycle MAE is the documented
+     accuracy envelope of the analytical engine *)
+  if mae > 0.2 then
+    Alcotest.failf "density MAE %.3f too large vs simulation" mae
+
+let test_density_constants () =
+  let b = B.create () in
+  let one = B.add_constant b true in
+  let a = B.add_input b in
+  let n = B.add_gate b K.And2 [| one; a |] in
+  B.mark_output b n;
+  let nl = B.finish b in
+  let est = Logicsim.Density.propagate nl ~input_density:(fun _ -> 0.4) () in
+  Alcotest.(check (float 1e-9)) "const prob" 1.0
+    est.Logicsim.Density.prob.(one);
+  Alcotest.(check (float 1e-9)) "const density" 0.0
+    est.Logicsim.Density.density.(one);
+  (* and with constant 1 is transparent *)
+  Alcotest.(check (float 1e-9)) "through-and density" 0.4
+    est.Logicsim.Density.density.(n)
+
+(* --- event-driven engine ---------------------------------------------------- *)
+
+(* XOR of a signal with a doubly-inverted copy of itself: statically always
+   0, but under unit delay each input toggle produces a glitch pulse. *)
+let glitch_circuit () =
+  let b = B.create () in
+  let a = B.add_input b in
+  let d1 = B.add_gate b K.Inv [| a |] in
+  let d2 = B.add_gate b K.Inv [| d1 |] in
+  let out = B.add_gate b K.Xor2 [| a; d2 |] in
+  B.mark_output b out;
+  (B.finish b, out)
+
+let test_event_sim_sees_glitches () =
+  let nl, out = glitch_circuit () in
+  let zsim = Logicsim.Sim.create nl in
+  let esim = Logicsim.Event_sim.create nl in
+  for k = 1 to 10 do
+    let v = k mod 2 = 1 in
+    Logicsim.Sim.set_input zsim 0 v;
+    Logicsim.Event_sim.set_input esim 0 v;
+    Logicsim.Sim.step zsim;
+    Logicsim.Event_sim.step esim
+  done;
+  Alcotest.(check int) "zero-delay sees no output toggles" 0
+    (Logicsim.Sim.toggles zsim out);
+  (* each of the 10 input toggles produces one 2-transition glitch pulse *)
+  Alcotest.(check int) "event engine counts the glitches" 20
+    (Logicsim.Event_sim.toggles esim out)
+
+let test_event_sim_settled_values_match_sim () =
+  let bench = Netgen.Benchmark.small () in
+  let nl = bench.Netgen.Benchmark.netlist in
+  let zsim = Logicsim.Sim.create nl in
+  let esim = Logicsim.Event_sim.create nl in
+  let rng = Geo.Rng.create 17 in
+  for _cycle = 1 to 40 do
+    for k = 0 to Netlist.Types.num_primary_inputs nl - 1 do
+      if Geo.Rng.bernoulli rng 0.4 then begin
+        let v = not (Logicsim.Sim.input_value zsim k) in
+        Logicsim.Sim.set_input zsim k v;
+        Logicsim.Event_sim.set_input esim k v
+      end
+    done;
+    Logicsim.Sim.step zsim;
+    Logicsim.Event_sim.step esim;
+    Netlist.Types.iter_nets nl ~f:(fun nid _ ->
+        if Logicsim.Sim.value zsim nid
+           <> Logicsim.Event_sim.value esim nid
+        then
+          Alcotest.failf "cycle values diverge on net %d" nid)
+  done
+
+let test_event_sim_toggles_dominate () =
+  let bench = Netgen.Benchmark.small () in
+  let nl = bench.Netgen.Benchmark.netlist in
+  let zsim = Logicsim.Sim.create nl in
+  let esim = Logicsim.Event_sim.create nl in
+  let rng = Geo.Rng.create 23 in
+  for _ = 1 to 60 do
+    for k = 0 to Netlist.Types.num_primary_inputs nl - 1 do
+      if Geo.Rng.bernoulli rng 0.3 then begin
+        let v = not (Logicsim.Sim.input_value zsim k) in
+        Logicsim.Sim.set_input zsim k v;
+        Logicsim.Event_sim.set_input esim k v
+      end
+    done;
+    Logicsim.Sim.step zsim;
+    Logicsim.Event_sim.step esim
+  done;
+  let total_z = ref 0 and total_e = ref 0 in
+  Netlist.Types.iter_nets nl ~f:(fun nid _ ->
+      let z = Logicsim.Sim.toggles zsim nid in
+      let e = Logicsim.Event_sim.toggles esim nid in
+      if e < z then
+        Alcotest.failf "net %d: event toggles %d < zero-delay %d" nid e z;
+      total_z := !total_z + z;
+      total_e := !total_e + e);
+  Alcotest.(check bool) "arithmetic logic glitches measurably" true
+    (!total_e > !total_z)
+
+let test_event_sim_settle_depth_bounded () =
+  let bench = Netgen.Benchmark.small () in
+  let nl = bench.Netgen.Benchmark.netlist in
+  let depth = Netlist.Stats.logic_depth nl in
+  let esim = Logicsim.Event_sim.create nl in
+  let w = Logicsim.Workload.uniform 0.5 in
+  let rng = Geo.Rng.create 31 in
+  let report = Logicsim.Event_sim.measure esim w rng ~warmup:4 ~cycles:20 in
+  Alcotest.(check int) "cycles measured" 20
+    report.Logicsim.Activity.measured_cycles;
+  Alcotest.(check bool)
+    (Printf.sprintf "settles within depth+2 waves (%d <= %d)"
+       (Logicsim.Event_sim.last_settle_waves esim) (depth + 2))
+    true
+    (Logicsim.Event_sim.last_settle_waves esim <= depth + 2)
+
+let test_event_sim_rates_can_exceed_one () =
+  let nl, out = glitch_circuit () in
+  let esim = Logicsim.Event_sim.create nl in
+  let w = Logicsim.Workload.uniform 1.0 in
+  let rng = Geo.Rng.create 3 in
+  let report = Logicsim.Event_sim.measure esim w rng ~warmup:2 ~cycles:50 in
+  Alcotest.(check bool) "glitchy net above 1 toggle/cycle" true
+    (report.Logicsim.Activity.toggle_rate.(out) > 1.0)
+
+(* --- vcd export --------------------------------------------------------------- *)
+
+let test_vcd_structure () =
+  let b = B.create () in
+  let a = B.add_input ~name:"a" b in
+  let n = B.add_gate b K.Inv [| a |] in
+  B.mark_output b n;
+  let nl = B.finish b in
+  let sim = Logicsim.Sim.create nl in
+  (* toggle the input on every second cycle *)
+  let vcd =
+    Logicsim.Vcd.record sim
+      ~drive:(fun k -> Logicsim.Sim.set_input sim 0 (k mod 2 = 0))
+      ~cycles:6 ()
+  in
+  let count prefix =
+    String.split_on_char '\n' vcd
+    |> List.filter (fun l ->
+        String.length l >= String.length prefix
+        && String.sub l 0 (String.length prefix) = prefix)
+    |> List.length
+  in
+  Alcotest.(check int) "var declarations (two nets)" 2 (count "$var wire 1");
+  Alcotest.(check int) "timescale" 1 (count "$timescale");
+  Alcotest.(check int) "dumpvars" 1 (count "$dumpvars");
+  (* the input toggles every cycle after the first (0->1,1->0,...): six
+     cycles produce six timestamps *)
+  Alcotest.(check int) "timestamps" 6 (count "#")
+
+let test_vcd_change_only_encoding () =
+  let b = B.create () in
+  let a = B.add_input ~name:"a" b in
+  B.mark_output b a;
+  let nl = B.finish b in
+  let sim = Logicsim.Sim.create nl in
+  (* constant input: no changes after the initial dump *)
+  let vcd =
+    Logicsim.Vcd.record sim ~drive:(fun _ -> ()) ~cycles:5 ()
+  in
+  Alcotest.(check bool) "no timestamps for a quiet trace" true
+    (not (String.contains vcd '#'))
+
+let test_vcd_net_selection () =
+  let bench = Netgen.Benchmark.small () in
+  let nl = bench.Netgen.Benchmark.netlist in
+  let sim = Logicsim.Sim.create nl in
+  let rng = Geo.Rng.create 5 in
+  let w = Logicsim.Workload.uniform 0.5 in
+  let nets = [ 0; 1; 2 ] in
+  let vcd = Logicsim.Vcd.record_workload sim w rng ~cycles:4 ~nets () in
+  let vars =
+    String.split_on_char '\n' vcd
+    |> List.filter (fun l ->
+        String.length l >= 4 && String.sub l 0 4 = "$var")
+  in
+  Alcotest.(check int) "only selected nets" 3 (List.length vars)
+
+let () =
+  Alcotest.run "logicsim"
+    [ ("sim",
+       [ Alcotest.test_case "comb one step" `Quick
+           test_comb_propagation_one_step;
+         Alcotest.test_case "dff delay" `Quick test_dff_one_cycle_delay;
+         Alcotest.test_case "pipeline depth" `Quick test_dff_pipeline_depth;
+         Alcotest.test_case "constants hold" `Quick test_constants_hold;
+         Alcotest.test_case "toggle counting" `Quick test_toggle_counting;
+         Alcotest.test_case "ones counting" `Quick test_ones_counting ]);
+      ("workload",
+       [ Alcotest.test_case "activity mapping" `Quick test_workload_activity;
+         Alcotest.test_case "validation" `Quick test_workload_validation;
+         Alcotest.test_case "paper shapes" `Quick test_workload_shapes;
+         Alcotest.test_case "zero activity settles" `Quick
+           test_workload_zero_activity_settles;
+         Alcotest.test_case "full activity" `Quick
+           test_workload_full_activity ]);
+      ("activity",
+       [ Alcotest.test_case "measure" `Quick test_activity_measure;
+         Alcotest.test_case "cycles required" `Quick
+           test_activity_requires_cycles;
+         Alcotest.test_case "constant rate" `Quick
+           test_activity_constant_rate ]);
+      ("density",
+       [ Alcotest.test_case "gate formulas" `Quick
+           test_density_gate_formulas;
+         Alcotest.test_case "clamped" `Quick test_density_clamped;
+         Alcotest.test_case "tracks simulation" `Quick
+           test_density_vs_simulation;
+         Alcotest.test_case "constants" `Quick test_density_constants ]);
+      ("event-sim",
+       [ Alcotest.test_case "sees glitches" `Quick
+           test_event_sim_sees_glitches;
+         Alcotest.test_case "settled values match Sim" `Quick
+           test_event_sim_settled_values_match_sim;
+         Alcotest.test_case "toggles dominate zero-delay" `Quick
+           test_event_sim_toggles_dominate;
+         Alcotest.test_case "settle depth bounded" `Quick
+           test_event_sim_settle_depth_bounded;
+         Alcotest.test_case "rates exceed one on glitchy nets" `Quick
+           test_event_sim_rates_can_exceed_one ]);
+      ("vcd",
+       [ Alcotest.test_case "structure" `Quick test_vcd_structure;
+         Alcotest.test_case "change-only encoding" `Quick
+           test_vcd_change_only_encoding;
+         Alcotest.test_case "net selection" `Quick test_vcd_net_selection ]) ]

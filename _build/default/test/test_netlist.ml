@@ -1,0 +1,277 @@
+(* Tests for the netlist representation: builder, structural checks,
+   statistics. *)
+
+module B = Netlist.Builder
+module T = Netlist.Types
+module K = Celllib.Kind
+
+let tech = Celllib.Tech.default_65nm
+
+(* a -> INV -> INV -> out, plus a DFF stage *)
+let tiny_circuit () =
+  let b = B.create () in
+  let a = B.add_input ~name:"a" b in
+  let n1 = B.add_gate b K.Inv [| a |] in
+  let n2 = B.add_gate b K.Inv [| n1 |] in
+  let q = B.add_dff b ~d:n2 in
+  B.mark_output b q;
+  B.finish b
+
+let test_builder_basics () =
+  let nl = tiny_circuit () in
+  Alcotest.(check int) "cells" 3 (T.num_cells nl);
+  Alcotest.(check int) "nets" 4 (T.num_nets nl);
+  Alcotest.(check int) "PIs" 1 (T.num_primary_inputs nl);
+  Alcotest.(check int) "POs" 1 (T.num_primary_outputs nl)
+
+let test_driver_and_sinks () =
+  let nl = tiny_circuit () in
+  let pi_net = nl.T.primary_inputs.(0) in
+  (match (T.net nl pi_net).T.driver with
+   | T.Primary_input 0 -> ()
+   | _ -> Alcotest.fail "PI driver wrong");
+  Alcotest.(check int) "PI fanout" 1 (T.fanout nl pi_net);
+  let inv0 = T.cell nl 0 in
+  (match (T.net nl inv0.T.output).T.driver with
+   | T.Cell_output 0 -> ()
+   | _ -> Alcotest.fail "cell output driver wrong");
+  let cid, pin = (T.net nl pi_net).T.sinks.(0) in
+  Alcotest.(check int) "sink cell" 0 cid;
+  Alcotest.(check int) "sink pin" 0 pin
+
+let test_constants_dedup () =
+  let b = B.create () in
+  let z1 = B.add_constant b false in
+  let z2 = B.add_constant b false in
+  let o1 = B.add_constant b true in
+  Alcotest.(check int) "false dedup" z1 z2;
+  Alcotest.(check bool) "true distinct" true (o1 <> z1)
+
+let test_arity_rejected () =
+  let b = B.create () in
+  let a = B.add_input b in
+  (match B.add_gate b K.And2 [| a |] with
+   | _ -> Alcotest.fail "arity mismatch accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_sequential_gate_rejected () =
+  let b = B.create () in
+  let a = B.add_input b in
+  (match B.add_gate b K.Dff [| a |] with
+   | _ -> Alcotest.fail "dff through add_gate accepted"
+   | exception Invalid_argument _ -> ());
+  (match B.add_gate b (K.Filler 2) [||] with
+   | _ -> Alcotest.fail "filler through add_gate accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_dangling_input_rejected () =
+  let b = B.create () in
+  (match B.add_gate b K.Inv [| 42 |] with
+   | _ -> Alcotest.fail "dangling net accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_dff_feedback_loop_legal () =
+  let b = B.create () in
+  let q, connect = B.add_dff_feedback b in
+  let n = B.add_gate b K.Inv [| q |] in
+  connect n;
+  B.mark_output b q;
+  let nl = B.finish b in
+  Alcotest.(check int) "cells" 2 (T.num_cells nl);
+  (* the loop is broken by the flip-flop, so finish must not raise *)
+  Alcotest.(check bool) "well formed" true (Netlist.Check.is_well_formed nl)
+
+let test_unconnected_feedback_rejected () =
+  let b = B.create () in
+  let q, _connect = B.add_dff_feedback b in
+  B.mark_output b q;
+  (match B.finish b with
+   | _ -> Alcotest.fail "unconnected D accepted"
+   | exception Failure _ -> ())
+
+let test_double_connect_rejected () =
+  let b = B.create () in
+  let q, connect = B.add_dff_feedback b in
+  connect q;
+  (match connect q with
+   | _ -> Alcotest.fail "double connect accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_mark_output_idempotent () =
+  let b = B.create () in
+  let a = B.add_input b in
+  let n = B.add_gate b K.Buf [| a |] in
+  B.mark_output b n;
+  B.mark_output b n;
+  let nl = B.finish b in
+  Alcotest.(check int) "single PO" 1 (T.num_primary_outputs nl)
+
+let test_unit_tags () =
+  let b = B.create () in
+  B.set_unit_tag b 3;
+  let a = B.add_input b in
+  let _n1 = B.add_gate b K.Inv [| a |] in
+  B.set_unit_tag b 5;
+  let c = B.add_input b in
+  let n2 = B.add_gate b K.Inv [| c |] in
+  B.mark_output b n2;
+  let nl = B.finish b in
+  Alcotest.(check (list int)) "tags" [ 3; 5 ] (T.unit_tags nl);
+  Alcotest.(check (list int)) "unit 3 cells" [ 0 ] (T.cells_of_unit nl 3);
+  Alcotest.(check (list int)) "unit 5 cells" [ 1 ] (T.cells_of_unit nl 5);
+  Alcotest.(check int) "pi tag 0" 3 nl.T.pi_tags.(0);
+  Alcotest.(check int) "pi tag 1" 5 nl.T.pi_tags.(1)
+
+let test_check_floating () =
+  let b = B.create () in
+  let a = B.add_input b in
+  let n = B.add_gate b K.Inv [| a |] in
+  ignore n; (* n has no sinks and is not marked as output *)
+  let nl = B.finish b in
+  let issues = Netlist.Check.run nl in
+  Alcotest.(check bool) "floating reported" true
+    (List.exists
+       (function Netlist.Check.Floating_net _ -> true | _ -> false)
+       issues);
+  (* floating nets are tolerated by well-formedness *)
+  Alcotest.(check bool) "still well-formed" true
+    (Netlist.Check.is_well_formed nl)
+
+let test_check_clean_circuit () =
+  let nl = tiny_circuit () in
+  Alcotest.(check int) "no issues" 0 (List.length (Netlist.Check.run nl))
+
+let test_stats () =
+  let nl = tiny_circuit () in
+  let s = Netlist.Stats.compute tech nl in
+  Alcotest.(check int) "cells" 3 s.Netlist.Stats.cells;
+  Alcotest.(check int) "ffs" 1 s.Netlist.Stats.flip_flops;
+  Alcotest.(check int) "comb" 2 s.Netlist.Stats.combinational;
+  Alcotest.(check int) "depth: two inverters" 2 s.Netlist.Stats.logic_depth;
+  Alcotest.(check bool) "area positive" true
+    (s.Netlist.Stats.total_cell_area_um2 > 0.0);
+  let inv_count = List.assoc K.Inv s.Netlist.Stats.kind_counts in
+  Alcotest.(check int) "inv count" 2 inv_count
+
+let test_logic_depth_cut_by_dff () =
+  let b = B.create () in
+  let a = B.add_input b in
+  (* 3 inverters, a DFF, then 2 inverters: depth is max(3, 2) = 3 *)
+  let n = ref a in
+  for _ = 1 to 3 do n := B.add_gate b K.Inv [| !n |] done;
+  let q = B.add_dff b ~d:!n in
+  n := q;
+  for _ = 1 to 2 do n := B.add_gate b K.Inv [| !n |] done;
+  B.mark_output b !n;
+  let nl = B.finish b in
+  Alcotest.(check int) "depth cut by dff" 3 (Netlist.Stats.logic_depth nl)
+
+let test_iterators () =
+  let nl = tiny_circuit () in
+  let count = T.fold_cells nl ~init:0 ~f:(fun acc _ _ -> acc + 1) in
+  Alcotest.(check int) "fold visits all" 3 count;
+  let seen = ref 0 in
+  T.iter_nets nl ~f:(fun _ _ -> incr seen);
+  Alcotest.(check int) "iter_nets visits all" 4 !seen
+
+(* --- verilog export ---------------------------------------------------- *)
+
+let count_lines_with prefix s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l ->
+      String.length l >= String.length prefix
+      && String.sub (String.trim l) 0
+           (min (String.length (String.trim l)) (String.length prefix))
+         = prefix)
+  |> List.length
+
+let test_verilog_structure () =
+  let nl = tiny_circuit () in
+  let v = Netlist.Verilog.to_string nl in
+  Alcotest.(check int) "one module" 1 (count_lines_with "module" v);
+  Alcotest.(check int) "one endmodule" 1 (count_lines_with "endmodule" v);
+  (* one instance per cell *)
+  Alcotest.(check int) "instances" (T.num_cells nl)
+    (count_lines_with "INV_X1" v + count_lines_with "DFF_X1" v);
+  (* the circuit has a flip-flop, so there must be a clk input *)
+  Alcotest.(check int) "clk declared" 1 (count_lines_with "input clk" v)
+
+let test_verilog_no_clock_when_combinational () =
+  let b = B.create () in
+  let a = B.add_input b in
+  let n = B.add_gate b K.Inv [| a |] in
+  B.mark_output b n;
+  let nl = B.finish b in
+  let v = Netlist.Verilog.to_string nl in
+  Alcotest.(check int) "no clk port" 0 (count_lines_with "input clk" v)
+
+let test_verilog_constants_assigned () =
+  let b = B.create () in
+  let one = B.add_constant b true in
+  let a = B.add_input b in
+  let n = B.add_gate b K.And2 [| one; a |] in
+  B.mark_output b n;
+  let nl = B.finish b in
+  let v = Netlist.Verilog.to_string nl in
+  Alcotest.(check int) "constant assign" 1 (count_lines_with "assign" v)
+
+let test_verilog_roundtrip_file () =
+  let nl = tiny_circuit () in
+  let path = Filename.temp_file "thermoplace_test" ".v" in
+  Netlist.Verilog.write_file path nl;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "file matches to_string"
+    (Netlist.Verilog.to_string nl) content
+
+let test_verilog_port_names_arity () =
+  List.iter
+    (fun k ->
+       if not (Celllib.Kind.is_filler k) then
+         Alcotest.(check int)
+           (Celllib.Kind.name k)
+           (Celllib.Kind.num_inputs k)
+           (List.length (Netlist.Verilog.port_names k)))
+    Celllib.Kind.all_logic
+
+let () =
+  Alcotest.run "netlist"
+    [ ("builder",
+       [ Alcotest.test_case "basics" `Quick test_builder_basics;
+         Alcotest.test_case "drivers and sinks" `Quick test_driver_and_sinks;
+         Alcotest.test_case "constants dedup" `Quick test_constants_dedup;
+         Alcotest.test_case "arity rejected" `Quick test_arity_rejected;
+         Alcotest.test_case "sequential gate rejected" `Quick
+           test_sequential_gate_rejected;
+         Alcotest.test_case "dangling input rejected" `Quick
+           test_dangling_input_rejected;
+         Alcotest.test_case "dff feedback loop" `Quick
+           test_dff_feedback_loop_legal;
+         Alcotest.test_case "unconnected feedback rejected" `Quick
+           test_unconnected_feedback_rejected;
+         Alcotest.test_case "double connect rejected" `Quick
+           test_double_connect_rejected;
+         Alcotest.test_case "mark_output idempotent" `Quick
+           test_mark_output_idempotent;
+         Alcotest.test_case "unit tags" `Quick test_unit_tags ]);
+      ("check",
+       [ Alcotest.test_case "floating net" `Quick test_check_floating;
+         Alcotest.test_case "clean circuit" `Quick test_check_clean_circuit ]);
+      ("stats",
+       [ Alcotest.test_case "summary" `Quick test_stats;
+         Alcotest.test_case "depth cut by dff" `Quick
+           test_logic_depth_cut_by_dff;
+         Alcotest.test_case "iterators" `Quick test_iterators ]);
+      ("verilog",
+       [ Alcotest.test_case "structure" `Quick test_verilog_structure;
+         Alcotest.test_case "no clock when combinational" `Quick
+           test_verilog_no_clock_when_combinational;
+         Alcotest.test_case "constants assigned" `Quick
+           test_verilog_constants_assigned;
+         Alcotest.test_case "file round trip" `Quick
+           test_verilog_roundtrip_file;
+         Alcotest.test_case "port arities" `Quick
+           test_verilog_port_names_arity ]) ]

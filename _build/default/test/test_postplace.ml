@@ -1,0 +1,549 @@
+(* Tests for the paper's contribution: hotspot detection and the three
+   whitespace-allocation techniques. *)
+
+module P = Place.Placement
+module FP = Place.Floorplan
+
+let tech = Celllib.Tech.default_65nm
+
+(* A small placed benchmark shared by the technique tests. *)
+let flow =
+  lazy
+    (let bench = Netgen.Benchmark.small () in
+     Postplace.Flow.prepare ~seed:11 ~sim_cycles:200
+       bench (Logicsim.Workload.make ~default:0.05 ~hot:[ (0, 0.5) ]))
+
+(* --- hotspot detection ------------------------------------------------------ *)
+
+let crafted_thermal ~hot_tiles =
+  let extent = Geo.Rect.of_corner ~x:0.0 ~y:0.0 ~w:80.0 ~h:80.0 in
+  let g = Geo.Grid.create ~nx:8 ~ny:8 ~extent in
+  Geo.Grid.iteri g ~f:(fun ~ix ~iy _ -> Geo.Grid.set g ~ix ~iy 1.0);
+  List.iter (fun (ix, iy) -> Geo.Grid.set g ~ix ~iy 10.0) hot_tiles;
+  g
+
+let any_placement () = (Lazy.force flow).Postplace.Flow.base_placement
+
+let test_detect_single_cluster () =
+  let g = crafted_thermal ~hot_tiles:[ (2, 2); (3, 2); (2, 3) ] in
+  let hs =
+    Postplace.Hotspot.detect ~thermal:g ~placement:(any_placement ())
+      ~threshold_frac:0.8 ()
+  in
+  Alcotest.(check int) "one cluster" 1 (List.length hs);
+  let h = List.hd hs in
+  Alcotest.(check int) "three tiles" 3 (Postplace.Hotspot.tile_count h);
+  Alcotest.(check (float 1e-9)) "peak" 10.0 h.Postplace.Hotspot.peak_rise_k;
+  (* bounding rect covers tiles (2..3, 2..3) = 20..40 um in both axes *)
+  Alcotest.(check (float 1e-6)) "rect lx" 20.0 h.Postplace.Hotspot.rect.Geo.Rect.lx;
+  Alcotest.(check (float 1e-6)) "rect hx" 40.0 h.Postplace.Hotspot.rect.Geo.Rect.hx
+
+let test_detect_two_clusters_sorted () =
+  let g = crafted_thermal ~hot_tiles:[ (1, 1); (6, 6) ] in
+  (* make the second cluster hotter *)
+  Geo.Grid.set g ~ix:6 ~iy:6 20.0;
+  let hs =
+    Postplace.Hotspot.detect ~thermal:g ~placement:(any_placement ())
+      ~threshold_frac:0.4 ()
+  in
+  Alcotest.(check int) "two clusters" 2 (List.length hs);
+  (match hs with
+   | first :: second :: _ ->
+     Alcotest.(check bool) "sorted hottest first" true
+       (first.Postplace.Hotspot.peak_rise_k
+        > second.Postplace.Hotspot.peak_rise_k)
+   | _ -> Alcotest.fail "unexpected")
+
+let test_detect_diagonal_not_connected () =
+  let g = crafted_thermal ~hot_tiles:[ (2, 2); (3, 3) ] in
+  let hs =
+    Postplace.Hotspot.detect ~thermal:g ~placement:(any_placement ())
+      ~threshold_frac:0.8 ()
+  in
+  Alcotest.(check int) "diagonal tiles form two clusters" 2 (List.length hs)
+
+let test_detect_threshold_validation () =
+  let g = crafted_thermal ~hot_tiles:[ (0, 0) ] in
+  (match
+     Postplace.Hotspot.detect ~thermal:g ~placement:(any_placement ())
+       ~threshold_frac:1.5 ()
+   with
+   | _ -> Alcotest.fail "threshold > 1 accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_detect_flat_map_no_hotspots () =
+  let extent = Geo.Rect.of_corner ~x:0.0 ~y:0.0 ~w:80.0 ~h:80.0 in
+  let g = Geo.Grid.create ~nx:8 ~ny:8 ~extent in
+  let hs =
+    Postplace.Hotspot.detect ~thermal:g ~placement:(any_placement ()) ()
+  in
+  Alcotest.(check int) "cold die" 0 (List.length hs)
+
+let test_span_rows_and_wide () =
+  let fl = Lazy.force flow in
+  let fp = fl.Postplace.Flow.base_placement.P.fp in
+  let h =
+    { Postplace.Hotspot.rect =
+        Geo.Rect.of_corner ~x:0.0
+          ~y:(FP.row_y fp 2)
+          ~w:(Geo.Rect.width fp.FP.core)
+          ~h:(2.0 *. tech.Celllib.Tech.row_height_um);
+      tiles = []; peak_rise_k = 1.0; cells = [] }
+  in
+  Alcotest.(check (pair int int)) "row span" (2, 3)
+    (Postplace.Hotspot.span_rows fp h);
+  Alcotest.(check bool) "full-width hotspot is wide" true
+    (Postplace.Hotspot.is_wide fp h)
+
+(* --- ERI --------------------------------------------------------------------- *)
+
+let base_eval =
+  lazy
+    (let fl = Lazy.force flow in
+     Postplace.Flow.evaluate fl fl.Postplace.Flow.base_placement)
+
+let test_eri_geometry () =
+  let fl = Lazy.force flow in
+  let ev = Lazy.force base_eval in
+  let base = fl.Postplace.Flow.base_placement in
+  let r = Postplace.Flow.apply_eri fl ~base:ev ~rows:4 in
+  let pl = r.Postplace.Technique.eri_placement in
+  Alcotest.(check int) "rows inserted" 4
+    (List.length r.Postplace.Technique.inserted_after);
+  Alcotest.(check int) "floorplan grew" (base.P.fp.FP.num_rows + 4)
+    pl.P.fp.FP.num_rows;
+  Alcotest.(check (float 1e-9)) "width unchanged"
+    (Geo.Rect.width base.P.fp.FP.core)
+    (Geo.Rect.width pl.P.fp.FP.core);
+  Alcotest.(check int) "no placement violations" 0
+    (List.length (P.validate pl))
+
+let test_eri_inserted_rows_empty () =
+  let fl = Lazy.force flow in
+  let ev = Lazy.force base_eval in
+  let r = Postplace.Flow.apply_eri fl ~base:ev ~rows:3 in
+  let pl = r.Postplace.Technique.eri_placement in
+  let members = P.row_members pl in
+  (* the new empty rows sit right above each insertion point *)
+  let after = List.sort compare r.Postplace.Technique.inserted_after in
+  List.iteri
+    (fun k a ->
+       (* after shifting, the empty row index is a + (inserted below) + 1 *)
+       let empty_row = a + k + 1 in
+       Alcotest.(check (list int))
+         (Printf.sprintf "row %d empty" empty_row)
+         [] members.(empty_row))
+    after
+
+let test_eri_preserves_cell_sites () =
+  let fl = Lazy.force flow in
+  let ev = Lazy.force base_eval in
+  let base = fl.Postplace.Flow.base_placement in
+  let r = Postplace.Flow.apply_eri fl ~base:ev ~rows:5 in
+  let pl = r.Postplace.Technique.eri_placement in
+  Netlist.Types.iter_cells pl.P.nl ~f:(fun cid _ ->
+      Alcotest.(check int) "site unchanged" base.P.locs.(cid).P.site
+        pl.P.locs.(cid).P.site;
+      Alcotest.(check bool) "row only moves up" true
+        (pl.P.locs.(cid).P.row >= base.P.locs.(cid).P.row))
+
+let test_eri_zero_rows_identity () =
+  let fl = Lazy.force flow in
+  let ev = Lazy.force base_eval in
+  let r = Postplace.Flow.apply_eri fl ~base:ev ~rows:0 in
+  Alcotest.(check (list int)) "no insertions" []
+    r.Postplace.Technique.inserted_after;
+  Alcotest.(check bool) "same placement" true
+    (r.Postplace.Technique.eri_placement == fl.Postplace.Flow.base_placement)
+
+let test_eri_rejects_negative () =
+  let fl = Lazy.force flow in
+  let ev = Lazy.force base_eval in
+  (match Postplace.Flow.apply_eri fl ~base:ev ~rows:(-1) with
+   | _ -> Alcotest.fail "negative rows accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_eri_overhead_matches_rows () =
+  let fl = Lazy.force flow in
+  let ev = Lazy.force base_eval in
+  let base = fl.Postplace.Flow.base_placement in
+  let rows = 6 in
+  let r = Postplace.Flow.apply_eri fl ~base:ev ~rows in
+  let want =
+    100.0 *. float_of_int rows /. float_of_int base.P.fp.FP.num_rows
+  in
+  let got =
+    Postplace.Technique.area_overhead_pct ~base
+      r.Postplace.Technique.eri_placement
+  in
+  if Float.abs (got -. want) > 0.5 then
+    Alcotest.failf "overhead %.2f%% != rows/base %.2f%%" got want
+
+(* --- Default (uniform slack) -------------------------------------------------- *)
+
+let test_default_utilization_and_legality () =
+  let fl = Lazy.force flow in
+  let pl = Postplace.Flow.apply_default fl ~utilization:0.6 in
+  let u = P.utilization pl in
+  if Float.abs (u -. 0.6) > 0.05 then
+    Alcotest.failf "utilization %.3f != 0.6" u;
+  Alcotest.(check int) "legal" 0 (List.length (P.validate pl))
+
+let test_default_overhead_scaling () =
+  let fl = Lazy.force flow in
+  let base = fl.Postplace.Flow.base_placement in
+  let u0 = fl.Postplace.Flow.base_utilization in
+  let pl = Postplace.Flow.apply_default fl ~utilization:(u0 /. 1.25) in
+  let overhead = Postplace.Technique.area_overhead_pct ~base pl in
+  (* relaxing utilization by 25% grows the core by ~25% *)
+  if Float.abs (overhead -. 25.0) > 4.0 then
+    Alcotest.failf "overhead %.1f%% != ~25%%" overhead
+
+(* --- HW ------------------------------------------------------------------------ *)
+
+(* a compact hotspot: detect at a high threshold so the cluster is small
+   enough for the wrapper to be feasible on the tiny test die *)
+let compact_hotspot ev pl =
+  Postplace.Hotspot.detect ~thermal:ev.Postplace.Flow.thermal_map
+    ~placement:pl ~threshold_frac:0.95 ()
+
+let test_hw_legality_and_hot_cells_inside () =
+  let fl = Lazy.force flow in
+  let pl = Postplace.Flow.apply_default fl ~utilization:0.6 in
+  let ev = Postplace.Flow.evaluate fl pl in
+  (match compact_hotspot ev pl with
+   | [] -> Alcotest.fail "no hotspot detected on default placement"
+   | h :: _ ->
+     let pl' =
+       Postplace.Technique.hotspot_wrapper pl ~hotspots:[ h ]
+         ~max_hotspot_tiles:10000 ()
+     in
+     Alcotest.(check int) "legal after wrapper" 0
+       (List.length (P.validate pl'));
+     (* hot cells now sit inside the (inflated) hotspot rect *)
+     let wrapper =
+       Geo.Rect.inflate h.Postplace.Hotspot.rect
+         (2.0 *. tech.Celllib.Tech.row_height_um)
+     in
+     List.iter
+       (fun cid ->
+          let x, y = P.cell_center pl' cid in
+          if not (Geo.Rect.contains wrapper ~x ~y) then
+            Alcotest.failf "hot cell %d escaped the wrapper" cid)
+       h.Postplace.Hotspot.cells)
+
+let test_hw_skips_large_hotspots () =
+  let fl = Lazy.force flow in
+  let pl = Postplace.Flow.apply_default fl ~utilization:0.6 in
+  let ev = Postplace.Flow.evaluate fl pl in
+  (match ev.Postplace.Flow.hotspots with
+   | [] -> Alcotest.fail "no hotspot"
+   | h :: _ ->
+     let pl' =
+       Postplace.Technique.hotspot_wrapper pl ~hotspots:[ h ]
+         ~max_hotspot_tiles:0 ()
+     in
+     (* nothing moved *)
+     Alcotest.(check bool) "identity when all hotspots too large" true
+       (pl'.P.locs = pl.P.locs))
+
+let test_hw_reduces_local_density () =
+  let fl = Lazy.force flow in
+  let pl = Postplace.Flow.apply_default fl ~utilization:0.6 in
+  let ev = Postplace.Flow.evaluate fl pl in
+  (match compact_hotspot ev pl with
+   | [] -> Alcotest.fail "no hotspot"
+   | h :: _ ->
+     let pl' =
+       Postplace.Technique.hotspot_wrapper pl ~hotspots:[ h ]
+         ~max_hotspot_tiles:10000 ()
+     in
+     let density p =
+       let rect = h.Postplace.Hotspot.rect in
+       Netlist.Types.fold_cells p.P.nl ~init:0.0 ~f:(fun acc cid _ ->
+           acc +. Geo.Rect.overlap_area rect (P.cell_rect p cid))
+     in
+     let before = density pl and after = density pl' in
+     Alcotest.(check bool)
+       (Printf.sprintf "cell area in hotspot %.0f -> %.0f" before after)
+       true (after <= before))
+
+let test_wrapper_risk_assessment () =
+  let fl = Lazy.force flow in
+  let pl = Postplace.Flow.apply_default fl ~utilization:0.6 in
+  let ev = Postplace.Flow.evaluate fl pl in
+  (match compact_hotspot ev pl with
+   | [] -> Alcotest.fail "no hotspot"
+   | h :: _ ->
+     let risk =
+       Postplace.Technique.assess_wrapper pl
+         ~per_cell_w:fl.Postplace.Flow.per_cell_w ~hotspot:h ~margin_um:4.0
+     in
+     Alcotest.(check bool) "densities non-negative" true
+       (risk.Postplace.Technique.hotspot_density_w_um2 >= 0.0
+        && risk.Postplace.Technique.flank_density_before_w_um2 >= 0.0);
+     Alcotest.(check bool) "eviction can only raise flank density" true
+       (risk.Postplace.Technique.flank_density_after_w_um2
+        >= risk.Postplace.Technique.flank_density_before_w_um2 -. 1e-12);
+     (* a real hotspot is denser than its surroundings *)
+     Alcotest.(check bool) "hotspot denser than flanks" true
+       (risk.Postplace.Technique.hotspot_density_w_um2
+        > risk.Postplace.Technique.flank_density_before_w_um2))
+
+let test_wrapper_skip_risky_is_safe () =
+  let fl = Lazy.force flow in
+  let pl = Postplace.Flow.apply_default fl ~utilization:0.6 in
+  let ev = Postplace.Flow.evaluate fl pl in
+  let hs =
+    match compact_hotspot ev pl with [] -> [] | h :: _ -> [ h ]
+  in
+  let pl' =
+    Postplace.Technique.hotspot_wrapper pl ~hotspots:hs
+      ~max_hotspot_tiles:10000
+      ~skip_risky:fl.Postplace.Flow.per_cell_w ()
+  in
+  Alcotest.(check int) "legal with risk filter" 0
+    (List.length (P.validate pl'))
+
+(* --- area accounting ------------------------------------------------------------ *)
+
+let test_area_overhead_pct () =
+  let fl = Lazy.force flow in
+  let base = fl.Postplace.Flow.base_placement in
+  Alcotest.(check (float 1e-9)) "self overhead zero" 0.0
+    (Postplace.Technique.area_overhead_pct ~base base)
+
+(* --- flow ------------------------------------------------------------------------ *)
+
+let test_flow_evaluation_sane () =
+  let ev = Lazy.force base_eval in
+  Alcotest.(check bool) "positive peak" true
+    (ev.Postplace.Flow.metrics.Thermal.Metrics.peak_rise_k > 0.0);
+  Alcotest.(check bool) "positive critical path" true
+    (ev.Postplace.Flow.timing.Sta.Timing.critical_ps > 0.0);
+  Alcotest.(check bool) "power map not empty" true
+    (Geo.Grid.total ev.Postplace.Flow.power_map > 0.0);
+  Alcotest.(check bool) "thermal map matches metrics" true
+    (Geo.Grid.max_value ev.Postplace.Flow.thermal_map
+     = ev.Postplace.Flow.metrics.Thermal.Metrics.peak_rise_k)
+
+let test_flow_deterministic () =
+  let bench = Netgen.Benchmark.small () in
+  let w = Logicsim.Workload.make ~default:0.05 ~hot:[ (0, 0.5) ] in
+  let f1 = Postplace.Flow.prepare ~seed:21 ~sim_cycles:100 bench w in
+  let f2 = Postplace.Flow.prepare ~seed:21 ~sim_cycles:100 bench w in
+  let e1 = Postplace.Flow.evaluate f1 f1.Postplace.Flow.base_placement in
+  let e2 = Postplace.Flow.evaluate f2 f2.Postplace.Flow.base_placement in
+  Alcotest.(check (float 1e-12)) "same seed, same peak"
+    e1.Postplace.Flow.metrics.Thermal.Metrics.peak_rise_k
+    e2.Postplace.Flow.metrics.Thermal.Metrics.peak_rise_k
+
+let test_flow_seed_changes_activity () =
+  let bench = Netgen.Benchmark.small () in
+  let w = Logicsim.Workload.make ~default:0.05 ~hot:[ (0, 0.5) ] in
+  let f1 = Postplace.Flow.prepare ~seed:1 ~sim_cycles:100 bench w in
+  let f2 = Postplace.Flow.prepare ~seed:2 ~sim_cycles:100 bench w in
+  Alcotest.(check bool) "different seeds, different activity" true
+    (f1.Postplace.Flow.activity.Logicsim.Activity.toggle_rate
+     <> f2.Postplace.Flow.activity.Logicsim.Activity.toggle_rate)
+
+(* --- row-insertion primitive ------------------------------------------------ *)
+
+let test_apply_row_insertions_mapping () =
+  let fl = Lazy.force flow in
+  let base = fl.Postplace.Flow.base_placement in
+  let r = Postplace.Technique.apply_row_insertions base [ 1; 1; 3 ] in
+  let pl = r.Postplace.Technique.eri_placement in
+  Alcotest.(check int) "three more rows" (base.P.fp.FP.num_rows + 3)
+    pl.P.fp.FP.num_rows;
+  (* rows <=1 stay; rows 2..3 shift by 2; rows >3 shift by 3 *)
+  Netlist.Types.iter_cells pl.P.nl ~f:(fun cid _ ->
+      let old_row = base.P.locs.(cid).P.row in
+      let expected =
+        if old_row <= 1 then old_row
+        else if old_row <= 3 then old_row + 2
+        else old_row + 3
+      in
+      Alcotest.(check int) "shift" expected pl.P.locs.(cid).P.row);
+  Alcotest.(check int) "legal" 0 (List.length (P.validate pl))
+
+let test_clustered_style_contiguous () =
+  let ev = Lazy.force base_eval in
+  let r =
+    Postplace.Technique.empty_row_insertion ~style:`Clustered
+      ev.Postplace.Flow.placement ~hotspots:ev.Postplace.Flow.hotspots
+      ~rows:4
+  in
+  (* all four insertions land at the same spot *)
+  (match List.sort_uniq compare r.Postplace.Technique.inserted_after with
+   | [ _ ] -> ()
+   | other ->
+     Alcotest.failf "expected one clustered position, got %d"
+       (List.length other));
+  Alcotest.(check int) "legal" 0
+    (List.length (P.validate r.Postplace.Technique.eri_placement))
+
+(* --- electrothermal ------------------------------------------------------------- *)
+
+let test_electrothermal_feedback () =
+  let fl = Lazy.force flow in
+  let r =
+    Postplace.Electrothermal.evaluate fl fl.Postplace.Flow.base_placement ()
+  in
+  Alcotest.(check bool) "converged" true r.Postplace.Electrothermal.converged;
+  Alcotest.(check bool) "feedback raises the peak" true
+    (r.Postplace.Electrothermal.metrics.Thermal.Metrics.peak_rise_k
+     >= r.Postplace.Electrothermal.open_loop_peak_k);
+  Alcotest.(check bool) "leakage grows with temperature" true
+    (r.Postplace.Electrothermal.leakage_w
+     > r.Postplace.Electrothermal.nominal_leakage_w)
+
+let test_leakage_scaling_formula () =
+  let tech = Celllib.Tech.default_65nm in
+  let nominal = 1.0e-6 in
+  Alcotest.(check (float 1e-15)) "no rise, nominal" nominal
+    (Power.Model.leakage_at_rise tech ~nominal_w:nominal ~rise_k:0.0);
+  Alcotest.(check (float 1e-12)) "doubling point"
+    (2.0 *. nominal)
+    (Power.Model.leakage_at_rise tech ~nominal_w:nominal
+       ~rise_k:tech.Celllib.Tech.leakage_doubling_k)
+
+(* --- optimizer -------------------------------------------------------------------- *)
+
+let test_optimizer_budget_and_legality () =
+  let fl = Lazy.force flow in
+  let r = Postplace.Optimizer.greedy_rows fl ~rows:3 ~chunk:2 ~stride:3 () in
+  Alcotest.(check int) "budget respected" 3
+    (List.length r.Postplace.Optimizer.plan.Postplace.Technique.inserted_after);
+  Alcotest.(check int) "legal" 0
+    (List.length
+       (P.validate
+          r.Postplace.Optimizer.plan.Postplace.Technique.eri_placement));
+  Alcotest.(check bool) "did some evaluations" true
+    (r.Postplace.Optimizer.evaluations > 0)
+
+let test_optimizer_reduces_peak () =
+  let fl = Lazy.force flow in
+  let base_peak =
+    Postplace.Optimizer.evaluate_plan fl ~after:[] ~nx:16
+  in
+  let r = Postplace.Optimizer.greedy_rows fl ~rows:3 ~coarse_nx:16 () in
+  Alcotest.(check bool) "optimizer lowers the coarse peak" true
+    (r.Postplace.Optimizer.predicted_peak_k < base_peak)
+
+let test_optimizer_validation () =
+  let fl = Lazy.force flow in
+  (match Postplace.Optimizer.greedy_rows fl ~rows:0 () with
+   | _ -> Alcotest.fail "rows=0 accepted"
+   | exception Invalid_argument _ -> ())
+
+(* --- qcheck properties -------------------------------------------------------------- *)
+
+let prop_eri_always_legal =
+  QCheck.Test.make ~name:"ERI legal for any row budget" ~count:20
+    QCheck.(int_range 0 30)
+    (fun rows ->
+       let fl = Lazy.force flow in
+       let ev = Lazy.force base_eval in
+       let r = Postplace.Flow.apply_eri fl ~base:ev ~rows in
+       P.validate r.Postplace.Technique.eri_placement = [])
+
+let prop_detect_threshold_monotone =
+  QCheck.Test.make ~name:"higher threshold, fewer hot tiles" ~count:20
+    QCheck.(pair (float_range 0.2 0.8) (float_range 0.05 0.15))
+    (fun (t, dt) ->
+       let ev = Lazy.force base_eval in
+       let pl = ev.Postplace.Flow.placement in
+       let count thr =
+         List.fold_left
+           (fun acc h -> acc + Postplace.Hotspot.tile_count h)
+           0
+           (Postplace.Hotspot.detect ~thermal:ev.Postplace.Flow.thermal_map
+              ~placement:pl ~threshold_frac:thr ())
+       in
+       count (t +. dt) <= count t)
+
+let prop_overhead_nonnegative =
+  QCheck.Test.make ~name:"ERI area overhead is monotone in rows" ~count:15
+    QCheck.(pair (int_range 0 15) (int_range 0 15))
+    (fun (r1, r2) ->
+       let fl = Lazy.force flow in
+       let ev = Lazy.force base_eval in
+       let base = fl.Postplace.Flow.base_placement in
+       let ov r =
+         Postplace.Technique.area_overhead_pct ~base
+           (Postplace.Flow.apply_eri fl ~base:ev ~rows:r)
+             .Postplace.Technique.eri_placement
+       in
+       if r1 <= r2 then ov r1 <= ov r2 +. 1e-9
+       else ov r2 <= ov r1 +. 1e-9)
+
+let () =
+  Alcotest.run "postplace"
+    [ ("hotspot",
+       [ Alcotest.test_case "single cluster" `Quick
+           test_detect_single_cluster;
+         Alcotest.test_case "two clusters sorted" `Quick
+           test_detect_two_clusters_sorted;
+         Alcotest.test_case "diagonal not connected" `Quick
+           test_detect_diagonal_not_connected;
+         Alcotest.test_case "threshold validated" `Quick
+           test_detect_threshold_validation;
+         Alcotest.test_case "flat map" `Quick
+           test_detect_flat_map_no_hotspots;
+         Alcotest.test_case "span rows / is_wide" `Quick
+           test_span_rows_and_wide ]);
+      ("eri",
+       [ Alcotest.test_case "geometry" `Quick test_eri_geometry;
+         Alcotest.test_case "inserted rows empty" `Quick
+           test_eri_inserted_rows_empty;
+         Alcotest.test_case "cell sites preserved" `Quick
+           test_eri_preserves_cell_sites;
+         Alcotest.test_case "zero rows identity" `Quick
+           test_eri_zero_rows_identity;
+         Alcotest.test_case "negative rejected" `Quick
+           test_eri_rejects_negative;
+         Alcotest.test_case "overhead matches rows" `Quick
+           test_eri_overhead_matches_rows ]);
+      ("default",
+       [ Alcotest.test_case "utilization and legality" `Quick
+           test_default_utilization_and_legality;
+         Alcotest.test_case "overhead scaling" `Quick
+           test_default_overhead_scaling ]);
+      ("hw",
+       [ Alcotest.test_case "legality and containment" `Quick
+           test_hw_legality_and_hot_cells_inside;
+         Alcotest.test_case "skips large hotspots" `Quick
+           test_hw_skips_large_hotspots;
+         Alcotest.test_case "reduces local density" `Quick
+           test_hw_reduces_local_density;
+         Alcotest.test_case "risk assessment" `Quick
+           test_wrapper_risk_assessment;
+         Alcotest.test_case "skip risky" `Quick
+           test_wrapper_skip_risky_is_safe ]);
+      ("flow",
+       [ Alcotest.test_case "area overhead" `Quick test_area_overhead_pct;
+         Alcotest.test_case "evaluation sane" `Quick
+           test_flow_evaluation_sane;
+         Alcotest.test_case "deterministic" `Quick test_flow_deterministic;
+         Alcotest.test_case "seed changes activity" `Quick
+           test_flow_seed_changes_activity ]);
+      ("insertion-primitive",
+       [ Alcotest.test_case "mapping" `Quick
+           test_apply_row_insertions_mapping;
+         Alcotest.test_case "clustered style" `Quick
+           test_clustered_style_contiguous ]);
+      ("electrothermal",
+       [ Alcotest.test_case "feedback" `Quick test_electrothermal_feedback;
+         Alcotest.test_case "leakage scaling" `Quick
+           test_leakage_scaling_formula ]);
+      ("optimizer",
+       [ Alcotest.test_case "budget and legality" `Quick
+           test_optimizer_budget_and_legality;
+         Alcotest.test_case "reduces peak" `Quick
+           test_optimizer_reduces_peak;
+         Alcotest.test_case "validation" `Quick test_optimizer_validation ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_eri_always_legal; prop_detect_threshold_monotone;
+           prop_overhead_nonnegative ]) ]
