@@ -2,6 +2,9 @@
    evaluation section (plus the in-text claims and our ablations), and runs
    bechamel micro-benchmarks of the core kernels.
 
+   Each experiment prints its text table and also writes a machine-readable
+   summary to BENCH_<name>.json in the current directory.
+
    Usage:
      dune exec bench/main.exe            -- every experiment (no perf)
      dune exec bench/main.exe -- fig5    -- power/thermal profile maps
@@ -24,6 +27,25 @@ let sim_cycles = 1000
 let flow1 = lazy (Postplace.Experiment.test_set_1 ~sim_cycles ())
 let flow2 = lazy (Postplace.Experiment.test_set_2 ~sim_cycles ())
 
+(* Each run_X returns the JSON summary that lands in BENCH_<name>.json. *)
+
+let j_obj fields = Obs.Json.Obj fields
+let j_list items = Obs.Json.List items
+let j_f v = Obs.Json.Float v
+let j_i v = Obs.Json.Int v
+let j_s v = Obs.Json.String v
+let j_b v = Obs.Json.Bool v
+
+let point_json (p : Postplace.Experiment.point) =
+  j_obj
+    [ ("scheme", j_s p.Postplace.Experiment.scheme);
+      ("area_overhead_pct", j_f p.area_overhead_pct);
+      ("temp_reduction_pct", j_f p.temp_reduction_pct);
+      ("gradient_reduction_pct", j_f p.gradient_reduction_pct);
+      ("peak_rise_k", j_f p.peak_rise_k);
+      ("timing_overhead_pct", j_f p.timing_overhead_pct);
+      ("hpwl_um", j_f p.hpwl_um) ]
+
 (* --- FIG 5 ------------------------------------------------------------- *)
 
 let run_fig5 () =
@@ -43,7 +65,11 @@ let run_fig5 () =
   Printf.printf
     "peak power tile (%d,%d) vs peak thermal tile (%d,%d) -- the paper's \
      correlation claim\n"
-    px py tx ty
+    px py tx ty;
+  j_obj
+    [ ("thermal", Thermal.Metrics.to_json m);
+      ("peak_power_tile", j_list [ j_i px; j_i py ]);
+      ("peak_thermal_tile", j_list [ j_i tx; j_i ty ]) ]
 
 (* --- FIG 6 ------------------------------------------------------------- *)
 
@@ -71,10 +97,12 @@ let run_fig6 () =
     base.Postplace.Flow.metrics;
   Printf.printf "hotspots: %d detected (paper: four scattered small)\n\n"
     (List.length base.Postplace.Flow.hotspots);
-  pp_points
-    (fig6.Postplace.Experiment.default_points
-     @ fig6.Postplace.Experiment.eri_points
-     @ fig6.Postplace.Experiment.hw_points);
+  let points =
+    fig6.Postplace.Experiment.default_points
+    @ fig6.Postplace.Experiment.eri_points
+    @ fig6.Postplace.Experiment.hw_points
+  in
+  pp_points points;
   (* the paper's qualitative checks, verified on the spot *)
   let reductions pts =
     List.map (fun (p : Postplace.Experiment.point) -> p.temp_reduction_pct)
@@ -84,14 +112,26 @@ let run_fig6 () =
   let e = reductions fig6.Postplace.Experiment.eri_points in
   let h = reductions fig6.Postplace.Experiment.hw_points in
   let all_above a b = List.for_all2 (fun x y -> x > y) a b in
+  let eri_above = all_above e d in
+  let hw_above = all_above h d in
+  let monotone =
+    List.for_all (fun xs -> xs = List.sort compare xs) [ d; e ]
+  in
   Printf.printf "\ncheck: ERI curve above Default at every point: %b\n"
-    (all_above e d);
+    eri_above;
   Printf.printf "check: HW curve above Default at every point:  %b\n"
-    (all_above h d);
+    hw_above;
   Printf.printf "check: effectiveness increases with overhead:  %b\n"
-    (List.for_all
-       (fun xs -> xs = List.sort compare xs)
-       [ d; e ])
+    monotone;
+  j_obj
+    [ ("base_thermal", Thermal.Metrics.to_json base.Postplace.Flow.metrics);
+      ("hotspots", j_i (List.length base.Postplace.Flow.hotspots));
+      ("points", j_list (List.map point_json points));
+      ("checks",
+       j_obj
+         [ ("eri_above_default", j_b eri_above);
+           ("hw_above_default", j_b hw_above);
+           ("monotone_in_overhead", j_b monotone) ]) ]
 
 (* --- TABLE I ------------------------------------------------------------ *)
 
@@ -111,7 +151,23 @@ let run_table1 () =
           | None -> "-"
           | Some k -> string_of_int k)
          r.t1_overhead_pct r.t1_reduction_pct)
-    rows
+    rows;
+  j_obj
+    [ ("rows",
+       j_list
+         (List.map
+            (fun (r : Postplace.Experiment.table1_row) ->
+               j_obj
+                 [ ("scheme", j_s r.Postplace.Experiment.t1_scheme);
+                   ("width_um", j_f r.t1_width_um);
+                   ("height_um", j_f r.t1_height_um);
+                   ("rows_inserted",
+                    (match r.t1_rows_inserted with
+                     | None -> Obs.Json.Null
+                     | Some k -> j_i k));
+                   ("overhead_pct", j_f r.t1_overhead_pct);
+                   ("reduction_pct", j_f r.t1_reduction_pct) ])
+            rows)) ]
 
 (* --- TIMING -------------------------------------------------------------- *)
 
@@ -131,19 +187,35 @@ let run_timing () =
     rows;
   (* the paper's claim concerns the *techniques*, so HW is measured against
      the Default placement it starts from *)
-  (match rows with
-   | [ _; default_row; eri_row; hw_row ] ->
-     let marginal =
-       100.0
-       *. (hw_row.Postplace.Experiment.ts_critical_ps
-           -. default_row.Postplace.Experiment.ts_critical_ps)
-       /. default_row.Postplace.Experiment.ts_critical_ps
-     in
-     Printf.printf
-       "\nERI vs base: %+.2f%%; HW marginal vs its Default start: %+.2f%% \
-        (paper: around 2%%)\n"
-       eri_row.Postplace.Experiment.ts_overhead_timing_pct marginal
-   | _ -> ())
+  let marginal =
+    match rows with
+    | [ _; default_row; eri_row; hw_row ] ->
+      let marginal =
+        100.0
+        *. (hw_row.Postplace.Experiment.ts_critical_ps
+            -. default_row.Postplace.Experiment.ts_critical_ps)
+        /. default_row.Postplace.Experiment.ts_critical_ps
+      in
+      Printf.printf
+        "\nERI vs base: %+.2f%%; HW marginal vs its Default start: %+.2f%% \
+         (paper: around 2%%)\n"
+        eri_row.Postplace.Experiment.ts_overhead_timing_pct marginal;
+      Some marginal
+    | _ -> None
+  in
+  j_obj
+    [ ("rows",
+       j_list
+         (List.map
+            (fun (r : Postplace.Experiment.timing_summary) ->
+               j_obj
+                 [ ("scheme", j_s r.Postplace.Experiment.ts_scheme);
+                   ("overhead_pct", j_f r.ts_overhead_pct);
+                   ("critical_ps", j_f r.ts_critical_ps);
+                   ("timing_vs_base_pct", j_f r.ts_overhead_timing_pct) ])
+            rows));
+      ("hw_marginal_vs_default_pct",
+       match marginal with None -> Obs.Json.Null | Some m -> j_f m) ]
 
 (* --- CONGESTION ------------------------------------------------------------ *)
 
@@ -160,7 +232,18 @@ let run_congestion () =
        Printf.printf "%-7s %16.3f %15.1f %22.1f\n"
          r.Postplace.Experiment.cs_scheme r.cs_max_utilization
          r.cs_overflow_um r.cs_hotspot_demand_um)
-    rows
+    rows;
+  j_obj
+    [ ("rows",
+       j_list
+         (List.map
+            (fun (r : Postplace.Experiment.congestion_summary) ->
+               j_obj
+                 [ ("scheme", j_s r.Postplace.Experiment.cs_scheme);
+                   ("max_utilization", j_f r.cs_max_utilization);
+                   ("overflow_um", j_f r.cs_overflow_um);
+                   ("hotspot_demand_um", j_f r.cs_hotspot_demand_um) ])
+            rows)) ]
 
 (* --- ABLATION ----------------------------------------------------------------- *)
 
@@ -177,7 +260,17 @@ let run_ablation () =
        Printf.printf "%-18s %13.1f %17.2f\n"
          r.Postplace.Experiment.ab_variant r.ab_overhead_pct
          r.ab_reduction_pct)
-    rows
+    rows;
+  j_obj
+    [ ("rows",
+       j_list
+         (List.map
+            (fun (r : Postplace.Experiment.ablation_row) ->
+               j_obj
+                 [ ("variant", j_s r.Postplace.Experiment.ab_variant);
+                   ("overhead_pct", j_f r.ab_overhead_pct);
+                   ("reduction_pct", j_f r.ab_reduction_pct) ])
+            rows)) ]
 
 (* --- OPTIMIZER ------------------------------------------------------------------ *)
 
@@ -187,30 +280,38 @@ let run_optimizer () =
      problems (e.g., the amount of empty rows ... to be inserted)'";
   let fl = Lazy.force flow2 in
   let base = Postplace.Flow.evaluate fl fl.Postplace.Flow.base_placement in
-  List.iter
-    (fun rows ->
-       let heuristic = Postplace.Flow.apply_eri fl ~base ~rows in
-       let he =
-         Postplace.Flow.evaluate fl
-           heuristic.Postplace.Technique.eri_placement
-       in
-       let optimized = Postplace.Optimizer.greedy_rows fl ~rows () in
-       let oe =
-         Postplace.Flow.evaluate fl
-           optimized.Postplace.Optimizer.plan.Postplace.Technique
-             .eri_placement
-       in
-       let red ev =
-         Thermal.Metrics.reduction_pct
-           ~before:base.Postplace.Flow.metrics
-           ~after:ev.Postplace.Flow.metrics
-       in
-       Printf.printf
-         "budget %2d rows: heuristic ERI %.2f%% | greedy %.2f%% (%d coarse \
-          solves)\n"
-         rows (red he) (red oe)
-         optimized.Postplace.Optimizer.evaluations)
-    [ 8; 16; 24 ]
+  let budgets =
+    List.map
+      (fun rows ->
+         let heuristic = Postplace.Flow.apply_eri fl ~base ~rows in
+         let he =
+           Postplace.Flow.evaluate fl
+             heuristic.Postplace.Technique.eri_placement
+         in
+         let optimized = Postplace.Optimizer.greedy_rows fl ~rows () in
+         let oe =
+           Postplace.Flow.evaluate fl
+             optimized.Postplace.Optimizer.plan.Postplace.Technique
+               .eri_placement
+         in
+         let red ev =
+           Thermal.Metrics.reduction_pct
+             ~before:base.Postplace.Flow.metrics
+             ~after:ev.Postplace.Flow.metrics
+         in
+         Printf.printf
+           "budget %2d rows: heuristic ERI %.2f%% | greedy %.2f%% (%d coarse \
+            solves)\n"
+           rows (red he) (red oe)
+           optimized.Postplace.Optimizer.evaluations;
+         j_obj
+           [ ("budget_rows", j_i rows);
+             ("heuristic_reduction_pct", j_f (red he));
+             ("greedy_reduction_pct", j_f (red oe));
+             ("coarse_solves", j_i optimized.Postplace.Optimizer.evaluations) ])
+      [ 8; 16; 24 ]
+  in
+  j_obj [ ("budgets", j_list budgets) ]
 
 (* --- ELECTROTHERMAL ------------------------------------------------------------ *)
 
@@ -245,7 +346,19 @@ let run_electrothermal () =
      Printf.printf
        "\nERI reduction: %.2f%% open loop vs %.2f%% under feedback\n"
        open_red closed_red
-   | _ -> ())
+   | _ -> ());
+  j_obj
+    [ ("rows",
+       j_list
+         (List.map
+            (fun (r : Postplace.Experiment.electrothermal_row) ->
+               j_obj
+                 [ ("scheme", j_s r.Postplace.Experiment.et_scheme);
+                   ("open_loop_peak_k", j_f r.et_open_loop_peak_k);
+                   ("closed_loop_peak_k", j_f r.et_closed_loop_peak_k);
+                   ("leakage_increase_pct", j_f r.et_leakage_increase_pct);
+                   ("iterations", j_i r.et_iterations) ])
+            rows)) ]
 
 (* --- PACKAGE SWEEP --------------------------------------------------------------- *)
 
@@ -263,7 +376,18 @@ let run_package () =
        Printf.printf "%-18.0f %12.3f %14.3f %20.2f\n"
          r.Postplace.Experiment.pk_h_top_w_m2k r.pk_peak_k r.pk_gradient_k
          r.pk_eri_reduction_pct)
-    rows
+    rows;
+  j_obj
+    [ ("rows",
+       j_list
+         (List.map
+            (fun (r : Postplace.Experiment.package_row) ->
+               j_obj
+                 [ ("h_top_w_m2k", j_f r.Postplace.Experiment.pk_h_top_w_m2k);
+                   ("peak_k", j_f r.pk_peak_k);
+                   ("gradient_k", j_f r.pk_gradient_k);
+                   ("eri_reduction_pct", j_f r.pk_eri_reduction_pct) ])
+            rows)) ]
 
 (* --- BASELINES ----------------------------------------------------------------------- *)
 
@@ -281,7 +405,18 @@ let run_baselines () =
        Printf.printf "%-20s %13.1f %15.2f %12.2f\n"
          r.Postplace.Experiment.bl_scheme r.bl_overhead_pct
          r.bl_reduction_pct r.bl_timing_pct)
-    rows
+    rows;
+  j_obj
+    [ ("rows",
+       j_list
+         (List.map
+            (fun (r : Postplace.Experiment.baseline_row) ->
+               j_obj
+                 [ ("scheme", j_s r.Postplace.Experiment.bl_scheme);
+                   ("overhead_pct", j_f r.bl_overhead_pct);
+                   ("reduction_pct", j_f r.bl_reduction_pct);
+                   ("timing_pct", j_f r.bl_timing_pct) ])
+            rows)) ]
 
 (* --- GLITCH ------------------------------------------------------------------------ *)
 
@@ -298,7 +433,17 @@ let run_glitch () =
        Printf.printf "%-28s %14.4f %14.4f %8.2f\n"
          r.Postplace.Experiment.gl_metric r.gl_zero_delay r.gl_event_driven
          (r.gl_event_driven /. r.gl_zero_delay))
-    rows
+    rows;
+  j_obj
+    [ ("rows",
+       j_list
+         (List.map
+            (fun (r : Postplace.Experiment.glitch_row) ->
+               j_obj
+                 [ ("metric", j_s r.Postplace.Experiment.gl_metric);
+                   ("zero_delay", j_f r.gl_zero_delay);
+                   ("event_driven", j_f r.gl_event_driven) ])
+            rows)) ]
 
 (* --- TRANSIENT (model validation) ------------------------------------------------- *)
 
@@ -332,9 +477,14 @@ let run_transient () =
          Printf.printf "  %8.1f -> %.3f\n" (t *. 1e6)
            r.Thermal.Transient.peak_rise_k.(k))
     r.Thermal.Transient.times_s;
+  let justified = r.Thermal.Transient.tau_63_s > 1e-6 in
   Printf.printf
     "check: tau >> clock period, steady-state analysis justified: %b\n"
-    (r.Thermal.Transient.tau_63_s > 1e-6)
+    justified;
+  j_obj
+    [ ("steady_peak_k", j_f r.Thermal.Transient.steady_peak_k);
+      ("tau_63_s", j_f r.Thermal.Transient.tau_63_s);
+      ("steady_state_justified", j_b justified) ]
 
 (* --- PERF (bechamel) -------------------------------------------------------------- *)
 
@@ -393,49 +543,56 @@ let run_perf () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = ref [] in
   Hashtbl.iter (fun name v -> rows := (name, v) :: !rows) results;
-  List.iter
-    (fun (name, v) ->
-       match Analyze.OLS.estimates v with
-       | Some [ ns ] ->
-         Printf.printf "%-32s %12.0f ns/run (%9.3f ms)\n" name ns
-           (ns /. 1.0e6)
-       | _ -> Printf.printf "%-32s (no estimate)\n" name)
-    (List.sort compare !rows)
+  let kernels =
+    List.filter_map
+      (fun (name, v) ->
+         match Analyze.OLS.estimates v with
+         | Some [ ns ] ->
+           Printf.printf "%-32s %12.0f ns/run (%9.3f ms)\n" name ns
+             (ns /. 1.0e6);
+           Some (name, j_f ns)
+         | _ ->
+           Printf.printf "%-32s (no estimate)\n" name;
+           None)
+      (List.sort compare !rows)
+  in
+  j_obj [ ("ns_per_run", j_obj kernels) ]
 
-let all_experiments () =
-  run_fig5 ();
-  run_fig6 ();
-  run_table1 ();
-  run_timing ();
-  run_congestion ();
-  run_ablation ();
-  run_optimizer ();
-  run_electrothermal ();
-  run_package ();
-  run_baselines ();
-  run_glitch ();
-  run_transient ()
+(* --- dispatch ---------------------------------------------------------------------- *)
+
+let experiments =
+  [ ("fig5", run_fig5); ("fig6", run_fig6); ("table1", run_table1);
+    ("timing", run_timing); ("congestion", run_congestion);
+    ("ablation", run_ablation); ("optimizer", run_optimizer);
+    ("electrothermal", run_electrothermal); ("package", run_package);
+    ("baselines", run_baselines); ("glitch", run_glitch);
+    ("transient", run_transient) ]
+
+(* Runs an experiment and writes its summary to BENCH_<name>.json alongside
+   the text table, so downstream tooling can diff runs without scraping
+   stdout. *)
+let run_and_emit (name, f) =
+  let summary = f () in
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let json =
+    Obs.Json.Obj [ ("experiment", j_s name); ("summary", summary) ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[wrote %s]\n" path
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
-  | [] | [ "all" ] -> all_experiments ()
-  | [ "fig5" ] -> run_fig5 ()
-  | [ "fig6" ] -> run_fig6 ()
-  | [ "table1" ] -> run_table1 ()
-  | [ "timing" ] -> run_timing ()
-  | [ "congestion" ] -> run_congestion ()
-  | [ "ablation" ] -> run_ablation ()
-  | [ "optimizer" ] -> run_optimizer ()
-  | [ "electrothermal" ] -> run_electrothermal ()
-  | [ "package" ] -> run_package ()
-  | [ "glitch" ] -> run_glitch ()
-  | [ "baselines" ] -> run_baselines ()
-  | [ "transient" ] -> run_transient ()
-  | [ "perf" ] -> run_perf ()
+  | [] | [ "all" ] -> List.iter run_and_emit experiments
+  | [ "perf" ] -> run_and_emit ("perf", run_perf)
+  | [ name ] when List.mem_assoc name experiments ->
+    run_and_emit (name, List.assoc name experiments)
   | other ->
     Printf.eprintf
-      "unknown experiment %s; expected one of all, fig5, fig6, table1, \
-       timing, congestion, ablation, optimizer, perf\n"
-      (String.concat " " other);
+      "unknown experiment %s; expected one of all, perf, %s\n"
+      (String.concat " " other)
+      (String.concat ", " (List.map fst experiments));
     exit 2

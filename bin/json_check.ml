@@ -1,0 +1,38 @@
+(* json_check FILE [KEY ...]: parse FILE with Obs.Json and require each KEY
+   to be present at the top level. Exits non-zero with a diagnostic on parse
+   failure or a missing key. Used by scripts/check.sh to validate --report
+   output without external JSON tooling. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: path :: keys ->
+    let text =
+      try read_file path
+      with Sys_error msg ->
+        Printf.eprintf "json_check: %s\n" msg;
+        exit 1
+    in
+    (match Obs.Json.of_string text with
+     | Error msg ->
+       Printf.eprintf "json_check: %s: invalid JSON: %s\n" path msg;
+       exit 1
+     | Ok json ->
+       let missing =
+         List.filter (fun k -> Obs.Json.member k json = None) keys
+       in
+       if missing <> [] then begin
+         Printf.eprintf "json_check: %s: missing top-level keys: %s\n" path
+           (String.concat ", " missing);
+         exit 1
+       end;
+       Printf.printf "%s: valid JSON (%d top-level keys)\n" path
+         (List.length (Obs.Json.keys json)))
+  | _ ->
+    prerr_endline "usage: json_check FILE [REQUIRED_KEY ...]";
+    exit 2

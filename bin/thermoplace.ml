@@ -4,9 +4,46 @@
      thermoplace flow     -- run the full flow and one technique
      thermoplace report   -- netlist / placement / power / thermal summary
      thermoplace maps     -- dump power and thermal maps (matrix or ascii)
-     thermoplace sweep    -- Default/ERI/HW reduction-vs-overhead sweep *)
+     thermoplace sweep    -- Default/ERI/HW reduction-vs-overhead sweep
+     thermoplace export   -- Verilog / LEF / DEF / SPICE / SVG dump
+
+   Every subcommand accepts --trace (span tree to stderr) and
+   --report FILE (machine-readable JSON run report). *)
 
 open Cmdliner
+
+(* --- validated option converters ----------------------------------------- *)
+
+(* Range errors surface as Cmdliner parse errors (usage + message) instead
+   of a downstream Invalid_argument from the flow internals. *)
+
+let int_min ~min name =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "%s: expected an integer, got %S" name s))
+    | Some v when v < min ->
+      Error (`Msg (Printf.sprintf "%s must be >= %d (got %d)" name min v))
+    | Some v -> Ok v
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let float_range ?min_exclusive ?max_inclusive ~min name =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "%s: expected a number, got %S" name s))
+    | Some v when Float.is_nan v ->
+      Error (`Msg (Printf.sprintf "%s: nan is not a valid value" name))
+    | Some v when v < min ->
+      Error (`Msg (Printf.sprintf "%s must be >= %g (got %g)" name min v))
+    | Some v when (match min_exclusive with Some lo -> v <= lo | None -> false) ->
+      Error (`Msg (Printf.sprintf "%s must be > %g (got %g)" name
+                     (Option.get min_exclusive) v))
+    | Some v when (match max_inclusive with Some hi -> v > hi | None -> false) ->
+      Error (`Msg (Printf.sprintf "%s must be <= %g (got %g)" name
+                     (Option.get max_inclusive) v))
+    | Some v -> Ok v
+  in
+  Arg.conv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
 
 (* --- shared options ------------------------------------------------------ *)
 
@@ -15,21 +52,42 @@ let seed =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let cycles =
-  let doc = "Measured simulation cycles for switching activity." in
-  Arg.(value & opt int 1000 & info [ "cycles" ] ~docv:"N" ~doc)
+  let doc = "Measured simulation cycles for switching activity (>= 1)." in
+  Arg.(value & opt (int_min ~min:1 "--cycles") 1000
+       & info [ "cycles" ] ~docv:"N" ~doc)
 
 let utilization =
-  let doc = "Base placement row-utilization factor." in
-  Arg.(value & opt float 0.85 & info [ "utilization"; "u" ] ~docv:"U" ~doc)
+  let doc = "Base placement row-utilization factor, in (0, 1]." in
+  Arg.(value
+       & opt (float_range ~min:0.0 ~min_exclusive:0.0 ~max_inclusive:1.0
+                "--utilization")
+           0.85
+       & info [ "utilization"; "u" ] ~docv:"U" ~doc)
 
 let test_set =
   let doc =
-    "Benchmark workload: 'scattered' (test set 1, four scattered hotspots), \
-     'concentrated' (test set 2, one large hotspot), or 'small' (tiny \
-     3-unit smoke benchmark)."
+    "Benchmark workload: $(b,scattered) (test set 1, four scattered \
+     hotspots), $(b,concentrated) (test set 2, one large hotspot), or \
+     $(b,small) (tiny 3-unit smoke benchmark)."
   in
-  Arg.(value & opt string "scattered" & info [ "test-set"; "t" ] ~docv:"SET"
-         ~doc)
+  let sets =
+    [ ("scattered", "scattered"); ("concentrated", "concentrated");
+      ("small", "small") ]
+  in
+  Arg.(value & opt (enum sets) "scattered"
+       & info [ "test-set"; "t" ] ~docv:"SET" ~doc)
+
+let trace_arg =
+  let doc = "Print the wall-clock span tree of the run to stderr." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let report_arg =
+  let doc =
+    "Write a machine-readable JSON run report (config, span tree, metrics, \
+     warnings, results) to $(docv)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "report" ] ~docv:"FILE" ~doc)
 
 let prepare ~seed ~cycles ~utilization ~test_set =
   match test_set with
@@ -45,21 +103,72 @@ let prepare ~seed ~cycles ~utilization ~test_set =
     let bench = Netgen.Benchmark.small () in
     Postplace.Flow.prepare ~seed ~utilization ~sim_cycles:cycles bench
       (Logicsim.Workload.make ~default:0.05 ~hot:[ (0, 0.5) ])
-  | other ->
-    Printf.eprintf "unknown test set %S\n" other;
-    exit 2
+  | _ -> assert false (* the enum converter rejects everything else *)
+
+(* --- observability wiring ------------------------------------------------- *)
+
+let obs_begin ~trace ~report =
+  if trace || report <> None then Obs.Trace.set_enabled true;
+  Obs.Trace.reset ();
+  Obs.Metrics.reset ();
+  Obs.Log.reset ()
+
+let base_config ~seed ~cycles ~utilization ~test_set =
+  [ ("seed", Obs.Json.Int seed);
+    ("cycles", Obs.Json.Int cycles);
+    ("utilization", Obs.Json.Float utilization);
+    ("test_set", Obs.Json.String test_set) ]
+
+let eval_json (ev : Postplace.Flow.evaluation) =
+  Obs.Json.Obj
+    [ ("thermal", Thermal.Metrics.to_json ev.Postplace.Flow.metrics);
+      ("hotspots",
+       Obs.Json.List
+         (List.map Postplace.Hotspot.to_json ev.Postplace.Flow.hotspots));
+      ("critical_ps",
+       Obs.Json.Float ev.Postplace.Flow.timing.Sta.Timing.critical_ps);
+      ("hpwl_um",
+       Obs.Json.Float (Place.Placement.hpwl ev.Postplace.Flow.placement));
+      ("placement_utilization",
+       Obs.Json.Float
+         (Place.Placement.utilization ev.Postplace.Flow.placement)) ]
+
+(* Returns the process exit status so an unwritable --report path surfaces
+   as a clean error instead of an uncaught Sys_error. *)
+let obs_end ~command ~trace ~report ~config ~sections =
+  if trace then Format.eprintf "%a" Obs.Trace.pp_tree ();
+  match report with
+  | None -> 0
+  | Some path ->
+    (match
+       Obs.Report.write_file path
+         (Obs.Report.make ~command ~config ~sections ())
+     with
+     | () ->
+       Printf.printf "wrote report %s\n" path;
+       0
+     | exception Sys_error msg ->
+       Printf.eprintf "thermoplace: cannot write report: %s\n" msg;
+       1)
 
 (* --- flow ---------------------------------------------------------------- *)
 
 let technique_arg =
-  let doc = "Technique to apply: none, default, eri, hw." in
-  Arg.(value & opt string "eri" & info [ "technique" ] ~docv:"T" ~doc)
+  let doc = "Technique to apply: $(b,none), $(b,default), $(b,eri), $(b,hw)." in
+  let techniques =
+    [ ("none", "none"); ("default", "default"); ("eri", "eri"); ("hw", "hw") ]
+  in
+  Arg.(value & opt (enum techniques) "eri"
+       & info [ "technique" ] ~docv:"T" ~doc)
 
 let overhead_arg =
-  let doc = "Target area overhead as a fraction (e.g. 0.2 = 20%)." in
-  Arg.(value & opt float 0.2 & info [ "overhead" ] ~docv:"F" ~doc)
+  let doc = "Target area overhead as a fraction in [0, 4] (e.g. 0.2 = 20%)." in
+  Arg.(value
+       & opt (float_range ~min:0.0 ~max_inclusive:4.0 "--overhead") 0.2
+       & info [ "overhead" ] ~docv:"F" ~doc)
 
-let run_flow seed cycles utilization test_set technique overhead =
+let run_flow seed cycles utilization test_set technique overhead trace report =
+  obs_begin ~trace ~report;
   let flow = prepare ~seed ~cycles ~utilization ~test_set in
   let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
   Format.printf "base: %a@." Place.Placement.pp_summary
@@ -91,29 +200,54 @@ let run_flow seed cycles utilization test_set technique overhead =
       in
       let de = Postplace.Flow.evaluate flow d in
       Some (Postplace.Flow.apply_hw flow ~on:de ())
-    | other ->
-      Printf.eprintf "unknown technique %S\n" other;
-      exit 2
+    | _ -> assert false
   in
-  (match transformed with
-   | None -> ()
-   | Some pl ->
-     let ev = Postplace.Flow.evaluate flow pl in
-     Format.printf "after %s: %a@." technique Thermal.Metrics.pp
-       ev.Postplace.Flow.metrics;
-     Format.printf
-       "area overhead %.1f%%, peak reduction %.2f%%, timing %+0.2f%%@."
-       (Postplace.Technique.area_overhead_pct
-          ~base:base.Postplace.Flow.placement pl)
-       (Thermal.Metrics.reduction_pct ~before:base.Postplace.Flow.metrics
-          ~after:ev.Postplace.Flow.metrics)
-       (Sta.Timing.overhead_pct ~before:base.Postplace.Flow.timing
-          ~after:ev.Postplace.Flow.timing));
-  0
+  let result_section =
+    match transformed with
+    | None -> []
+    | Some pl ->
+      let ev = Postplace.Flow.evaluate flow pl in
+      let area_pct =
+        Postplace.Technique.area_overhead_pct
+          ~base:base.Postplace.Flow.placement pl
+      in
+      let red_pct =
+        Thermal.Metrics.reduction_pct ~before:base.Postplace.Flow.metrics
+          ~after:ev.Postplace.Flow.metrics
+      in
+      let timing_pct =
+        Sta.Timing.overhead_pct ~before:base.Postplace.Flow.timing
+          ~after:ev.Postplace.Flow.timing
+      in
+      Format.printf "after %s: %a@." technique Thermal.Metrics.pp
+        ev.Postplace.Flow.metrics;
+      Format.printf
+        "area overhead %.1f%%, peak reduction %.2f%%, timing %+0.2f%%@."
+        area_pct red_pct timing_pct;
+      [ ("result",
+         Obs.Json.Obj
+           [ ("scheme", Obs.Json.String technique);
+             ("area_overhead_pct", Obs.Json.Float area_pct);
+             ("peak_reduction_pct", Obs.Json.Float red_pct);
+             ("gradient_reduction_pct",
+              Obs.Json.Float
+                (Thermal.Metrics.gradient_reduction_pct
+                   ~before:base.Postplace.Flow.metrics
+                   ~after:ev.Postplace.Flow.metrics));
+             ("timing_overhead_pct", Obs.Json.Float timing_pct);
+             ("after", eval_json ev) ]) ]
+  in
+  obs_end ~command:"flow" ~trace ~report
+    ~config:
+      (base_config ~seed ~cycles ~utilization ~test_set
+       @ [ ("technique", Obs.Json.String technique);
+           ("overhead", Obs.Json.Float overhead) ])
+    ~sections:([ ("base", eval_json base) ] @ result_section)
 
 (* --- report ---------------------------------------------------------------- *)
 
-let run_report seed cycles utilization test_set =
+let run_report seed cycles utilization test_set trace report =
+  obs_begin ~trace ~report;
   let flow = prepare ~seed ~cycles ~utilization ~test_set in
   let nl = flow.Postplace.Flow.bench.Netgen.Benchmark.netlist in
   Format.printf "%a@."
@@ -142,7 +276,9 @@ let run_report seed cycles utilization test_set =
          (List.length h.Postplace.Hotspot.cells)
          h.Postplace.Hotspot.peak_rise_k)
     base.Postplace.Flow.hotspots;
-  0
+  obs_end ~command:"report" ~trace ~report
+    ~config:(base_config ~seed ~cycles ~utilization ~test_set)
+    ~sections:[ ("base", eval_json base) ]
 
 (* --- maps ------------------------------------------------------------------- *)
 
@@ -150,7 +286,8 @@ let ascii_arg =
   let doc = "Render maps as terminal shading instead of numeric matrices." in
   Arg.(value & flag & info [ "ascii" ] ~doc)
 
-let run_maps seed cycles utilization test_set ascii =
+let run_maps seed cycles utilization test_set ascii trace report =
+  obs_begin ~trace ~report;
   let flow = prepare ~seed ~cycles ~utilization ~test_set in
   let power, thermal = Postplace.Experiment.fig5_maps flow in
   let dump name g =
@@ -161,7 +298,10 @@ let run_maps seed cycles utilization test_set ascii =
   in
   dump "power [W/tile]" power;
   dump "thermal rise [K]" thermal;
-  0
+  obs_end ~command:"maps" ~trace ~report
+    ~config:(base_config ~seed ~cycles ~utilization ~test_set)
+    ~sections:
+      [ ("thermal", Thermal.Metrics.to_json (Thermal.Metrics.of_map thermal)) ]
 
 (* --- export ------------------------------------------------------------------ *)
 
@@ -169,7 +309,8 @@ let outdir_arg =
   let doc = "Directory for the exported files (created if missing)." in
   Arg.(value & opt string "export" & info [ "outdir"; "o" ] ~docv:"DIR" ~doc)
 
-let run_export seed cycles utilization test_set outdir =
+let run_export seed cycles utilization test_set outdir trace report =
+  obs_begin ~trace ~report;
   let flow = prepare ~seed ~cycles ~utilization ~test_set in
   if not (Sys.file_exists outdir) then Unix.mkdir outdir 0o755;
   let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
@@ -199,13 +340,33 @@ let run_export seed cycles utilization test_set outdir =
     (Netlist.Types.num_cells nl)
     (List.length fillers)
     (Thermal.Spice.count_resistors problem);
-  0
+  obs_end ~command:"export" ~trace ~report
+    ~config:
+      (base_config ~seed ~cycles ~utilization ~test_set
+       @ [ ("outdir", Obs.Json.String outdir) ])
+    ~sections:[ ("base", eval_json base) ]
 
 (* --- sweep ------------------------------------------------------------------- *)
 
-let run_sweep seed cycles utilization test_set =
+let point_json (p : Postplace.Experiment.point) =
+  Obs.Json.Obj
+    [ ("scheme", Obs.Json.String p.Postplace.Experiment.scheme);
+      ("area_overhead_pct", Obs.Json.Float p.area_overhead_pct);
+      ("temp_reduction_pct", Obs.Json.Float p.temp_reduction_pct);
+      ("gradient_reduction_pct", Obs.Json.Float p.gradient_reduction_pct);
+      ("peak_rise_k", Obs.Json.Float p.peak_rise_k);
+      ("timing_overhead_pct", Obs.Json.Float p.timing_overhead_pct);
+      ("hpwl_um", Obs.Json.Float p.hpwl_um) ]
+
+let run_sweep seed cycles utilization test_set trace report =
+  obs_begin ~trace ~report;
   let flow = prepare ~seed ~cycles ~utilization ~test_set in
   let fig6 = Postplace.Experiment.run_fig6 flow in
+  let points =
+    fig6.Postplace.Experiment.default_points
+    @ fig6.Postplace.Experiment.eri_points
+    @ fig6.Postplace.Experiment.hw_points
+  in
   Format.printf "%-10s %12s %14s %12s@." "scheme" "overhead[%]"
     "reduction[%]" "timing[+%]";
   List.iter
@@ -213,10 +374,12 @@ let run_sweep seed cycles utilization test_set =
        Format.printf "%-10s %12.2f %14.2f %12.2f@."
          p.Postplace.Experiment.scheme p.area_overhead_pct
          p.temp_reduction_pct p.timing_overhead_pct)
-    (fig6.Postplace.Experiment.default_points
-     @ fig6.Postplace.Experiment.eri_points
-     @ fig6.Postplace.Experiment.hw_points);
-  0
+    points;
+  obs_end ~command:"sweep" ~trace ~report
+    ~config:(base_config ~seed ~cycles ~utilization ~test_set)
+    ~sections:
+      [ ("base", eval_json fig6.Postplace.Experiment.base_eval);
+        ("points", Obs.Json.List (List.map point_json points)) ]
 
 (* --- command wiring ------------------------------------------------------------ *)
 
@@ -224,23 +387,25 @@ let flow_cmd =
   let doc = "Run the flow and apply one temperature-reduction technique." in
   Cmd.v (Cmd.info "flow" ~doc)
     Term.(const run_flow $ seed $ cycles $ utilization $ test_set
-          $ technique_arg $ overhead_arg)
+          $ technique_arg $ overhead_arg $ trace_arg $ report_arg)
 
 let report_cmd =
   let doc = "Print netlist, placement, power and thermal summaries." in
   Cmd.v (Cmd.info "report" ~doc)
-    Term.(const run_report $ seed $ cycles $ utilization $ test_set)
+    Term.(const run_report $ seed $ cycles $ utilization $ test_set
+          $ trace_arg $ report_arg)
 
 let maps_cmd =
   let doc = "Dump power and thermal maps (Fig. 5 data)." in
   Cmd.v (Cmd.info "maps" ~doc)
     Term.(const run_maps $ seed $ cycles $ utilization $ test_set
-          $ ascii_arg)
+          $ ascii_arg $ trace_arg $ report_arg)
 
 let sweep_cmd =
   let doc = "Reduction-vs-overhead sweep for all three schemes (Fig. 6)." in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const run_sweep $ seed $ cycles $ utilization $ test_set)
+    Term.(const run_sweep $ seed $ cycles $ utilization $ test_set
+          $ trace_arg $ report_arg)
 
 let export_cmd =
   let doc =
@@ -249,7 +414,7 @@ let export_cmd =
   in
   Cmd.v (Cmd.info "export" ~doc)
     Term.(const run_export $ seed $ cycles $ utilization $ test_set
-          $ outdir_arg)
+          $ outdir_arg $ trace_arg $ report_arg)
 
 let () =
   let doc = "post-placement temperature reduction (Liu & Nannarelli, DATE'10)" in

@@ -40,21 +40,26 @@ let compute_unit_areas tech bench =
 let prepare ?(seed = 42) ?(utilization = 0.85) ?(sim_cycles = 1000)
     ?(warmup_cycles = 64) ?(mesh_config = Thermal.Mesh.default_config) bench
     workload =
+  Obs.Trace.with_span "flow.prepare" @@ fun () ->
   let tech = Celllib.Tech.default_65nm in
   let nl = bench.Netgen.Benchmark.netlist in
   let rng = Geo.Rng.create seed in
   let sim = Logicsim.Sim.create nl in
   let activity =
+    Obs.Trace.with_span "flow.activity" @@ fun () ->
     Logicsim.Activity.measure sim workload (Geo.Rng.split rng)
       ~warmup:warmup_cycles ~cycles:sim_cycles
   in
   let unit_areas = compute_unit_areas tech bench in
   let total_area = Array.fold_left (fun s (_, a) -> s +. a) 0.0 unit_areas in
-  let fp =
-    Place.Floorplan.create tech ~cell_area_um2:total_area ~utilization
-      ~aspect:1.0
+  let fp, regions =
+    Obs.Trace.with_span "flow.floorplan" @@ fun () ->
+    let fp =
+      Place.Floorplan.create tech ~cell_area_um2:total_area ~utilization
+        ~aspect:1.0
+    in
+    (fp, Place.Regions.pack fp ~areas:unit_areas)
   in
-  let regions = Place.Regions.pack fp ~areas:unit_areas in
   let cells_of tag = unit_cell_ids nl tag in
   let positions =
     Place.Global.place nl tech ~regions ~cells_of_region:cells_of
@@ -64,6 +69,7 @@ let prepare ?(seed = 42) ?(utilization = 0.85) ?(sim_cycles = 1000)
     Place.Legalize.run nl fp ~regions ~cells_of_region:cells_of ~positions
   in
   let power =
+    Obs.Trace.with_span "flow.power" @@ fun () ->
     Power.Model.compute base_placement
       ~toggle_rate:activity.Logicsim.Activity.toggle_rate
   in
@@ -82,8 +88,10 @@ type evaluation = {
 }
 
 let evaluate t pl =
+  Obs.Trace.with_span "flow.evaluate" @@ fun () ->
   let cfg = t.mesh_config in
   let power_map =
+    Obs.Trace.with_span "power.map" @@ fun () ->
     Power.Map.power_map pl ~per_cell_w:t.per_cell_w
       ~nx:cfg.Thermal.Mesh.nx ~ny:cfg.Thermal.Mesh.ny
   in
@@ -91,8 +99,23 @@ let evaluate t pl =
   let solution = Thermal.Mesh.solve problem in
   let thermal_map = Thermal.Mesh.active_layer_grid solution in
   let metrics = Thermal.Metrics.of_map thermal_map in
-  let hotspots = Hotspot.detect ~thermal:thermal_map ~placement:pl () in
-  let timing = Sta.Timing.analyze pl ~thermal_map () in
+  let hotspots =
+    Obs.Trace.with_span "hotspot.detect" @@ fun () ->
+    Hotspot.detect ~thermal:thermal_map ~placement:pl ()
+  in
+  Obs.Metrics.observe "hotspot.count"
+    (float_of_int (List.length hotspots));
+  Obs.Metrics.observe "hotspot.tiles"
+    (float_of_int
+       (List.fold_left (fun acc h -> acc + Hotspot.tile_count h) 0 hotspots));
+  Obs.Metrics.observe "hotspot.area_um2"
+    (List.fold_left (fun acc h -> acc +. Geo.Rect.area h.Hotspot.rect) 0.0
+       hotspots);
+  Obs.Metrics.observe "flow.peak_rise_k" metrics.Thermal.Metrics.peak_rise_k;
+  let timing =
+    Obs.Trace.with_span "sta.analyze" @@ fun () ->
+    Sta.Timing.analyze pl ~thermal_map ()
+  in
   { placement = pl; power_map; thermal_map; metrics; hotspots; timing }
 
 let apply_default t ~utilization =

@@ -85,6 +85,19 @@ let detect ~thermal ~placement ?(threshold_frac = 0.85) () =
 
 let tile_count h = List.length h.tiles
 
+let to_json h =
+  Obs.Json.Obj
+    [ ("rect",
+       Obs.Json.Obj
+         [ ("lx", Obs.Json.Float h.rect.Geo.Rect.lx);
+           ("ly", Obs.Json.Float h.rect.Geo.Rect.ly);
+           ("hx", Obs.Json.Float h.rect.Geo.Rect.hx);
+           ("hy", Obs.Json.Float h.rect.Geo.Rect.hy) ]);
+      ("area_um2", Obs.Json.Float (Geo.Rect.area h.rect));
+      ("tiles", Obs.Json.Int (tile_count h));
+      ("cells", Obs.Json.Int (List.length h.cells));
+      ("peak_rise_k", Obs.Json.Float h.peak_rise_k) ]
+
 let total_cells hs =
   List.fold_left (fun acc h -> acc + List.length h.cells) 0 hs
 

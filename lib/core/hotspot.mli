@@ -22,6 +22,10 @@ val detect : thermal:Geo.Grid.t -> placement:Place.Placement.t ->
 
 val tile_count : t -> int
 
+val to_json : t -> Obs.Json.t
+(** Bounding rect (µm), area, tile/cell counts and peak rise — the hotspot
+    summary embedded in {!Obs.Report} run reports. *)
+
 val total_cells : t list -> int
 
 val span_rows : Place.Floorplan.t -> t -> int * int

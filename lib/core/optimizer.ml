@@ -23,6 +23,7 @@ let greedy_rows flow ~rows ?(chunk = 4) ?(stride = 4) ?(coarse_nx = 20) () =
   if rows <= 0 then invalid_arg "Optimizer.greedy_rows: non-positive budget";
   if chunk <= 0 || stride <= 0 || coarse_nx <= 0 then
     invalid_arg "Optimizer.greedy_rows: non-positive parameter";
+  Obs.Trace.with_span "optimizer.greedy_rows" @@ fun () ->
   let base = flow.Flow.base_placement in
   let num_rows = base.Place.Placement.fp.Place.Floorplan.num_rows in
   let candidates =
@@ -53,7 +54,13 @@ let greedy_rows flow ~rows ?(chunk = 4) ?(stride = 4) ?(coarse_nx = 20) () =
     remaining := !remaining - step
   done;
   let final = Technique.apply_row_insertions base !plan in
-  { plan = final;
-    predicted_peak_k =
-      peak_of flow final.Technique.eri_placement ~nx:coarse_nx;
-    evaluations = !evaluations + 1 }
+  let result =
+    { plan = final;
+      predicted_peak_k =
+        peak_of flow final.Technique.eri_placement ~nx:coarse_nx;
+      evaluations = !evaluations + 1 }
+  in
+  Obs.Metrics.count "optimizer.thermal_solves" ~by:result.evaluations;
+  Obs.Metrics.observe "optimizer.predicted_peak_k" result.predicted_peak_k;
+  Obs.Metrics.count "optimizer.rows_inserted" ~by:rows;
+  result

@@ -8,6 +8,7 @@ type t = {
   toggle_count : int array;       (* per net, glitches included *)
   ones_count : int array;
   mutable n_cycles : int;
+  mutable n_events : int;         (* gate evaluations across all waves *)
   mutable settle_waves : int;
   (* scratch wave state, sized once *)
   cell_seen : int array;          (* last wave a cell was evaluated in *)
@@ -35,6 +36,7 @@ let create nl =
     toggle_count = Array.make (T.num_nets nl) 0;
     ones_count = Array.make (T.num_nets nl) 0;
     n_cycles = 0;
+    n_events = 0;
     settle_waves = 0;
     cell_seen = Array.make (T.num_cells nl) (-1);
     wave_id = 0 }
@@ -43,6 +45,7 @@ let netlist t = t.nl
 let set_input t k v = t.staged_inputs.(k) <- v
 let input_value t k = t.staged_inputs.(k)
 let cycles t = t.n_cycles
+let events t = t.n_events
 let value t nid = t.values.(nid)
 let toggles t nid = t.toggle_count.(nid)
 let ones t nid = t.ones_count.(nid)
@@ -50,7 +53,8 @@ let ones t nid = t.ones_count.(nid)
 let reset_counters t =
   Array.fill t.toggle_count 0 (Array.length t.toggle_count) 0;
   Array.fill t.ones_count 0 (Array.length t.ones_count) 0;
-  t.n_cycles <- 0
+  t.n_cycles <- 0;
+  t.n_events <- 0
 
 let apply_change t nid v =
   if t.values.(nid) <> v then begin
@@ -72,6 +76,7 @@ let propagate_wave t changed =
          (fun (cid, _pin) ->
             if t.cell_seen.(cid) <> t.wave_id then begin
               t.cell_seen.(cid) <- t.wave_id;
+              t.n_events <- t.n_events + 1;
               let c = T.cell nl cid in
               if not (Celllib.Kind.is_sequential c.T.kind) then begin
                 let ins =
@@ -125,6 +130,7 @@ let last_settle_waves t = t.settle_waves
 
 let measure t workload rng ~warmup ~cycles =
   if cycles <= 0 then invalid_arg "Event_sim.measure: cycles <= 0";
+  Obs.Trace.with_span "sim.event.measure" @@ fun () ->
   let nl = t.nl in
   let tags = nl.T.pi_tags in
   let drive () =
@@ -144,6 +150,10 @@ let measure t workload rng ~warmup ~cycles =
     drive ();
     step t
   done;
+  Obs.Metrics.count "sim.event.cycles" ~by:cycles;
+  Obs.Metrics.count "sim.event.events" ~by:t.n_events;
+  Obs.Metrics.observe "sim.event.events_per_cycle"
+    (float_of_int t.n_events /. float_of_int cycles);
   let n = T.num_nets nl in
   let fc = float_of_int cycles in
   { Activity.measured_cycles = cycles;

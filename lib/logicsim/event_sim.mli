@@ -26,6 +26,11 @@ val step : t -> unit
     capture flip-flop D pins. *)
 
 val cycles : t -> int
+
+val events : t -> int
+(** Gate evaluations performed across all waves since the last
+    {!reset_counters} — the event-driven engine's unit of work. *)
+
 val value : t -> Netlist.Types.net_id -> bool
 val toggles : t -> Netlist.Types.net_id -> int
 (** Transitions including glitches. *)

@@ -1,0 +1,32 @@
+let max_retained = 1000
+
+let default_handler msg = Printf.eprintf "warning: %s\n%!" msg
+
+let handler : (string -> unit) option ref = ref (Some default_handler)
+let retained : string list ref = ref []  (* reversed *)
+let n_retained = ref 0
+let n_dropped = ref 0
+
+let set_handler h = handler := h
+
+let warn msg =
+  if !n_retained < max_retained then begin
+    retained := msg :: !retained;
+    incr n_retained
+  end
+  else incr n_dropped;
+  match !handler with Some h -> h msg | None -> ()
+
+let warnings () = List.rev !retained
+
+let dropped () = !n_dropped
+
+let reset () =
+  retained := [];
+  n_retained := 0;
+  n_dropped := 0
+
+let to_json () =
+  Json.Obj
+    [ ("messages", Json.List (List.map (fun m -> Json.String m) (warnings ())));
+      ("dropped", Json.Int (dropped ())) ]

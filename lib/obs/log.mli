@@ -1,0 +1,28 @@
+(** Warning channel for instrumented code.
+
+    Numerical layers report anomalies (e.g. a CG solve that hit its
+    iteration cap without converging) here instead of printing directly, so
+    callers can silence, redirect or collect them. Every warning is also
+    retained (up to a cap) for inclusion in JSON run reports. *)
+
+val warn : string -> unit
+(** Record a warning: appended to the retained list and passed to the
+    current handler. *)
+
+val set_handler : (string -> unit) option -> unit
+(** [None] silences warnings (they are still retained); the default handler
+    prints ["warning: <msg>"] to stderr. *)
+
+val default_handler : string -> unit
+
+val warnings : unit -> string list
+(** Retained warnings in emission order (capped at {!max_retained};
+    later warnings past the cap increment {!dropped}). *)
+
+val dropped : unit -> int
+val max_retained : int
+
+val reset : unit -> unit
+(** Clear retained warnings. Does not change the handler. *)
+
+val to_json : unit -> Json.t

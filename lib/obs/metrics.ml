@@ -1,0 +1,138 @@
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  last : float;
+  samples : float list;
+  dropped : int;
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram
+
+(* mutable in-registry representation; histograms keep samples reversed *)
+type cell =
+  | C_counter of int ref
+  | C_gauge of float ref
+  | C_hist of hist_state
+
+and hist_state = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  mutable h_last : float;
+  mutable h_rev_samples : float list;
+  mutable h_dropped : int;
+}
+
+let max_samples = 4096
+
+let enabled_flag = ref true
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let registry : (string, cell) Hashtbl.t = Hashtbl.create 64
+
+let reset () = Hashtbl.reset registry
+
+let type_error name expected =
+  invalid_arg
+    (Printf.sprintf "Obs.Metrics: %S already registered with another type \
+                     (expected %s)"
+       name expected)
+
+let count ?(by = 1) name =
+  if !enabled_flag then
+    match Hashtbl.find_opt registry name with
+    | Some (C_counter r) -> r := !r + by
+    | Some _ -> type_error name "counter"
+    | None -> Hashtbl.replace registry name (C_counter (ref by))
+
+let gauge name v =
+  if !enabled_flag then
+    match Hashtbl.find_opt registry name with
+    | Some (C_gauge r) -> r := v
+    | Some _ -> type_error name "gauge"
+    | None -> Hashtbl.replace registry name (C_gauge (ref v))
+
+let observe name v =
+  if !enabled_flag then
+    match Hashtbl.find_opt registry name with
+    | Some (C_hist h) ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      h.h_last <- v;
+      if h.h_count - h.h_dropped <= max_samples then
+        h.h_rev_samples <- v :: h.h_rev_samples
+      else h.h_dropped <- h.h_dropped + 1
+    | Some _ -> type_error name "histogram"
+    | None ->
+      Hashtbl.replace registry name
+        (C_hist
+           { h_count = 1; h_sum = v; h_min = v; h_max = v; h_last = v;
+             h_rev_samples = [ v ]; h_dropped = 0 })
+
+let freeze_hist h =
+  { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max;
+    last = h.h_last; samples = List.rev h.h_rev_samples;
+    dropped = h.h_dropped }
+
+let counter_value name =
+  match Hashtbl.find_opt registry name with
+  | Some (C_counter r) -> Some !r
+  | _ -> None
+
+let gauge_value name =
+  match Hashtbl.find_opt registry name with
+  | Some (C_gauge r) -> Some !r
+  | _ -> None
+
+let histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (C_hist h) -> Some (freeze_hist h)
+  | _ -> None
+
+let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name cell acc ->
+       let v =
+         match cell with
+         | C_counter r -> Counter !r
+         | C_gauge r -> Gauge !r
+         | C_hist h -> Histogram (freeze_hist h)
+       in
+       (name, v) :: acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let to_json () =
+  Json.Obj
+    (List.map
+       (fun (name, v) ->
+          let fields =
+            match v with
+            | Counter n ->
+              [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+            | Gauge g ->
+              [ ("type", Json.String "gauge"); ("value", Json.Float g) ]
+            | Histogram h ->
+              [ ("type", Json.String "histogram");
+                ("count", Json.Int h.count);
+                ("sum", Json.Float h.sum);
+                ("min", Json.Float h.min);
+                ("max", Json.Float h.max);
+                ("mean", Json.Float (mean h));
+                ("last", Json.Float h.last);
+                ("samples", Json.List (List.map (fun s -> Json.Float s) h.samples));
+                ("dropped", Json.Int h.dropped) ]
+          in
+          (name, Json.Obj fields))
+       (snapshot ()))

@@ -1,0 +1,58 @@
+(** Named counters, gauges and histograms.
+
+    A process-global registry: any layer records under a dotted metric name
+    ("thermal.cg.iterations") and the CLI / bench harness snapshots the
+    whole registry into a report. Enabled by default — recording is a
+    hashtable update per event, so instrumentation sits at per-solve /
+    per-transform granularity, never inside numeric kernels. Disable with
+    {!set_enabled} to make every recording call a no-op. *)
+
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  last : float;
+  samples : float list;  (** per-observation values, in recording order *)
+  dropped : int;  (** observations beyond the sample cap (stats still exact) *)
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Empty the registry. *)
+
+val count : ?by:int -> string -> unit
+(** Add [by] (default 1) to a counter, creating it at 0. *)
+
+val gauge : string -> float -> unit
+(** Set a gauge to its latest value. *)
+
+val observe : string -> float -> unit
+(** Record one observation into a histogram. The first
+    {!max_samples} observations are kept verbatim (so per-event values —
+    e.g. CG iterations for every solve — survive into the report); summary
+    statistics remain exact beyond that. *)
+
+val max_samples : int
+
+val counter_value : string -> int option
+val gauge_value : string -> float option
+val histogram : string -> histogram option
+val mean : histogram -> float
+
+val snapshot : unit -> (string * value) list
+(** Registry contents sorted by metric name. *)
+
+val to_json : unit -> Json.t
+(** Object keyed by metric name. Counters become
+    [{"type":"counter","value":n}]; gauges
+    [{"type":"gauge","value":v}]; histograms
+    [{"type":"histogram","count","sum","min","max","mean","last",
+      "samples","dropped"}]. *)

@@ -1,0 +1,39 @@
+let schema_version = 1
+
+let builtin_keys =
+  [ "schema_version"; "command"; "config"; "spans"; "metrics"; "warnings" ]
+
+let make ?command ?(config = []) ?(sections = []) () =
+  let base =
+    [ ("schema_version", Json.Int schema_version) ]
+    @ (match command with
+       | Some c -> [ ("command", Json.String c) ]
+       | None -> [])
+    @ [ ("config", Json.Obj config);
+        ("spans", Trace.to_json ());
+        ("metrics", Metrics.to_json ());
+        ("warnings", Log.to_json ()) ]
+  in
+  let extra =
+    List.filter (fun (k, _) -> not (List.mem k builtin_keys)) sections
+  in
+  Json.Obj (base @ extra)
+
+let write_file path json =
+  let s = Json.to_string ~pretty:true json ^ "\n" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc s);
+  match Json.of_string s with
+  | Ok _ -> ()
+  | Error msg ->
+    failwith
+      (Printf.sprintf "Obs.Report.write_file: emitted invalid JSON (%s)" msg)
+
+let start () =
+  Trace.set_enabled true;
+  Metrics.set_enabled true;
+  Trace.reset ();
+  Metrics.reset ();
+  Log.reset ()

@@ -1,0 +1,31 @@
+(** Machine-readable run reports.
+
+    Assembles the process-global observability state — the {!Trace} span
+    forest, the {!Metrics} registry and retained {!Log} warnings — together
+    with caller-provided configuration and result sections into one JSON
+    document. Domain layers (thermal metrics, hotspots, technique results)
+    serialize themselves to {!Json.t} and pass the fragments in via
+    [~sections]; this module stays dependency-free. *)
+
+val schema_version : int
+
+val make :
+  ?command:string ->
+  ?config:(string * Json.t) list ->
+  ?sections:(string * Json.t) list ->
+  unit ->
+  Json.t
+(** Build the report object:
+    [{"schema_version", "command"?, "config", "spans", "metrics",
+      "warnings", <sections...>}].
+    Section keys are appended in order after the built-in keys; a section
+    whose key collides with a built-in key is dropped. *)
+
+val write_file : string -> Json.t -> unit
+(** Pretty-print to [path] with a trailing newline, then re-parse the
+    written bytes as a self-check; raises [Failure] if the round-trip
+    fails (which would indicate a serialization bug). *)
+
+val start : unit -> unit
+(** Convenience: enable tracing and metrics and reset all three stores —
+    call at the beginning of a run that will produce a report. *)

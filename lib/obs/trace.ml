@@ -1,0 +1,88 @@
+type span = {
+  name : string;
+  start_s : float;
+  duration_s : float;
+  children : span list;
+}
+
+(* an in-progress span; children accumulate in reverse *)
+type frame = {
+  f_name : string;
+  f_start : float;
+  mutable f_children : span list;
+}
+
+let enabled_flag = ref false
+let stack : frame list ref = ref []
+let completed : span list ref = ref []  (* reversed *)
+let epoch = ref (Unix.gettimeofday ())
+
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let now () = Unix.gettimeofday () -. !epoch
+
+let reset () =
+  stack := [];
+  completed := [];
+  epoch := Unix.gettimeofday ()
+
+let with_span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let fr = { f_name = name; f_start = now (); f_children = [] } in
+    stack := fr :: !stack;
+    let finish () =
+      let stop = now () in
+      (* pop down to (and including) our frame; anything above it was left
+         open by an exception or a mid-span reset and is discarded *)
+      let rec pop = function
+        | top :: rest when top == fr -> rest
+        | _ :: rest -> pop rest
+        | [] -> []
+      in
+      stack := pop !stack;
+      let sp =
+        { name = fr.f_name; start_s = fr.f_start;
+          duration_s = stop -. fr.f_start;
+          children = List.rev fr.f_children }
+      in
+      match !stack with
+      | parent :: _ -> parent.f_children <- sp :: parent.f_children
+      | [] -> completed := sp :: !completed
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let roots () = List.rev !completed
+
+let span_count () =
+  let rec count sp = 1 + List.fold_left (fun acc c -> acc + count c) 0 sp.children in
+  List.fold_left (fun acc sp -> acc + count sp) 0 (roots ())
+
+let pp_tree ppf () =
+  let rec pp depth parent_s sp =
+    let share =
+      if parent_s > 0.0 then
+        Printf.sprintf " (%.0f%%)" (100.0 *. sp.duration_s /. parent_s)
+      else ""
+    in
+    Format.fprintf ppf "%s%-*s %10.3f ms%s@."
+      (String.make (2 * depth) ' ')
+      (max 1 (32 - (2 * depth)))
+      sp.name
+      (sp.duration_s *. 1e3)
+      share;
+    List.iter (pp (depth + 1) sp.duration_s) sp.children
+  in
+  List.iter (pp 0 0.0) (roots ())
+
+let to_json () =
+  let rec json_of sp =
+    Json.Obj
+      [ ("name", Json.String sp.name);
+        ("start_s", Json.Float sp.start_s);
+        ("duration_s", Json.Float sp.duration_s);
+        ("children", Json.List (List.map json_of sp.children)) ]
+  in
+  Json.List (List.map json_of (roots ()))

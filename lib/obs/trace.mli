@@ -1,0 +1,41 @@
+(** Nested wall-clock timing spans with a zero-cost disabled path.
+
+    Disabled (the default), {!with_span} is a single flag check around the
+    wrapped function — safe to leave in hot paths. Enabled, each span
+    records its wall-clock start and duration and nests under the
+    lexically-enclosing span, producing a tree that shows where a run's
+    time went. *)
+
+type span = {
+  name : string;
+  start_s : float;     (** seconds since {!reset} (or first enable) *)
+  duration_s : float;
+  children : span list;  (** in execution order *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded spans and restart the trace clock. Does not change
+    the enabled flag. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] and, when tracing is enabled, records a
+    span named [name] covering the call, nested under the currently open
+    span. Exception-safe: the span closes even if [f] raises. *)
+
+val roots : unit -> span list
+(** Completed top-level spans, in execution order. A span still open (e.g.
+    inspected from inside {!with_span}) is not included. *)
+
+val span_count : unit -> int
+(** Total number of completed spans in the tree. *)
+
+val pp_tree : Format.formatter -> unit -> unit
+(** Indented tree: one line per span with its duration in ms and its share
+    of the parent's time. *)
+
+val to_json : unit -> Json.t
+(** The span forest as a JSON list of
+    [{"name", "start_s", "duration_s", "children"}] objects. *)

@@ -30,6 +30,7 @@ let nets_of_cell nl cid =
    preservation is always safe. *)
 
 let optimize ?(config = default_config) pl rng =
+  Obs.Trace.with_span "place.anneal" @@ fun () ->
   let nl = pl.Placement.nl in
   let locs = Array.copy pl.Placement.locs in
   let current = Placement.make nl pl.Placement.fp locs in
@@ -152,7 +153,14 @@ let optimize ?(config = default_config) pl rng =
   done;
   (* restore the best-seen configuration *)
   Array.blit !best_locs 0 locs 0 (Array.length locs);
-  ( current,
+  let stats =
     { attempted = !attempted; accepted = !accepted;
       uphill_accepted = !uphill; hpwl_before_um;
-      hpwl_after_um = Placement.hpwl current } )
+      hpwl_after_um = Placement.hpwl current }
+  in
+  Obs.Metrics.count "place.anneal.moves" ~by:stats.attempted;
+  Obs.Metrics.count "place.anneal.accepts" ~by:stats.accepted;
+  Obs.Metrics.count "place.anneal.uphill_accepts" ~by:stats.uphill_accepted;
+  Obs.Metrics.observe "place.anneal.hpwl_before_um" stats.hpwl_before_um;
+  Obs.Metrics.observe "place.anneal.hpwl_after_um" stats.hpwl_after_um;
+  (current, stats)

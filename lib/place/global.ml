@@ -24,6 +24,7 @@ let place_leaf positions (cells : T.cell_id array) (rect : Geo.Rect.t) =
   end
 
 let place nl tech ~regions ~cells_of_region ?(leaf_cells = 8) rng =
+  Obs.Trace.with_span "place.global" @@ fun () ->
   let positions = Array.make (T.num_cells nl) (Float.nan, Float.nan) in
   let rec bisect (cells : T.cell_id array) (rect : Geo.Rect.t) =
     if Array.length cells <= leaf_cells then place_leaf positions cells rect

@@ -78,7 +78,30 @@ let sort_cells_by nl cells key =
     arr;
   arr
 
+(* Legalization quality: how far cells moved from their global-placement
+   targets, recorded as mean/max over the cells that had a target. *)
+let record_displacement pl ~positions =
+  if Obs.Metrics.enabled () then begin
+    let n = ref 0 and sum = ref 0.0 and worst = ref 0.0 in
+    Array.iteri
+      (fun cid (gx, gy) ->
+         if not (Float.is_nan gx) then begin
+           let x, y = Placement.cell_center pl cid in
+           let d = Float.hypot (x -. gx) (y -. gy) in
+           incr n;
+           sum := !sum +. d;
+           if d > !worst then worst := d
+         end)
+      positions;
+    if !n > 0 then begin
+      Obs.Metrics.observe "place.legalize.mean_displacement_um"
+        (!sum /. float_of_int !n);
+      Obs.Metrics.observe "place.legalize.max_displacement_um" !worst
+    end
+  end
+
 let run nl fp ~regions ~cells_of_region ~positions =
+  Obs.Trace.with_span "place.legalize" @@ fun () ->
   let locs =
     Array.make (T.num_cells nl) { Placement.row = 0; site = 0 }
   in
@@ -92,7 +115,9 @@ let run nl fp ~regions ~cells_of_region ~positions =
          ~site_lo:r.Regions.site_lo ~site_hi:r.Regions.site_hi
          ~assign:(fun cid loc -> locs.(cid) <- loc))
     regions;
-  Placement.make nl fp locs
+  let pl = Placement.make nl fp locs in
+  record_displacement pl ~positions;
+  pl
 
 let legalize_region_rows pl ~cells ~order_key ~row_lo ~row_hi ~site_lo
     ~site_hi =

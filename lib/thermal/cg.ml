@@ -14,7 +14,25 @@ let dot a b =
 
 let norm a = sqrt (dot a a)
 
-let solve m ~b ?(tol = 1e-9) ?max_iter ?x0 () =
+(* Per-solve telemetry: iteration count and final residual feed histograms
+   so sweeps can audit convergence after the fact, and a max-iter exit is
+   never silent — it counts and warns (Mesh.solve additionally hard-fails). *)
+let record outcome =
+  Obs.Metrics.count "thermal.cg.solves";
+  Obs.Metrics.observe "thermal.cg.iterations"
+    (float_of_int outcome.iterations);
+  Obs.Metrics.observe "thermal.cg.residual" outcome.residual;
+  if not outcome.converged then begin
+    Obs.Metrics.count "thermal.cg.nonconverged";
+    Obs.Log.warn
+      (Printf.sprintf
+         "Cg.solve: max iterations reached without convergence (%d iters, \
+          residual %.3e)"
+         outcome.iterations outcome.residual)
+  end;
+  outcome
+
+let solve_raw m ~b ~tol ?max_iter ?x0 () =
   let n = Sparse.dim m in
   if Array.length b <> n then invalid_arg "Cg.solve: rhs dimension mismatch";
   let max_iter = match max_iter with Some k -> k | None -> 4 * n in
@@ -69,3 +87,7 @@ let solve m ~b ?(tol = 1e-9) ?max_iter ?x0 () =
     { x; iterations = !iterations; residual = sqrt !res /. bnorm;
       converged = !converged }
   end
+
+let solve m ~b ?(tol = 1e-9) ?max_iter ?x0 () =
+  Obs.Trace.with_span "thermal.cg.solve" (fun () ->
+      record (solve_raw m ~b ~tol ?max_iter ?x0 ()))

@@ -16,4 +16,12 @@ val solve : Sparse.t -> b:float array -> ?tol:float -> ?max_iter:int ->
 (** Defaults: [tol] 1e-9 (relative), [max_iter] 4 * dim, [x0] zero.
     Raises [Invalid_argument] on dimension mismatch or a non-positive
     diagonal entry (the preconditioner needs positivity, and a thermal
-    conductance matrix always satisfies it). *)
+    conductance matrix always satisfies it).
+
+    Telemetry: every solve records [thermal.cg.iterations] and
+    [thermal.cg.residual] observations and bumps the [thermal.cg.solves]
+    counter in {!Obs.Metrics}; a solve that exits at [max_iter] without
+    converging bumps [thermal.cg.nonconverged] and emits an {!Obs.Log}
+    warning, so silent max-iter exits cannot masquerade as valid
+    temperatures in sweeps. The solve body runs under a
+    ["thermal.cg.solve"] trace span. *)

@@ -7,6 +7,7 @@ let dim t = t.n
 
 (* Standard Cholesky: A = L L^T, in-place on a dense copy. *)
 let of_sparse m =
+  Obs.Trace.with_span "thermal.dense.factorize" @@ fun () ->
   let n = Sparse.dim m in
   let a = Array.make (n * n) 0.0 in
   for i = 0 to n - 1 do

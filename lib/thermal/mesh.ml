@@ -36,6 +36,7 @@ let vertical_conductance ~area_m2 (a : Stack.layer) (b : Stack.layer) =
 let lateral_conductance ~k ~cross_m2 ~pitch_m = k *. cross_m2 /. pitch_m
 
 let build cfg ~power =
+  Obs.Trace.with_span "thermal.mesh.build" @@ fun () ->
   begin match Stack.validate cfg.stack with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Mesh.build: " ^ msg)
@@ -103,6 +104,7 @@ type solution = {
 }
 
 let solve ?(tol = 1e-10) p =
+  Obs.Trace.with_span "thermal.solve" @@ fun () ->
   let outcome = Cg.solve p.p_matrix ~b:p.p_rhs ~tol () in
   if not outcome.Cg.converged then
     failwith

@@ -23,6 +23,15 @@ let gradient_reduction_pct ~before ~after =
   if before.gradient_k <= 0.0 then 0.0
   else 100.0 *. (before.gradient_k -. after.gradient_k) /. before.gradient_k
 
+let to_json t =
+  let ix, iy = t.hottest_tile in
+  Obs.Json.Obj
+    [ ("peak_rise_k", Obs.Json.Float t.peak_rise_k);
+      ("mean_rise_k", Obs.Json.Float t.mean_rise_k);
+      ("min_rise_k", Obs.Json.Float t.min_rise_k);
+      ("gradient_k", Obs.Json.Float t.gradient_k);
+      ("hottest_tile", Obs.Json.List [ Obs.Json.Int ix; Obs.Json.Int iy ]) ]
+
 let pp ppf t =
   let ix, iy = t.hottest_tile in
   Format.fprintf ppf

@@ -16,4 +16,7 @@ val reduction_pct : before:t -> after:t -> float
 
 val gradient_reduction_pct : before:t -> after:t -> float
 
+val to_json : t -> Obs.Json.t
+(** All five fields, for inclusion in {!Obs.Report} run reports. *)
+
 val pp : Format.formatter -> t -> unit

@@ -8,6 +8,7 @@
 
 let to_string ?(title = "thermoplace thermal network (steady state)")
     problem =
+  Obs.Trace.with_span "thermal.spice.export" @@ fun () ->
   let m = Mesh.matrix problem in
   let rhs = Mesh.rhs problem in
   let n = Sparse.dim m in

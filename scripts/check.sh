@@ -1,0 +1,27 @@
+#!/bin/sh
+# Full repository gate: build everything, run the test suites and the
+# quickstart example, then smoke-run the CLI with --report and validate the
+# JSON it writes. Run from anywhere inside the repository.
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$root"
+
+echo "== dune build"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+echo "== quickstart example"
+dune exec examples/quickstart.exe >/dev/null
+
+echo "== thermoplace --report smoke"
+report=$(mktemp /tmp/thermoplace-report.XXXXXX.json)
+trap 'rm -f "$report"' EXIT
+dune exec bin/thermoplace.exe -- \
+  flow --test-set small --cycles 200 --report "$report" >/dev/null
+dune exec bin/json_check.exe -- \
+  "$report" schema_version config spans metrics warnings base result
+
+echo "== OK"

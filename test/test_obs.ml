@@ -1,0 +1,263 @@
+(* Tests for the observability layer: timing spans, the metrics registry,
+   the warning channel, JSON printing/parsing and report assembly. *)
+
+let with_tracing f =
+  Obs.Trace.set_enabled true;
+  Obs.Trace.reset ();
+  Fun.protect ~finally:(fun () -> Obs.Trace.set_enabled false) f
+
+(* --- trace ------------------------------------------------------------------ *)
+
+let test_trace_disabled_is_transparent () =
+  Obs.Trace.set_enabled false;
+  Obs.Trace.reset ();
+  let r = Obs.Trace.with_span "ignored" (fun () -> 41 + 1) in
+  Alcotest.(check int) "value passes through" 42 r;
+  Alcotest.(check int) "nothing recorded" 0 (Obs.Trace.span_count ());
+  Alcotest.(check (list reject)) "no roots" [] (Obs.Trace.roots ())
+
+let test_trace_nesting () =
+  with_tracing @@ fun () ->
+  let r =
+    Obs.Trace.with_span "outer" (fun () ->
+        let a = Obs.Trace.with_span "inner1" (fun () -> 1) in
+        let b = Obs.Trace.with_span "inner2" (fun () -> 2) in
+        a + b)
+  in
+  Alcotest.(check int) "result" 3 r;
+  match Obs.Trace.roots () with
+  | [ outer ] ->
+    Alcotest.(check string) "root name" "outer" outer.Obs.Trace.name;
+    Alcotest.(check (list string)) "children in order" [ "inner1"; "inner2" ]
+      (List.map (fun s -> s.Obs.Trace.name) outer.Obs.Trace.children);
+    Alcotest.(check int) "count" 3 (Obs.Trace.span_count ())
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_trace_timing_monotone () =
+  with_tracing @@ fun () ->
+  let spin () =
+    (* busy-wait so the child span has a measurable duration *)
+    let t0 = Unix.gettimeofday () in
+    while Unix.gettimeofday () -. t0 < 1e-4 do () done
+  in
+  Obs.Trace.with_span "parent" (fun () ->
+      Obs.Trace.with_span "child" spin);
+  match Obs.Trace.roots () with
+  | [ p ] ->
+    let c = List.hd p.Obs.Trace.children in
+    Alcotest.(check bool) "durations non-negative" true
+      (p.Obs.Trace.duration_s >= 0.0 && c.Obs.Trace.duration_s > 0.0);
+    Alcotest.(check bool) "child starts after parent" true
+      (c.Obs.Trace.start_s >= p.Obs.Trace.start_s);
+    Alcotest.(check bool) "child within parent" true
+      (c.Obs.Trace.duration_s <= p.Obs.Trace.duration_s +. 1e-9)
+  | _ -> Alcotest.fail "expected one root"
+
+let test_trace_exception_safe () =
+  with_tracing @@ fun () ->
+  (try
+     Obs.Trace.with_span "raiser" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let r = Obs.Trace.with_span "after" (fun () -> ()) in
+  ignore r;
+  Alcotest.(check (list string)) "both spans closed at top level"
+    [ "raiser"; "after" ]
+    (List.map (fun s -> s.Obs.Trace.name) (Obs.Trace.roots ()))
+
+(* --- metrics ---------------------------------------------------------------- *)
+
+let test_metrics_counters () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Obs.Metrics.count "a";
+  Obs.Metrics.count "a" ~by:4;
+  Obs.Metrics.count "b";
+  Alcotest.(check (option int)) "a" (Some 5) (Obs.Metrics.counter_value "a");
+  Alcotest.(check (option int)) "b" (Some 1) (Obs.Metrics.counter_value "b");
+  Alcotest.(check (option int)) "absent" None
+    (Obs.Metrics.counter_value "c");
+  Obs.Metrics.gauge "g" 2.5;
+  Obs.Metrics.gauge "g" 7.5;
+  Alcotest.(check (option (float 0.0))) "gauge keeps last" (Some 7.5)
+    (Obs.Metrics.gauge_value "g")
+
+let test_metrics_histogram () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  List.iter (Obs.Metrics.observe "h") [ 3.0; 1.0; 2.0 ];
+  match Obs.Metrics.histogram "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    Alcotest.(check int) "count" 3 h.Obs.Metrics.count;
+    Alcotest.(check (float 1e-12)) "sum" 6.0 h.Obs.Metrics.sum;
+    Alcotest.(check (float 1e-12)) "min" 1.0 h.Obs.Metrics.min;
+    Alcotest.(check (float 1e-12)) "max" 3.0 h.Obs.Metrics.max;
+    Alcotest.(check (float 1e-12)) "last" 2.0 h.Obs.Metrics.last;
+    Alcotest.(check (float 1e-12)) "mean" 2.0 (Obs.Metrics.mean h);
+    Alcotest.(check (list (float 1e-12))) "samples in order"
+      [ 3.0; 1.0; 2.0 ] h.Obs.Metrics.samples;
+    Alcotest.(check int) "nothing dropped" 0 h.Obs.Metrics.dropped
+
+let test_metrics_sample_cap () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  let n = Obs.Metrics.max_samples + 10 in
+  for i = 1 to n do
+    Obs.Metrics.observe "capped" (float_of_int i)
+  done;
+  match Obs.Metrics.histogram "capped" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    Alcotest.(check int) "count exact past cap" n h.Obs.Metrics.count;
+    Alcotest.(check int) "samples capped" Obs.Metrics.max_samples
+      (List.length h.Obs.Metrics.samples);
+    Alcotest.(check int) "dropped" 10 h.Obs.Metrics.dropped;
+    Alcotest.(check (float 1e-12)) "max exact past cap" (float_of_int n)
+      h.Obs.Metrics.max;
+    Alcotest.(check (float 1e-6)) "sum exact past cap"
+      (float_of_int (n * (n + 1) / 2))
+      h.Obs.Metrics.sum
+
+let test_metrics_disabled_noop () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics.set_enabled true)
+    (fun () ->
+       Obs.Metrics.count "x";
+       Obs.Metrics.gauge "y" 1.0;
+       Obs.Metrics.observe "z" 1.0;
+       Alcotest.(check int) "registry untouched" 0
+         (List.length (Obs.Metrics.snapshot ())))
+
+(* --- log -------------------------------------------------------------------- *)
+
+let test_log_retention () =
+  Obs.Log.reset ();
+  let seen = ref [] in
+  Obs.Log.set_handler (Some (fun m -> seen := m :: !seen));
+  Fun.protect
+    ~finally:(fun () -> Obs.Log.set_handler (Some Obs.Log.default_handler))
+    (fun () ->
+       Obs.Log.warn "first";
+       Obs.Log.warn "second";
+       Alcotest.(check (list string)) "retained in order"
+         [ "first"; "second" ] (Obs.Log.warnings ());
+       Alcotest.(check (list string)) "handler saw both"
+         [ "second"; "first" ] !seen;
+       Alcotest.(check int) "none dropped" 0 (Obs.Log.dropped ()))
+
+(* --- json ------------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.Obj
+      [ ("s", Obs.Json.String "a \"quoted\" \\ line\nwith\ttabs");
+        ("i", Obs.Json.Int (-42));
+        ("f", Obs.Json.Float 1.5e-3);
+        ("whole", Obs.Json.Float 3.0);
+        ("b", Obs.Json.Bool true);
+        ("n", Obs.Json.Null);
+        ("l",
+         Obs.Json.List
+           [ Obs.Json.Int 1; Obs.Json.Obj [ ("k", Obs.Json.Bool false) ] ]) ]
+  in
+  List.iter
+    (fun pretty ->
+       match Obs.Json.of_string (Obs.Json.to_string ~pretty v) with
+       | Ok v' ->
+         if v' <> v then
+           Alcotest.failf "round trip (pretty=%b) changed the value" pretty
+       | Error e -> Alcotest.failf "round trip (pretty=%b): %s" pretty e)
+    [ false; true ]
+
+let test_json_parse_details () =
+  (match Obs.Json.of_string {| {"u": "é😀", "e": []} |} with
+   | Ok j ->
+     Alcotest.(check (option string)) "escapes decode to UTF-8"
+       (Some "\xc3\xa9\xf0\x9f\x98\x80")
+       (Option.bind (Obs.Json.member "u" j) Obs.Json.to_string_opt)
+   | Error e -> Alcotest.failf "parse: %s" e);
+  (match Obs.Json.of_string "[1, 2" with
+   | Ok _ -> Alcotest.fail "truncated input accepted"
+   | Error _ -> ());
+  (match Obs.Json.of_string "{} trailing" with
+   | Ok _ -> Alcotest.fail "trailing garbage accepted"
+   | Error _ -> ())
+
+let test_json_nonfinite_floats () =
+  Alcotest.(check string) "nan prints as null" "null"
+    (Obs.Json.to_string (Obs.Json.Float Float.nan));
+  Alcotest.(check string) "inf prints as null" "null"
+    (Obs.Json.to_string (Obs.Json.Float Float.infinity))
+
+(* --- report ----------------------------------------------------------------- *)
+
+let test_report_structure () =
+  Obs.Report.start ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Metrics.reset ())
+    (fun () ->
+       Obs.Trace.with_span "stage" (fun () -> Obs.Metrics.count "events");
+       let j =
+         Obs.Report.make ~command:"test"
+           ~config:[ ("seed", Obs.Json.Int 1) ]
+           ~sections:[ ("extra", Obs.Json.Bool true) ]
+           ()
+       in
+       let keys = Obs.Json.keys j in
+       List.iter
+         (fun k ->
+            if not (List.mem k keys) then Alcotest.failf "missing key %s" k)
+         [ "schema_version"; "command"; "config"; "spans"; "metrics";
+           "warnings"; "extra" ];
+       (match Obs.Json.member "spans" j with
+        | Some (Obs.Json.List [ span ]) ->
+          Alcotest.(check (option string)) "span name" (Some "stage")
+            (Option.bind (Obs.Json.member "name" span)
+               Obs.Json.to_string_opt)
+        | _ -> Alcotest.fail "expected exactly one root span");
+       let path = Filename.temp_file "obs_report" ".json" in
+       Fun.protect
+         ~finally:(fun () -> Sys.remove path)
+         (fun () ->
+            Obs.Report.write_file path j;
+            let ic = open_in_bin path in
+            let text =
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            match Obs.Json.of_string text with
+            | Ok j' ->
+              Alcotest.(check bool) "file round-trips" true (j = j')
+            | Error e -> Alcotest.failf "written file unparsable: %s" e))
+
+let () =
+  Alcotest.run "obs"
+    [ ("trace",
+       [ Alcotest.test_case "disabled is transparent" `Quick
+           test_trace_disabled_is_transparent;
+         Alcotest.test_case "nesting" `Quick test_trace_nesting;
+         Alcotest.test_case "timing monotone" `Quick
+           test_trace_timing_monotone;
+         Alcotest.test_case "exception safe" `Quick
+           test_trace_exception_safe ]);
+      ("metrics",
+       [ Alcotest.test_case "counters and gauges" `Quick
+           test_metrics_counters;
+         Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+         Alcotest.test_case "sample cap" `Quick test_metrics_sample_cap;
+         Alcotest.test_case "disabled no-op" `Quick
+           test_metrics_disabled_noop ]);
+      ("log", [ Alcotest.test_case "retention" `Quick test_log_retention ]);
+      ("json",
+       [ Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+         Alcotest.test_case "parser details" `Quick test_json_parse_details;
+         Alcotest.test_case "non-finite floats" `Quick
+           test_json_nonfinite_floats ]);
+      ("report",
+       [ Alcotest.test_case "structure and file round-trip" `Quick
+           test_report_structure ]) ]

@@ -111,6 +111,45 @@ let test_cg_rejects_bad_diagonal () =
    | _ -> Alcotest.fail "zero diagonal accepted"
    | exception Invalid_argument _ -> ())
 
+let test_cg_telemetry () =
+  (* every solve must land in the Obs registry: a solves counter plus one
+     histogram sample each for iterations and residual *)
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Obs.Log.reset ();
+  Obs.Log.set_handler None;
+  Fun.protect
+    ~finally:(fun () -> Obs.Log.set_handler (Some Obs.Log.default_handler))
+    (fun () ->
+       let m = poisson_1d 50 in
+       let rhs = Array.init 50 (fun i -> float_of_int (i mod 3)) in
+       let r1 = Thermal.Cg.solve m ~b:rhs () in
+       let r2 = Thermal.Cg.solve m ~b:rhs () in
+       Alcotest.(check (option int)) "solves counted" (Some 2)
+         (Obs.Metrics.counter_value "thermal.cg.solves");
+       (match Obs.Metrics.histogram "thermal.cg.iterations" with
+        | None -> Alcotest.fail "iterations histogram missing"
+        | Some h ->
+          Alcotest.(check (list (float 0.0))) "one sample per solve"
+            [ float_of_int r1.Thermal.Cg.iterations;
+              float_of_int r2.Thermal.Cg.iterations ]
+            h.Obs.Metrics.samples);
+       (match Obs.Metrics.histogram "thermal.cg.residual" with
+        | None -> Alcotest.fail "residual histogram missing"
+        | Some h ->
+          Alcotest.(check int) "residual sample count" 2
+            h.Obs.Metrics.count;
+          check_float ~eps:1e-15 "last residual recorded"
+            r2.Thermal.Cg.residual h.Obs.Metrics.last);
+       (* a capped solve must flag non-convergence and warn *)
+       let capped = Thermal.Cg.solve m ~b:rhs ~tol:1e-300 ~max_iter:1 () in
+       Alcotest.(check bool) "capped solve not converged" false
+         capped.Thermal.Cg.converged;
+       Alcotest.(check (option int)) "non-convergence counted" (Some 1)
+         (Obs.Metrics.counter_value "thermal.cg.nonconverged");
+       Alcotest.(check int) "warning retained" 1
+         (List.length (Obs.Log.warnings ())))
+
 let test_cg_warm_start () =
   let m = poisson_1d 50 in
   let rhs = Array.init 50 (fun i -> float_of_int (i mod 5)) in
@@ -566,7 +605,8 @@ let () =
          Alcotest.test_case "zero rhs" `Quick test_cg_zero_rhs;
          Alcotest.test_case "bad diagonal rejected" `Quick
            test_cg_rejects_bad_diagonal;
-         Alcotest.test_case "warm start" `Quick test_cg_warm_start ]);
+         Alcotest.test_case "warm start" `Quick test_cg_warm_start;
+         Alcotest.test_case "telemetry" `Quick test_cg_telemetry ]);
       ("stack",
        [ Alcotest.test_case "default valid" `Quick test_stack_default_valid;
          Alcotest.test_case "validation errors" `Quick
