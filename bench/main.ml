@@ -14,7 +14,10 @@
      dune exec bench/main.exe -- congestion
      dune exec bench/main.exe -- ablation
      dune exec bench/main.exe -- optimizer
-     dune exec bench/main.exe -- perf    -- bechamel kernels *)
+     dune exec bench/main.exe -- perf    -- bechamel kernels
+     dune exec bench/main.exe -- cg      -- solve-engine speedup study
+
+   `--jobs N` anywhere on the line sizes the domain pool. *)
 
 let line = String.make 78 '-'
 
@@ -558,6 +561,189 @@ let run_perf () =
   in
   j_obj [ ("ns_per_run", j_obj kernels) ]
 
+(* --- CG ENGINE -------------------------------------------------------------------- *)
+
+(* Wall-clock comparison of the incremental/parallel solve engine against
+   the seed behaviour (fresh assembly + cold Jacobi solve everywhere,
+   quadratic plan append, sequential candidates). *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* The seed's greedy_rows, reproduced verbatim as a baseline: quadratic
+   [plan @ ...] growth, uncached mesh builds, cold solves, one extra final
+   scoring solve. *)
+let seed_greedy fl ~rows ~chunk ~stride ~coarse_nx =
+  let peak_of pl =
+    let cfg =
+      { fl.Postplace.Flow.mesh_config with Thermal.Mesh.nx = coarse_nx;
+        ny = coarse_nx }
+    in
+    let power =
+      Power.Map.power_map pl ~per_cell_w:fl.Postplace.Flow.per_cell_w
+        ~nx:coarse_nx ~ny:coarse_nx
+    in
+    let solution =
+      Thermal.Mesh.solve (Thermal.Mesh.build ~cache:false cfg ~power)
+    in
+    (Thermal.Metrics.of_map (Thermal.Mesh.active_layer_grid solution))
+      .Thermal.Metrics.peak_rise_k
+  in
+  let evaluate after =
+    let r =
+      Postplace.Technique.apply_row_insertions
+        fl.Postplace.Flow.base_placement after
+    in
+    peak_of r.Postplace.Technique.eri_placement
+  in
+  let base = fl.Postplace.Flow.base_placement in
+  let num_rows = base.Place.Placement.fp.Place.Floorplan.num_rows in
+  let candidates =
+    let rec collect r acc = if r >= num_rows then List.rev acc
+      else collect (r + stride) (r :: acc)
+    in
+    collect 0 []
+  in
+  let plan = ref [] in
+  let remaining = ref rows in
+  while !remaining > 0 do
+    let step = min chunk !remaining in
+    let best = ref None in
+    List.iter
+      (fun cand ->
+         let trial = !plan @ List.init step (fun _ -> cand) in
+         let peak = evaluate trial in
+         match !best with
+         | Some (_, best_peak) when best_peak <= peak -> ()
+         | _ -> best := Some (cand, peak))
+      candidates;
+    (match !best with
+     | Some (cand, _) -> plan := !plan @ List.init step (fun _ -> cand)
+     | None -> assert false);
+    remaining := !remaining - step
+  done;
+  let final =
+    Postplace.Technique.apply_row_insertions base !plan
+  in
+  (final.Postplace.Technique.inserted_after,
+   peak_of final.Postplace.Technique.eri_placement)
+
+let run_cg () =
+  header "CG ENGINE -- matrix cache, warm starts, preconditioning, domains"
+    "n/a (engineering): incremental + parallel solve engine vs seed \
+     behaviour";
+  let saved_jobs = Parallel.Pool.jobs () in
+  let fl = Lazy.force flow1 in
+  let base = fl.Postplace.Flow.base_placement in
+  let cfg = fl.Postplace.Flow.mesh_config in
+  let power =
+    Power.Map.power_map base ~per_cell_w:fl.Postplace.Flow.per_cell_w ~nx:40
+      ~ny:40
+  in
+  (* kernel timings: assembly cold vs cache hit *)
+  Thermal.Mesh.cache_clear ();
+  let _, t_asm_cold = time (fun () -> Thermal.Mesh.build ~cache:false cfg ~power) in
+  let problem, _ = time (fun () -> Thermal.Mesh.build cfg ~power) in
+  let cached, t_asm_hit = time (fun () -> Thermal.Mesh.build cfg ~power) in
+  let reused =
+    Thermal.Mesh.matrix problem == Thermal.Mesh.matrix cached
+  in
+  Printf.printf "mesh assembly: cold %.2f ms, cache hit %.2f ms (matrix \
+                 physically reused: %b)\n"
+    (t_asm_cold *. 1e3) (t_asm_hit *. 1e3) reused;
+  (* solver variants on the 40x40x9 system *)
+  Parallel.Pool.set_jobs 1;
+  let cold, t_cold = time (fun () -> Thermal.Mesh.solve problem) in
+  let ssor, t_ssor =
+    time (fun () -> Thermal.Mesh.solve ~precond:(Thermal.Cg.Ssor 1.2) problem)
+  in
+  let warm, t_warm =
+    time (fun () -> Thermal.Mesh.solve ~x0:cold.Thermal.Mesh.temp problem)
+  in
+  Printf.printf
+    "solve 40x40x9: cold Jacobi %.2f ms (%d it), cold SSOR(1.2) %.2f ms \
+     (%d it), warm Jacobi %.2f ms (%d it)\n"
+    (t_cold *. 1e3) cold.Thermal.Mesh.cg_iterations
+    (t_ssor *. 1e3) ssor.Thermal.Mesh.cg_iterations
+    (t_warm *. 1e3) warm.Thermal.Mesh.cg_iterations;
+  (* determinism across pool sizes *)
+  Parallel.Pool.set_jobs 4;
+  let cold4, t_cold4 = time (fun () -> Thermal.Mesh.solve problem) in
+  let solve_identical = cold4.Thermal.Mesh.temp = cold.Thermal.Mesh.temp in
+  Parallel.Pool.set_jobs 1;
+  Printf.printf "solve with 4 domains: %.2f ms, bit-identical to 1 domain: %b\n"
+    (t_cold4 *. 1e3) solve_identical;
+  (* optimizer scenario: seed behaviour vs the engine, sequential and
+     parallel *)
+  let rows = 8 and coarse_nx = 40 in
+  let (seed_plan, seed_peak), t_seed =
+    time (fun () -> seed_greedy fl ~rows ~chunk:4 ~stride:4 ~coarse_nx)
+  in
+  Thermal.Mesh.cache_clear ();
+  let r1, t_eng1 =
+    time (fun () -> Postplace.Optimizer.greedy_rows fl ~rows ~coarse_nx ())
+  in
+  Parallel.Pool.set_jobs 4;
+  Thermal.Mesh.cache_clear ();
+  let r4, t_eng4 =
+    time (fun () -> Postplace.Optimizer.greedy_rows fl ~rows ~coarse_nx ())
+  in
+  Parallel.Pool.set_jobs saved_jobs;
+  let plan_of (r : Postplace.Optimizer.result) =
+    r.Postplace.Optimizer.plan.Postplace.Technique.inserted_after
+  in
+  let parallel_identical =
+    plan_of r1 = plan_of r4
+    && r1.Postplace.Optimizer.predicted_peak_k
+       = r4.Postplace.Optimizer.predicted_peak_k
+  in
+  let plans_agree = plan_of r1 = seed_plan in
+  let speedup = t_seed /. t_eng1 in
+  let speedup4 = t_seed /. t_eng4 in
+  Printf.printf
+    "optimizer (%d rows, %dx%d coarse grid):\n\
+    \  seed behaviour        %8.1f ms  (peak %.3f K)\n\
+    \  engine, 1 domain      %8.1f ms  (peak %.3f K)  speedup %.2fx\n\
+    \  engine, 4 domains     %8.1f ms  (peak %.3f K)  speedup %.2fx\n"
+    rows coarse_nx coarse_nx (t_seed *. 1e3) seed_peak (t_eng1 *. 1e3)
+    r1.Postplace.Optimizer.predicted_peak_k speedup (t_eng4 *. 1e3)
+    r4.Postplace.Optimizer.predicted_peak_k speedup4;
+  Printf.printf "check: engine plan matches seed plan:            %b\n"
+    plans_agree;
+  Printf.printf "check: 4-domain run bit-identical to 1-domain:   %b\n"
+    parallel_identical;
+  Printf.printf "check: speedup >= 2x:                            %b\n"
+    (speedup >= 2.0);
+  j_obj
+    [ ("kernel",
+       j_obj
+         [ ("assembly_cold_ms", j_f (t_asm_cold *. 1e3));
+           ("assembly_cache_hit_ms", j_f (t_asm_hit *. 1e3));
+           ("matrix_reused", j_b reused);
+           ("cold_jacobi_ms", j_f (t_cold *. 1e3));
+           ("cold_jacobi_iters", j_i cold.Thermal.Mesh.cg_iterations);
+           ("cold_ssor_ms", j_f (t_ssor *. 1e3));
+           ("cold_ssor_iters", j_i ssor.Thermal.Mesh.cg_iterations);
+           ("warm_jacobi_ms", j_f (t_warm *. 1e3));
+           ("warm_jacobi_iters", j_i warm.Thermal.Mesh.cg_iterations);
+           ("solve_4domains_ms", j_f (t_cold4 *. 1e3));
+           ("solve_bit_identical", j_b solve_identical) ]);
+      ("optimizer",
+       j_obj
+         [ ("rows", j_i rows);
+           ("coarse_nx", j_i coarse_nx);
+           ("seed_ms", j_f (t_seed *. 1e3));
+           ("engine_ms", j_f (t_eng1 *. 1e3));
+           ("engine_4domains_ms", j_f (t_eng4 *. 1e3));
+           ("speedup", j_f speedup);
+           ("speedup_4domains", j_f speedup4);
+           ("seed_peak_k", j_f seed_peak);
+           ("engine_peak_k", j_f r1.Postplace.Optimizer.predicted_peak_k);
+           ("plans_agree", j_b plans_agree);
+           ("parallel_bit_identical", j_b parallel_identical) ]) ]
+
 (* --- dispatch ---------------------------------------------------------------------- *)
 
 let experiments =
@@ -585,14 +771,28 @@ let run_and_emit (name, f) =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
+  (* --jobs N anywhere on the line configures the domain pool *)
+  let rec strip_jobs = function
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some k when k >= 1 ->
+         Parallel.Pool.set_jobs k;
+         strip_jobs rest
+       | _ ->
+         Printf.eprintf "--jobs expects an integer >= 1, got %S\n" n;
+         exit 2)
+    | x :: rest -> x :: strip_jobs rest
+    | [] -> []
+  in
+  match strip_jobs args with
   | [] | [ "all" ] -> List.iter run_and_emit experiments
   | [ "perf" ] -> run_and_emit ("perf", run_perf)
+  | [ "cg" ] -> run_and_emit ("cg", run_cg)
   | [ name ] when List.mem_assoc name experiments ->
     run_and_emit (name, List.assoc name experiments)
   | other ->
     Printf.eprintf
-      "unknown experiment %s; expected one of all, perf, %s\n"
+      "unknown experiment %s; expected one of all, perf, cg, %s\n"
       (String.concat " " other)
       (String.concat ", " (List.map fst experiments));
     exit 2

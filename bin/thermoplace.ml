@@ -77,6 +77,15 @@ let test_set =
   Arg.(value & opt (enum sets) "scattered"
        & info [ "test-set"; "t" ] ~docv:"SET" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel candidate evaluation and sweep points \
+     (>= 1; 1 disables parallelism). Results are bit-identical for any \
+     value."
+  in
+  Arg.(value & opt (int_min ~min:1 "--jobs") (Parallel.Pool.default_jobs ())
+       & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let trace_arg =
   let doc = "Print the wall-clock span tree of the run to stderr." in
   Arg.(value & flag & info [ "trace" ] ~doc)
@@ -167,7 +176,9 @@ let overhead_arg =
        & opt (float_range ~min:0.0 ~max_inclusive:4.0 "--overhead") 0.2
        & info [ "overhead" ] ~docv:"F" ~doc)
 
-let run_flow seed cycles utilization test_set technique overhead trace report =
+let run_flow seed cycles utilization test_set technique overhead jobs trace
+    report =
+  Parallel.Pool.set_jobs jobs;
   obs_begin ~trace ~report;
   let flow = prepare ~seed ~cycles ~utilization ~test_set in
   let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
@@ -241,7 +252,8 @@ let run_flow seed cycles utilization test_set technique overhead trace report =
     ~config:
       (base_config ~seed ~cycles ~utilization ~test_set
        @ [ ("technique", Obs.Json.String technique);
-           ("overhead", Obs.Json.Float overhead) ])
+           ("overhead", Obs.Json.Float overhead);
+           ("jobs", Obs.Json.Int jobs) ])
     ~sections:([ ("base", eval_json base) ] @ result_section)
 
 (* --- report ---------------------------------------------------------------- *)
@@ -358,7 +370,8 @@ let point_json (p : Postplace.Experiment.point) =
       ("timing_overhead_pct", Obs.Json.Float p.timing_overhead_pct);
       ("hpwl_um", Obs.Json.Float p.hpwl_um) ]
 
-let run_sweep seed cycles utilization test_set trace report =
+let run_sweep seed cycles utilization test_set jobs trace report =
+  Parallel.Pool.set_jobs jobs;
   obs_begin ~trace ~report;
   let flow = prepare ~seed ~cycles ~utilization ~test_set in
   let fig6 = Postplace.Experiment.run_fig6 flow in
@@ -376,7 +389,9 @@ let run_sweep seed cycles utilization test_set trace report =
          p.temp_reduction_pct p.timing_overhead_pct)
     points;
   obs_end ~command:"sweep" ~trace ~report
-    ~config:(base_config ~seed ~cycles ~utilization ~test_set)
+    ~config:
+      (base_config ~seed ~cycles ~utilization ~test_set
+       @ [ ("jobs", Obs.Json.Int jobs) ])
     ~sections:
       [ ("base", eval_json fig6.Postplace.Experiment.base_eval);
         ("points", Obs.Json.List (List.map point_json points)) ]
@@ -387,7 +402,7 @@ let flow_cmd =
   let doc = "Run the flow and apply one temperature-reduction technique." in
   Cmd.v (Cmd.info "flow" ~doc)
     Term.(const run_flow $ seed $ cycles $ utilization $ test_set
-          $ technique_arg $ overhead_arg $ trace_arg $ report_arg)
+          $ technique_arg $ overhead_arg $ jobs_arg $ trace_arg $ report_arg)
 
 let report_cmd =
   let doc = "Print netlist, placement, power and thermal summaries." in
@@ -405,7 +420,7 @@ let sweep_cmd =
   let doc = "Reduction-vs-overhead sweep for all three schemes (Fig. 6)." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run_sweep $ seed $ cycles $ utilization $ test_set
-          $ trace_arg $ report_arg)
+          $ jobs_arg $ trace_arg $ report_arg)
 
 let export_cmd =
   let doc =

@@ -53,34 +53,35 @@ let rows_for_overhead flow frac =
   in
   max 1 (int_of_float (Float.round (frac *. float_of_int base_rows)))
 
+(* Sweep points are independent given the base evaluation, so each scheme's
+   list fans out on the pool ([map_list] preserves order — the output is
+   identical to the sequential sweep). Points over the same overhead share
+   the cached conductance matrix for their die extent. *)
 let run_fig6 ?(overheads = default_overheads) flow =
   let base = Flow.evaluate flow flow.Flow.base_placement in
   let default_points =
-    List.map
-      (fun frac ->
-         let util = flow.Flow.base_utilization /. (1.0 +. frac) in
-         let pl = Flow.apply_default flow ~utilization:util in
-         point_of_eval flow ~base ~scheme:"Default" (Flow.evaluate flow pl))
-      overheads
+    Parallel.Pool.map_list overheads
+      ~f:(fun frac ->
+          let util = flow.Flow.base_utilization /. (1.0 +. frac) in
+          let pl = Flow.apply_default flow ~utilization:util in
+          point_of_eval flow ~base ~scheme:"Default" (Flow.evaluate flow pl))
   in
   let eri_points =
-    List.map
-      (fun frac ->
-         let rows = rows_for_overhead flow frac in
-         let r = Flow.apply_eri flow ~base ~rows in
-         point_of_eval flow ~base ~scheme:"ERI"
-           (Flow.evaluate flow r.Technique.eri_placement))
-      overheads
+    Parallel.Pool.map_list overheads
+      ~f:(fun frac ->
+          let rows = rows_for_overhead flow frac in
+          let r = Flow.apply_eri flow ~base ~rows in
+          point_of_eval flow ~base ~scheme:"ERI"
+            (Flow.evaluate flow r.Technique.eri_placement))
   in
   let hw_points =
-    List.map
-      (fun frac ->
-         let util = flow.Flow.base_utilization /. (1.0 +. frac) in
-         let pl = Flow.apply_default flow ~utilization:util in
-         let ev = Flow.evaluate flow pl in
-         let pl' = Flow.apply_hw flow ~on:ev () in
-         point_of_eval flow ~base ~scheme:"HW" (Flow.evaluate flow pl'))
-      overheads
+    Parallel.Pool.map_list overheads
+      ~f:(fun frac ->
+          let util = flow.Flow.base_utilization /. (1.0 +. frac) in
+          let pl = Flow.apply_default flow ~utilization:util in
+          let ev = Flow.evaluate flow pl in
+          let pl' = Flow.apply_hw flow ~on:ev () in
+          point_of_eval flow ~base ~scheme:"HW" (Flow.evaluate flow pl'))
   in
   { base_eval = base; default_points; eri_points; hw_points }
 
@@ -226,8 +227,8 @@ type package_row = {
 }
 
 let run_package_sweep ?(sinks = [ 2.0e5; 5.0e5; 1.0e6 ]) flow =
-  List.map
-    (fun h ->
+  Parallel.Pool.map_list sinks
+    ~f:(fun h ->
        let flow =
          { flow with
            Flow.mesh_config =
@@ -247,7 +248,6 @@ let run_package_sweep ?(sinks = [ 2.0e5; 5.0e5; 1.0e6 ]) flow =
          pk_eri_reduction_pct =
            Thermal.Metrics.reduction_pct ~before:base.Flow.metrics
              ~after:ev.Flow.metrics })
-    sinks
 
 type baseline_row = {
   bl_scheme : string;

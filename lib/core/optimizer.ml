@@ -19,6 +19,39 @@ let evaluate_plan flow ~after ~nx =
   let r = Technique.apply_row_insertions flow.Flow.base_placement after in
   peak_of flow r.Technique.eri_placement ~nx
 
+(* SSOR beats Jacobi by ~3x in iterations on the mesh stencil; candidate
+   solves don't need Jacobi's cheaper apply because the matrix is reused
+   from the cache anyway. *)
+let eval_precond = Thermal.Cg.Ssor 1.6
+
+(* Candidate *ranking* only has to separate peaks that differ by
+   millikelvins, so trial solves stop at 1e-6 relative (inexact
+   evaluation); the chosen plan is re-scored at full tolerance before it
+   is reported. CG convergence is roughly linear in requested digits, so
+   this alone saves ~40% of the ranking iterations. *)
+let rank_tol = 1e-6
+
+(* One candidate evaluation, warm-started from the incumbent temperature
+   field [x0]. All trial placements share the die extent (same number of
+   inserted rows), so every solve in a round reuses one cached matrix and
+   a good starting point — most of the optimizer's speedup lives here. *)
+let eval_trial flow ~after ~nx ~x0 ~tol =
+  let r = Technique.apply_row_insertions flow.Flow.base_placement after in
+  let cfg = { flow.Flow.mesh_config with Thermal.Mesh.nx; ny = nx } in
+  let power =
+    Power.Map.power_map r.Technique.eri_placement
+      ~per_cell_w:flow.Flow.per_cell_w ~nx ~ny:nx
+  in
+  let solution =
+    Thermal.Mesh.solve ~tol ~precond:eval_precond ?x0
+      (Thermal.Mesh.build cfg ~power)
+  in
+  let peak =
+    (Thermal.Metrics.of_map (Thermal.Mesh.active_layer_grid solution))
+      .Thermal.Metrics.peak_rise_k
+  in
+  (peak, solution.Thermal.Mesh.temp)
+
 let greedy_rows flow ~rows ?(chunk = 4) ?(stride = 4) ?(coarse_nx = 20) () =
   if rows <= 0 then invalid_arg "Optimizer.greedy_rows: non-positive budget";
   if chunk <= 0 || stride <= 0 || coarse_nx <= 0 then
@@ -33,32 +66,56 @@ let greedy_rows flow ~rows ?(chunk = 4) ?(stride = 4) ?(coarse_nx = 20) () =
     collect 0 []
   in
   let evaluations = ref 0 in
-  let plan = ref [] in
+  (* the plan is kept reversed: committing a chunk is a prepend, and
+     [Technique.apply_row_insertions] sorts its input, so order is free *)
+  let rev_plan = ref [] in
   let remaining = ref rows in
+  (* warm-start seed: the incumbent plan's temperature field *)
+  let _, temp0 =
+    eval_trial flow ~after:[] ~nx:coarse_nx ~x0:None ~tol:rank_tol
+  in
+  incr evaluations;
+  let warm = ref temp0 in
   while !remaining > 0 do
     let step = min chunk !remaining in
+    let x0 = Some !warm in
+    (* candidate trials are independent: evaluate them on the pool. The
+       list order is preserved, and selection below walks it sequentially
+       with the seed's tie-break (strict improvement wins), so parallel
+       and sequential runs pick identical plans. *)
+    let outcomes =
+      Parallel.Pool.map_list candidates ~f:(fun cand ->
+          let trial =
+            List.rev_append (List.init step (fun _ -> cand)) !rev_plan
+          in
+          eval_trial flow ~after:trial ~nx:coarse_nx ~x0 ~tol:rank_tol)
+    in
+    evaluations := !evaluations + List.length candidates;
     let best = ref None in
-    List.iter
-      (fun cand ->
-         let trial = !plan @ List.init step (fun _ -> cand) in
-         let peak = evaluate_plan flow ~after:trial ~nx:coarse_nx in
-         incr evaluations;
+    List.iter2
+      (fun cand (peak, temp) ->
          match !best with
-         | Some (_, best_peak) when best_peak <= peak -> ()
-         | _ -> best := Some (cand, peak))
-      candidates;
+         | Some (_, best_peak, _) when best_peak <= peak -> ()
+         | _ -> best := Some (cand, peak, temp))
+      candidates outcomes;
     (match !best with
-     | Some (cand, _) ->
-       plan := !plan @ List.init step (fun _ -> cand)
+     | Some (cand, _, temp) ->
+       rev_plan := List.rev_append (List.init step (fun _ -> cand)) !rev_plan;
+       warm := temp
      | None -> assert false);
     remaining := !remaining - step
   done;
-  let final = Technique.apply_row_insertions base !plan in
+  let plan_list = List.rev !rev_plan in
+  let final = Technique.apply_row_insertions base plan_list in
+  (* re-score the winner at full tolerance, warm-started from its own
+     ranking solution (a few iterations to polish 1e-6 down to 1e-10) *)
+  let peak, _ =
+    eval_trial flow ~after:plan_list ~nx:coarse_nx ~x0:(Some !warm)
+      ~tol:Thermal.Cg.default_tol
+  in
+  incr evaluations;
   let result =
-    { plan = final;
-      predicted_peak_k =
-        peak_of flow final.Technique.eri_placement ~nx:coarse_nx;
-      evaluations = !evaluations + 1 }
+    { plan = final; predicted_peak_k = peak; evaluations = !evaluations }
   in
   Obs.Metrics.count "optimizer.thermal_solves" ~by:result.evaluations;
   Obs.Metrics.observe "optimizer.predicted_peak_k" result.predicted_peak_k;

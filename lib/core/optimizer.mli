@@ -27,7 +27,14 @@ val greedy_rows :
     base placement. [chunk] rows are committed per greedy step (default 4),
     candidate positions are every [stride]-th row (default 4), and candidate
     evaluation uses a [coarse_nx] x [coarse_nx] thermal grid (default 20).
-    Raises [Invalid_argument] on a non-positive budget. *)
+    Raises [Invalid_argument] on a non-positive budget.
+
+    Candidate solves within a round run concurrently on the
+    {!Parallel.Pool}, share the round's cached conductance matrix, and are
+    warm-started from the incumbent plan's temperature field. Selection
+    walks candidates in their fixed order with a strict-improvement
+    tie-break, so the chosen plan is identical for any pool size
+    (including sequential). *)
 
 val evaluate_plan : Flow.t -> after:int list -> nx:int -> float
 (** Peak temperature rise (K) of the base placement with the given

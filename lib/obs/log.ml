@@ -7,24 +7,31 @@ let retained : string list ref = ref []  (* reversed *)
 let n_retained = ref 0
 let n_dropped = ref 0
 
+(* warnings can arrive from worker domains (e.g. a non-converged solve in
+   a parallel sweep); the buffer is mutex-guarded, the handler runs
+   unlocked so a handler that warns cannot deadlock *)
+let log_mutex = Mutex.create ()
+
 let set_handler h = handler := h
 
 let warn msg =
-  if !n_retained < max_retained then begin
-    retained := msg :: !retained;
-    incr n_retained
-  end
-  else incr n_dropped;
+  Mutex.protect log_mutex (fun () ->
+      if !n_retained < max_retained then begin
+        retained := msg :: !retained;
+        incr n_retained
+      end
+      else incr n_dropped);
   match !handler with Some h -> h msg | None -> ()
 
-let warnings () = List.rev !retained
+let warnings () = Mutex.protect log_mutex (fun () -> List.rev !retained)
 
-let dropped () = !n_dropped
+let dropped () = Mutex.protect log_mutex (fun () -> !n_dropped)
 
 let reset () =
-  retained := [];
-  n_retained := 0;
-  n_dropped := 0
+  Mutex.protect log_mutex (fun () ->
+      retained := [];
+      n_retained := 0;
+      n_dropped := 0)
 
 let to_json () =
   Json.Obj

@@ -35,9 +35,15 @@ let enabled_flag = ref true
 let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
 
+(* The registry is shared across domains (solver chunks, parallel sweep
+   points); one mutex around every access keeps recording race-free.
+   Recording stays per-event (never per-element), so the lock is cold. *)
+let registry_mutex = Mutex.create ()
 let registry : (string, cell) Hashtbl.t = Hashtbl.create 64
 
-let reset () = Hashtbl.reset registry
+let locked f = Mutex.protect registry_mutex f
+
+let reset () = locked (fun () -> Hashtbl.reset registry)
 
 let type_error name expected =
   invalid_arg
@@ -47,36 +53,39 @@ let type_error name expected =
 
 let count ?(by = 1) name =
   if !enabled_flag then
-    match Hashtbl.find_opt registry name with
-    | Some (C_counter r) -> r := !r + by
-    | Some _ -> type_error name "counter"
-    | None -> Hashtbl.replace registry name (C_counter (ref by))
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (C_counter r) -> r := !r + by
+        | Some _ -> type_error name "counter"
+        | None -> Hashtbl.replace registry name (C_counter (ref by)))
 
 let gauge name v =
   if !enabled_flag then
-    match Hashtbl.find_opt registry name with
-    | Some (C_gauge r) -> r := v
-    | Some _ -> type_error name "gauge"
-    | None -> Hashtbl.replace registry name (C_gauge (ref v))
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (C_gauge r) -> r := v
+        | Some _ -> type_error name "gauge"
+        | None -> Hashtbl.replace registry name (C_gauge (ref v)))
 
 let observe name v =
   if !enabled_flag then
-    match Hashtbl.find_opt registry name with
-    | Some (C_hist h) ->
-      h.h_count <- h.h_count + 1;
-      h.h_sum <- h.h_sum +. v;
-      if v < h.h_min then h.h_min <- v;
-      if v > h.h_max then h.h_max <- v;
-      h.h_last <- v;
-      if h.h_count - h.h_dropped <= max_samples then
-        h.h_rev_samples <- v :: h.h_rev_samples
-      else h.h_dropped <- h.h_dropped + 1
-    | Some _ -> type_error name "histogram"
-    | None ->
-      Hashtbl.replace registry name
-        (C_hist
-           { h_count = 1; h_sum = v; h_min = v; h_max = v; h_last = v;
-             h_rev_samples = [ v ]; h_dropped = 0 })
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (C_hist h) ->
+          h.h_count <- h.h_count + 1;
+          h.h_sum <- h.h_sum +. v;
+          if v < h.h_min then h.h_min <- v;
+          if v > h.h_max then h.h_max <- v;
+          h.h_last <- v;
+          if h.h_count - h.h_dropped <= max_samples then
+            h.h_rev_samples <- v :: h.h_rev_samples
+          else h.h_dropped <- h.h_dropped + 1
+        | Some _ -> type_error name "histogram"
+        | None ->
+          Hashtbl.replace registry name
+            (C_hist
+               { h_count = 1; h_sum = v; h_min = v; h_max = v; h_last = v;
+                 h_rev_samples = [ v ]; h_dropped = 0 }))
 
 let freeze_hist h =
   { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max;
@@ -84,33 +93,37 @@ let freeze_hist h =
     dropped = h.h_dropped }
 
 let counter_value name =
-  match Hashtbl.find_opt registry name with
-  | Some (C_counter r) -> Some !r
-  | _ -> None
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (C_counter r) -> Some !r
+      | _ -> None)
 
 let gauge_value name =
-  match Hashtbl.find_opt registry name with
-  | Some (C_gauge r) -> Some !r
-  | _ -> None
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (C_gauge r) -> Some !r
+      | _ -> None)
 
 let histogram name =
-  match Hashtbl.find_opt registry name with
-  | Some (C_hist h) -> Some (freeze_hist h)
-  | _ -> None
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (C_hist h) -> Some (freeze_hist h)
+      | _ -> None)
 
 let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
 
 let snapshot () =
-  Hashtbl.fold
-    (fun name cell acc ->
-       let v =
-         match cell with
-         | C_counter r -> Counter !r
-         | C_gauge r -> Gauge !r
-         | C_hist h -> Histogram (freeze_hist h)
-       in
-       (name, v) :: acc)
-    registry []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name cell acc ->
+           let v =
+             match cell with
+             | C_counter r -> Counter !r
+             | C_gauge r -> Gauge !r
+             | C_hist h -> Histogram (freeze_hist h)
+           in
+           (name, v) :: acc)
+        registry [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let to_json () =

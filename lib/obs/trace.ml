@@ -17,6 +17,12 @@ let stack : frame list ref = ref []
 let completed : span list ref = ref []  (* reversed *)
 let epoch = ref (Unix.gettimeofday ())
 
+(* The span stack is a single-domain structure; spans opened on worker
+   domains (parallel candidate evaluations, pooled chunks) are not
+   recorded — the tracing domain's tree stays consistent and the wall
+   clock of parallel work is attributed to the enclosing span. *)
+let trace_domain = ref (Domain.self ())
+
 let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
 
@@ -25,10 +31,11 @@ let now () = Unix.gettimeofday () -. !epoch
 let reset () =
   stack := [];
   completed := [];
+  trace_domain := Domain.self ();
   epoch := Unix.gettimeofday ()
 
 let with_span name f =
-  if not !enabled_flag then f ()
+  if (not !enabled_flag) || Domain.self () <> !trace_domain then f ()
   else begin
     let fr = { f_name = name; f_start = now (); f_children = [] } in
     stack := fr :: !stack;

@@ -1,0 +1,172 @@
+(* Work-stealing-free domain pool: one shared job at a time, chunks handed
+   out under a mutex. Chunk indices are fixed by the caller, so the
+   decomposition (and any chunk-ordered reduction built on it) never
+   depends on how many domains execute it. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Set while a domain is executing chunk bodies; a nested [parallel_for]
+   from such a context runs inline instead of touching the (busy) pool. *)
+let busy_key = Domain.DLS.new_key (fun () -> ref false)
+
+type job = {
+  run : int -> unit;
+  total : int;
+  mutable next : int;            (* next unclaimed chunk *)
+  mutable active : int;          (* chunks currently executing *)
+  mutable failed : exn option;   (* first exception, re-raised by caller *)
+  mutable worker_chunks : int;   (* executed by worker domains *)
+}
+
+type pool = {
+  m : Mutex.t;
+  work : Condition.t;            (* signalled when a job is published *)
+  idle : Condition.t;            (* signalled when the last chunk finishes *)
+  mutable current : job option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Oversubscription guard: running more concurrent chunk executors than
+   hardware threads buys nothing and costs real time (every minor GC must
+   synchronize all running domains). Workers only claim while fewer than
+   [max_active] executors (caller included) are busy; the floor of 2
+   keeps the cross-domain path exercised even on single-core machines.
+   The caller always participates, so a capped job still completes. *)
+let max_active = max 2 (Domain.recommended_domain_count ())
+
+(* Runs with [p.m] held; releases it only around chunk execution. *)
+let rec worker_step p =
+  if p.stop then ()
+  else
+    match p.current with
+    | Some j when j.next < j.total && j.active < max_active ->
+      let i = j.next in
+      j.next <- j.next + 1;
+      j.active <- j.active + 1;
+      Mutex.unlock p.m;
+      let err = (try j.run i; None with e -> Some e) in
+      Mutex.lock p.m;
+      (match err with
+       | Some e ->
+         if j.failed = None then j.failed <- Some e;
+         j.next <- j.total (* drain: stop handing out chunks *)
+       | None -> ());
+      j.active <- j.active - 1;
+      j.worker_chunks <- j.worker_chunks + 1;
+      if j.next >= j.total && j.active = 0 then Condition.broadcast p.idle;
+      worker_step p
+    | _ ->
+      Condition.wait p.work p.m;
+      worker_step p
+
+let worker p () =
+  Domain.DLS.get busy_key := true;
+  Mutex.lock p.m;
+  worker_step p;
+  Mutex.unlock p.m
+
+(* Global pool, (re)spawned lazily at the configured size. *)
+let glock = Mutex.create ()
+let jobs_ref = ref (default_jobs ())
+let pool_ref : pool option ref = ref None
+
+let jobs () = !jobs_ref
+
+let shutdown_pool p =
+  Mutex.lock p.m;
+  p.stop <- true;
+  Condition.broadcast p.work;
+  Mutex.unlock p.m;
+  List.iter Domain.join p.workers;
+  p.workers <- []
+
+let shutdown () =
+  Mutex.protect glock (fun () ->
+      match !pool_ref with
+      | None -> ()
+      | Some p ->
+        pool_ref := None;
+        shutdown_pool p)
+
+let () = at_exit shutdown
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Pool.set_jobs: jobs must be >= 1";
+  shutdown ();
+  Mutex.protect glock (fun () -> jobs_ref := n);
+  Obs.Metrics.gauge "parallel.jobs" (float_of_int n)
+
+let ensure_pool () =
+  Mutex.protect glock (fun () ->
+      match !pool_ref with
+      | Some p -> p
+      | None ->
+        let p =
+          { m = Mutex.create (); work = Condition.create ();
+            idle = Condition.create (); current = None; stop = false;
+            workers = [] }
+        in
+        p.workers <-
+          List.init (!jobs_ref - 1) (fun _ -> Domain.spawn (worker p));
+        pool_ref := Some p;
+        p)
+
+let run_inline ~chunks f = for i = 0 to chunks - 1 do f i done
+
+let run_pooled p ~chunks f =
+  let busy = Domain.DLS.get busy_key in
+  busy := true;
+  let j =
+    { run = f; total = chunks; next = 0; active = 0; failed = None;
+      worker_chunks = 0 }
+  in
+  Mutex.lock p.m;
+  p.current <- Some j;
+  Condition.broadcast p.work;
+  (* the caller participates instead of blocking idle *)
+  let rec drive () =
+    if j.next < j.total then begin
+      let i = j.next in
+      j.next <- j.next + 1;
+      j.active <- j.active + 1;
+      Mutex.unlock p.m;
+      let err = (try f i; None with e -> Some e) in
+      Mutex.lock p.m;
+      (match err with
+       | Some e ->
+         if j.failed = None then j.failed <- Some e;
+         j.next <- j.total
+       | None -> ());
+      j.active <- j.active - 1;
+      drive ()
+    end
+  in
+  drive ();
+  while j.active > 0 do Condition.wait p.idle p.m done;
+  p.current <- None;
+  Mutex.unlock p.m;
+  busy := false;
+  Obs.Metrics.count "parallel.invocations";
+  let share = float_of_int j.worker_chunks /. float_of_int chunks in
+  Obs.Metrics.gauge "parallel.pool.utilization" share;
+  Obs.Metrics.observe "parallel.pool.utilization.samples" share;
+  match j.failed with Some e -> raise e | None -> ()
+
+let parallel_for ~chunks f =
+  if chunks > 0 then begin
+    let busy = Domain.DLS.get busy_key in
+    if !busy || !jobs_ref <= 1 || chunks = 1 then run_inline ~chunks f
+    else run_pooled (ensure_pool ()) ~chunks f
+  end
+
+let map_array ~f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    parallel_for ~chunks:n (fun i -> results.(i) <- Some (f a.(i)));
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list ~f l = Array.to_list (map_array ~f (Array.of_list l))

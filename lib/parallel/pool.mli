@@ -1,0 +1,59 @@
+(** A dependency-free domain pool with deterministic chunking.
+
+    One process-global pool (OCaml 5 [Domain]s coordinated with
+    [Mutex]/[Condition]) executes indexed chunks of work. Chunk boundaries
+    are chosen by the caller and never depend on the worker count, and
+    every reduction in this codebase combines per-chunk partials in chunk
+    order — so results are bit-identical whatever [jobs] is set to,
+    including the inline [jobs = 1] path. That invariant is what lets the
+    solver and the sweep runners advertise "parallel output equals
+    sequential output" as a testable property.
+
+    Nested calls (a [parallel_for] issued from inside a chunk, e.g. a CG
+    solve running under a parallel candidate sweep) degrade to inline
+    sequential execution instead of deadlocking on the shared pool.
+
+    Telemetry: [set_jobs] records the [parallel.jobs] gauge; every pooled
+    invocation bumps [parallel.invocations] and updates the
+    [parallel.pool.utilization] gauge (share of chunks executed by worker
+    domains rather than the caller) plus a same-named histogram. *)
+
+val default_jobs : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]: leave one core for
+    the orchestrating domain, never below 1. *)
+
+val set_jobs : int -> unit
+(** Set the number of concurrent executors (caller + [n - 1] worker
+    domains). [1] disables the pool; workers of a previously sized pool
+    are joined before the new size takes effect. Raises
+    [Invalid_argument] when [n < 1].
+
+    Requesting more executors than the machine has hardware threads does
+    not oversubscribe: workers only claim work while fewer than
+    [max 2 (Domain.recommended_domain_count ())] executors are running,
+    because extra runnable domains slow every minor GC down without
+    adding throughput. The floor of 2 keeps cross-domain execution (and
+    its tests) live on single-core machines. *)
+
+val jobs : unit -> int
+(** Current setting; initially {!default_jobs}[ ()]. *)
+
+val parallel_for : chunks:int -> (int -> unit) -> unit
+(** [parallel_for ~chunks f] runs [f 0 .. f (chunks - 1)], each exactly
+    once, on the caller plus the worker domains. The assignment of chunks
+    to domains is dynamic but chunk indices (and therefore any
+    caller-visible chunk decomposition) are fixed. Chunks must write to
+    disjoint state. If some [f i] raises, remaining chunks are drained and
+    the first exception is re-raised in the caller once in-flight chunks
+    finish. *)
+
+val map_array : f:('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map, one chunk per element (use for
+    coarse-grained work such as candidate evaluations). *)
+
+val map_list : f:('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map_array}. *)
+
+val shutdown : unit -> unit
+(** Join all worker domains (idempotent; also registered [at_exit]). The
+    next pooled call respawns them. *)

@@ -5,14 +5,46 @@ type outcome = {
   converged : bool;
 }
 
-let dot a b =
-  let acc = ref 0.0 in
-  for i = 0 to Array.length a - 1 do
-    acc := !acc +. (a.(i) *. b.(i))
-  done;
-  !acc
+type precond = Jacobi | Ssor of float
 
-let norm a = sqrt (dot a a)
+let default_tol = 1e-10
+
+(* Vector ops are chunked on a fixed grid (independent of the pool size)
+   and reductions combine per-chunk partials in chunk-index order, so a
+   parallel solve is bit-identical to a sequential one: same partial sums,
+   same combination order, same rounding. A chunk of a few thousand
+   elements is microseconds of work — far below the pool handoff cost —
+   so the chunk loop only goes to the pool for large systems; below the
+   threshold it runs inline over the *same* grid, which keeps the
+   arithmetic identical across the threshold as well. *)
+let vec_chunk = 2048
+let par_min_n = 200_000
+
+let n_chunks n = (n + vec_chunk - 1) / vec_chunk
+
+let for_chunks n f =
+  if n >= par_min_n then Parallel.Pool.parallel_for ~chunks:(n_chunks n) f
+  else for c = 0 to n_chunks n - 1 do f c done
+
+let par_iter_chunks n f =
+  for_chunks n (fun c ->
+      let lo = c * vec_chunk in
+      let hi = min n (lo + vec_chunk) - 1 in
+      f lo hi)
+
+(* [partials] is per-solve scratch of length [n_chunks n]. *)
+let dot partials a b =
+  let n = Array.length a in
+  let chunks = n_chunks n in
+  for_chunks n (fun c ->
+      let lo = c * vec_chunk in
+      let hi = min n (lo + vec_chunk) - 1 in
+      let acc = ref 0.0 in
+      for i = lo to hi do acc := !acc +. (a.(i) *. b.(i)) done;
+      partials.(c) <- !acc);
+  let acc = ref 0.0 in
+  for c = 0 to chunks - 1 do acc := !acc +. partials.(c) done;
+  !acc
 
 (* Per-solve telemetry: iteration count and final residual feed histograms
    so sweeps can audit convergence after the fact, and a max-iter exit is
@@ -32,15 +64,29 @@ let record outcome =
   end;
   outcome
 
-let solve_raw m ~b ~tol ?max_iter ?x0 () =
+let solve_raw m ~b ~tol ?max_iter ?x0 ?(precond = Jacobi) () =
   let n = Sparse.dim m in
   if Array.length b <> n then invalid_arg "Cg.solve: rhs dimension mismatch";
+  (match precond with
+   | Jacobi -> ()
+   | Ssor omega ->
+     if omega <= 0.0 || omega >= 2.0 then
+       invalid_arg "Cg.solve: SSOR omega must be in (0, 2)");
   let max_iter = match max_iter with Some k -> k | None -> 4 * n in
   let diag = Sparse.diagonal m in
   Array.iter
     (fun d -> if d <= 0.0 then
         invalid_arg "Cg.solve: non-positive diagonal entry")
     diag;
+  let partials = Array.make (n_chunks n) 0.0 in
+  let norm a = sqrt (dot partials a a) in
+  let apply_precond r z =
+    match precond with
+    | Jacobi ->
+      par_iter_chunks n (fun lo hi ->
+          for i = lo to hi do z.(i) <- r.(i) /. diag.(i) done)
+    | Ssor omega -> Sparse.ssor_apply m ~diag ~omega r z
+  in
   let x = match x0 with
     | Some v ->
       if Array.length v <> n then invalid_arg "Cg.solve: x0 mismatch";
@@ -48,37 +94,41 @@ let solve_raw m ~b ~tol ?max_iter ?x0 () =
     | None -> Array.make n 0.0
   in
   let r = Array.make n 0.0 in
-  Sparse.mul m x r;
-  for i = 0 to n - 1 do r.(i) <- b.(i) -. r.(i) done;
+  Sparse.mul_par m x r;
+  par_iter_chunks n (fun lo hi ->
+      for i = lo to hi do r.(i) <- b.(i) -. r.(i) done);
   let bnorm = norm b in
   if bnorm = 0.0 then
     { x = Array.make n 0.0; iterations = 0; residual = 0.0; converged = true }
   else begin
-    let z = Array.init n (fun i -> r.(i) /. diag.(i)) in
+    let z = Array.make n 0.0 in
+    apply_precond r z;
     let p = Array.copy z in
     let ap = Array.make n 0.0 in
-    let rz = ref (dot r z) in
+    let rz = ref (dot partials r z) in
     let iterations = ref 0 in
     let converged = ref (norm r /. bnorm <= tol) in
     while (not !converged) && !iterations < max_iter do
       incr iterations;
-      Sparse.mul m p ap;
-      let alpha = !rz /. dot p ap in
-      for i = 0 to n - 1 do
-        x.(i) <- x.(i) +. (alpha *. p.(i));
-        r.(i) <- r.(i) -. (alpha *. ap.(i))
-      done;
+      Sparse.mul_par m p ap;
+      let alpha = !rz /. dot partials p ap in
+      par_iter_chunks n (fun lo hi ->
+          for i = lo to hi do
+            x.(i) <- x.(i) +. (alpha *. p.(i));
+            r.(i) <- r.(i) -. (alpha *. ap.(i))
+          done);
       if norm r /. bnorm <= tol then converged := true
       else begin
-        for i = 0 to n - 1 do z.(i) <- r.(i) /. diag.(i) done;
-        let rz' = dot r z in
+        apply_precond r z;
+        let rz' = dot partials r z in
         let beta = rz' /. !rz in
         rz := rz';
-        for i = 0 to n - 1 do p.(i) <- z.(i) +. (beta *. p.(i)) done
+        par_iter_chunks n (fun lo hi ->
+            for i = lo to hi do p.(i) <- z.(i) +. (beta *. p.(i)) done)
       end
     done;
     (* true residual for the report *)
-    Sparse.mul m x ap;
+    Sparse.mul_par m x ap;
     let res = ref 0.0 in
     for i = 0 to n - 1 do
       let d = b.(i) -. ap.(i) in
@@ -88,6 +138,15 @@ let solve_raw m ~b ~tol ?max_iter ?x0 () =
       converged = !converged }
   end
 
-let solve m ~b ?(tol = 1e-9) ?max_iter ?x0 () =
+let solve m ~b ?(tol = default_tol) ?max_iter ?x0 ?precond () =
   Obs.Trace.with_span "thermal.cg.solve" (fun () ->
-      record (solve_raw m ~b ~tol ?max_iter ?x0 ()))
+      let out = record (solve_raw m ~b ~tol ?max_iter ?x0 ?precond ()) in
+      (* Warm-start savings are measured against cold solves of the same
+         system (Mesh tracks the pairing); here we just split the
+         iteration histogram by start kind. *)
+      let key =
+        if Option.is_none x0 then "thermal.cg.cold.iterations"
+        else "thermal.cg.warm.iterations"
+      in
+      Obs.Metrics.observe key (float_of_int out.iterations);
+      out)

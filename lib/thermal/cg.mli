@@ -1,4 +1,4 @@
-(** Jacobi-preconditioned conjugate gradients for SPD systems.
+(** Preconditioned conjugate gradients for SPD systems.
 
     At steady state the paper's SPICE netlist of resistors, current sources
     and voltage sources reduces to the linear system [G T = P] with an SPD
@@ -11,17 +11,36 @@ type outcome = {
   converged : bool;
 }
 
+type precond =
+  | Jacobi        (** diagonal scaling — cheapest apply, default *)
+  | Ssor of float
+  (** symmetric successive over-relaxation with the given omega in
+      (0, 2); [Ssor 1.0] is symmetric Gauss-Seidel. Stronger than Jacobi
+      on the mesh stencil (fewer iterations) at the cost of two
+      triangular sweeps per apply. *)
+
+val default_tol : float
+(** 1e-10 relative — the single convergence default shared by {!solve}
+    and [Mesh.solve]. *)
+
 val solve : Sparse.t -> b:float array -> ?tol:float -> ?max_iter:int ->
-  ?x0:float array -> unit -> outcome
-(** Defaults: [tol] 1e-9 (relative), [max_iter] 4 * dim, [x0] zero.
-    Raises [Invalid_argument] on dimension mismatch or a non-positive
-    diagonal entry (the preconditioner needs positivity, and a thermal
-    conductance matrix always satisfies it).
+  ?x0:float array -> ?precond:precond -> unit -> outcome
+(** Defaults: [tol] {!default_tol}, [max_iter] 4 * dim, [x0] zero,
+    [precond] {!Jacobi}. Raises [Invalid_argument] on dimension mismatch,
+    a non-positive diagonal entry (the preconditioners need positivity,
+    and a thermal conductance matrix always satisfies it), or an SSOR
+    omega outside (0, 2).
+
+    Vector kernels (SpMV, dot, axpy) run on the {!Parallel.Pool} with a
+    fixed chunk grid and chunk-ordered reduction, so results are
+    bit-identical across pool sizes, including sequential.
 
     Telemetry: every solve records [thermal.cg.iterations] and
     [thermal.cg.residual] observations and bumps the [thermal.cg.solves]
-    counter in {!Obs.Metrics}; a solve that exits at [max_iter] without
-    converging bumps [thermal.cg.nonconverged] and emits an {!Obs.Log}
-    warning, so silent max-iter exits cannot masquerade as valid
-    temperatures in sweeps. The solve body runs under a
-    ["thermal.cg.solve"] trace span. *)
+    counter in {!Obs.Metrics}; the iteration count additionally lands in
+    [thermal.cg.cold.iterations] or [thermal.cg.warm.iterations]
+    depending on whether [x0] was supplied. A solve that exits at
+    [max_iter] without converging bumps [thermal.cg.nonconverged] and
+    emits an {!Obs.Log} warning, so silent max-iter exits cannot
+    masquerade as valid temperatures in sweeps. The solve body runs under
+    a ["thermal.cg.solve"] trace span. *)

@@ -11,6 +11,10 @@ type problem = {
   p_extent : Geo.Rect.t;
   p_matrix : Sparse.t;
   p_rhs : float array;
+  p_cold_iters : int option ref;
+  (* iterations of the first cold solve of this matrix, shared across every
+     problem built from the same cache entry: the baseline against which
+     warm-start savings are measured *)
 }
 
 let matrix p = p.p_matrix
@@ -35,15 +39,10 @@ let vertical_conductance ~area_m2 (a : Stack.layer) (b : Stack.layer) =
 (* Lateral conductance inside one layer: uniform k, full cell pitch. *)
 let lateral_conductance ~k ~cross_m2 ~pitch_m = k *. cross_m2 /. pitch_m
 
-let build cfg ~power =
-  Obs.Trace.with_span "thermal.mesh.build" @@ fun () ->
-  begin match Stack.validate cfg.stack with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Mesh.build: " ^ msg)
-  end;
-  if Geo.Grid.nx power <> cfg.nx || Geo.Grid.ny power <> cfg.ny then
-    invalid_arg "Mesh.build: power grid dimensions mismatch";
-  let extent = Geo.Grid.extent power in
+(* Conductance-matrix assembly. The matrix depends only on (config, extent)
+   — power enters through the rhs alone — which is what makes the matrix
+   cache below sound. *)
+let assemble cfg ~extent =
   let stack = cfg.stack in
   let nz = Stack.num_layers stack in
   let n = cfg.nx * cfg.ny * nz in
@@ -88,12 +87,75 @@ let build cfg ~power =
       done
     done
   done;
+  Sparse.of_builder b
+
+(* MRU cache of assembled matrices keyed by (config, extent), both plain
+   structural data. An optimizer run or sweep rebuilds the same mesh for
+   every candidate power map; only the rhs actually changes. *)
+type cache_entry = {
+  ce_matrix : Sparse.t;
+  ce_cold_iters : int option ref;
+}
+
+let cache_capacity = 8
+let cache_mutex = Mutex.create ()
+let cache_entries : ((config * Geo.Rect.t) * cache_entry) list ref = ref []
+
+let cache_clear () =
+  Mutex.protect cache_mutex (fun () -> cache_entries := [])
+
+let cache_lookup key =
+  Mutex.protect cache_mutex (fun () ->
+      match List.assoc_opt key !cache_entries with
+      | Some e ->
+        (* move to front *)
+        cache_entries :=
+          (key, e) :: List.filter (fun (k, _) -> k <> key) !cache_entries;
+        Some e
+      | None -> None)
+
+let cache_insert key e =
+  Mutex.protect cache_mutex (fun () ->
+      match List.assoc_opt key !cache_entries with
+      | Some existing -> existing (* a racing build won; reuse its entry *)
+      | None ->
+        let kept =
+          List.filteri (fun i _ -> i < cache_capacity - 1) !cache_entries
+        in
+        cache_entries := (key, e) :: kept;
+        e)
+
+let build ?(cache = true) cfg ~power =
+  Obs.Trace.with_span "thermal.mesh.build" @@ fun () ->
+  begin match Stack.validate cfg.stack with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Mesh.build: " ^ msg)
+  end;
+  if Geo.Grid.nx power <> cfg.nx || Geo.Grid.ny power <> cfg.ny then
+    invalid_arg "Mesh.build: power grid dimensions mismatch";
+  let extent = Geo.Grid.extent power in
+  let entry =
+    if not cache then
+      { ce_matrix = assemble cfg ~extent; ce_cold_iters = ref None }
+    else begin
+      let key = (cfg, extent) in
+      match cache_lookup key with
+      | Some e -> Obs.Metrics.count "thermal.mesh.cache.hits"; e
+      | None ->
+        Obs.Metrics.count "thermal.mesh.cache.misses";
+        (* assemble outside the cache lock; worst case two racing builds
+           assemble the same matrix and one is dropped *)
+        cache_insert key
+          { ce_matrix = assemble cfg ~extent; ce_cold_iters = ref None }
+    end
+  in
+  let n = cfg.nx * cfg.ny * Stack.num_layers cfg.stack in
   let rhs = Array.make n 0.0 in
-  let zp = stack.Stack.power_layer in
+  let zp = cfg.stack.Stack.power_layer in
   Geo.Grid.iteri power ~f:(fun ~ix ~iy w ->
       rhs.(node_index cfg ~ix ~iy ~iz:zp) <- w);
-  { p_config = cfg; p_extent = extent; p_matrix = Sparse.of_builder b;
-    p_rhs = rhs }
+  { p_config = cfg; p_extent = extent; p_matrix = entry.ce_matrix;
+    p_rhs = rhs; p_cold_iters = entry.ce_cold_iters }
 
 type solution = {
   config : config;
@@ -103,13 +165,19 @@ type solution = {
   cg_residual : float;
 }
 
-let solve ?(tol = 1e-10) p =
+let solve ?(tol = Cg.default_tol) ?max_iter ?precond ?x0 p =
   Obs.Trace.with_span "thermal.solve" @@ fun () ->
-  let outcome = Cg.solve p.p_matrix ~b:p.p_rhs ~tol () in
+  let outcome = Cg.solve p.p_matrix ~b:p.p_rhs ~tol ?max_iter ?precond ?x0 () in
   if not outcome.Cg.converged then
     failwith
       (Printf.sprintf "Mesh.solve: CG stalled (residual %.3e after %d iters)"
          outcome.Cg.residual outcome.Cg.iterations);
+  (match x0, !(p.p_cold_iters) with
+   | None, None -> p.p_cold_iters := Some outcome.Cg.iterations
+   | Some _, Some cold ->
+     Obs.Metrics.observe "thermal.mesh.warm.saved_iterations"
+       (float_of_int (cold - outcome.Cg.iterations))
+   | _ -> ());
   { config = p.p_config; extent = p.p_extent; temp = outcome.Cg.x;
     cg_iterations = outcome.Cg.iterations;
     cg_residual = outcome.Cg.residual }

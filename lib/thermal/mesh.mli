@@ -18,9 +18,21 @@ val default_config : config
 
 type problem
 
-val build : config -> power:Geo.Grid.t -> problem
+val build : ?cache:bool -> config -> power:Geo.Grid.t -> problem
 (** [power] is a W-per-tile grid whose extent is the die footprint and
-    whose dimensions must equal [nx] x [ny]. *)
+    whose dimensions must equal [nx] x [ny].
+
+    The conductance matrix depends only on the config and the grid extent
+    — power enters through the right-hand side alone — so assembled
+    matrices are kept in a small MRU cache keyed by (config, extent) and
+    shared between problems (the rhs is always rebuilt). [~cache:false]
+    bypasses the cache and assembles fresh. Lookups bump the
+    [thermal.mesh.cache.hits] / [thermal.mesh.cache.misses] counters in
+    {!Obs.Metrics}. *)
+
+val cache_clear : unit -> unit
+(** Drop every cached matrix (and the cold-iteration baselines that ride
+    with them). Mainly for tests and benchmarks. *)
 
 val matrix : problem -> Sparse.t
 val rhs : problem -> float array
@@ -33,8 +45,16 @@ type solution = {
   cg_residual : float;
 }
 
-val solve : ?tol:float -> problem -> solution
-(** Raises [Failure] when CG does not converge (never observed on a valid
+val solve : ?tol:float -> ?max_iter:int -> ?precond:Cg.precond ->
+  ?x0:float array -> problem -> solution
+(** Defaults: [tol] {!Cg.default_tol}, [max_iter] / [precond] / [x0] as in
+    {!Cg.solve}. Passing [x0] warm-starts CG from a previous temperature
+    field (the optimizer seeds candidate solves with the incumbent
+    solution); when the same cached matrix has also been solved cold, the
+    iteration savings are recorded in the
+    [thermal.mesh.warm.saved_iterations] histogram.
+
+    Raises [Failure] when CG does not converge (never observed on a valid
     stack; guards against assembly bugs). *)
 
 val node_index : config -> ix:int -> iy:int -> iz:int -> int

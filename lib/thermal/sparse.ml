@@ -113,6 +113,71 @@ let mul t x y =
     y.(i) <- !acc
   done
 
+(* Row-chunked SpMV on the domain pool. Each output row is produced by
+   exactly one chunk and the chunk grid depends only on the dimension —
+   never on the worker count — so the result is bit-identical to [mul]
+   for any pool size. Below [par_min_dim] the pool handoff costs more
+   than the multiply (a 7-point-stencil row is ~14 flops), so small
+   systems run the plain sequential kernel — per-row accumulation order
+   is the same either way, keeping results bit-identical across the
+   threshold too. *)
+let par_row_chunk = 512
+let par_min_dim = 200_000
+
+let mul_par t x y =
+  if t.dim < par_min_dim then mul t x y
+  else begin
+    if Array.length x <> t.dim || Array.length y <> t.dim then
+      invalid_arg "Sparse.mul_par: dimension mismatch";
+    let chunks = (t.dim + par_row_chunk - 1) / par_row_chunk in
+    Parallel.Pool.parallel_for ~chunks (fun c ->
+        let lo = c * par_row_chunk in
+        let hi = min t.dim (lo + par_row_chunk) - 1 in
+        for i = lo to hi do
+          let acc = ref 0.0 in
+          for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+            acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
+          done;
+          y.(i) <- !acc
+        done)
+  end
+
+(* z <- M^-1 r for the SSOR splitting M = (D/w + L) ((2-w)/w D)^-1
+   (D/w + U): a forward sweep, a diagonal scaling, a backward sweep. The
+   sweeps are inherently sequential (each row consumes earlier/later
+   rows), but they are O(nnz) — cheap next to the SpMV they save. *)
+let ssor_apply t ~diag ~omega r z =
+  let n = t.dim in
+  if Array.length r <> n || Array.length z <> n then
+    invalid_arg "Sparse.ssor_apply: dimension mismatch";
+  (* forward: (D/w + L) u = r, u accumulated in z *)
+  for i = 0 to n - 1 do
+    let acc = ref 0.0 in
+    let k = ref t.row_ptr.(i) in
+    let stop = t.row_ptr.(i + 1) in
+    while !k < stop && t.col_idx.(!k) < i do
+      acc := !acc +. (t.values.(!k) *. z.(t.col_idx.(!k)));
+      incr k
+    done;
+    z.(i) <- (r.(i) -. !acc) *. omega /. diag.(i)
+  done;
+  (* scale by ((2-w)/w D) *)
+  let s = (2.0 -. omega) /. omega in
+  for i = 0 to n - 1 do
+    z.(i) <- z.(i) *. diag.(i) *. s
+  done;
+  (* backward: (D/w + U) z = u, in place (rows below i are final) *)
+  for i = n - 1 downto 0 do
+    let acc = ref 0.0 in
+    let k = ref (t.row_ptr.(i + 1) - 1) in
+    let stop = t.row_ptr.(i) in
+    while !k >= stop && t.col_idx.(!k) > i do
+      acc := !acc +. (t.values.(!k) *. z.(t.col_idx.(!k)));
+      decr k
+    done;
+    z.(i) <- (z.(i) -. !acc) *. omega /. diag.(i)
+  done
+
 let diagonal t =
   let d = Array.make t.dim 0.0 in
   for i = 0 to t.dim - 1 do

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Full repository gate: build everything, run the test suites and the
-# quickstart example, then smoke-run the CLI with --report and validate the
-# JSON it writes. Run from anywhere inside the repository.
+# quickstart example, smoke-run the solver-engine bench (cache + warm-start
+# + preconditioner + pool) and the CLI with --report, and validate the JSON
+# both write. Run from anywhere inside the repository.
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -15,6 +16,10 @@ dune runtest
 
 echo "== quickstart example"
 dune exec examples/quickstart.exe >/dev/null
+
+echo "== solver engine bench smoke"
+dune exec bench/main.exe -- --jobs 2 cg >/dev/null
+dune exec bin/json_check.exe -- BENCH_cg.json experiment summary
 
 echo "== thermoplace --report smoke"
 report=$(mktemp /tmp/thermoplace-report.XXXXXX.json)

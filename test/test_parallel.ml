@@ -1,0 +1,127 @@
+(* Tests for the domain pool: coverage, ordering, failure propagation,
+   nesting, and the bit-identical-across-pool-sizes contract on a real
+   CG solve. *)
+
+let with_jobs n f =
+  Parallel.Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Parallel.Pool.set_jobs 1) f
+
+let test_every_chunk_exactly_once () =
+  with_jobs 4 (fun () ->
+      let chunks = 200 in
+      let hit = Array.make chunks 0 in
+      let executed = Atomic.make 0 in
+      Parallel.Pool.parallel_for ~chunks (fun i ->
+          hit.(i) <- hit.(i) + 1;
+          Atomic.incr executed);
+      Alcotest.(check int) "execution count" chunks (Atomic.get executed);
+      Array.iteri
+        (fun i n ->
+           if n <> 1 then Alcotest.failf "chunk %d executed %d times" i n)
+        hit)
+
+let test_map_preserves_order () =
+  with_jobs 4 (fun () ->
+      let input = List.init 101 (fun i -> i) in
+      let got = Parallel.Pool.map_list input ~f:(fun i -> i * i) in
+      Alcotest.(check (list int)) "squares in order"
+        (List.map (fun i -> i * i) input)
+        got;
+      let arr = Parallel.Pool.map_array [| 5; 3; 9 |] ~f:string_of_int in
+      Alcotest.(check (array string)) "array order" [| "5"; "3"; "9" |] arr)
+
+let test_exception_propagates () =
+  with_jobs 4 (fun () ->
+      (match
+         Parallel.Pool.parallel_for ~chunks:16 (fun i ->
+             if i = 7 then failwith "chunk 7 exploded")
+       with
+       | () -> Alcotest.fail "exception swallowed"
+       | exception Failure msg ->
+         Alcotest.(check string) "original exception" "chunk 7 exploded" msg);
+      (* the pool must survive a failed job *)
+      let ok = Atomic.make 0 in
+      Parallel.Pool.parallel_for ~chunks:8 (fun _ -> Atomic.incr ok);
+      Alcotest.(check int) "pool usable after failure" 8 (Atomic.get ok))
+
+let test_nested_runs_inline () =
+  with_jobs 4 (fun () ->
+      let total = Atomic.make 0 in
+      Parallel.Pool.parallel_for ~chunks:4 (fun _ ->
+          (* a nested call must not deadlock on the shared pool *)
+          Parallel.Pool.parallel_for ~chunks:4 (fun _ -> Atomic.incr total));
+      Alcotest.(check int) "all inner chunks ran" 16 (Atomic.get total))
+
+let test_set_jobs_validation () =
+  (match Parallel.Pool.set_jobs 0 with
+   | _ -> Alcotest.fail "jobs=0 accepted"
+   | exception Invalid_argument _ -> ());
+  (match Parallel.Pool.set_jobs (-3) with
+   | _ -> Alcotest.fail "negative jobs accepted"
+   | exception Invalid_argument _ -> ());
+  Alcotest.(check bool) "default >= 1" true (Parallel.Pool.default_jobs () >= 1)
+
+(* A diagonally dominant tridiagonal system large enough to cross the
+   solver's parallel threshold, so the pooled SpMV / dot / axpy paths
+   really execute. The solve must be bit-identical for any pool size. *)
+let test_cg_bit_identical_across_jobs () =
+  let n = 250_000 in
+  let b = Thermal.Sparse.builder ~n in
+  for i = 0 to n - 1 do
+    Thermal.Sparse.add b i i 4.0;
+    if i > 0 then Thermal.Sparse.add b i (i - 1) (-1.0);
+    if i < n - 1 then Thermal.Sparse.add b i (i + 1) (-1.0)
+  done;
+  let m = Thermal.Sparse.of_builder b in
+  let rhs = Array.init n (fun i -> sin (float_of_int (i mod 997))) in
+  Parallel.Pool.set_jobs 1;
+  let seq = Thermal.Cg.solve m ~b:rhs () in
+  Alcotest.(check bool) "sequential converged" true seq.Thermal.Cg.converged;
+  with_jobs 4 (fun () ->
+      let par = Thermal.Cg.solve m ~b:rhs () in
+      Alcotest.(check bool) "parallel converged" true par.Thermal.Cg.converged;
+      Alcotest.(check int) "same iteration count" seq.Thermal.Cg.iterations
+        par.Thermal.Cg.iterations;
+      (* structural equality on float arrays is bitwise equality of every
+         element — the determinism contract, not an approximation *)
+      Alcotest.(check bool) "bit-identical solution" true
+        (par.Thermal.Cg.x = seq.Thermal.Cg.x);
+      (* and the parallel path really went through the pool *)
+      match Obs.Metrics.counter_value "parallel.invocations" with
+      | Some k when k > 0 -> ()
+      | _ -> Alcotest.fail "no pooled invocations recorded")
+
+let test_mul_par_matches_mul () =
+  let n = 4096 in
+  let b = Thermal.Sparse.builder ~n in
+  for i = 0 to n - 1 do
+    Thermal.Sparse.add b i i 3.0;
+    if i > 1 then Thermal.Sparse.add b i (i - 2) 0.5;
+    if i < n - 2 then Thermal.Sparse.add b i (i + 2) 0.5
+  done;
+  let m = Thermal.Sparse.of_builder b in
+  let x = Array.init n (fun i -> cos (float_of_int i /. 11.0)) in
+  let y1 = Array.make n 0.0 and y2 = Array.make n 0.0 in
+  Thermal.Sparse.mul m x y1;
+  with_jobs 4 (fun () -> Thermal.Sparse.mul_par m x y2);
+  Alcotest.(check bool) "mul_par bit-identical to mul" true (y1 = y2)
+
+let () =
+  Obs.Metrics.set_enabled true;
+  Alcotest.run "parallel"
+    [ ("pool",
+       [ Alcotest.test_case "every chunk exactly once" `Quick
+           test_every_chunk_exactly_once;
+         Alcotest.test_case "map preserves order" `Quick
+           test_map_preserves_order;
+         Alcotest.test_case "exception propagates" `Quick
+           test_exception_propagates;
+         Alcotest.test_case "nested runs inline" `Quick
+           test_nested_runs_inline;
+         Alcotest.test_case "set_jobs validation" `Quick
+           test_set_jobs_validation ]);
+      ("determinism",
+       [ Alcotest.test_case "cg bit-identical across jobs" `Quick
+           test_cg_bit_identical_across_jobs;
+         Alcotest.test_case "mul_par matches mul" `Quick
+           test_mul_par_matches_mul ]) ]

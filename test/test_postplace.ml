@@ -437,6 +437,44 @@ let test_optimizer_validation () =
    | _ -> Alcotest.fail "rows=0 accepted"
    | exception Invalid_argument _ -> ())
 
+(* --- parallel determinism --------------------------------------------------------- *)
+
+let with_jobs n f =
+  Parallel.Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Parallel.Pool.set_jobs 1) f
+
+let test_optimizer_parallel_identical () =
+  let fl = Lazy.force flow in
+  let run () =
+    Postplace.Optimizer.greedy_rows fl ~rows:3 ~chunk:2 ~stride:3
+      ~coarse_nx:16 ()
+  in
+  Parallel.Pool.set_jobs 1;
+  let seq = run () in
+  let par = with_jobs 4 run in
+  Alcotest.(check (list int)) "same plan"
+    seq.Postplace.Optimizer.plan.Postplace.Technique.inserted_after
+    par.Postplace.Optimizer.plan.Postplace.Technique.inserted_after;
+  (* bit-identical, not approximately equal *)
+  Alcotest.(check bool) "same predicted peak" true
+    (seq.Postplace.Optimizer.predicted_peak_k
+     = par.Postplace.Optimizer.predicted_peak_k);
+  Alcotest.(check int) "same evaluation count"
+    seq.Postplace.Optimizer.evaluations par.Postplace.Optimizer.evaluations
+
+let test_fig6_parallel_identical () =
+  let fl = Lazy.force flow in
+  let overheads = [ 0.1; 0.2 ] in
+  Parallel.Pool.set_jobs 1;
+  let seq = Postplace.Experiment.run_fig6 ~overheads fl in
+  let par = with_jobs 4 (fun () -> Postplace.Experiment.run_fig6 ~overheads fl) in
+  let points f =
+    (f.Postplace.Experiment.default_points, f.Postplace.Experiment.eri_points,
+     f.Postplace.Experiment.hw_points)
+  in
+  Alcotest.(check bool) "sweep points bit-identical" true
+    (points seq = points par)
+
 (* --- qcheck properties -------------------------------------------------------------- *)
 
 let prop_eri_always_legal =
@@ -542,7 +580,12 @@ let () =
            test_optimizer_budget_and_legality;
          Alcotest.test_case "reduces peak" `Quick
            test_optimizer_reduces_peak;
-         Alcotest.test_case "validation" `Quick test_optimizer_validation ]);
+         Alcotest.test_case "validation" `Quick test_optimizer_validation;
+         Alcotest.test_case "parallel identical to sequential" `Quick
+           test_optimizer_parallel_identical ]);
+      ("experiment",
+       [ Alcotest.test_case "fig6 parallel identical" `Quick
+           test_fig6_parallel_identical ]);
       ("properties",
        List.map QCheck_alcotest.to_alcotest
          [ prop_eri_always_legal; prop_detect_threshold_monotone;

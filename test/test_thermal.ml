@@ -158,6 +158,37 @@ let test_cg_warm_start () =
   Alcotest.(check bool) "warm start immediate" true
     (warm.Thermal.Cg.iterations <= 1)
 
+let test_cg_ssor_matches_jacobi () =
+  let n = 80 in
+  let m = poisson_1d n in
+  let rhs = Array.init n (fun i -> sin (float_of_int i /. 5.0)) in
+  let jac = Thermal.Cg.solve m ~b:rhs ~tol:1e-12 () in
+  let ssor = Thermal.Cg.solve m ~b:rhs ~tol:1e-12
+      ~precond:(Thermal.Cg.Ssor 1.3) () in
+  Alcotest.(check bool) "ssor converged" true ssor.Thermal.Cg.converged;
+  let direct = Thermal.Dense.solve (Thermal.Dense.of_sparse m) rhs in
+  Array.iteri
+    (fun i v ->
+       check_float ~eps:1e-8 "ssor vs direct" v ssor.Thermal.Cg.x.(i);
+       check_float ~eps:1e-8 "jacobi vs direct" v jac.Thermal.Cg.x.(i))
+    direct;
+  (* the preconditioner's entire point: fewer iterations than Jacobi *)
+  Alcotest.(check bool)
+    (Printf.sprintf "ssor %d iters < jacobi %d" ssor.Thermal.Cg.iterations
+       jac.Thermal.Cg.iterations)
+    true
+    (ssor.Thermal.Cg.iterations < jac.Thermal.Cg.iterations)
+
+let test_cg_ssor_rejects_bad_omega () =
+  let m = poisson_1d 10 in
+  let rhs = Array.make 10 1.0 in
+  List.iter
+    (fun omega ->
+       match Thermal.Cg.solve m ~b:rhs ~precond:(Thermal.Cg.Ssor omega) () with
+       | _ -> Alcotest.failf "omega %g accepted" omega
+       | exception Invalid_argument _ -> ())
+    [ 0.0; 2.0; -0.5; 2.7 ]
+
 (* --- stack ------------------------------------------------------------------- *)
 
 let test_stack_default_valid () =
@@ -337,6 +368,92 @@ let test_mesh_1d_analytic () =
   if Float.abs (got -. expected) /. expected > 0.05 then
     Alcotest.failf "1-D analytic mismatch: got %.4f, expected %.4f" got
       expected
+
+let test_mesh_matrix_cache () =
+  Thermal.Mesh.cache_clear ();
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  let p = uniform_power ~nx:10 ~ny:10 ~total:0.02 in
+  let prob1 = Thermal.Mesh.build small_cfg ~power:p in
+  let prob2 = Thermal.Mesh.build small_cfg ~power:p in
+  Alcotest.(check (option int)) "one miss" (Some 1)
+    (Obs.Metrics.counter_value "thermal.mesh.cache.misses");
+  Alcotest.(check (option int)) "one hit" (Some 1)
+    (Obs.Metrics.counter_value "thermal.mesh.cache.hits");
+  (* the hit must return the *same* assembled matrix, not an equal copy *)
+  Alcotest.(check bool) "matrix physically shared" true
+    (Thermal.Mesh.matrix prob1 == Thermal.Mesh.matrix prob2);
+  (* a different extent is a different thermal network: miss *)
+  let extent = Geo.Rect.of_corner ~x:0.0 ~y:0.0 ~w:300.0 ~h:300.0 in
+  let wide = Geo.Grid.create ~nx:10 ~ny:10 ~extent in
+  Geo.Grid.set wide ~ix:5 ~iy:5 0.02;
+  let _ = Thermal.Mesh.build small_cfg ~power:wide in
+  Alcotest.(check (option int)) "extent change misses" (Some 2)
+    (Obs.Metrics.counter_value "thermal.mesh.cache.misses");
+  (* so is a different stack/config *)
+  let cfg2 =
+    { small_cfg with
+      Thermal.Mesh.stack =
+        Thermal.Stack.with_sink small_cfg.Thermal.Mesh.stack
+          ~h_top_w_m2k:9999.0 }
+  in
+  let _ = Thermal.Mesh.build cfg2 ~power:p in
+  Alcotest.(check (option int)) "config change misses" (Some 3)
+    (Obs.Metrics.counter_value "thermal.mesh.cache.misses");
+  (* ~cache:false assembles fresh and leaves the counters alone *)
+  let bypass = Thermal.Mesh.build ~cache:false small_cfg ~power:p in
+  Alcotest.(check bool) "bypass not shared" true
+    (not (Thermal.Mesh.matrix bypass == Thermal.Mesh.matrix prob1));
+  Alcotest.(check (option int)) "bypass counts no miss" (Some 3)
+    (Obs.Metrics.counter_value "thermal.mesh.cache.misses");
+  Alcotest.(check (option int)) "bypass counts no hit" (Some 1)
+    (Obs.Metrics.counter_value "thermal.mesh.cache.hits");
+  (* cached and fresh assemblies are the same operator *)
+  let x = Array.init (Thermal.Sparse.dim (Thermal.Mesh.matrix prob1))
+      (fun i -> cos (float_of_int i)) in
+  let n = Array.length x in
+  let y1 = Array.make n 0.0 and y2 = Array.make n 0.0 in
+  Thermal.Sparse.mul (Thermal.Mesh.matrix prob1) x y1;
+  Thermal.Sparse.mul (Thermal.Mesh.matrix bypass) x y2;
+  Alcotest.(check bool) "identical operator" true (y1 = y2)
+
+let test_mesh_solve_options_threaded () =
+  Thermal.Mesh.cache_clear ();
+  let p = uniform_power ~nx:10 ~ny:10 ~total:0.02 in
+  (* max_iter reaches Cg: an impossible budget must hard-fail *)
+  (match
+     Thermal.Mesh.solve ~tol:1e-14 ~max_iter:1
+       (Thermal.Mesh.build small_cfg ~power:p)
+   with
+   | _ -> Alcotest.fail "capped solve did not fail"
+   | exception Failure _ -> ());
+  (* precond reaches Cg: SSOR solve agrees with the Jacobi default *)
+  let jac = Thermal.Mesh.solve ~tol:1e-12 (Thermal.Mesh.build small_cfg ~power:p) in
+  let ssor =
+    Thermal.Mesh.solve ~tol:1e-12 ~precond:(Thermal.Cg.Ssor 1.5)
+      (Thermal.Mesh.build small_cfg ~power:p)
+  in
+  Array.iteri
+    (fun i v -> check_float ~eps:1e-8 "ssor mesh solve" v
+        ssor.Thermal.Mesh.temp.(i))
+    jac.Thermal.Mesh.temp;
+  (* x0 reaches Cg: restarting from the answer converges immediately, and
+     the warm/cold pairing lands in the savings histogram *)
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Thermal.Mesh.cache_clear ();
+  let prob = Thermal.Mesh.build small_cfg ~power:p in
+  let cold = Thermal.Mesh.solve prob in
+  let warm = Thermal.Mesh.solve ~x0:cold.Thermal.Mesh.temp prob in
+  Alcotest.(check bool) "warm mesh solve immediate" true
+    (warm.Thermal.Mesh.cg_iterations <= 1);
+  (match Obs.Metrics.histogram "thermal.mesh.warm.saved_iterations" with
+   | None -> Alcotest.fail "warm savings not recorded"
+   | Some h ->
+     Alcotest.(check int) "one warm/cold pairing" 1 h.Obs.Metrics.count;
+     Alcotest.(check bool) "savings equal cold cost" true
+       (h.Obs.Metrics.last
+        >= float_of_int (cold.Thermal.Mesh.cg_iterations - 1)))
 
 (* --- dense direct solver ------------------------------------------------------ *)
 
@@ -606,6 +723,10 @@ let () =
          Alcotest.test_case "bad diagonal rejected" `Quick
            test_cg_rejects_bad_diagonal;
          Alcotest.test_case "warm start" `Quick test_cg_warm_start;
+         Alcotest.test_case "ssor matches jacobi and direct" `Quick
+           test_cg_ssor_matches_jacobi;
+         Alcotest.test_case "ssor rejects bad omega" `Quick
+           test_cg_ssor_rejects_bad_omega;
          Alcotest.test_case "telemetry" `Quick test_cg_telemetry ]);
       ("stack",
        [ Alcotest.test_case "default valid" `Quick test_stack_default_valid;
@@ -623,7 +744,10 @@ let () =
            test_mesh_stronger_sink_cools;
          Alcotest.test_case "vertical profile" `Quick
            test_mesh_vertical_profile;
-         Alcotest.test_case "1-D analytic" `Quick test_mesh_1d_analytic ]);
+         Alcotest.test_case "1-D analytic" `Quick test_mesh_1d_analytic;
+         Alcotest.test_case "matrix cache" `Quick test_mesh_matrix_cache;
+         Alcotest.test_case "solver options threaded" `Quick
+           test_mesh_solve_options_threaded ]);
       ("dense",
        [ Alcotest.test_case "matches cg" `Quick test_dense_matches_cg;
          Alcotest.test_case "cross-checks mesh" `Quick
