@@ -5,12 +5,26 @@
      thermoplace report   -- netlist / placement / power / thermal summary
      thermoplace maps     -- dump power and thermal maps (matrix or ascii)
      thermoplace sweep    -- Default/ERI/HW reduction-vs-overhead sweep
+     thermoplace check    -- run the design invariant suite
      thermoplace export   -- Verilog / LEF / DEF / SPICE / SVG dump
 
    Every subcommand accepts --trace (span tree to stderr) and
-   --report FILE (machine-readable JSON run report). *)
+   --report FILE (machine-readable JSON run report).
+
+   Structured failures (Robust.Error) exit with stable per-class codes:
+   solver divergence 10, invariant violation 11, worker failure 12,
+   corrupt checkpoint 13. THERMOPLACE_FAULTS arms fault injection. *)
 
 open Cmdliner
+
+(* Catch structured errors at the subcommand boundary and turn them into
+   a one-line stderr message plus the class's stable exit code. *)
+let with_structured_errors run =
+  match run () with
+  | status -> status
+  | exception Robust.Error.Error e ->
+    Printf.eprintf "thermoplace: %s\n" (Robust.Error.to_string e);
+    Robust.Error.exit_code e
 
 (* --- validated option converters ----------------------------------------- *)
 
@@ -178,6 +192,7 @@ let overhead_arg =
 
 let run_flow seed cycles utilization test_set technique overhead jobs trace
     report =
+  with_structured_errors @@ fun () ->
   Parallel.Pool.set_jobs jobs;
   obs_begin ~trace ~report;
   let flow = prepare ~seed ~cycles ~utilization ~test_set in
@@ -259,6 +274,7 @@ let run_flow seed cycles utilization test_set technique overhead jobs trace
 (* --- report ---------------------------------------------------------------- *)
 
 let run_report seed cycles utilization test_set trace report =
+  with_structured_errors @@ fun () ->
   obs_begin ~trace ~report;
   let flow = prepare ~seed ~cycles ~utilization ~test_set in
   let nl = flow.Postplace.Flow.bench.Netgen.Benchmark.netlist in
@@ -299,6 +315,7 @@ let ascii_arg =
   Arg.(value & flag & info [ "ascii" ] ~doc)
 
 let run_maps seed cycles utilization test_set ascii trace report =
+  with_structured_errors @@ fun () ->
   obs_begin ~trace ~report;
   let flow = prepare ~seed ~cycles ~utilization ~test_set in
   let power, thermal = Postplace.Experiment.fig5_maps flow in
@@ -322,6 +339,7 @@ let outdir_arg =
   Arg.(value & opt string "export" & info [ "outdir"; "o" ] ~docv:"DIR" ~doc)
 
 let run_export seed cycles utilization test_set outdir trace report =
+  with_structured_errors @@ fun () ->
   obs_begin ~trace ~report;
   let flow = prepare ~seed ~cycles ~utilization ~test_set in
   if not (Sys.file_exists outdir) then Unix.mkdir outdir 0o755;
@@ -370,11 +388,22 @@ let point_json (p : Postplace.Experiment.point) =
       ("timing_overhead_pct", Obs.Json.Float p.timing_overhead_pct);
       ("hpwl_um", Obs.Json.Float p.hpwl_um) ]
 
-let run_sweep seed cycles utilization test_set jobs trace report =
+let checkpoint_arg =
+  let doc =
+    "Checkpoint the sweep to $(docv) (atomic JSON, written after every \
+     completed point) and resume from it when it already exists. A resumed \
+     sweep reproduces the uninterrupted run bit-identically; a checkpoint \
+     from different sweep parameters is rejected."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let run_sweep seed cycles utilization test_set jobs checkpoint trace report =
+  with_structured_errors @@ fun () ->
   Parallel.Pool.set_jobs jobs;
   obs_begin ~trace ~report;
   let flow = prepare ~seed ~cycles ~utilization ~test_set in
-  let fig6 = Postplace.Experiment.run_fig6 flow in
+  let fig6 = Postplace.Experiment.run_fig6 ?checkpoint flow in
   let points =
     fig6.Postplace.Experiment.default_points
     @ fig6.Postplace.Experiment.eri_points
@@ -395,6 +424,51 @@ let run_sweep seed cycles utilization test_set jobs trace report =
     ~sections:
       [ ("base", eval_json fig6.Postplace.Experiment.base_eval);
         ("points", Obs.Json.List (List.map point_json points)) ]
+
+(* --- check ------------------------------------------------------------------- *)
+
+let run_check seed cycles utilization test_set trace report =
+  with_structured_errors @@ fun () ->
+  obs_begin ~trace ~report;
+  let flow = prepare ~seed ~cycles ~utilization ~test_set in
+  let outcomes =
+    Postplace.Flow.check_design flow flow.Postplace.Flow.base_placement
+  in
+  List.iter
+    (fun (o : Robust.Validate.outcome) ->
+       match o.Robust.Validate.failure with
+       | None -> Format.printf "PASS %s@." o.Robust.Validate.check_name
+       | Some detail ->
+         Format.printf "FAIL %s: %s@." o.Robust.Validate.check_name detail)
+    outcomes;
+  let failures =
+    List.filter (fun o -> o.Robust.Validate.failure <> None) outcomes
+  in
+  Format.printf "%d/%d checks passed@."
+    (List.length outcomes - List.length failures)
+    (List.length outcomes);
+  let outcome_json (o : Robust.Validate.outcome) =
+    Obs.Json.Obj
+      [ ("check", Obs.Json.String o.Robust.Validate.check_name);
+        ("failure",
+         match o.Robust.Validate.failure with
+         | None -> Obs.Json.Null
+         | Some d -> Obs.Json.String d) ]
+  in
+  let status =
+    obs_end ~command:"check" ~trace ~report
+      ~config:(base_config ~seed ~cycles ~utilization ~test_set)
+      ~sections:[ ("checks", Obs.Json.List (List.map outcome_json outcomes)) ]
+  in
+  if status <> 0 then status
+  else
+    match failures with
+    | [] -> 0
+    | o :: _ ->
+      Robust.Error.exit_code
+        (Robust.Error.Invariant_violation
+           { check = o.Robust.Validate.check_name;
+             detail = Option.value o.Robust.Validate.failure ~default:"" })
 
 (* --- command wiring ------------------------------------------------------------ *)
 
@@ -420,7 +494,17 @@ let sweep_cmd =
   let doc = "Reduction-vs-overhead sweep for all three schemes (Fig. 6)." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run_sweep $ seed $ cycles $ utilization $ test_set
-          $ jobs_arg $ trace_arg $ report_arg)
+          $ jobs_arg $ checkpoint_arg $ trace_arg $ report_arg)
+
+let check_cmd =
+  let doc =
+    "Run the design invariant suite (placement legality, floorplan \
+     containment, power-map sanity, mesh-matrix SPD structure, bounded \
+     temperatures) and exit non-zero on any violation."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run_check $ seed $ cycles $ utilization $ test_set
+          $ trace_arg $ report_arg)
 
 let export_cmd =
   let doc =
@@ -432,9 +516,15 @@ let export_cmd =
           $ outdir_arg $ trace_arg $ report_arg)
 
 let () =
+  (match Robust.Faults.init_from_env () with
+   | Ok () -> ()
+   | Error msg ->
+     Printf.eprintf "thermoplace: %s\n" msg;
+     exit 2);
   let doc = "post-placement temperature reduction (Liu & Nannarelli, DATE'10)" in
   let info = Cmd.info "thermoplace" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ flow_cmd; report_cmd; maps_cmd; sweep_cmd; export_cmd ]))
+          [ flow_cmd; report_cmd; maps_cmd; sweep_cmd; check_cmd;
+            export_cmd ]))

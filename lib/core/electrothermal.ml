@@ -36,7 +36,13 @@ let evaluate_gen flow pl ~max_iter ~tol_k =
     let thermal' = solve_with flow pl per_cell in
     let peak = Geo.Grid.max_value thermal' in
     if peak > 200.0 then
-      failwith "Electrothermal.evaluate: thermal runaway";
+      Robust.Error.raise_
+        (Robust.Error.Invariant_violation
+           { check = "electrothermal.runaway";
+             detail =
+               Printf.sprintf
+                 "peak rise %.1f K exceeds 200 K at coupling iteration %d"
+                 peak (iter + 1) });
     if Float.abs (peak -. prev_peak) <= tol_k || iter >= max_iter then begin
       let leakage =
         Array.fold_left ( +. ) 0.0
@@ -72,7 +78,10 @@ let runaway_sink_w_m2k flow pl =
   let ok h =
     match evaluate_gen (with_sink h) pl ~max_iter:20 ~tol_k:0.01 with
     | r -> r.converged
-    | exception Failure _ -> false
+    | exception
+        Robust.Error.Error
+          (Robust.Error.Invariant_violation _ | Robust.Error.Solver_diverged _)
+      -> false
   in
   let h0 = flow.Flow.mesh_config.Thermal.Mesh.stack.Thermal.Stack.h_top_w_m2k in
   (* find a failing lower bound *)

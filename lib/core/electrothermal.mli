@@ -26,8 +26,10 @@ val evaluate : Flow.t -> Place.Placement.t -> ?max_iter:int ->
   ?tol_k:float -> unit -> result
 (** Fixed-point iteration, damping-free (the loop gain is far below 1 for
     any survivable operating point). Defaults: [max_iter] 12, [tol_k] 1e-3.
-    Raises [Failure] if the iteration diverges (peak rise grows past 200 K
-    — thermal runaway, which a sane package never reaches here). *)
+    Raises [Robust.Error.Error (Invariant_violation _)] (check
+    ["electrothermal.runaway"]) if the iteration diverges — peak rise
+    grows past 200 K, thermal runaway, which a sane package never
+    reaches here. *)
 
 val runaway_sink_w_m2k : Flow.t -> Place.Placement.t -> float
 (** Bisection estimate of the weakest top-side sink conductance for which

@@ -38,6 +38,94 @@ let point_of_eval _flow ~base ~scheme (ev : Flow.evaluation) =
       Sta.Timing.overhead_pct ~before:base.Flow.timing ~after:ev.Flow.timing;
     hpwl_um = Place.Placement.hpwl ev.Flow.placement }
 
+let point_to_json p =
+  Obs.Json.Obj
+    [ ("scheme", Obs.Json.String p.scheme);
+      ("area_overhead_pct", Obs.Json.Float p.area_overhead_pct);
+      ("temp_reduction_pct", Obs.Json.Float p.temp_reduction_pct);
+      ("gradient_reduction_pct", Obs.Json.Float p.gradient_reduction_pct);
+      ("peak_rise_k", Obs.Json.Float p.peak_rise_k);
+      ("timing_overhead_pct", Obs.Json.Float p.timing_overhead_pct);
+      ("hpwl_um", Obs.Json.Float p.hpwl_um) ]
+
+let point_of_json j =
+  let f k = Option.bind (Obs.Json.member k j) Obs.Json.to_float in
+  let s k = Option.bind (Obs.Json.member k j) Obs.Json.to_string_opt in
+  match
+    ( s "scheme", f "area_overhead_pct", f "temp_reduction_pct",
+      f "gradient_reduction_pct", f "peak_rise_k", f "timing_overhead_pct",
+      f "hpwl_um" )
+  with
+  | Some scheme, Some a, Some t, Some g, Some pk, Some ti, Some h ->
+    Some
+      { scheme; area_overhead_pct = a; temp_reduction_pct = t;
+        gradient_reduction_pct = g; peak_rise_k = pk;
+        timing_overhead_pct = ti; hpwl_um = h }
+  | _ -> None
+
+(* Checkpointed fan-out: indices already present in the checkpoint are
+   decoded instead of recomputed (bit-identical, because [Obs.Json]
+   round-trips every finite float exactly); the rest run on the pool,
+   and the full completed set is re-saved atomically after each point so
+   an interrupted sweep loses at most in-flight work. *)
+let map_checkpointed ?checkpoint ~encode ~decode ~f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let results = Array.make n None in
+  (match checkpoint with
+   | None -> ()
+   | Some (path, key) ->
+     (match Robust.Checkpoint.load ~path ~key with
+      | Error e -> Robust.Error.raise_ e
+      | Ok entries ->
+        let resumed = ref 0 in
+        List.iter
+          (fun (i, json) ->
+             if i < 0 || i >= n then
+               Robust.Error.raise_
+                 (Robust.Error.Checkpoint_corrupt
+                    { path;
+                      detail = Printf.sprintf "entry index %d out of range" i })
+             else
+               match decode json with
+               | Some v -> results.(i) <- Some v; incr resumed
+               | None ->
+                 Robust.Error.raise_
+                   (Robust.Error.Checkpoint_corrupt
+                      { path;
+                        detail = Printf.sprintf "entry %d does not decode" i }))
+          entries;
+        if !resumed > 0 then
+          Obs.Metrics.gauge "robust.checkpoint.resumed_entries"
+            (float_of_int !resumed)));
+  let todo =
+    Array.of_list
+      (List.filter (fun i -> results.(i) = None) (List.init n Fun.id))
+  in
+  let save_mutex = Mutex.create () in
+  let save () =
+    match checkpoint with
+    | None -> ()
+    | Some (path, key) ->
+      let entries = ref [] in
+      for i = n - 1 downto 0 do
+        match results.(i) with
+        | Some v -> entries := (i, encode v) :: !entries
+        | None -> ()
+      done;
+      Robust.Checkpoint.save ~path ~key ~entries:!entries
+  in
+  Parallel.Pool.parallel_for ~chunks:(Array.length todo) (fun c ->
+      let i = todo.(c) in
+      results.(i) <- Some (f items.(i));
+      if checkpoint <> None then Mutex.protect save_mutex save);
+  Array.to_list
+    (Array.map (function Some v -> v | None -> assert false) results)
+
+let mesh_fingerprint (cfg : Thermal.Mesh.config) =
+  Printf.sprintf "%dx%d/%d" cfg.Thermal.Mesh.nx cfg.Thermal.Mesh.ny
+    (Thermal.Stack.num_layers cfg.Thermal.Mesh.stack)
+
 type fig6 = {
   base_eval : Flow.evaluation;
   default_points : point list;
@@ -53,37 +141,56 @@ let rows_for_overhead flow frac =
   in
   max 1 (int_of_float (Float.round (frac *. float_of_int base_rows)))
 
-(* Sweep points are independent given the base evaluation, so each scheme's
-   list fans out on the pool ([map_list] preserves order — the output is
-   identical to the sequential sweep). Points over the same overhead share
-   the cached conductance matrix for their die extent. *)
-let run_fig6 ?(overheads = default_overheads) flow =
+let fig6_key flow ~overheads =
+  Printf.sprintf "fig6 seed=%d mesh=%s util=%h overheads=[%s]"
+    flow.Flow.seed
+    (mesh_fingerprint flow.Flow.mesh_config)
+    flow.Flow.base_utilization
+    (String.concat ";" (List.map (Printf.sprintf "%h") overheads))
+
+(* Sweep points are independent given the base evaluation, so all three
+   schemes fan out as one job list on the pool (chunk indices are fixed,
+   so the output is identical to the sequential sweep). Points over the
+   same overhead share the cached conductance matrix for their die
+   extent. With [~checkpoint] the job list is resumable — see
+   {!map_checkpointed}. *)
+let run_fig6 ?(overheads = default_overheads) ?checkpoint flow =
   let base = Flow.evaluate flow flow.Flow.base_placement in
-  let default_points =
-    Parallel.Pool.map_list overheads
-      ~f:(fun frac ->
-          let util = flow.Flow.base_utilization /. (1.0 +. frac) in
-          let pl = Flow.apply_default flow ~utilization:util in
-          point_of_eval flow ~base ~scheme:"Default" (Flow.evaluate flow pl))
+  let eval_job = function
+    | `Default frac ->
+      let util = flow.Flow.base_utilization /. (1.0 +. frac) in
+      let pl = Flow.apply_default flow ~utilization:util in
+      point_of_eval flow ~base ~scheme:"Default" (Flow.evaluate flow pl)
+    | `Eri frac ->
+      let rows = rows_for_overhead flow frac in
+      let r = Flow.apply_eri flow ~base ~rows in
+      point_of_eval flow ~base ~scheme:"ERI"
+        (Flow.evaluate flow r.Technique.eri_placement)
+    | `Hw frac ->
+      let util = flow.Flow.base_utilization /. (1.0 +. frac) in
+      let pl = Flow.apply_default flow ~utilization:util in
+      let ev = Flow.evaluate flow pl in
+      let pl' = Flow.apply_hw flow ~on:ev () in
+      point_of_eval flow ~base ~scheme:"HW" (Flow.evaluate flow pl')
   in
-  let eri_points =
-    Parallel.Pool.map_list overheads
-      ~f:(fun frac ->
-          let rows = rows_for_overhead flow frac in
-          let r = Flow.apply_eri flow ~base ~rows in
-          point_of_eval flow ~base ~scheme:"ERI"
-            (Flow.evaluate flow r.Technique.eri_placement))
+  let jobs =
+    List.map (fun f -> `Default f) overheads
+    @ List.map (fun f -> `Eri f) overheads
+    @ List.map (fun f -> `Hw f) overheads
   in
-  let hw_points =
-    Parallel.Pool.map_list overheads
-      ~f:(fun frac ->
-          let util = flow.Flow.base_utilization /. (1.0 +. frac) in
-          let pl = Flow.apply_default flow ~utilization:util in
-          let ev = Flow.evaluate flow pl in
-          let pl' = Flow.apply_hw flow ~on:ev () in
-          point_of_eval flow ~base ~scheme:"HW" (Flow.evaluate flow pl'))
+  let checkpoint =
+    Option.map (fun path -> (path, fig6_key flow ~overheads)) checkpoint
   in
-  { base_eval = base; default_points; eri_points; hw_points }
+  let points =
+    map_checkpointed ?checkpoint ~encode:point_to_json ~decode:point_of_json
+      ~f:eval_job jobs
+  in
+  let nk = List.length overheads in
+  let slice lo hi = List.filteri (fun i _ -> i >= lo && i < hi) points in
+  { base_eval = base;
+    default_points = slice 0 nk;
+    eri_points = slice nk (2 * nk);
+    hw_points = slice (2 * nk) (3 * nk) }
 
 type table1_row = {
   t1_scheme : string;
@@ -226,8 +333,35 @@ type package_row = {
   pk_eri_reduction_pct : float;
 }
 
-let run_package_sweep ?(sinks = [ 2.0e5; 5.0e5; 1.0e6 ]) flow =
-  Parallel.Pool.map_list sinks
+let package_row_to_json r =
+  Obs.Json.Obj
+    [ ("h_top_w_m2k", Obs.Json.Float r.pk_h_top_w_m2k);
+      ("peak_k", Obs.Json.Float r.pk_peak_k);
+      ("gradient_k", Obs.Json.Float r.pk_gradient_k);
+      ("eri_reduction_pct", Obs.Json.Float r.pk_eri_reduction_pct) ]
+
+let package_row_of_json j =
+  let f k = Option.bind (Obs.Json.member k j) Obs.Json.to_float in
+  match
+    (f "h_top_w_m2k", f "peak_k", f "gradient_k", f "eri_reduction_pct")
+  with
+  | Some h, Some p, Some g, Some r ->
+    Some
+      { pk_h_top_w_m2k = h; pk_peak_k = p; pk_gradient_k = g;
+        pk_eri_reduction_pct = r }
+  | _ -> None
+
+let package_key flow ~sinks =
+  Printf.sprintf "package seed=%d mesh=%s sinks=[%s]" flow.Flow.seed
+    (mesh_fingerprint flow.Flow.mesh_config)
+    (String.concat ";" (List.map (Printf.sprintf "%h") sinks))
+
+let run_package_sweep ?(sinks = [ 2.0e5; 5.0e5; 1.0e6 ]) ?checkpoint flow =
+  let checkpoint =
+    Option.map (fun path -> (path, package_key flow ~sinks)) checkpoint
+  in
+  map_checkpointed ?checkpoint ~encode:package_row_to_json
+    ~decode:package_row_of_json sinks
     ~f:(fun h ->
        let flow =
          { flow with

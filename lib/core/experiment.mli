@@ -27,6 +27,12 @@ type point = {
 val point_of_eval : Flow.t -> base:Flow.evaluation -> scheme:string ->
   Flow.evaluation -> point
 
+val point_to_json : point -> Obs.Json.t
+val point_of_json : Obs.Json.t -> point option
+(** Exact codec pair ([point_of_json (point_to_json p) = Some p],
+    including float bit patterns) — the checkpoint representation of one
+    sweep point. *)
+
 type fig6 = {
   base_eval : Flow.evaluation;
   default_points : point list;
@@ -34,10 +40,17 @@ type fig6 = {
   hw_points : point list;
 }
 
-val run_fig6 : ?overheads:float list -> Flow.t -> fig6
+val run_fig6 : ?overheads:float list -> ?checkpoint:string -> Flow.t -> fig6
 (** Default overhead fractions: 0.05 to 0.40 in steps of 0.05 (the paper's
     x-axis). Default relaxes utilization; ERI inserts the row count closest
-    to each overhead; HW decorates each Default placement with wrappers. *)
+    to each overhead; HW decorates each Default placement with wrappers.
+
+    [?checkpoint] names a {!Robust.Checkpoint} file: completed points are
+    re-saved atomically after each evaluation and a rerun resumes from
+    whatever the file holds, reproducing the uninterrupted sweep
+    bit-identically. The checkpoint is keyed by a config fingerprint
+    (seed, mesh, utilization, overhead list); a mismatched or corrupt
+    file raises [Robust.Error.Error (Checkpoint_corrupt _)]. *)
 
 (** One row of Table I (concentrated hotspot). *)
 type table1_row = {
@@ -99,12 +112,14 @@ type package_row = {
   pk_eri_reduction_pct : float;
 }
 
-val run_package_sweep : ?sinks:float list -> Flow.t -> package_row list
+val run_package_sweep : ?sinks:float list -> ?checkpoint:string -> Flow.t ->
+  package_row list
 (** The paper's §II remark that "for the same total power, it is possible
     to have different peak temperature and temperature gradient by using
     cooling mechanisms with different heat removal capabilities": sweep the
     effective sink conductance and report peak, gradient and the ERI
-    benefit under each package. *)
+    benefit under each package. [?checkpoint] behaves as in
+    {!run_fig6}. *)
 
 type baseline_row = {
   bl_scheme : string;

@@ -87,17 +87,32 @@ type evaluation = {
   timing : Sta.Timing.result;
 }
 
-let evaluate t pl =
-  Obs.Trace.with_span "flow.evaluate" @@ fun () ->
+let ( let* ) = Result.bind
+
+let flow_power_map t pl =
+  Obs.Trace.with_span "power.map" @@ fun () ->
   let cfg = t.mesh_config in
-  let power_map =
-    Obs.Trace.with_span "power.map" @@ fun () ->
+  let map =
     Power.Map.power_map pl ~per_cell_w:t.per_cell_w
       ~nx:cfg.Thermal.Mesh.nx ~ny:cfg.Thermal.Mesh.ny
   in
+  (* fault hook: one poisoned tile, caught by the power invariant check
+     before it can NaN-poison the thermal solve *)
+  if Robust.Faults.consume Robust.Faults.Nan_power then
+    Geo.Grid.set map ~ix:0 ~iy:0 Float.nan;
+  map
+
+let evaluate_result t pl =
+  Obs.Trace.with_span "flow.evaluate" @@ fun () ->
+  let cfg = t.mesh_config in
+  let power_map = flow_power_map t pl in
+  let* () = Robust.Validate.first_failure [ Checks.power_map power_map ] in
   let problem = Thermal.Mesh.build cfg ~power:power_map in
-  let solution = Thermal.Mesh.solve problem in
+  let* solution = Thermal.Mesh.solve_result problem in
   let thermal_map = Thermal.Mesh.active_layer_grid solution in
+  let* () =
+    Robust.Validate.first_failure [ Checks.temperature thermal_map ]
+  in
   let metrics = Thermal.Metrics.of_map thermal_map in
   let hotspots =
     Obs.Trace.with_span "hotspot.detect" @@ fun () ->
@@ -116,7 +131,35 @@ let evaluate t pl =
     Obs.Trace.with_span "sta.analyze" @@ fun () ->
     Sta.Timing.analyze pl ~thermal_map ()
   in
-  { placement = pl; power_map; thermal_map; metrics; hotspots; timing }
+  Ok { placement = pl; power_map; thermal_map; metrics; hotspots; timing }
+
+let evaluate t pl =
+  match evaluate_result t pl with
+  | Ok e -> e
+  | Error e -> Robust.Error.raise_ e
+
+let check_design t pl =
+  Obs.Trace.with_span "flow.check" @@ fun () ->
+  let cfg = t.mesh_config in
+  let power_map = flow_power_map t pl in
+  let problem = Thermal.Mesh.build cfg ~power:power_map in
+  let pre =
+    Robust.Validate.run_all
+      [ Checks.placement pl; Checks.floorplan pl;
+        Checks.power_map power_map;
+        Checks.mesh_matrix (Thermal.Mesh.matrix problem) ]
+  in
+  match Thermal.Mesh.solve_result problem with
+  | Ok solution ->
+    pre
+    @ Robust.Validate.run_all
+        [ Checks.temperature (Thermal.Mesh.active_layer_grid solution) ]
+  | Error e ->
+    (* the solve itself failing is reported as a failed pseudo-check so
+       the caller sees one uniform outcome list *)
+    pre
+    @ [ { Robust.Validate.check_name = "thermal.solve";
+          failure = Some (Robust.Error.to_string e) } ]
 
 let apply_default t ~utilization =
   let nl = t.bench.Netgen.Benchmark.netlist in

@@ -48,9 +48,26 @@ type evaluation = {
   timing : Sta.Timing.result;
 }
 
-val evaluate : t -> Place.Placement.t -> evaluation
+val evaluate_result : t -> Place.Placement.t ->
+  (evaluation, Robust.Error.t) result
 (** Re-bin power at the placement, solve the thermal network, detect
-    hotspots, run temperature-derated STA. *)
+    hotspots, run temperature-derated STA. Invariant checks guard the
+    stage boundaries: the power map must be finite and non-negative
+    before the solve, the temperature field finite and bounded after it
+    — a violation (or a solve degraded through the whole escalation
+    ladder) is returned as a structured {!Robust.Error.t} instead of
+    propagating NaNs into downstream metrics. *)
+
+val evaluate : t -> Place.Placement.t -> evaluation
+(** {!evaluate_result}, raising [Robust.Error.Error] on failure. *)
+
+val check_design : t -> Place.Placement.t -> Robust.Validate.outcome list
+(** Run the full invariant suite ({!Checks.placement},
+    {!Checks.floorplan}, {!Checks.power_map}, {!Checks.mesh_matrix} and,
+    when the solve succeeds, {!Checks.temperature}) without
+    short-circuiting; a failed thermal solve appears as a failed
+    ["thermal.solve"] pseudo-check. Backs the [thermoplace check]
+    subcommand. *)
 
 val apply_default : t -> utilization:float -> Place.Placement.t
 (** The Default scheme at a given utilization factor. *)

@@ -249,7 +249,11 @@ let wrap_one pl hotspot ~margin_um =
     | exception Place.Legalize.Region_overflow _ ->
       if wr_lo = 0 && wr_hi = fp.FP.num_rows - 1
          && win_lo = 0 && win_hi = fp.FP.sites_per_row - 1
-      then failwith "Technique.hotspot_wrapper: core cannot absorb the wrapper"
+      then
+        Robust.Error.raise_
+          (Robust.Error.Invariant_violation
+             { check = "technique.hw.capacity";
+               detail = "core cannot absorb the wrapper" })
       else attempt (extra + 1)
   in
   attempt 0

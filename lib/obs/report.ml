@@ -19,17 +19,31 @@ let make ?command ?(config = []) ?(sections = []) () =
   in
   Json.Obj (base @ extra)
 
+(* Atomic publication: the content lands in a sibling tmp file first and
+   only a successful close is renamed over the destination, so a crash
+   mid-write never leaves a truncated file — readers see either the old
+   complete version or the new one. Checkpoints reuse this helper. *)
+let write_string_atomic path s =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (match output_string oc s with
+   | () -> close_out oc
+   | exception e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
 let write_file path json =
   let s = Json.to_string ~pretty:true json ^ "\n" in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc s);
-  match Json.of_string s with
-  | Ok _ -> ()
-  | Error msg ->
-    failwith
-      (Printf.sprintf "Obs.Report.write_file: emitted invalid JSON (%s)" msg)
+  (* self-check before publication: a serialization bug must not replace a
+     good report with a bad one *)
+  (match Json.of_string s with
+   | Ok _ -> ()
+   | Error msg ->
+     failwith
+       (Printf.sprintf "Obs.Report.write_file: emitted invalid JSON (%s)" msg));
+  write_string_atomic path s
 
 let start () =
   Trace.set_enabled true;

@@ -21,10 +21,17 @@ val make :
     Section keys are appended in order after the built-in keys; a section
     whose key collides with a built-in key is dropped. *)
 
+val write_string_atomic : string -> string -> unit
+(** Write [content] to [path ^ ".tmp"] and rename it over [path], so a
+    crash mid-write never leaves a truncated file. The tmp file is
+    removed on a write error. Raises [Sys_error] on I/O failure. *)
+
 val write_file : string -> Json.t -> unit
-(** Pretty-print to [path] with a trailing newline, then re-parse the
-    written bytes as a self-check; raises [Failure] if the round-trip
-    fails (which would indicate a serialization bug). *)
+(** Pretty-print with a trailing newline and publish via
+    {!write_string_atomic}; the serialized bytes are re-parsed as a
+    self-check {e before} publication — raises [Failure] if the
+    round-trip fails (which would indicate a serialization bug), leaving
+    any previous report intact. *)
 
 val start : unit -> unit
 (** Convenience: enable tracing and metrics and reset all three stores —

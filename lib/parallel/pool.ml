@@ -155,6 +155,16 @@ let run_pooled p ~chunks f =
 
 let parallel_for ~chunks f =
   if chunks > 0 then begin
+    (* fault hook: the first chunk that consumes an armed [Kill_worker]
+       dies with a structured error, exercising the containment path
+       below (first-exception capture, drain, re-raise in the caller) *)
+    let f i =
+      if Robust.Faults.consume Robust.Faults.Kill_worker then
+        Robust.Error.raise_
+          (Robust.Error.Worker_failed
+             { detail = Printf.sprintf "injected: kill_worker (chunk %d)" i });
+      f i
+    in
     let busy = Domain.DLS.get busy_key in
     if !busy || !jobs_ref <= 1 || chunks = 1 then run_inline ~chunks f
     else run_pooled (ensure_pool ()) ~chunks f

@@ -45,7 +45,11 @@ val parallel_for : chunks:int -> (int -> unit) -> unit
     caller-visible chunk decomposition) are fixed. Chunks must write to
     disjoint state. If some [f i] raises, remaining chunks are drained and
     the first exception is re-raised in the caller once in-flight chunks
-    finish. *)
+    finish — the pool itself stays healthy and accepts later jobs.
+
+    Fault injection: an armed {!Robust.Faults.Kill_worker} makes the
+    next chunk raise [Robust.Error.Error (Worker_failed _)], which takes
+    exactly that containment path. *)
 
 val map_array : f:('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving parallel map, one chunk per element (use for

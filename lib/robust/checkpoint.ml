@@ -1,0 +1,87 @@
+let schema_version = 1
+
+let kind = "thermoplace-checkpoint"
+
+let save ~path ~key ~entries =
+  let json =
+    Obs.Json.Obj
+      [ ("schema_version", Obs.Json.Int schema_version);
+        ("kind", Obs.Json.String kind);
+        ("key", Obs.Json.String key);
+        ("entries",
+         Obs.Json.List
+           (List.map
+              (fun (i, v) ->
+                 Obs.Json.Obj
+                   [ ("index", Obs.Json.Int i); ("value", v) ])
+              entries)) ]
+  in
+  Obs.Report.write_string_atomic path
+    (Obs.Json.to_string ~pretty:true json ^ "\n");
+  Obs.Metrics.count "robust.checkpoint.saves"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let corrupt path detail = Error.Checkpoint_corrupt { path; detail }
+
+let load ~path ~key =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let text =
+      try Ok (read_file path)
+      with Sys_error msg -> Error (corrupt path ("unreadable: " ^ msg))
+    in
+    match text with
+    | Error _ as e -> e
+    | Ok text ->
+      (match Obs.Json.of_string text with
+       | Error msg -> Error (corrupt path ("invalid JSON: " ^ msg))
+       | Ok json ->
+         let member_int k = Option.bind (Obs.Json.member k json) Obs.Json.to_int in
+         let member_str k =
+           Option.bind (Obs.Json.member k json) Obs.Json.to_string_opt
+         in
+         if member_int "schema_version" <> Some schema_version then
+           Error (corrupt path "missing or unsupported schema_version")
+         else if member_str "kind" <> Some kind then
+           Error (corrupt path "not a thermoplace checkpoint")
+         else begin
+           match member_str "key" with
+           | None -> Error (corrupt path "missing key")
+           | Some k when k <> key ->
+             Error
+               (corrupt path
+                  (Printf.sprintf
+                     "config fingerprint mismatch (checkpoint %S, sweep %S)"
+                     k key))
+           | Some _ ->
+             (match
+                Option.bind (Obs.Json.member "entries" json) Obs.Json.to_list
+              with
+              | None -> Error (corrupt path "missing entries")
+              | Some items ->
+                let decode item =
+                  match
+                    Option.bind (Obs.Json.member "index" item)
+                      Obs.Json.to_int,
+                    Obs.Json.member "value" item
+                  with
+                  | Some i, Some v -> Some (i, v)
+                  | _ -> None
+                in
+                let rec go acc = function
+                  | [] ->
+                    Obs.Metrics.count "robust.checkpoint.loads";
+                    Ok (List.rev acc)
+                  | item :: rest ->
+                    (match decode item with
+                     | Some e -> go (e :: acc) rest
+                     | None -> Error (corrupt path "malformed entry"))
+                in
+                go [] items)
+         end)
+  end

@@ -1,0 +1,27 @@
+(** Atomic JSON checkpoints for resumable sweeps.
+
+    A checkpoint holds the completed entries of an index-addressed sweep
+    (fig6 / package sensitivity): each entry is the point's exact JSON
+    encoding, written with {!Obs.Json}'s round-trip float representation
+    so a resumed sweep reproduces stored points bit-identically. Writes
+    go through [Obs.Report.write_string_atomic] (tmp file + rename), so
+    a crash mid-save never leaves a truncated file — the previous
+    complete checkpoint survives.
+
+    The [key] is a config fingerprint chosen by the sweep (seed, grid,
+    parameter list). {!load} refuses a checkpoint whose key differs:
+    resuming a sweep under different parameters from stale points would
+    be a silently wrong answer. *)
+
+val schema_version : int
+
+val save : path:string -> key:string -> entries:(int * Obs.Json.t) list ->
+  unit
+(** Atomically (re)write the checkpoint with all completed entries.
+    Raises [Sys_error] on an unwritable path. *)
+
+val load : path:string -> key:string ->
+  ((int * Obs.Json.t) list, Error.t) result
+(** [Ok []] when [path] does not exist (fresh sweep). [Error
+    (Checkpoint_corrupt _)] on unparsable JSON, a wrong schema/kind, a
+    key mismatch, or malformed entries. *)

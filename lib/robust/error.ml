@@ -1,0 +1,54 @@
+type t =
+  | Solver_diverged of {
+      residual : float;
+      iterations : int;
+      rungs : string list;
+    }
+  | Invariant_violation of { check : string; detail : string }
+  | Worker_failed of { detail : string }
+  | Checkpoint_corrupt of { path : string; detail : string }
+
+exception Error of t
+
+let raise_ e = raise (Error e)
+
+let to_string = function
+  | Solver_diverged { residual; iterations; rungs } ->
+    Printf.sprintf
+      "solver diverged after rungs %s (residual %.3e, %d iters)"
+      (String.concat "," rungs) residual iterations
+  | Invariant_violation { check; detail } ->
+    Printf.sprintf "invariant violation [%s]: %s" check detail
+  | Worker_failed { detail } -> Printf.sprintf "worker failed: %s" detail
+  | Checkpoint_corrupt { path; detail } ->
+    Printf.sprintf "checkpoint corrupt [%s]: %s" path detail
+
+let to_json e =
+  let open Obs.Json in
+  match e with
+  | Solver_diverged { residual; iterations; rungs } ->
+    Obj
+      [ ("error", String "solver_diverged");
+        ("residual", Float residual);
+        ("iterations", Int iterations);
+        ("rungs", List (List.map (fun r -> String r) rungs)) ]
+  | Invariant_violation { check; detail } ->
+    Obj
+      [ ("error", String "invariant_violation");
+        ("check", String check);
+        ("detail", String detail) ]
+  | Worker_failed { detail } ->
+    Obj [ ("error", String "worker_failed"); ("detail", String detail) ]
+  | Checkpoint_corrupt { path; detail } ->
+    Obj
+      [ ("error", String "checkpoint_corrupt");
+        ("path", String path);
+        ("detail", String detail) ]
+
+let exit_code = function
+  | Solver_diverged _ -> 10
+  | Invariant_violation _ -> 11
+  | Worker_failed _ -> 12
+  | Checkpoint_corrupt _ -> 13
+
+let protect f = match f () with v -> Ok v | exception Error e -> Error e

@@ -1,0 +1,56 @@
+(** Structured errors for the resilient flow.
+
+    Every recoverable failure mode of the pipeline is a constructor of
+    {!t}; flow boundaries return [(_, t) result] (or raise the single
+    carrier exception {!Error}) instead of bare [Failure _], so callers —
+    the CLI in particular — can distinguish "the solver gave up" from "the
+    design violates an invariant" and map each class to a stable process
+    exit code. The cardinal rule of the subsystem: detect, recover or fail
+    loudly — never return a silently wrong answer. *)
+
+type t =
+  | Solver_diverged of {
+      residual : float;     (** best relative residual over all rungs *)
+      iterations : int;     (** iterations of the best attempt *)
+      rungs : string list;  (** escalation rungs attempted, in order *)
+    }
+  (** Every rung of the CG escalation ladder failed; the temperature
+      field is untrustworthy and must not steer placement decisions. *)
+  | Invariant_violation of {
+      check : string;   (** dotted check name, e.g. ["power.finite_nonneg"] *)
+      detail : string;
+    }
+  (** A cheap between-stage invariant check failed (illegal placement,
+      negative or NaN power, non-SPD mesh matrix, unphysical field). *)
+  | Worker_failed of { detail : string }
+  (** A pool worker died mid-chunk (today only via fault injection; the
+      pool contains the failure and re-raises it in the caller). *)
+  | Checkpoint_corrupt of {
+      path : string;
+      detail : string;
+    }
+  (** A sweep checkpoint failed to parse, has the wrong schema, carries a
+      mismatched config fingerprint, or holds an undecodable entry. *)
+
+exception Error of t
+(** The single carrier exception for code that cannot return [result]. *)
+
+val raise_ : t -> 'a
+(** [raise_ e] raises [Error e]. *)
+
+val to_string : t -> string
+(** One-line human-readable rendering, e.g.
+    ["solver diverged after rungs requested,jacobi,ssor,restart \
+      (residual 3.1e-02, 5760 iters)"]. *)
+
+val to_json : t -> Obs.Json.t
+(** [{"error": <class>, ...fields}] for run reports. *)
+
+val exit_code : t -> int
+(** Stable per-class process exit codes for the CLI (and the
+    fault-injection smoke in [scripts/check.sh]):
+    [Solver_diverged] 10, [Invariant_violation] 11, [Worker_failed] 12,
+    [Checkpoint_corrupt] 13. *)
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** Run a thunk, catching {!Error} (only) into [Error _]. *)

@@ -1,0 +1,57 @@
+type check = {
+  name : string;
+  run : unit -> (unit, string) result;
+}
+
+let make name run = { name; run }
+
+type outcome = {
+  check_name : string;
+  failure : string option;
+}
+
+let run_one c =
+  Obs.Metrics.count "robust.validate.checks";
+  match c.run () with
+  | Ok () -> None
+  | Error detail ->
+    Obs.Metrics.count "robust.validate.failures";
+    Obs.Log.warn
+      (Printf.sprintf "invariant check %s failed: %s" c.name detail);
+    Some detail
+
+let run_all checks =
+  List.map (fun c -> { check_name = c.name; failure = run_one c }) checks
+
+let rec first_failure = function
+  | [] -> Ok ()
+  | c :: rest ->
+    (match run_one c with
+     | None -> first_failure rest
+     | Some detail ->
+       Error (Error.Invariant_violation { check = c.name; detail }))
+
+let scan ~what a ~bad ~describe =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then Ok ()
+    else if bad a.(i) then
+      Error (Printf.sprintf "%s[%d] = %g %s" what i a.(i) describe)
+    else go (i + 1)
+  in
+  go 0
+
+let all_finite ~what a =
+  scan ~what a
+    ~bad:(fun v -> not (Float.is_finite v))
+    ~describe:"(must be finite)"
+
+let non_negative ?(eps = 0.0) ~what a =
+  scan ~what a
+    ~bad:(fun v -> not (Float.is_finite v) || v < -.eps)
+    ~describe:"(must be finite and non-negative)"
+
+let within ~what ~lo ~hi a =
+  scan ~what a
+    ~bad:(fun v -> not (Float.is_finite v) || v < lo || v > hi)
+    ~describe:(Printf.sprintf "(must lie in [%g, %g])" lo hi)

@@ -1,0 +1,40 @@
+(** Cheap invariant checks runnable between flow stages.
+
+    A {!check} is a named thunk returning [Ok ()] or a failure detail.
+    Domain layers build checks over their own types (see
+    [Postplace.Checks]); this module only runs them, records the
+    outcomes in {!Obs.Metrics} ([robust.validate.checks] /
+    [robust.validate.failures]) and converts the first failure into a
+    structured {!Error.Invariant_violation}. Array helpers cover the
+    recurring numeric invariants (finiteness, sign, bounds). *)
+
+type check = {
+  name : string;  (** dotted, e.g. ["power.finite_nonneg"] *)
+  run : unit -> (unit, string) result;
+}
+
+val make : string -> (unit -> (unit, string) result) -> check
+
+type outcome = {
+  check_name : string;
+  failure : string option;  (** [None] = passed *)
+}
+
+val run_all : check list -> outcome list
+(** Run every check (failures do not short-circuit). *)
+
+val first_failure : check list -> (unit, Error.t) result
+(** Run checks in order; the first failing one becomes
+    [Error (Invariant_violation _)] and later checks are skipped. *)
+
+(** {1 Array helpers} — [what] names the quantity in the detail string. *)
+
+val all_finite : what:string -> float array -> (unit, string) result
+
+val non_negative : ?eps:float -> what:string -> float array ->
+  (unit, string) result
+(** Finite and [>= -eps] (default [eps = 0.]). *)
+
+val within : what:string -> lo:float -> hi:float -> float array ->
+  (unit, string) result
+(** Finite and inside [[lo, hi]]. *)

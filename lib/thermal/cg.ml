@@ -3,6 +3,7 @@ type outcome = {
   iterations : int;
   residual : float;
   converged : bool;
+  breakdown : string option;
 }
 
 type precond = Jacobi | Ssor of float
@@ -54,15 +55,31 @@ let record outcome =
   Obs.Metrics.observe "thermal.cg.iterations"
     (float_of_int outcome.iterations);
   Obs.Metrics.observe "thermal.cg.residual" outcome.residual;
+  (match outcome.breakdown with
+   | Some _ -> Obs.Metrics.count "thermal.cg.breakdown"
+   | None -> ());
   if not outcome.converged then begin
     Obs.Metrics.count "thermal.cg.nonconverged";
     Obs.Log.warn
       (Printf.sprintf
-         "Cg.solve: max iterations reached without convergence (%d iters, \
-          residual %.3e)"
-         outcome.iterations outcome.residual)
+         "Cg.solve: no convergence after %d iters, residual %.3e%s"
+         outcome.iterations outcome.residual
+         (match outcome.breakdown with
+          | Some why -> " (breakdown: " ^ why ^ ")"
+          | None -> ""))
   end;
   outcome
+
+(* Breakdown detection: CG on an SPD system has pAp > 0 and rho > 0 at
+   every step. A non-positive or non-finite curvature / rho means the
+   system is not SPD (assembly bug, injected perturbation) or arithmetic
+   has degenerated — dividing through would fill [x] with NaN/Inf and
+   poison every later warm start, so we stop *before* the division and
+   report [converged = false] with a breakdown reason. A residual that
+   stops improving (or explodes) for [stall_window] iterations is cut
+   off the same way. *)
+let stall_window = 200
+let divergence_factor = 1e8
 
 let solve_raw m ~b ~tol ?max_iter ?x0 ?(precond = Jacobi) () =
   let n = Sparse.dim m in
@@ -78,6 +95,12 @@ let solve_raw m ~b ~tol ?max_iter ?x0 ?(precond = Jacobi) () =
     (fun d -> if d <= 0.0 then
         invalid_arg "Cg.solve: non-positive diagonal entry")
     diag;
+  if Robust.Faults.consume Robust.Faults.Cg_stall then
+    (* injected non-convergence: report failure with an untouched iterate *)
+    { x = (match x0 with Some v -> Array.copy v | None -> Array.make n 0.0);
+      iterations = 0; residual = 1.0; converged = false;
+      breakdown = Some "injected: cg_stall" }
+  else begin
   let partials = Array.make (n_chunks n) 0.0 in
   let norm a = sqrt (dot partials a a) in
   let apply_precond r z =
@@ -99,7 +122,8 @@ let solve_raw m ~b ~tol ?max_iter ?x0 ?(precond = Jacobi) () =
       for i = lo to hi do r.(i) <- b.(i) -. r.(i) done);
   let bnorm = norm b in
   if bnorm = 0.0 then
-    { x = Array.make n 0.0; iterations = 0; residual = 0.0; converged = true }
+    { x = Array.make n 0.0; iterations = 0; residual = 0.0;
+      converged = true; breakdown = None }
   else begin
     let z = Array.make n 0.0 in
     apply_precond r z;
@@ -108,25 +132,76 @@ let solve_raw m ~b ~tol ?max_iter ?x0 ?(precond = Jacobi) () =
     let rz = ref (dot partials r z) in
     let iterations = ref 0 in
     let converged = ref (norm r /. bnorm <= tol) in
-    while (not !converged) && !iterations < max_iter do
+    let breakdown = ref None in
+    let best_rn = ref infinity in
+    let since_best = ref 0 in
+    while !breakdown = None && (not !converged) && !iterations < max_iter do
       incr iterations;
       Sparse.mul_par m p ap;
-      let alpha = !rz /. dot partials p ap in
-      par_iter_chunks n (fun lo hi ->
-          for i = lo to hi do
-            x.(i) <- x.(i) +. (alpha *. p.(i));
-            r.(i) <- r.(i) -. (alpha *. ap.(i))
-          done);
-      if norm r /. bnorm <= tol then converged := true
+      let pap = dot partials p ap in
+      if not (Float.is_finite pap) || pap <= 0.0 then
+        breakdown :=
+          Some (Printf.sprintf "non-positive curvature (pAp = %g)" pap)
       else begin
-        apply_precond r z;
-        let rz' = dot partials r z in
-        let beta = rz' /. !rz in
-        rz := rz';
+        let alpha = !rz /. pap in
         par_iter_chunks n (fun lo hi ->
-            for i = lo to hi do p.(i) <- z.(i) +. (beta *. p.(i)) done)
+            for i = lo to hi do
+              x.(i) <- x.(i) +. (alpha *. p.(i));
+              r.(i) <- r.(i) -. (alpha *. ap.(i))
+            done);
+        let rn = norm r in
+        if not (Float.is_finite rn) then
+          breakdown := Some "non-finite residual"
+        else begin
+          if rn < !best_rn then begin
+            best_rn := rn;
+            since_best := 0
+          end
+          else begin
+            incr since_best;
+            if rn > divergence_factor *. !best_rn then
+              breakdown :=
+                Some (Printf.sprintf "residual diverging (%.3e from %.3e)"
+                        rn !best_rn)
+            else if !since_best >= stall_window then
+              breakdown :=
+                Some (Printf.sprintf
+                        "residual stagnant for %d iterations" stall_window)
+          end;
+          if !breakdown = None then begin
+            if rn /. bnorm <= tol then converged := true
+            else begin
+              apply_precond r z;
+              let rz' = dot partials r z in
+              if not (Float.is_finite rz') || Float.abs rz' <= 1e-300 then
+                breakdown :=
+                  Some (Printf.sprintf "rho breakdown (rho = %g)" rz')
+              else begin
+                let beta = rz' /. !rz in
+                rz := rz';
+                par_iter_chunks n (fun lo hi ->
+                    for i = lo to hi do
+                      p.(i) <- z.(i) +. (beta *. p.(i))
+                    done)
+              end
+            end
+          end
+        end
       end
     done;
+    (* belt and braces: whatever the exit path, never hand back a
+       non-finite iterate — restore the start vector instead *)
+    let finite = ref true in
+    for i = 0 to n - 1 do
+      if not (Float.is_finite x.(i)) then finite := false
+    done;
+    if not !finite then begin
+      (match x0 with
+       | Some v -> Array.blit v 0 x 0 n
+       | None -> Array.fill x 0 n 0.0);
+      converged := false;
+      if !breakdown = None then breakdown := Some "non-finite iterate"
+    end;
     (* true residual for the report *)
     Sparse.mul_par m x ap;
     let res = ref 0.0 in
@@ -135,7 +210,8 @@ let solve_raw m ~b ~tol ?max_iter ?x0 ?(precond = Jacobi) () =
       res := !res +. (d *. d)
     done;
     { x; iterations = !iterations; residual = sqrt !res /. bnorm;
-      converged = !converged }
+      converged = !converged; breakdown = !breakdown }
+  end
   end
 
 let solve m ~b ?(tol = default_tol) ?max_iter ?x0 ?precond () =
@@ -150,3 +226,71 @@ let solve m ~b ?(tol = default_tol) ?max_iter ?x0 ?precond () =
       in
       Obs.Metrics.observe key (float_of_int out.iterations);
       out)
+
+type status = Clean | Recovered of string | Degraded
+
+type escalation = {
+  esc_outcome : outcome;
+  esc_status : status;
+  esc_rungs : string list;
+}
+
+(* Escalation ladder. A failed solve (breakdown or max-iter exit) is
+   retried with progressively heavier configurations:
+     jacobi   — cold Jacobi restart at the requested iteration budget
+                (skipped when that is exactly what just failed);
+     ssor     — SSOR(1.2) with a doubled budget: a stronger
+                preconditioner shrinks the iteration count on the mesh
+                stencil and sidesteps Jacobi-specific stagnation;
+     restart  — cold Jacobi with a quadrupled budget, the last resort
+                for slow-but-sound systems.
+   Each rung starts from a fresh x0: a warm start that led the first
+   attempt into breakdown must not steer the retries too. *)
+let solve_escalating m ~b ?(tol = default_tol) ?max_iter ?x0 ?precond () =
+  let n = Sparse.dim m in
+  let base_iter = match max_iter with Some k -> k | None -> 4 * n in
+  let first = solve m ~b ~tol ~max_iter:base_iter ?x0 ?precond () in
+  if first.converged then
+    { esc_outcome = first; esc_status = Clean; esc_rungs = [] }
+  else begin
+    Obs.Metrics.count "thermal.cg.escalations";
+    let requested_jacobi_cold =
+      (match precond with None | Some Jacobi -> true | Some (Ssor _) -> false)
+      && Option.is_none x0
+    in
+    let rungs =
+      (if requested_jacobi_cold then []
+       else
+         [ ("jacobi",
+            fun () ->
+              solve m ~b ~tol ~max_iter:base_iter ~precond:Jacobi ()) ])
+      @ [ ("ssor",
+           fun () ->
+             solve m ~b ~tol ~max_iter:(2 * base_iter)
+               ~precond:(Ssor 1.2) ());
+          ("restart",
+           fun () ->
+             solve m ~b ~tol ~max_iter:(4 * base_iter)
+               ~precond:Jacobi ()) ]
+    in
+    let rec go attempted best = function
+      | [] ->
+        Obs.Metrics.count "thermal.cg.escalation.degraded";
+        { esc_outcome = best; esc_status = Degraded;
+          esc_rungs = List.rev attempted }
+      | (name, run) :: rest ->
+        Obs.Metrics.count ("thermal.cg.escalation.rung." ^ name);
+        let out = run () in
+        let attempted = name :: attempted in
+        if out.converged then begin
+          Obs.Metrics.count "thermal.cg.escalation.recovered";
+          { esc_outcome = out; esc_status = Recovered name;
+            esc_rungs = List.rev attempted }
+        end
+        else begin
+          let best = if out.residual < best.residual then out else best in
+          go attempted best rest
+        end
+    in
+    go [] first rungs
+  end

@@ -9,6 +9,13 @@ type outcome = {
   iterations : int;
   residual : float;  (** final ||b - A x|| / ||b|| *)
   converged : bool;
+  breakdown : string option;
+  (** [Some reason] when the iteration was cut short by a detected
+      breakdown — non-positive curvature (pAp <= 0: the matrix is not
+      SPD), a vanishing or non-finite rho, a non-finite residual, or a
+      residual that stagnated/diverged for a long window. The guard
+      fires {e before} the offending division, so [x] is always finite:
+      either the best iterate reached or the untouched start vector. *)
 }
 
 type precond =
@@ -42,5 +49,42 @@ val solve : Sparse.t -> b:float array -> ?tol:float -> ?max_iter:int ->
     depending on whether [x0] was supplied. A solve that exits at
     [max_iter] without converging bumps [thermal.cg.nonconverged] and
     emits an {!Obs.Log} warning, so silent max-iter exits cannot
-    masquerade as valid temperatures in sweeps. The solve body runs under
-    a ["thermal.cg.solve"] trace span. *)
+    masquerade as valid temperatures in sweeps; a detected breakdown
+    additionally bumps [thermal.cg.breakdown]. The solve body runs under
+    a ["thermal.cg.solve"] trace span.
+
+    Fault injection: an armed {!Robust.Faults.Cg_stall} makes the next
+    solve return immediately with [converged = false] and the start
+    vector as [x] — used by tests and the fault-injection harness to
+    exercise the escalation ladder. *)
+
+type status =
+  | Clean             (** the first attempt converged *)
+  | Recovered of string
+  (** a retry rung converged; the payload names it ("jacobi", "ssor",
+      "restart") *)
+  | Degraded          (** every rung failed; the outcome is best-effort *)
+
+type escalation = {
+  esc_outcome : outcome;
+  esc_status : status;
+  esc_rungs : string list;
+  (** retry rungs attempted after the first solve, in order; [[]] when
+      the first attempt converged *)
+}
+
+val solve_escalating : Sparse.t -> b:float array -> ?tol:float ->
+  ?max_iter:int -> ?x0:float array -> ?precond:precond -> unit -> escalation
+(** {!solve} wrapped in a breakdown-recovery ladder. A failed first
+    attempt (breakdown or max-iter exit) is retried cold through
+    progressively heavier rungs: Jacobi at the requested budget (skipped
+    when the first attempt was already a cold Jacobi solve), SSOR(1.2)
+    at twice the budget, then a Jacobi restart at four times the budget.
+    The first converging rung wins ([Recovered]); if all fail the
+    best-residual outcome is returned with [Degraded] and the caller
+    decides whether that is an error.
+
+    Telemetry: a failed first attempt bumps [thermal.cg.escalations] and
+    each rung [thermal.cg.escalation.rung.<name>]; the terminal state
+    bumps [thermal.cg.escalation.recovered] or
+    [thermal.cg.escalation.degraded]. *)

@@ -87,6 +87,10 @@ let assemble cfg ~extent =
       done
     done
   done;
+  (* fault hook: one asymmetric off-diagonal spike breaks SPD-ness, which
+     the CG breakdown guards and Postplace.Checks must both catch *)
+  if n > 1 && Robust.Faults.consume Robust.Faults.Perturb_matrix then
+    Sparse.add b 0 1 1.0e9;
   Sparse.of_builder b
 
 (* MRU cache of assembled matrices keyed by (config, extent), both plain
@@ -125,6 +129,17 @@ let cache_insert key e =
         cache_entries := (key, e) :: kept;
         e)
 
+let cache_remove key =
+  Mutex.protect cache_mutex (fun () ->
+      cache_entries := List.filter (fun (k, _) -> k <> key) !cache_entries)
+
+(* a deliberately wrong-sized entry, substituted on a cache hit by the
+   [Stale_mesh_cache] fault to prove the defensive check below fires *)
+let stale_probe () =
+  let b = Sparse.builder ~n:1 in
+  Sparse.add b 0 0 1.0;
+  { ce_matrix = Sparse.of_builder b; ce_cold_iters = ref None }
+
 let build ?(cache = true) cfg ~power =
   Obs.Trace.with_span "thermal.mesh.build" @@ fun () ->
   begin match Stack.validate cfg.stack with
@@ -134,13 +149,41 @@ let build ?(cache = true) cfg ~power =
   if Geo.Grid.nx power <> cfg.nx || Geo.Grid.ny power <> cfg.ny then
     invalid_arg "Mesh.build: power grid dimensions mismatch";
   let extent = Geo.Grid.extent power in
+  let n = cfg.nx * cfg.ny * Stack.num_layers cfg.stack in
   let entry =
-    if not cache then
+    (* while a matrix-perturbation fault is armed the cache is bypassed in
+       both directions: the poisoned matrix must not be published for later
+       healthy builds, and a healthy cached matrix must not mask the fault *)
+    if not cache || Robust.Faults.armed Robust.Faults.Perturb_matrix then
       { ce_matrix = assemble cfg ~extent; ce_cold_iters = ref None }
     else begin
       let key = (cfg, extent) in
       match cache_lookup key with
-      | Some e -> Obs.Metrics.count "thermal.mesh.cache.hits"; e
+      | Some e ->
+        let e =
+          if Robust.Faults.consume Robust.Faults.Stale_mesh_cache then
+            stale_probe ()
+          else e
+        in
+        (* defensive hit validation: a stale or corrupted entry whose
+           dimension disagrees with the requested mesh would crash deep
+           inside CG (or worse, silently solve the wrong system) — evict
+           and reassemble instead *)
+        if Sparse.dim e.ce_matrix <> n then begin
+          Obs.Metrics.count "thermal.mesh.cache.stale";
+          Obs.Log.warn
+            (Printf.sprintf
+               "Mesh.build: cached matrix has dim %d, expected %d; evicting \
+                and reassembling"
+               (Sparse.dim e.ce_matrix) n);
+          cache_remove key;
+          cache_insert key
+            { ce_matrix = assemble cfg ~extent; ce_cold_iters = ref None }
+        end
+        else begin
+          Obs.Metrics.count "thermal.mesh.cache.hits";
+          e
+        end
       | None ->
         Obs.Metrics.count "thermal.mesh.cache.misses";
         (* assemble outside the cache lock; worst case two racing builds
@@ -149,7 +192,6 @@ let build ?(cache = true) cfg ~power =
           { ce_matrix = assemble cfg ~extent; ce_cold_iters = ref None }
     end
   in
-  let n = cfg.nx * cfg.ny * Stack.num_layers cfg.stack in
   let rhs = Array.make n 0.0 in
   let zp = cfg.stack.Stack.power_layer in
   Geo.Grid.iteri power ~f:(fun ~ix ~iy w ->
@@ -163,24 +205,46 @@ type solution = {
   temp : float array;
   cg_iterations : int;
   cg_residual : float;
+  cg_rungs : string list;
 }
 
-let solve ?(tol = Cg.default_tol) ?max_iter ?precond ?x0 p =
+let solve_result ?(tol = Cg.default_tol) ?max_iter ?precond ?x0 p =
   Obs.Trace.with_span "thermal.solve" @@ fun () ->
-  let outcome = Cg.solve p.p_matrix ~b:p.p_rhs ~tol ?max_iter ?precond ?x0 () in
-  if not outcome.Cg.converged then
-    failwith
-      (Printf.sprintf "Mesh.solve: CG stalled (residual %.3e after %d iters)"
-         outcome.Cg.residual outcome.Cg.iterations);
-  (match x0, !(p.p_cold_iters) with
-   | None, None -> p.p_cold_iters := Some outcome.Cg.iterations
-   | Some _, Some cold ->
-     Obs.Metrics.observe "thermal.mesh.warm.saved_iterations"
-       (float_of_int (cold - outcome.Cg.iterations))
-   | _ -> ());
-  { config = p.p_config; extent = p.p_extent; temp = outcome.Cg.x;
-    cg_iterations = outcome.Cg.iterations;
-    cg_residual = outcome.Cg.residual }
+  let esc =
+    Cg.solve_escalating p.p_matrix ~b:p.p_rhs ~tol ?max_iter ?precond ?x0 ()
+  in
+  let outcome = esc.Cg.esc_outcome in
+  match esc.Cg.esc_status with
+  | Cg.Degraded ->
+    Error
+      (Robust.Error.Solver_diverged
+         { residual = outcome.Cg.residual;
+           iterations = outcome.Cg.iterations;
+           rungs = "requested" :: esc.Cg.esc_rungs })
+  | Cg.Clean | Cg.Recovered _ ->
+    (match esc.Cg.esc_status with
+     | Cg.Recovered rung ->
+       Obs.Log.warn
+         (Printf.sprintf "Mesh.solve: recovered via %s escalation rung" rung)
+     | _ -> ());
+    (* warm-start bookkeeping only applies to clean solves: a recovered
+       rung ran cold under a different configuration, so comparing its
+       iteration count against the cold baseline would be meaningless *)
+    (match esc.Cg.esc_status, x0, !(p.p_cold_iters) with
+     | Cg.Clean, None, None -> p.p_cold_iters := Some outcome.Cg.iterations
+     | Cg.Clean, Some _, Some cold ->
+       Obs.Metrics.observe "thermal.mesh.warm.saved_iterations"
+         (float_of_int (cold - outcome.Cg.iterations))
+     | _ -> ());
+    Ok { config = p.p_config; extent = p.p_extent; temp = outcome.Cg.x;
+         cg_iterations = outcome.Cg.iterations;
+         cg_residual = outcome.Cg.residual;
+         cg_rungs = esc.Cg.esc_rungs }
+
+let solve ?tol ?max_iter ?precond ?x0 p =
+  match solve_result ?tol ?max_iter ?precond ?x0 p with
+  | Ok s -> s
+  | Error e -> Robust.Error.raise_ e
 
 let layer_grid s ~iz =
   let cfg = s.config in

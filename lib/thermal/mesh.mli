@@ -28,7 +28,16 @@ val build : ?cache:bool -> config -> power:Geo.Grid.t -> problem
     shared between problems (the rhs is always rebuilt). [~cache:false]
     bypasses the cache and assembles fresh. Lookups bump the
     [thermal.mesh.cache.hits] / [thermal.mesh.cache.misses] counters in
-    {!Obs.Metrics}. *)
+    {!Obs.Metrics}.
+
+    Cache hits are validated defensively: an entry whose matrix dimension
+    disagrees with the requested mesh is evicted and reassembled (counted
+    in [thermal.mesh.cache.stale], with a warning) instead of being
+    handed to CG. Fault hooks: {!Robust.Faults.Stale_mesh_cache}
+    substitutes a wrong-sized entry on the next hit to exercise that
+    check; {!Robust.Faults.Perturb_matrix} injects an asymmetric spike
+    into the next assembly — while it is armed the cache is bypassed
+    entirely so the poisoned matrix is never published. *)
 
 val cache_clear : unit -> unit
 (** Drop every cached matrix (and the cold-iteration baselines that ride
@@ -43,10 +52,13 @@ type solution = {
   temp : float array;       (** node temperature rises, x-major per layer *)
   cg_iterations : int;
   cg_residual : float;
+  cg_rungs : string list;
+  (** escalation rungs CG went through to produce this solution; [[]]
+      for a clean first-attempt convergence *)
 }
 
-val solve : ?tol:float -> ?max_iter:int -> ?precond:Cg.precond ->
-  ?x0:float array -> problem -> solution
+val solve_result : ?tol:float -> ?max_iter:int -> ?precond:Cg.precond ->
+  ?x0:float array -> problem -> (solution, Robust.Error.t) result
 (** Defaults: [tol] {!Cg.default_tol}, [max_iter] / [precond] / [x0] as in
     {!Cg.solve}. Passing [x0] warm-starts CG from a previous temperature
     field (the optimizer seeds candidate solves with the incumbent
@@ -54,8 +66,17 @@ val solve : ?tol:float -> ?max_iter:int -> ?precond:Cg.precond ->
     iteration savings are recorded in the
     [thermal.mesh.warm.saved_iterations] histogram.
 
-    Raises [Failure] when CG does not converge (never observed on a valid
-    stack; guards against assembly bugs). *)
+    The solve runs through {!Cg.solve_escalating}: a first-attempt
+    failure is retried down the Jacobi / SSOR / restart ladder, a
+    recovery is logged as a warning and recorded in [cg_rungs], and only
+    when every rung fails does this return
+    [Error (Solver_diverged { rungs; _ })] with the full attempt list. *)
+
+val solve : ?tol:float -> ?max_iter:int -> ?precond:Cg.precond ->
+  ?x0:float array -> problem -> solution
+(** {!solve_result}, raising [Robust.Error.Error (Solver_diverged _)]
+    instead of returning [Error]. Never observed on a valid stack; guards
+    against assembly bugs and injected faults. *)
 
 val node_index : config -> ix:int -> iy:int -> iz:int -> int
 

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Full repository gate: build everything, run the test suites and the
 # quickstart example, smoke-run the solver-engine bench (cache + warm-start
-# + preconditioner + pool) and the CLI with --report, and validate the JSON
-# both write. Run from anywhere inside the repository.
+# + preconditioner + pool) and the CLI with --report, validate the JSON
+# both write, exercise the invariant-check subcommand and the
+# fault-injection harness (structured exit codes), and prove the sweep
+# checkpoint resumes. Run from anywhere inside the repository.
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -23,10 +25,44 @@ dune exec bin/json_check.exe -- BENCH_cg.json experiment summary
 
 echo "== thermoplace --report smoke"
 report=$(mktemp /tmp/thermoplace-report.XXXXXX.json)
-trap 'rm -f "$report"' EXIT
+ckpt=$(mktemp /tmp/thermoplace-ckpt.XXXXXX.json)
+trap 'rm -f "$report" "$ckpt"' EXIT
 dune exec bin/thermoplace.exe -- \
   flow --test-set small --cycles 200 --report "$report" >/dev/null
 dune exec bin/json_check.exe -- \
   "$report" schema_version config spans metrics warnings base result
+
+echo "== invariant checks (thermoplace check)"
+dune exec bin/thermoplace.exe -- check --test-set small --cycles 200 >/dev/null
+
+echo "== fault-injection smoke"
+# A NaN injected into the power map must surface as a structured invariant
+# violation (exit 11), never a silently wrong report.
+rc=0
+THERMOPLACE_FAULTS=nan_power dune exec bin/thermoplace.exe -- \
+  check --test-set small --cycles 200 >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 11 ]; then
+  echo "fault smoke: expected exit 11 for nan_power, got $rc" >&2
+  exit 1
+fi
+# Stalling every rung of the CG escalation ladder must surface as solver
+# divergence (exit 10).
+rc=0
+THERMOPLACE_FAULTS=cg_stall:8 dune exec bin/thermoplace.exe -- \
+  flow --test-set small --cycles 200 >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 10 ]; then
+  echo "fault smoke: expected exit 10 for cg_stall, got $rc" >&2
+  exit 1
+fi
+
+echo "== sweep checkpoint smoke"
+rm -f "$ckpt"
+dune exec bin/thermoplace.exe -- \
+  sweep --test-set small --cycles 200 --checkpoint "$ckpt" >/dev/null
+dune exec bin/json_check.exe -- "$ckpt" schema_version kind key entries
+# Resume from the complete checkpoint: every point is replayed from the
+# file, so the rerun must also succeed (and is near-instant).
+dune exec bin/thermoplace.exe -- \
+  sweep --test-set small --cycles 200 --checkpoint "$ckpt" >/dev/null
 
 echo "== OK"

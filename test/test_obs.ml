@@ -235,6 +235,37 @@ let test_report_structure () =
               Alcotest.(check bool) "file round-trips" true (j = j')
             | Error e -> Alcotest.failf "written file unparsable: %s" e))
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_atomic_write () =
+  let path = Filename.temp_file "obs_atomic" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+    (fun () ->
+       Obs.Report.write_string_atomic path "first";
+       Alcotest.(check string) "content written" "first" (read_file path);
+       (* publication leaves no tmp file behind *)
+       Alcotest.(check bool) "tmp removed" false
+         (Sys.file_exists (path ^ ".tmp"));
+       Obs.Report.write_string_atomic path "second";
+       Alcotest.(check string) "overwrite" "second" (read_file path);
+       (* an unwritable tmp location fails without touching the previous
+          content *)
+       (match
+          Obs.Report.write_string_atomic
+            (Filename.concat path "no-such-dir/f") "x"
+        with
+        | () -> Alcotest.fail "write into non-directory succeeded"
+        | exception Sys_error _ -> ());
+       Alcotest.(check string) "previous content intact" "second"
+         (read_file path))
+
 let () =
   Alcotest.run "obs"
     [ ("trace",
@@ -260,4 +291,6 @@ let () =
            test_json_nonfinite_floats ]);
       ("report",
        [ Alcotest.test_case "structure and file round-trip" `Quick
-           test_report_structure ]) ]
+           test_report_structure;
+         Alcotest.test_case "atomic publication" `Quick
+           test_atomic_write ]) ]

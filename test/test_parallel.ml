@@ -44,6 +44,43 @@ let test_exception_propagates () =
       Parallel.Pool.parallel_for ~chunks:8 (fun _ -> Atomic.incr ok);
       Alcotest.(check int) "pool usable after failure" 8 (Atomic.get ok))
 
+(* Worker-failure containment: a chunk dying mid-job (here via the
+   Kill_worker fault, i.e. the exact hook the fault harness uses) must
+   not deadlock the pool, must surface as the structured error, and must
+   leave the pool accepting new jobs. *)
+let test_worker_failure_contained () =
+  with_jobs 4 (fun () ->
+      let survivors = Atomic.make 0 in
+      (match
+         Robust.Faults.with_fault Robust.Faults.Kill_worker (fun () ->
+             Parallel.Pool.parallel_for ~chunks:64 (fun _ ->
+                 Atomic.incr survivors))
+       with
+       | () -> Alcotest.fail "killed worker not reported"
+       | exception Robust.Error.Error (Robust.Error.Worker_failed _) -> ());
+      (* the drain stops handing out chunks after the failure, so not
+         every chunk ran — but none after the join are in flight *)
+      Alcotest.(check bool) "some chunks drained" true
+        (Atomic.get survivors < 64);
+      (* subsequent submissions succeed on the same pool *)
+      let ok = Atomic.make 0 in
+      Parallel.Pool.parallel_for ~chunks:32 (fun _ -> Atomic.incr ok);
+      Alcotest.(check int) "pool alive after worker death" 32
+        (Atomic.get ok);
+      (* repeated faults keep being contained, never wedging the pool *)
+      for _ = 1 to 3 do
+        (match
+           Robust.Faults.with_fault Robust.Faults.Kill_worker (fun () ->
+               Parallel.Pool.parallel_for ~chunks:16 (fun _ -> ()))
+         with
+         | () -> Alcotest.fail "repeat kill not reported"
+         | exception Robust.Error.Error (Robust.Error.Worker_failed _) -> ())
+      done;
+      let again = Atomic.make 0 in
+      Parallel.Pool.parallel_for ~chunks:16 (fun _ -> Atomic.incr again);
+      Alcotest.(check int) "pool alive after repeated faults" 16
+        (Atomic.get again))
+
 let test_nested_runs_inline () =
   with_jobs 4 (fun () ->
       let total = Atomic.make 0 in
@@ -116,6 +153,8 @@ let () =
            test_map_preserves_order;
          Alcotest.test_case "exception propagates" `Quick
            test_exception_propagates;
+         Alcotest.test_case "worker failure contained" `Quick
+           test_worker_failure_contained;
          Alcotest.test_case "nested runs inline" `Quick
            test_nested_runs_inline;
          Alcotest.test_case "set_jobs validation" `Quick

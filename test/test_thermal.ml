@@ -420,13 +420,17 @@ let test_mesh_matrix_cache () =
 let test_mesh_solve_options_threaded () =
   Thermal.Mesh.cache_clear ();
   let p = uniform_power ~nx:10 ~ny:10 ~total:0.02 in
-  (* max_iter reaches Cg: an impossible budget must hard-fail *)
+  (* max_iter reaches Cg: an impossible budget must fail through the
+     whole escalation ladder and surface as a structured error *)
   (match
      Thermal.Mesh.solve ~tol:1e-14 ~max_iter:1
        (Thermal.Mesh.build small_cfg ~power:p)
    with
    | _ -> Alcotest.fail "capped solve did not fail"
-   | exception Failure _ -> ());
+   | exception
+       Robust.Error.Error (Robust.Error.Solver_diverged { rungs; _ }) ->
+     Alcotest.(check (list string)) "full ladder attempted"
+       [ "requested"; "ssor"; "restart" ] rungs);
   (* precond reaches Cg: SSOR solve agrees with the Jacobi default *)
   let jac = Thermal.Mesh.solve ~tol:1e-12 (Thermal.Mesh.build small_cfg ~power:p) in
   let ssor =
@@ -705,6 +709,104 @@ let prop_mesh_superposition =
          (Array.mapi (fun i v -> v +. t2.(i)) t1)
          t12)
 
+(* --- robustness ----------------------------------------------------------------- *)
+
+(* [[1, 3], [3, 1]] is symmetric with positive diagonal but indefinite:
+   CG's very first curvature is pAp = -4. The guard must stop before the
+   division and hand back a finite iterate. *)
+let test_cg_breakdown_indefinite () =
+  let b = Thermal.Sparse.builder ~n:2 in
+  Thermal.Sparse.add b 0 0 1.0;
+  Thermal.Sparse.add b 0 1 3.0;
+  Thermal.Sparse.add b 1 0 3.0;
+  Thermal.Sparse.add b 1 1 1.0;
+  let m = Thermal.Sparse.of_builder b in
+  let out = Thermal.Cg.solve m ~b:[| 1.0; -1.0 |] () in
+  Alcotest.(check bool) "not converged" false out.Thermal.Cg.converged;
+  (match out.Thermal.Cg.breakdown with
+   | Some why ->
+     Alcotest.(check bool) "curvature reason" true
+       (String.length why > 0
+        && String.sub why 0 12 = "non-positive")
+   | None -> Alcotest.fail "breakdown not reported");
+  Array.iter
+    (fun v ->
+       Alcotest.(check bool) "iterate stays finite" true (Float.is_finite v))
+    out.Thermal.Cg.x
+
+let test_cg_escalation_recovers () =
+  let b = Thermal.Sparse.builder ~n:2 in
+  Thermal.Sparse.add b 0 0 2.0;
+  Thermal.Sparse.add b 0 1 (-1.0);
+  Thermal.Sparse.add b 1 0 (-1.0);
+  Thermal.Sparse.add b 1 1 2.0;
+  let m = Thermal.Sparse.of_builder b in
+  (* one injected stall fails the first attempt only; the cold-Jacobi
+     rung is skipped (the first attempt already was one), so SSOR is the
+     recovering rung *)
+  let esc =
+    Robust.Faults.with_fault Robust.Faults.Cg_stall (fun () ->
+        Thermal.Cg.solve_escalating m ~b:[| 1.0; 0.0 |] ())
+  in
+  (match esc.Thermal.Cg.esc_status with
+   | Thermal.Cg.Recovered rung ->
+     Alcotest.(check string) "recovering rung" "ssor" rung
+   | Thermal.Cg.Clean -> Alcotest.fail "stall not injected"
+   | Thermal.Cg.Degraded -> Alcotest.fail "ladder failed to recover");
+  Alcotest.(check (list string)) "rungs recorded" [ "ssor" ]
+    esc.Thermal.Cg.esc_rungs;
+  Alcotest.(check bool) "recovered outcome converged" true
+    esc.Thermal.Cg.esc_outcome.Thermal.Cg.converged;
+  (* a clean solve reports an empty ladder *)
+  let clean = Thermal.Cg.solve_escalating m ~b:[| 1.0; 0.0 |] () in
+  (match clean.Thermal.Cg.esc_status with
+   | Thermal.Cg.Clean -> ()
+   | _ -> Alcotest.fail "clean solve escalated");
+  Alcotest.(check (list string)) "no rungs" [] clean.Thermal.Cg.esc_rungs
+
+let test_mesh_stale_cache_defense () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Thermal.Mesh.cache_clear ();
+  let p = uniform_power ~nx:10 ~ny:10 ~total:0.02 in
+  let prob1 = Thermal.Mesh.build small_cfg ~power:p in
+  let n = Thermal.Sparse.dim (Thermal.Mesh.matrix prob1) in
+  (* a poisoned cache hit must be detected, evicted and reassembled *)
+  let prob2 =
+    Robust.Faults.with_fault Robust.Faults.Stale_mesh_cache (fun () ->
+        Thermal.Mesh.build small_cfg ~power:p)
+  in
+  Alcotest.(check int) "reassembled to the right dimension" n
+    (Thermal.Sparse.dim (Thermal.Mesh.matrix prob2));
+  Alcotest.(check (option int)) "stale hit counted" (Some 1)
+    (Obs.Metrics.counter_value "thermal.mesh.cache.stale");
+  (* the repaired entry is a working operator *)
+  let s = Thermal.Mesh.solve prob2 in
+  Alcotest.(check bool) "solves after repair" true
+    (Array.for_all Float.is_finite s.Thermal.Mesh.temp);
+  Alcotest.(check (list string)) "clean solve, no rungs" []
+    s.Thermal.Mesh.cg_rungs;
+  (* the next build hits the healthy entry silently *)
+  let prob3 = Thermal.Mesh.build small_cfg ~power:p in
+  Alcotest.(check bool) "healthy entry shared" true
+    (Thermal.Mesh.matrix prob2 == Thermal.Mesh.matrix prob3)
+
+let test_mesh_perturbed_matrix_not_cached () =
+  Thermal.Mesh.cache_clear ();
+  let p = uniform_power ~nx:10 ~ny:10 ~total:0.02 in
+  (* under an armed Perturb_matrix the assembly is poisoned and the cache
+     bypassed; the solve must fail loudly, not silently *)
+  (match
+     Robust.Faults.with_fault Robust.Faults.Perturb_matrix (fun () ->
+         Thermal.Mesh.solve (Thermal.Mesh.build small_cfg ~power:p))
+   with
+   | _ -> Alcotest.fail "perturbed matrix solved silently"
+   | exception Robust.Error.Error (Robust.Error.Solver_diverged _) -> ());
+  (* the poison must not have been published: a healthy build solves *)
+  let s = Thermal.Mesh.solve (Thermal.Mesh.build small_cfg ~power:p) in
+  Alcotest.(check bool) "healthy build after fault" true
+    (Array.for_all Float.is_finite s.Thermal.Mesh.temp)
+
 let () =
   Alcotest.run "thermal"
     [ ("sparse",
@@ -766,6 +868,15 @@ let () =
       ("metrics",
        [ Alcotest.test_case "of_map" `Quick test_metrics;
          Alcotest.test_case "reductions" `Quick test_metrics_reduction ]);
+      ("robustness",
+       [ Alcotest.test_case "cg breakdown on indefinite" `Quick
+           test_cg_breakdown_indefinite;
+         Alcotest.test_case "escalation recovers from stall" `Quick
+           test_cg_escalation_recovers;
+         Alcotest.test_case "stale cache hit repaired" `Quick
+           test_mesh_stale_cache_defense;
+         Alcotest.test_case "perturbed matrix fails loudly" `Quick
+           test_mesh_perturbed_matrix_not_cached ]);
       ("properties",
        List.map QCheck_alcotest.to_alcotest
          [ prop_cg_matches_cholesky; prop_mesh_superposition ]) ]
