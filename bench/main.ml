@@ -16,6 +16,7 @@
      dune exec bench/main.exe -- optimizer
      dune exec bench/main.exe -- perf    -- bechamel kernels
      dune exec bench/main.exe -- cg      -- solve-engine speedup study
+     dune exec bench/main.exe -- mg      -- multigrid preconditioner study
 
    `--jobs N` anywhere on the line sizes the domain pool. *)
 
@@ -744,6 +745,136 @@ let run_cg () =
            ("plans_agree", j_b plans_agree);
            ("parallel_bit_identical", j_b parallel_identical) ]) ]
 
+(* --- MG ENGINE --------------------------------------------------------------------- *)
+
+(* Geometric-multigrid V-cycle preconditioner vs Jacobi / SSOR CG across
+   mesh sizes, plus the two invariants the optimizer relies on when running
+   under [Pc_mg]: greedy plans unchanged and bit-identical parallel runs. *)
+
+let run_mg () =
+  header "MG ENGINE -- geometric multigrid V-cycle preconditioner"
+    "n/a (engineering): multigrid-preconditioned CG vs Jacobi/SSOR-CG \
+     across mesh sizes";
+  let saved_jobs = Parallel.Pool.jobs () in
+  let fl = Lazy.force flow1 in
+  let base = fl.Postplace.Flow.base_placement in
+  let problem_at nx =
+    let cfg =
+      { fl.Postplace.Flow.mesh_config with Thermal.Mesh.nx; ny = nx }
+    in
+    let power =
+      Power.Map.power_map base ~per_cell_w:fl.Postplace.Flow.per_cell_w ~nx
+        ~ny:nx
+    in
+    Thermal.Mesh.build cfg ~power
+  in
+  Parallel.Pool.set_jobs 1;
+  let speedup_160 = ref 0.0 in
+  let size_rows =
+    List.map
+      (fun nx ->
+         Thermal.Mesh.cache_clear ();
+         let problem = problem_at nx in
+         let jac, t_jac = time (fun () -> Thermal.Mesh.solve problem) in
+         let ssor, t_ssor =
+           time (fun () ->
+               Thermal.Mesh.solve ~precond:(Thermal.Cg.Ssor 1.2) problem)
+         in
+         let hier, t_build =
+           time (fun () -> Thermal.Mesh.multigrid problem)
+         in
+         let mg, t_mg =
+           time (fun () ->
+               Thermal.Mesh.solve ~precond:(Thermal.Cg.Multigrid hier)
+                 problem)
+         in
+         (* agreement with the SSOR solve, relative to the peak rise *)
+         let scale =
+           Array.fold_left
+             (fun a v -> Float.max a (Float.abs v))
+             0.0 ssor.Thermal.Mesh.temp
+         in
+         let max_rel = ref 0.0 in
+         Array.iteri
+           (fun i v ->
+              max_rel :=
+                Float.max !max_rel
+                  (Float.abs (v -. mg.Thermal.Mesh.temp.(i)) /. scale))
+           ssor.Thermal.Mesh.temp;
+         let speedup = t_ssor /. t_mg in
+         if nx = 160 then speedup_160 := speedup;
+         Printf.printf
+           "%3dx%-3d jacobi %8.1f ms (%4d it) | ssor %8.1f ms (%4d it) | \
+            mg build %6.1f ms + solve %7.1f ms (%3d it, %d levels) | \
+            speedup vs ssor %5.2fx | max-rel-diff %.2e\n"
+           nx nx (t_jac *. 1e3) jac.Thermal.Mesh.cg_iterations
+           (t_ssor *. 1e3) ssor.Thermal.Mesh.cg_iterations (t_build *. 1e3)
+           (t_mg *. 1e3) mg.Thermal.Mesh.cg_iterations
+           (Thermal.Multigrid.num_levels hier) speedup !max_rel;
+         j_obj
+           [ ("nx", j_i nx);
+             ("jacobi_ms", j_f (t_jac *. 1e3));
+             ("jacobi_iters", j_i jac.Thermal.Mesh.cg_iterations);
+             ("ssor_ms", j_f (t_ssor *. 1e3));
+             ("ssor_iters", j_i ssor.Thermal.Mesh.cg_iterations);
+             ("mg_build_ms", j_f (t_build *. 1e3));
+             ("mg_solve_ms", j_f (t_mg *. 1e3));
+             ("mg_iters", j_i mg.Thermal.Mesh.cg_iterations);
+             ("mg_levels", j_i (Thermal.Multigrid.num_levels hier));
+             ("speedup_vs_ssor", j_f speedup);
+             ("max_rel_diff_vs_ssor", j_f !max_rel) ])
+      [ 40; 80; 160 ]
+  in
+  (* parallel determinism of the MG-preconditioned solve itself *)
+  Thermal.Mesh.cache_clear ();
+  let p80 = problem_at 80 in
+  let h80 = Thermal.Mesh.multigrid p80 in
+  let mg1 =
+    Thermal.Mesh.solve ~precond:(Thermal.Cg.Multigrid h80) p80
+  in
+  Parallel.Pool.set_jobs 4;
+  let mg4 =
+    Thermal.Mesh.solve ~precond:(Thermal.Cg.Multigrid h80) p80
+  in
+  let solve_identical = mg1.Thermal.Mesh.temp = mg4.Thermal.Mesh.temp in
+  (* optimizer invariants: same greedy plan with and without Pc_mg, and
+     bit-identical across pool sizes under Pc_mg *)
+  let rows = 8 in
+  let plan_of (r : Postplace.Optimizer.result) =
+    r.Postplace.Optimizer.plan.Postplace.Technique.inserted_after
+  in
+  Parallel.Pool.set_jobs 1;
+  Thermal.Mesh.cache_clear ();
+  let r_def = Postplace.Optimizer.greedy_rows fl ~rows () in
+  let fl_mg =
+    { fl with Postplace.Flow.mesh_precond = Some Thermal.Mesh.Pc_mg }
+  in
+  Thermal.Mesh.cache_clear ();
+  let r_mg1 = Postplace.Optimizer.greedy_rows fl_mg ~rows () in
+  Parallel.Pool.set_jobs 4;
+  Thermal.Mesh.cache_clear ();
+  let r_mg4 = Postplace.Optimizer.greedy_rows fl_mg ~rows () in
+  Parallel.Pool.set_jobs saved_jobs;
+  let plans_agree = plan_of r_def = plan_of r_mg1 in
+  let parallel_identical =
+    solve_identical
+    && plan_of r_mg1 = plan_of r_mg4
+    && r_mg1.Postplace.Optimizer.predicted_peak_k
+       = r_mg4.Postplace.Optimizer.predicted_peak_k
+  in
+  Printf.printf "check: greedy plan under Pc_mg matches default:   %b\n"
+    plans_agree;
+  Printf.printf "check: MG runs bit-identical across pool sizes:   %b\n"
+    parallel_identical;
+  Printf.printf "check: speedup vs SSOR at 160x160 >= 2x:          %b \
+                 (%.2fx)\n"
+    (!speedup_160 >= 2.0) !speedup_160;
+  j_obj
+    [ ("sizes", j_list size_rows);
+      ("speedup_vs_ssor_160", j_f !speedup_160);
+      ("plans_agree", j_b plans_agree);
+      ("parallel_bit_identical", j_b parallel_identical) ]
+
 (* --- dispatch ---------------------------------------------------------------------- *)
 
 let experiments =
@@ -788,11 +919,12 @@ let () =
   | [] | [ "all" ] -> List.iter run_and_emit experiments
   | [ "perf" ] -> run_and_emit ("perf", run_perf)
   | [ "cg" ] -> run_and_emit ("cg", run_cg)
+  | [ "mg" ] -> run_and_emit ("mg", run_mg)
   | [ name ] when List.mem_assoc name experiments ->
     run_and_emit (name, List.assoc name experiments)
   | other ->
     Printf.eprintf
-      "unknown experiment %s; expected one of all, perf, cg, %s\n"
+      "unknown experiment %s; expected one of all, perf, cg, mg, %s\n"
       (String.concat " " other)
       (String.concat ", " (List.map fst experiments));
     exit 2

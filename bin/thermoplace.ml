@@ -91,6 +91,26 @@ let test_set =
   Arg.(value & opt (enum sets) "scattered"
        & info [ "test-set"; "t" ] ~docv:"SET" ~doc)
 
+let precond_arg =
+  let doc =
+    "CG preconditioner for the thermal solves: $(b,auto) (per-stage \
+     defaults), $(b,jacobi), $(b,ssor) (omega 1.2), or $(b,mg) (geometric \
+     multigrid V-cycle — fastest at high mesh resolution). All choices \
+     produce the same temperatures to solver tolerance."
+  in
+  let preconds =
+    [ ("auto", "auto"); ("jacobi", "jacobi"); ("ssor", "ssor"); ("mg", "mg") ]
+  in
+  Arg.(value & opt (enum preconds) "auto"
+       & info [ "precond" ] ~docv:"P" ~doc)
+
+let precond_choice = function
+  | "auto" -> None
+  | "jacobi" -> Some Thermal.Mesh.Pc_jacobi
+  | "ssor" -> Some (Thermal.Mesh.Pc_ssor 1.2)
+  | "mg" -> Some Thermal.Mesh.Pc_mg
+  | _ -> assert false (* the enum converter rejects everything else *)
+
 let jobs_arg =
   let doc =
     "Worker domains for parallel candidate evaluation and sweep points \
@@ -112,20 +132,21 @@ let report_arg =
   Arg.(value & opt (some string) None
        & info [ "report" ] ~docv:"FILE" ~doc)
 
-let prepare ~seed ~cycles ~utilization ~test_set =
+let prepare ~seed ~cycles ~utilization ~test_set ~precond =
+  let precond = precond_choice precond in
   match test_set with
   | "scattered" ->
     let bench = Netgen.Benchmark.nine_unit () in
-    Postplace.Flow.prepare ~seed ~utilization ~sim_cycles:cycles bench
-      (Logicsim.Workload.scattered_hotspots ~hot_units:[ 0; 4; 6; 8 ])
+    Postplace.Flow.prepare ~seed ~utilization ~sim_cycles:cycles ?precond
+      bench (Logicsim.Workload.scattered_hotspots ~hot_units:[ 0; 4; 6; 8 ])
   | "concentrated" ->
     let bench = Netgen.Benchmark.nine_unit () in
-    Postplace.Flow.prepare ~seed ~utilization ~sim_cycles:cycles bench
-      (Logicsim.Workload.concentrated_hotspot ~hot_unit:2)
+    Postplace.Flow.prepare ~seed ~utilization ~sim_cycles:cycles ?precond
+      bench (Logicsim.Workload.concentrated_hotspot ~hot_unit:2)
   | "small" ->
     let bench = Netgen.Benchmark.small () in
-    Postplace.Flow.prepare ~seed ~utilization ~sim_cycles:cycles bench
-      (Logicsim.Workload.make ~default:0.05 ~hot:[ (0, 0.5) ])
+    Postplace.Flow.prepare ~seed ~utilization ~sim_cycles:cycles ?precond
+      bench (Logicsim.Workload.make ~default:0.05 ~hot:[ (0, 0.5) ])
   | _ -> assert false (* the enum converter rejects everything else *)
 
 (* --- observability wiring ------------------------------------------------- *)
@@ -136,11 +157,12 @@ let obs_begin ~trace ~report =
   Obs.Metrics.reset ();
   Obs.Log.reset ()
 
-let base_config ~seed ~cycles ~utilization ~test_set =
+let base_config ~seed ~cycles ~utilization ~test_set ~precond =
   [ ("seed", Obs.Json.Int seed);
     ("cycles", Obs.Json.Int cycles);
     ("utilization", Obs.Json.Float utilization);
-    ("test_set", Obs.Json.String test_set) ]
+    ("test_set", Obs.Json.String test_set);
+    ("precond", Obs.Json.String precond) ]
 
 let eval_json (ev : Postplace.Flow.evaluation) =
   Obs.Json.Obj
@@ -190,12 +212,12 @@ let overhead_arg =
        & opt (float_range ~min:0.0 ~max_inclusive:4.0 "--overhead") 0.2
        & info [ "overhead" ] ~docv:"F" ~doc)
 
-let run_flow seed cycles utilization test_set technique overhead jobs trace
-    report =
+let run_flow seed cycles utilization test_set precond technique overhead
+    jobs trace report =
   with_structured_errors @@ fun () ->
   Parallel.Pool.set_jobs jobs;
   obs_begin ~trace ~report;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set in
+  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
   let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
   Format.printf "base: %a@." Place.Placement.pp_summary
     base.Postplace.Flow.placement;
@@ -265,7 +287,7 @@ let run_flow seed cycles utilization test_set technique overhead jobs trace
   in
   obs_end ~command:"flow" ~trace ~report
     ~config:
-      (base_config ~seed ~cycles ~utilization ~test_set
+      (base_config ~seed ~cycles ~utilization ~test_set ~precond
        @ [ ("technique", Obs.Json.String technique);
            ("overhead", Obs.Json.Float overhead);
            ("jobs", Obs.Json.Int jobs) ])
@@ -273,10 +295,10 @@ let run_flow seed cycles utilization test_set technique overhead jobs trace
 
 (* --- report ---------------------------------------------------------------- *)
 
-let run_report seed cycles utilization test_set trace report =
+let run_report seed cycles utilization test_set precond trace report =
   with_structured_errors @@ fun () ->
   obs_begin ~trace ~report;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set in
+  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
   let nl = flow.Postplace.Flow.bench.Netgen.Benchmark.netlist in
   Format.printf "%a@."
     Netlist.Stats.pp
@@ -305,7 +327,7 @@ let run_report seed cycles utilization test_set trace report =
          h.Postplace.Hotspot.peak_rise_k)
     base.Postplace.Flow.hotspots;
   obs_end ~command:"report" ~trace ~report
-    ~config:(base_config ~seed ~cycles ~utilization ~test_set)
+    ~config:(base_config ~seed ~cycles ~utilization ~test_set ~precond)
     ~sections:[ ("base", eval_json base) ]
 
 (* --- maps ------------------------------------------------------------------- *)
@@ -314,10 +336,10 @@ let ascii_arg =
   let doc = "Render maps as terminal shading instead of numeric matrices." in
   Arg.(value & flag & info [ "ascii" ] ~doc)
 
-let run_maps seed cycles utilization test_set ascii trace report =
+let run_maps seed cycles utilization test_set precond ascii trace report =
   with_structured_errors @@ fun () ->
   obs_begin ~trace ~report;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set in
+  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
   let power, thermal = Postplace.Experiment.fig5_maps flow in
   let dump name g =
     Format.printf "# %s (%dx%d, top row first)@." name (Geo.Grid.nx g)
@@ -328,7 +350,7 @@ let run_maps seed cycles utilization test_set ascii trace report =
   dump "power [W/tile]" power;
   dump "thermal rise [K]" thermal;
   obs_end ~command:"maps" ~trace ~report
-    ~config:(base_config ~seed ~cycles ~utilization ~test_set)
+    ~config:(base_config ~seed ~cycles ~utilization ~test_set ~precond)
     ~sections:
       [ ("thermal", Thermal.Metrics.to_json (Thermal.Metrics.of_map thermal)) ]
 
@@ -338,10 +360,10 @@ let outdir_arg =
   let doc = "Directory for the exported files (created if missing)." in
   Arg.(value & opt string "export" & info [ "outdir"; "o" ] ~docv:"DIR" ~doc)
 
-let run_export seed cycles utilization test_set outdir trace report =
+let run_export seed cycles utilization test_set precond outdir trace report =
   with_structured_errors @@ fun () ->
   obs_begin ~trace ~report;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set in
+  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
   if not (Sys.file_exists outdir) then Unix.mkdir outdir 0o755;
   let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
   let pl = base.Postplace.Flow.placement in
@@ -372,7 +394,7 @@ let run_export seed cycles utilization test_set outdir trace report =
     (Thermal.Spice.count_resistors problem);
   obs_end ~command:"export" ~trace ~report
     ~config:
-      (base_config ~seed ~cycles ~utilization ~test_set
+      (base_config ~seed ~cycles ~utilization ~test_set ~precond
        @ [ ("outdir", Obs.Json.String outdir) ])
     ~sections:[ ("base", eval_json base) ]
 
@@ -398,11 +420,12 @@ let checkpoint_arg =
   Arg.(value & opt (some string) None
        & info [ "checkpoint" ] ~docv:"FILE" ~doc)
 
-let run_sweep seed cycles utilization test_set jobs checkpoint trace report =
+let run_sweep seed cycles utilization test_set precond jobs checkpoint trace
+    report =
   with_structured_errors @@ fun () ->
   Parallel.Pool.set_jobs jobs;
   obs_begin ~trace ~report;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set in
+  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
   let fig6 = Postplace.Experiment.run_fig6 ?checkpoint flow in
   let points =
     fig6.Postplace.Experiment.default_points
@@ -419,7 +442,7 @@ let run_sweep seed cycles utilization test_set jobs checkpoint trace report =
     points;
   obs_end ~command:"sweep" ~trace ~report
     ~config:
-      (base_config ~seed ~cycles ~utilization ~test_set
+      (base_config ~seed ~cycles ~utilization ~test_set ~precond
        @ [ ("jobs", Obs.Json.Int jobs) ])
     ~sections:
       [ ("base", eval_json fig6.Postplace.Experiment.base_eval);
@@ -427,10 +450,10 @@ let run_sweep seed cycles utilization test_set jobs checkpoint trace report =
 
 (* --- check ------------------------------------------------------------------- *)
 
-let run_check seed cycles utilization test_set trace report =
+let run_check seed cycles utilization test_set precond trace report =
   with_structured_errors @@ fun () ->
   obs_begin ~trace ~report;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set in
+  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
   let outcomes =
     Postplace.Flow.check_design flow flow.Postplace.Flow.base_placement
   in
@@ -457,7 +480,7 @@ let run_check seed cycles utilization test_set trace report =
   in
   let status =
     obs_end ~command:"check" ~trace ~report
-      ~config:(base_config ~seed ~cycles ~utilization ~test_set)
+      ~config:(base_config ~seed ~cycles ~utilization ~test_set ~precond)
       ~sections:[ ("checks", Obs.Json.List (List.map outcome_json outcomes)) ]
   in
   if status <> 0 then status
@@ -476,25 +499,26 @@ let flow_cmd =
   let doc = "Run the flow and apply one temperature-reduction technique." in
   Cmd.v (Cmd.info "flow" ~doc)
     Term.(const run_flow $ seed $ cycles $ utilization $ test_set
-          $ technique_arg $ overhead_arg $ jobs_arg $ trace_arg $ report_arg)
+          $ precond_arg $ technique_arg $ overhead_arg $ jobs_arg $ trace_arg
+          $ report_arg)
 
 let report_cmd =
   let doc = "Print netlist, placement, power and thermal summaries." in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(const run_report $ seed $ cycles $ utilization $ test_set
-          $ trace_arg $ report_arg)
+          $ precond_arg $ trace_arg $ report_arg)
 
 let maps_cmd =
   let doc = "Dump power and thermal maps (Fig. 5 data)." in
   Cmd.v (Cmd.info "maps" ~doc)
     Term.(const run_maps $ seed $ cycles $ utilization $ test_set
-          $ ascii_arg $ trace_arg $ report_arg)
+          $ precond_arg $ ascii_arg $ trace_arg $ report_arg)
 
 let sweep_cmd =
   let doc = "Reduction-vs-overhead sweep for all three schemes (Fig. 6)." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run_sweep $ seed $ cycles $ utilization $ test_set
-          $ jobs_arg $ checkpoint_arg $ trace_arg $ report_arg)
+          $ precond_arg $ jobs_arg $ checkpoint_arg $ trace_arg $ report_arg)
 
 let check_cmd =
   let doc =
@@ -504,7 +528,7 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run_check $ seed $ cycles $ utilization $ test_set
-          $ trace_arg $ report_arg)
+          $ precond_arg $ trace_arg $ report_arg)
 
 let export_cmd =
   let doc =
@@ -513,7 +537,7 @@ let export_cmd =
   in
   Cmd.v (Cmd.info "export" ~doc)
     Term.(const run_export $ seed $ cycles $ utilization $ test_set
-          $ outdir_arg $ trace_arg $ report_arg)
+          $ precond_arg $ outdir_arg $ trace_arg $ report_arg)
 
 let () =
   (match Robust.Faults.init_from_env () with

@@ -4,12 +4,15 @@
     to one table or figure of the evaluation section (plus the in-text
     claims). The bench executable formats these results. *)
 
-val test_set_1 : ?seed:int -> ?sim_cycles:int -> unit -> Flow.t
+val test_set_1 : ?seed:int -> ?sim_cycles:int ->
+  ?precond:Thermal.Mesh.precond_choice -> unit -> Flow.t
 (** Four scattered small hotspots: units mul16a, div16, add64 and cmp32 run
     hot (they sit in different corners of the 3 x 3 region grid), the rest
-    are nearly idle. *)
+    are nearly idle. [?precond] selects the thermal-solve preconditioner
+    for every evaluation in the flow (see [Flow.prepare]). *)
 
-val test_set_2 : ?seed:int -> ?sim_cycles:int -> unit -> Flow.t
+val test_set_2 : ?seed:int -> ?sim_cycles:int ->
+  ?precond:Thermal.Mesh.precond_choice -> unit -> Flow.t
 (** One large concentrated hotspot: the 20x20 multiplier (the biggest unit)
     runs hot. *)
 

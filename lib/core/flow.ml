@@ -14,6 +14,7 @@ type t = {
   seed : int;
   base_utilization : float;
   mesh_config : Thermal.Mesh.config;
+  mesh_precond : Thermal.Mesh.precond_choice option;
 }
 
 let unit_cell_ids nl tag = Array.of_list (Netlist.Types.cells_of_unit nl tag)
@@ -38,8 +39,8 @@ let compute_unit_areas tech bench =
     bench.Netgen.Benchmark.units
 
 let prepare ?(seed = 42) ?(utilization = 0.85) ?(sim_cycles = 1000)
-    ?(warmup_cycles = 64) ?(mesh_config = Thermal.Mesh.default_config) bench
-    workload =
+    ?(warmup_cycles = 64) ?(mesh_config = Thermal.Mesh.default_config)
+    ?precond bench workload =
   Obs.Trace.with_span "flow.prepare" @@ fun () ->
   let tech = Celllib.Tech.default_65nm in
   let nl = bench.Netgen.Benchmark.netlist in
@@ -76,7 +77,7 @@ let prepare ?(seed = 42) ?(utilization = 0.85) ?(sim_cycles = 1000)
   { bench; tech; workload; activity; unit_areas; base_placement;
     base_regions = regions; positions;
     per_cell_w = power.Power.Model.per_cell_w; power_report = power; seed;
-    base_utilization = utilization; mesh_config }
+    base_utilization = utilization; mesh_config; mesh_precond = precond }
 
 type evaluation = {
   placement : P.t;
@@ -108,7 +109,10 @@ let evaluate_result t pl =
   let power_map = flow_power_map t pl in
   let* () = Robust.Validate.first_failure [ Checks.power_map power_map ] in
   let problem = Thermal.Mesh.build cfg ~power:power_map in
-  let* solution = Thermal.Mesh.solve_result problem in
+  let precond =
+    Option.map (Thermal.Mesh.precond_of_choice problem) t.mesh_precond
+  in
+  let* solution = Thermal.Mesh.solve_result ?precond problem in
   let thermal_map = Thermal.Mesh.active_layer_grid solution in
   let* () =
     Robust.Validate.first_failure [ Checks.temperature thermal_map ]
@@ -149,7 +153,10 @@ let check_design t pl =
         Checks.power_map power_map;
         Checks.mesh_matrix (Thermal.Mesh.matrix problem) ]
   in
-  match Thermal.Mesh.solve_result problem with
+  let precond =
+    Option.map (Thermal.Mesh.precond_of_choice problem) t.mesh_precond
+  in
+  match Thermal.Mesh.solve_result ?precond problem with
   | Ok solution ->
     pre
     @ Robust.Validate.run_all

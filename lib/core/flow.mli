@@ -23,6 +23,12 @@ type t = {
   seed : int;
   base_utilization : float;
   mesh_config : Thermal.Mesh.config;
+  mesh_precond : Thermal.Mesh.precond_choice option;
+  (** CG preconditioner for every thermal solve this flow runs ([None]
+      keeps the stage defaults: Jacobi in {!Thermal.Mesh.solve_result},
+      SSOR in the optimizer's candidate ranking). [Some Pc_mg] switches
+      evaluation, checking and optimization to the geometric multigrid
+      V-cycle — the fast choice at high mesh resolution. *)
 }
 
 val cells_of_region : t -> int -> Netlist.Types.cell_id array
@@ -33,11 +39,13 @@ val prepare :
   ?sim_cycles:int ->
   ?warmup_cycles:int ->
   ?mesh_config:Thermal.Mesh.config ->
+  ?precond:Thermal.Mesh.precond_choice ->
   Netgen.Benchmark.t ->
   Logicsim.Workload.t ->
   t
 (** Defaults: seed 42, utilization 0.85 (the compact base placement),
-    1000 measured cycles after 64 warm-up cycles, 40 x 40 x 9 mesh. *)
+    1000 measured cycles after 64 warm-up cycles, 40 x 40 x 9 mesh,
+    stage-default preconditioners (see the [mesh_precond] field). *)
 
 type evaluation = {
   placement : Place.Placement.t;

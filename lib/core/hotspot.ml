@@ -103,8 +103,12 @@ let total_cells hs =
 
 let span_rows fp h =
   let rh = fp.Place.Floorplan.tech.Celllib.Tech.row_height_um in
-  let lo = int_of_float (h.rect.Geo.Rect.ly /. rh) in
-  let hi = int_of_float ((h.rect.Geo.Rect.hy -. 1e-9) /. rh) in
+  (* floor, not int_of_float: truncation rounds toward zero, so a rect
+     just below the core (slightly negative ly) would map to row 0 instead
+     of clamping away — mirrors Place.Floorplan.row_of_y. A rect entirely
+     outside the core yields an empty span (lo > hi). *)
+  let lo = int_of_float (Float.floor (h.rect.Geo.Rect.ly /. rh)) in
+  let hi = int_of_float (Float.floor ((h.rect.Geo.Rect.hy -. 1e-9) /. rh)) in
   (max 0 lo, min (fp.Place.Floorplan.num_rows - 1) hi)
 
 let is_wide fp h =

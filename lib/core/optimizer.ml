@@ -42,10 +42,13 @@ let eval_trial flow ~after ~nx ~x0 ~tol =
     Power.Map.power_map r.Technique.eri_placement
       ~per_cell_w:flow.Flow.per_cell_w ~nx ~ny:nx
   in
-  let solution =
-    Thermal.Mesh.solve ~tol ~precond:eval_precond ?x0
-      (Thermal.Mesh.build cfg ~power)
+  let problem = Thermal.Mesh.build cfg ~power in
+  let precond =
+    match flow.Flow.mesh_precond with
+    | Some choice -> Thermal.Mesh.precond_of_choice problem choice
+    | None -> eval_precond
   in
+  let solution = Thermal.Mesh.solve ~tol ~precond ?x0 problem in
   let peak =
     (Thermal.Metrics.of_map (Thermal.Mesh.active_layer_grid solution))
       .Thermal.Metrics.peak_rise_k

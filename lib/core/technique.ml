@@ -60,6 +60,8 @@ type eri_result = {
 let merged_spans fp hotspots =
   let spans =
     List.map (Hotspot.span_rows fp) hotspots
+    (* a hotspot entirely outside the core maps to an empty span *)
+    |> List.filter (fun (l, h) -> l <= h)
     |> List.sort compare
   in
   let rec merge = function
@@ -105,53 +107,63 @@ let empty_row_insertion ?(style = `Interleaved) pl ~hotspots ~rows =
       invalid_arg "Technique.empty_row_insertion: no hotspots";
     let fp = pl.P.fp in
     let spans = merged_spans fp hotspots in
-    let total_span_rows =
-      List.fold_left (fun acc (l, h) -> acc + h - l + 1) 0 spans
-    in
-    (* split the budget across spans proportionally to their heights *)
-    let n_spans = List.length spans in
-    let after =
-      List.concat
-        (List.mapi
-           (fun i span ->
-              let l, h = span in
-              let share =
-                if i = n_spans - 1 then
-                  rows
-                  - List.fold_left ( + ) 0
-                      (List.mapi
-                         (fun j (l', h') ->
-                            if j < i then
-                              rows * (h' - l' + 1) / total_span_rows
-                            else 0)
-                         spans)
-                else rows * (h - l + 1) / total_span_rows
-              in
-              if share <= 0 then []
-              else
-                match style with
-                | `Interleaved -> span_insertions fp (l, h) share
-                | `Clustered ->
-                  (* ablation variant: the whole share lands as one block
-                     of empty rows at the span's center *)
-                  List.init share (fun _ -> (l + h) / 2))
-           spans)
-    in
-    apply_row_insertions pl after
+    if spans = [] then
+      (* every hotspot lies entirely outside the core (empty row spans):
+         there is no row to widen, so insert nothing rather than dumping
+         the whole budget onto row 0 *)
+      { eri_placement = pl; inserted_after = [] }
+    else begin
+      let total_span_rows =
+        List.fold_left (fun acc (l, h) -> acc + h - l + 1) 0 spans
+      in
+      (* split the budget across spans proportionally to their heights *)
+      let n_spans = List.length spans in
+      let after =
+        List.concat
+          (List.mapi
+             (fun i span ->
+                let l, h = span in
+                let share =
+                  if i = n_spans - 1 then
+                    rows
+                    - List.fold_left ( + ) 0
+                        (List.mapi
+                           (fun j (l', h') ->
+                              if j < i then
+                                rows * (h' - l' + 1) / total_span_rows
+                              else 0)
+                           spans)
+                  else rows * (h - l + 1) / total_span_rows
+                in
+                if share <= 0 then []
+                else
+                  match style with
+                  | `Interleaved -> span_insertions fp (l, h) share
+                  | `Clustered ->
+                    (* ablation variant: the whole share lands as one block
+                       of empty rows at the span's center *)
+                    List.init share (fun _ -> (l + h) / 2))
+             spans)
+      in
+      apply_row_insertions pl after
+    end
   end
 
 (* --- Hotspot wrapper ---------------------------------------------------- *)
 
+(* floor before the int conversion: int_of_float truncates toward zero,
+   which would map coordinates slightly below the core onto row/site 0
+   instead of clamping (see Hotspot.span_rows). *)
 let row_span fp (rect : Geo.Rect.t) =
   let rh = fp.FP.tech.Celllib.Tech.row_height_um in
-  let lo = int_of_float (rect.Geo.Rect.ly /. rh) in
-  let hi = int_of_float ((rect.Geo.Rect.hy -. 1e-9) /. rh) in
+  let lo = int_of_float (Float.floor (rect.Geo.Rect.ly /. rh)) in
+  let hi = int_of_float (Float.floor ((rect.Geo.Rect.hy -. 1e-9) /. rh)) in
   (max 0 lo, min (fp.FP.num_rows - 1) hi)
 
 let site_span fp rect =
   let sw = fp.FP.tech.Celllib.Tech.site_width_um in
-  let lo = int_of_float (rect.Geo.Rect.lx /. sw) in
-  let hi = int_of_float ((rect.Geo.Rect.hx -. 1e-9) /. sw) in
+  let lo = int_of_float (Float.floor (rect.Geo.Rect.lx /. sw)) in
+  let hi = int_of_float (Float.floor ((rect.Geo.Rect.hx -. 1e-9) /. sw)) in
   (max 0 lo, min (fp.FP.sites_per_row - 1) hi)
 
 let current_center pl cid = P.cell_center pl cid

@@ -27,9 +27,20 @@ let escape_string buf s =
     s;
   Buffer.add_char buf '"'
 
+(* Non-finite floats have no JSON number form. They used to print as
+   [null], which silently turned [Float nan] into [Null] across a
+   round-trip — fatal for the checkpoint codec's bit-identical-resume
+   guarantee. They now print as the string sentinels "nan" / "inf" /
+   "-inf", which [to_float] decodes back, so every float value
+   round-trips. *)
+let nonfinite_repr v =
+  if Float.is_nan v then "\"nan\""
+  else if v = infinity then "\"inf\""
+  else "\"-inf\""
+
 (* shortest representation that round-trips, never in OCaml's "1." form *)
 let float_repr v =
-  if Float.is_nan v || Float.abs v = infinity then "null"
+  if not (Float.is_finite v) then nonfinite_repr v
   else
     let shortest =
       let s = Printf.sprintf "%.12g" v in
@@ -37,7 +48,6 @@ let float_repr v =
     in
     (* guarantee a JSON number that reads back as a float *)
     if String.contains shortest '.' || String.contains shortest 'e'
-       || String.contains shortest 'n' (* nan/inf already excluded *)
     then shortest
     else shortest ^ ".0"
 
@@ -209,32 +219,55 @@ let parse_string st =
   loop ();
   Buffer.contents buf
 
+(* Strict JSON number grammar: an optional minus, then "0" or a nonzero
+   digit followed by digits, then optional fraction and exponent parts.
+   The old scanner grabbed any run of number-ish characters and handed it
+   to OCaml's lenient [float_of_string], accepting non-JSON forms such as
+   "+1", "1.e5", ".5" or "01" that other tools then choke on. *)
 let parse_number st =
   let start = st.pos in
   let n = String.length st.src in
-  let is_num_char c =
-    match c with
-    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-    | _ -> false
+  let digit () =
+    st.pos < n && match st.src.[st.pos] with '0' .. '9' -> true | _ -> false
   in
-  while st.pos < n && is_num_char st.src.[st.pos] do
-    advance st
-  done;
+  let digits1 what =
+    if not (digit ()) then
+      parse_error "expected digit in %s at offset %d" what st.pos;
+    while digit () do advance st done
+  in
+  if st.pos < n && st.src.[st.pos] = '-' then advance st;
+  (* integer part: a single 0, or a nonzero digit followed by more *)
+  if not (digit ()) then
+    parse_error "expected digit in number at offset %d" st.pos;
+  if st.src.[st.pos] = '0' then advance st else digits1 "number";
+  if digit () then
+    parse_error "leading zero in number at offset %d" start;
+  let is_float = ref false in
+  if st.pos < n && st.src.[st.pos] = '.' then begin
+    is_float := true;
+    advance st;
+    digits1 "fraction"
+  end;
+  if st.pos < n && (st.src.[st.pos] = 'e' || st.src.[st.pos] = 'E') then begin
+    is_float := true;
+    advance st;
+    if st.pos < n && (st.src.[st.pos] = '+' || st.src.[st.pos] = '-') then
+      advance st;
+    digits1 "exponent"
+  end;
   let s = String.sub st.src start (st.pos - start) in
-  let has_frac =
-    String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s
-  in
-  if not has_frac then
-    match int_of_string_opt s with
-    | Some i -> Int i
-    | None ->
-      (match float_of_string_opt s with
-       | Some f -> Float f
-       | None -> parse_error "bad number %S at offset %d" s start)
-  else
+  if !is_float then
     match float_of_string_opt s with
     | Some f -> Float f
     | None -> parse_error "bad number %S at offset %d" s start
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None ->
+      (* integer too wide for 63 bits: keep the value as a float *)
+      (match float_of_string_opt s with
+       | Some f -> Float f
+       | None -> parse_error "bad number %S at offset %d" s start)
 
 let rec parse_value st =
   skip_ws st;
@@ -320,6 +353,10 @@ let member key = function
 let to_float = function
   | Float v -> Some v
   | Int i -> Some (float_of_int i)
+  (* the non-finite sentinels produced by [float_repr] *)
+  | String "nan" -> Some Float.nan
+  | String "inf" -> Some infinity
+  | String "-inf" -> Some neg_infinity
   | _ -> None
 
 let to_int = function Int i -> Some i | _ -> None

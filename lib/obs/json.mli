@@ -16,12 +16,18 @@ type t =
 
 val to_string : ?pretty:bool -> t -> string
 (** Compact by default; [~pretty:true] indents with two spaces. Non-finite
-    floats (which JSON cannot represent) are emitted as [null]. *)
+    floats (which JSON has no number form for) are emitted as the string
+    sentinels ["nan"] / ["inf"] / ["-inf"], which {!to_float} decodes
+    back — so every [Float] round-trips through print-and-parse (the
+    checkpoint codec relies on this; a plain [null] would silently lose
+    the value). *)
 
 val of_string : string -> (t, string) result
-(** Parse one JSON value (surrounding whitespace allowed). Numbers without
-    a fraction or exponent part parse as [Int] when they fit, [Float]
-    otherwise; [\uXXXX] escapes decode to UTF-8. *)
+(** Parse one JSON value (surrounding whitespace allowed). Numbers must
+    match the strict JSON grammar — no leading ["+"], no bare trailing
+    dot (["1.e5"]), no leading zeros; those without a fraction or
+    exponent part parse as [Int] when they fit, [Float] otherwise;
+    [\uXXXX] escapes decode to UTF-8. *)
 
 val of_string_exn : string -> t
 (** Like {!of_string}; raises [Failure] on a parse error. *)
@@ -31,7 +37,8 @@ val of_string_exn : string -> t
 val member : string -> t -> t option
 
 val to_float : t -> float option
-(** Accepts [Int] and [Float]. *)
+(** Accepts [Int], [Float] and the non-finite sentinel strings ["nan"] /
+    ["inf"] / ["-inf"] emitted by {!to_string}. *)
 
 val to_int : t -> int option
 val to_list : t -> t list option

@@ -6,7 +6,7 @@ type outcome = {
   breakdown : string option;
 }
 
-type precond = Jacobi | Ssor of float
+type precond = Jacobi | Ssor of float | Multigrid of Multigrid.t
 
 let default_tol = 1e-10
 
@@ -88,7 +88,10 @@ let solve_raw m ~b ~tol ?max_iter ?x0 ?(precond = Jacobi) () =
    | Jacobi -> ()
    | Ssor omega ->
      if omega <= 0.0 || omega >= 2.0 then
-       invalid_arg "Cg.solve: SSOR omega must be in (0, 2)");
+       invalid_arg "Cg.solve: SSOR omega must be in (0, 2)"
+   | Multigrid h ->
+     if Multigrid.fine_dim h <> n then
+       invalid_arg "Cg.solve: multigrid hierarchy dimension mismatch");
   let max_iter = match max_iter with Some k -> k | None -> 4 * n in
   let diag = Sparse.diagonal m in
   Array.iter
@@ -103,12 +106,18 @@ let solve_raw m ~b ~tol ?max_iter ?x0 ?(precond = Jacobi) () =
   else begin
   let partials = Array.make (n_chunks n) 0.0 in
   let norm a = sqrt (dot partials a a) in
+  (* The hierarchy is immutable and shared; the scratch vectors are ours
+     alone, so concurrent pooled solves do not race. *)
+  let mg_ws =
+    match precond with Multigrid h -> Some (Multigrid.workspace h) | _ -> None
+  in
   let apply_precond r z =
     match precond with
     | Jacobi ->
       par_iter_chunks n (fun lo hi ->
           for i = lo to hi do z.(i) <- r.(i) /. diag.(i) done)
     | Ssor omega -> Sparse.ssor_apply m ~diag ~omega r z
+    | Multigrid h -> Multigrid.apply h (Option.get mg_ws) r z
   in
   let x = match x0 with
     | Some v ->
@@ -255,7 +264,9 @@ let solve_escalating m ~b ?(tol = default_tol) ?max_iter ?x0 ?precond () =
   else begin
     Obs.Metrics.count "thermal.cg.escalations";
     let requested_jacobi_cold =
-      (match precond with None | Some Jacobi -> true | Some (Ssor _) -> false)
+      (match precond with
+       | None | Some Jacobi -> true
+       | Some (Ssor _ | Multigrid _) -> false)
       && Option.is_none x0
     in
     let rungs =

@@ -25,6 +25,12 @@ type precond =
       (0, 2); [Ssor 1.0] is symmetric Gauss-Seidel. Stronger than Jacobi
       on the mesh stencil (fewer iterations) at the cost of two
       triangular sweeps per apply. *)
+  | Multigrid of Multigrid.t
+  (** one geometric V-cycle per apply (see {!Multigrid}). The heaviest
+      apply but near-resolution-independent iteration counts — the
+      choice for large grids. The hierarchy must be built for the exact
+      system being solved ([Multigrid.fine_dim] must equal the matrix
+      dimension); [Mesh.multigrid] caches one per problem. *)
 
 val default_tol : float
 (** 1e-10 relative — the single convergence default shared by {!solve}
@@ -78,7 +84,8 @@ val solve_escalating : Sparse.t -> b:float array -> ?tol:float ->
 (** {!solve} wrapped in a breakdown-recovery ladder. A failed first
     attempt (breakdown or max-iter exit) is retried cold through
     progressively heavier rungs: Jacobi at the requested budget (skipped
-    when the first attempt was already a cold Jacobi solve), SSOR(1.2)
+    when the first attempt was already a cold Jacobi solve; an SSOR- or
+    multigrid-preconditioned first attempt always gets it), SSOR(1.2)
     at twice the budget, then a Jacobi restart at four times the budget.
     The first converging rung wins ([Recovered]); if all fail the
     best-residual outcome is returned with [Degraded] and the caller

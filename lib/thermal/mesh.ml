@@ -15,6 +15,9 @@ type problem = {
   (* iterations of the first cold solve of this matrix, shared across every
      problem built from the same cache entry: the baseline against which
      warm-start savings are measured *)
+  p_mg : Multigrid.t option ref;
+  (* lazily built multigrid hierarchy for this matrix, shared the same way
+     so an optimizer run builds it once per cached mesh *)
 }
 
 let matrix p = p.p_matrix
@@ -42,7 +45,7 @@ let lateral_conductance ~k ~cross_m2 ~pitch_m = k *. cross_m2 /. pitch_m
 (* Conductance-matrix assembly. The matrix depends only on (config, extent)
    — power enters through the rhs alone — which is what makes the matrix
    cache below sound. *)
-let assemble cfg ~extent =
+let assemble_builder cfg ~extent =
   let stack = cfg.stack in
   let nz = Stack.num_layers stack in
   let n = cfg.nx * cfg.ny * nz in
@@ -87,6 +90,18 @@ let assemble cfg ~extent =
       done
     done
   done;
+  (b, n)
+
+(* Fault-free assembly, used for the coarse multigrid operators: coarse
+   levels are internal rediscretizations, so a Perturb_matrix fault must
+   hit the fine system the caller actually solves, not be consumed (and
+   possibly crash the coarse Cholesky) several levels down. *)
+let assemble_raw cfg ~extent =
+  let b, _n = assemble_builder cfg ~extent in
+  Sparse.of_builder b
+
+let assemble cfg ~extent =
+  let b, n = assemble_builder cfg ~extent in
   (* fault hook: one asymmetric off-diagonal spike breaks SPD-ness, which
      the CG breakdown guards and Postplace.Checks must both catch *)
   if n > 1 && Robust.Faults.consume Robust.Faults.Perturb_matrix then
@@ -99,6 +114,7 @@ let assemble cfg ~extent =
 type cache_entry = {
   ce_matrix : Sparse.t;
   ce_cold_iters : int option ref;
+  ce_mg : Multigrid.t option ref;
 }
 
 let cache_capacity = 8
@@ -138,7 +154,8 @@ let cache_remove key =
 let stale_probe () =
   let b = Sparse.builder ~n:1 in
   Sparse.add b 0 0 1.0;
-  { ce_matrix = Sparse.of_builder b; ce_cold_iters = ref None }
+  { ce_matrix = Sparse.of_builder b; ce_cold_iters = ref None;
+    ce_mg = ref None }
 
 let build ?(cache = true) cfg ~power =
   Obs.Trace.with_span "thermal.mesh.build" @@ fun () ->
@@ -155,7 +172,8 @@ let build ?(cache = true) cfg ~power =
        both directions: the poisoned matrix must not be published for later
        healthy builds, and a healthy cached matrix must not mask the fault *)
     if not cache || Robust.Faults.armed Robust.Faults.Perturb_matrix then
-      { ce_matrix = assemble cfg ~extent; ce_cold_iters = ref None }
+      { ce_matrix = assemble cfg ~extent; ce_cold_iters = ref None;
+        ce_mg = ref None }
     else begin
       let key = (cfg, extent) in
       match cache_lookup key with
@@ -178,7 +196,8 @@ let build ?(cache = true) cfg ~power =
                (Sparse.dim e.ce_matrix) n);
           cache_remove key;
           cache_insert key
-            { ce_matrix = assemble cfg ~extent; ce_cold_iters = ref None }
+            { ce_matrix = assemble cfg ~extent; ce_cold_iters = ref None;
+              ce_mg = ref None }
         end
         else begin
           Obs.Metrics.count "thermal.mesh.cache.hits";
@@ -189,7 +208,8 @@ let build ?(cache = true) cfg ~power =
         (* assemble outside the cache lock; worst case two racing builds
            assemble the same matrix and one is dropped *)
         cache_insert key
-          { ce_matrix = assemble cfg ~extent; ce_cold_iters = ref None }
+          { ce_matrix = assemble cfg ~extent; ce_cold_iters = ref None;
+            ce_mg = ref None }
     end
   in
   let rhs = Array.make n 0.0 in
@@ -197,7 +217,38 @@ let build ?(cache = true) cfg ~power =
   Geo.Grid.iteri power ~f:(fun ~ix ~iy w ->
       rhs.(node_index cfg ~ix ~iy ~iz:zp) <- w);
   { p_config = cfg; p_extent = extent; p_matrix = entry.ce_matrix;
-    p_rhs = rhs; p_cold_iters = entry.ce_cold_iters }
+    p_rhs = rhs; p_cold_iters = entry.ce_cold_iters;
+    p_mg = entry.ce_mg }
+
+let multigrid p =
+  match !(p.p_mg) with
+  | Some h when Multigrid.fine_dim h = Sparse.dim p.p_matrix -> h
+  | _ ->
+    let cfg = p.p_config in
+    let h =
+      Multigrid.build ~fine:p.p_matrix ~nx:cfg.nx ~ny:cfg.ny
+        ~nz:(Stack.num_layers cfg.stack)
+        ~assemble:(fun ~nx ~ny ->
+            assemble_raw { cfg with nx; ny } ~extent:p.p_extent)
+        ()
+    in
+    (* benign race: two domains may build concurrently and the later write
+       wins, but both hierarchies come from the same matrix so either is
+       valid (mirrors the matrix cache's assemble-outside-the-lock policy) *)
+    p.p_mg := Some h;
+    h
+
+type precond_choice = Pc_jacobi | Pc_ssor of float | Pc_mg
+
+let precond_choice_name = function
+  | Pc_jacobi -> "jacobi"
+  | Pc_ssor _ -> "ssor"
+  | Pc_mg -> "mg"
+
+let precond_of_choice p = function
+  | Pc_jacobi -> Cg.Jacobi
+  | Pc_ssor omega -> Cg.Ssor omega
+  | Pc_mg -> Cg.Multigrid (multigrid p)
 
 type solution = {
   config : config;

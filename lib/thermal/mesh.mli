@@ -46,6 +46,26 @@ val cache_clear : unit -> unit
 val matrix : problem -> Sparse.t
 val rhs : problem -> float array
 
+val multigrid : problem -> Multigrid.t
+(** The geometric multigrid hierarchy for this problem's matrix, built on
+    first use (coarse levels are fault-free rediscretizations of the same
+    stack and extent at halved lateral resolution) and cached on the
+    problem's cache entry, so repeated builds of the same (config, extent)
+    mesh — an optimizer run, a sweep — construct it exactly once. *)
+
+type precond_choice = Pc_jacobi | Pc_ssor of float | Pc_mg
+(** A preconditioner selection that is plain data — CLI flags and
+    [Flow] configuration carry this, and it is resolved against a
+    concrete problem by {!precond_of_choice} (the multigrid variant needs
+    the problem's hierarchy). *)
+
+val precond_choice_name : precond_choice -> string
+(** ["jacobi"], ["ssor"] or ["mg"] — for reports and config echoes. *)
+
+val precond_of_choice : problem -> precond_choice -> Cg.precond
+(** Resolve a choice against a problem; [Pc_mg] builds (or reuses) the
+    problem's {!multigrid} hierarchy. *)
+
 type solution = {
   config : config;
   extent : Geo.Rect.t;

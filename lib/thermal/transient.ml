@@ -69,11 +69,14 @@ let step_response cfg ~power ?(material = default_capacitance)
     let rec find k =
       if k > steps then times.(steps) (* not reached within the window *)
       else if peaks.(k) >= target then begin
-        if k = 0 then times.(0)
+        (* A flat step — zero power map, or a response that saturated
+           within one dt — has no slope to interpolate along; dividing by
+           the zero rise would make tau NaN (0/0 when the target is also
+           the flat value). The crossing is then at the step itself. *)
+        let rise = peaks.(k) -. peaks.(k - 1) in
+        if rise <= 0.0 then times.(k)
         else begin
-          let frac =
-            (target -. peaks.(k - 1)) /. (peaks.(k) -. peaks.(k - 1))
-          in
+          let frac = (target -. peaks.(k - 1)) /. rise in
           times.(k - 1) +. (frac *. (times.(k) -. times.(k - 1)))
         end
       end

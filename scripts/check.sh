@@ -1,7 +1,8 @@
 #!/bin/sh
 # Full repository gate: build everything, run the test suites and the
-# quickstart example, smoke-run the solver-engine bench (cache + warm-start
-# + preconditioner + pool) and the CLI with --report, validate the JSON
+# quickstart example, smoke-run the solver-engine and multigrid benches
+# (cache + warm-start + preconditioner + pool) and the CLI with --report,
+# validate the JSON
 # both write, exercise the invariant-check subcommand and the
 # fault-injection harness (structured exit codes), and prove the sweep
 # checkpoint resumes. Run from anywhere inside the repository.
@@ -22,6 +23,10 @@ dune exec examples/quickstart.exe >/dev/null
 echo "== solver engine bench smoke"
 dune exec bench/main.exe -- --jobs 2 cg >/dev/null
 dune exec bin/json_check.exe -- BENCH_cg.json experiment summary
+
+echo "== multigrid bench smoke"
+dune exec bench/main.exe -- --jobs 2 mg >/dev/null
+dune exec bin/json_check.exe -- BENCH_mg.json experiment summary
 
 echo "== thermoplace --report smoke"
 report=$(mktemp /tmp/thermoplace-report.XXXXXX.json)
@@ -52,6 +57,16 @@ THERMOPLACE_FAULTS=cg_stall:8 dune exec bin/thermoplace.exe -- \
   flow --test-set small --cycles 200 >/dev/null 2>&1 || rc=$?
 if [ "$rc" -ne 10 ]; then
   echo "fault smoke: expected exit 10 for cg_stall, got $rc" >&2
+  exit 1
+fi
+# A single stall under the multigrid preconditioner must be recovered by
+# the escalation ladder (the MG first attempt earns the cold-Jacobi rung),
+# so the flow still exits 0.
+rc=0
+THERMOPLACE_FAULTS=cg_stall dune exec bin/thermoplace.exe -- \
+  flow --test-set small --cycles 200 --precond mg >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "fault smoke: expected exit 0 for recovered cg_stall under mg, got $rc" >&2
   exit 1
 fi
 

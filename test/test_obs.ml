@@ -185,11 +185,68 @@ let test_json_parse_details () =
    | Ok _ -> Alcotest.fail "trailing garbage accepted"
    | Error _ -> ())
 
+(* Regression (PR 5): non-finite floats used to print as [null], so a
+   [Float nan] silently became [Null] across a round-trip — fatal for the
+   checkpoint codec's bit-identical resume. They now print as string
+   sentinels that [to_float] decodes back. *)
 let test_json_nonfinite_floats () =
-  Alcotest.(check string) "nan prints as null" "null"
+  Alcotest.(check string) "nan prints as sentinel" {|"nan"|}
     (Obs.Json.to_string (Obs.Json.Float Float.nan));
-  Alcotest.(check string) "inf prints as null" "null"
-    (Obs.Json.to_string (Obs.Json.Float Float.infinity))
+  Alcotest.(check string) "inf prints as sentinel" {|"inf"|}
+    (Obs.Json.to_string (Obs.Json.Float Float.infinity));
+  Alcotest.(check string) "-inf prints as sentinel" {|"-inf"|}
+    (Obs.Json.to_string (Obs.Json.Float Float.neg_infinity));
+  List.iter
+    (fun v ->
+       let s = Obs.Json.to_string (Obs.Json.Float v) in
+       match Obs.Json.of_string s with
+       | Error e -> Alcotest.failf "sentinel %s does not parse: %s" s e
+       | Ok j ->
+         (match Obs.Json.to_float j with
+          | None -> Alcotest.failf "sentinel %s does not decode" s
+          | Some v' ->
+            Alcotest.(check int64) ("round trip of " ^ s)
+              (Int64.bits_of_float v) (Int64.bits_of_float v')))
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+(* Regression (PR 5): the old number scanner fed any number-ish character
+   run to OCaml's lenient float parser, accepting non-JSON forms. *)
+let test_json_strict_numbers () =
+  List.iter
+    (fun s ->
+       match Obs.Json.of_string s with
+       | Ok _ -> Alcotest.failf "non-JSON number %S accepted" s
+       | Error _ -> ())
+    [ "+1"; "1.e5"; ".5"; "01"; "1."; "-"; "--1"; "1e"; "1e+"; "0x10";
+      "1_000"; "nan"; "infinity" ];
+  List.iter
+    (fun (s, expect) ->
+       match Obs.Json.of_string s with
+       | Ok j ->
+         if j <> expect then Alcotest.failf "number %S parsed wrong" s
+       | Error e -> Alcotest.failf "valid number %S rejected: %s" s e)
+    [ ("0", Obs.Json.Int 0); ("-0", Obs.Json.Int 0);
+      ("10", Obs.Json.Int 10); ("-120", Obs.Json.Int (-120));
+      ("0.5", Obs.Json.Float 0.5); ("1e5", Obs.Json.Float 1e5);
+      ("1.25e-3", Obs.Json.Float 1.25e-3); ("2E+2", Obs.Json.Float 200.0);
+      ("0.0", Obs.Json.Float 0.0) ]
+
+(* Every float — finite or not — must survive print-and-parse with its
+   exact bit pattern, via [to_float] for the sentinel cases. *)
+let prop_json_float_roundtrip =
+  QCheck.Test.make ~name:"json float round trip is bit-exact" ~count:500
+    QCheck.float (fun v ->
+        let s = Obs.Json.to_string (Obs.Json.Float v) in
+        match Obs.Json.of_string s with
+        | Error e -> QCheck.Test.fail_reportf "reparse of %s failed: %s" s e
+        | Ok j ->
+          (match Obs.Json.to_float j with
+           | None -> QCheck.Test.fail_reportf "%s not float-decodable" s
+           | Some v' ->
+             Int64.bits_of_float v = Int64.bits_of_float v'
+             (* -nan collapses to the canonical nan payload; that is fine
+                because the writer side only ever produces "nan" *)
+             || (Float.is_nan v && Float.is_nan v')))
 
 (* --- report ----------------------------------------------------------------- *)
 
@@ -288,7 +345,9 @@ let () =
        [ Alcotest.test_case "round trip" `Quick test_json_roundtrip;
          Alcotest.test_case "parser details" `Quick test_json_parse_details;
          Alcotest.test_case "non-finite floats" `Quick
-           test_json_nonfinite_floats ]);
+           test_json_nonfinite_floats;
+         Alcotest.test_case "strict numbers" `Quick test_json_strict_numbers;
+         QCheck_alcotest.to_alcotest prop_json_float_roundtrip ]);
       ("report",
        [ Alcotest.test_case "structure and file round-trip" `Quick
            test_report_structure;

@@ -128,6 +128,31 @@ let test_cg_bit_identical_across_jobs () =
       | Some k when k > 0 -> ()
       | _ -> Alcotest.fail "no pooled invocations recorded")
 
+(* The multigrid-preconditioned solve shares the pooled SpMV with plain
+   CG; its transfers and smoothers are sequential by design. The whole
+   solve must stay bit-identical for any pool size. *)
+let test_mg_bit_identical_across_jobs () =
+  Thermal.Mesh.cache_clear ();
+  let nx = 40 in
+  let extent = Geo.Rect.of_corner ~x:0.0 ~y:0.0 ~w:200.0 ~h:200.0 in
+  let power = Geo.Grid.create ~nx ~ny:nx ~extent in
+  Geo.Grid.iteri power ~f:(fun ~ix ~iy _ ->
+      Geo.Grid.set power ~ix ~iy
+        (1e-4 *. (1.0 +. sin (float_of_int ((ix * nx) + iy)))));
+  let cfg = { Thermal.Mesh.default_config with Thermal.Mesh.nx; ny = nx } in
+  let problem = Thermal.Mesh.build cfg ~power in
+  let h = Thermal.Mesh.multigrid problem in
+  Parallel.Pool.set_jobs 1;
+  let seq = Thermal.Mesh.solve ~precond:(Thermal.Cg.Multigrid h) problem in
+  with_jobs 4 (fun () ->
+      let par =
+        Thermal.Mesh.solve ~precond:(Thermal.Cg.Multigrid h) problem
+      in
+      Alcotest.(check int) "same iteration count"
+        seq.Thermal.Mesh.cg_iterations par.Thermal.Mesh.cg_iterations;
+      Alcotest.(check bool) "bit-identical solution" true
+        (par.Thermal.Mesh.temp = seq.Thermal.Mesh.temp))
+
 let test_mul_par_matches_mul () =
   let n = 4096 in
   let b = Thermal.Sparse.builder ~n in
@@ -162,5 +187,7 @@ let () =
       ("determinism",
        [ Alcotest.test_case "cg bit-identical across jobs" `Quick
            test_cg_bit_identical_across_jobs;
+         Alcotest.test_case "mg bit-identical across jobs" `Quick
+           test_mg_bit_identical_across_jobs;
          Alcotest.test_case "mul_par matches mul" `Quick
            test_mul_par_matches_mul ]) ]

@@ -95,6 +95,38 @@ let test_span_rows_and_wide () =
   Alcotest.(check bool) "full-width hotspot is wide" true
     (Postplace.Hotspot.is_wide fp h)
 
+let test_spans_off_core_rect () =
+  let fl = Lazy.force flow in
+  let fp = fl.Postplace.Flow.base_placement.P.fp in
+  let rh = tech.Celllib.Tech.row_height_um in
+  let core = fp.FP.core in
+  let mk ~y ~h =
+    { Postplace.Hotspot.rect =
+        Geo.Rect.of_corner ~x:core.Geo.Rect.lx ~y ~w:(Geo.Rect.width core)
+          ~h;
+      tiles = []; peak_rise_k = 1.0; cells = [] }
+  in
+  (* a rect fully below the core must yield an empty span, not (0, 0):
+     int_of_float used to truncate the negative offset toward zero and
+     claim the hotspot sat on the first row *)
+  let below = mk ~y:(core.Geo.Rect.ly -. (2.0 *. rh)) ~h:(1.5 *. rh) in
+  let lo, hi = Postplace.Hotspot.span_rows fp below in
+  Alcotest.(check bool)
+    (Printf.sprintf "off-core span (%d, %d) is empty" lo hi)
+    true (lo > hi);
+  (* straddling the bottom edge clamps to the first row *)
+  let straddle = mk ~y:(core.Geo.Rect.ly -. rh) ~h:(1.5 *. rh) in
+  Alcotest.(check (pair int int)) "straddling rect clamps" (0, 0)
+    (Postplace.Hotspot.span_rows fp straddle);
+  (* ERI driven only by an off-core hotspot inserts nothing instead of
+     dumping the whole budget at row 0 *)
+  let r =
+    Postplace.Technique.empty_row_insertion
+      fl.Postplace.Flow.base_placement ~hotspots:[ below ] ~rows:4
+  in
+  Alcotest.(check (list int)) "no rows inserted" []
+    r.Postplace.Technique.inserted_after
+
 (* --- ERI --------------------------------------------------------------------- *)
 
 let base_eval =
@@ -530,7 +562,9 @@ let () =
          Alcotest.test_case "flat map" `Quick
            test_detect_flat_map_no_hotspots;
          Alcotest.test_case "span rows / is_wide" `Quick
-           test_span_rows_and_wide ]);
+           test_span_rows_and_wide;
+         Alcotest.test_case "off-core rect maps to empty span" `Quick
+           test_spans_off_core_rect ]);
       ("eri",
        [ Alcotest.test_case "geometry" `Quick test_eri_geometry;
          Alcotest.test_case "inserted rows empty" `Quick

@@ -537,6 +537,22 @@ let test_transient_validation () =
    | _ -> Alcotest.fail "dt=0 accepted"
    | exception Invalid_argument _ -> ())
 
+let test_transient_flat_tau_is_finite () =
+  (* regression: a flat step at the 63% crossing used to divide 0/0 and
+     report a NaN time constant. The all-zero power map is the extreme
+     case: every peak is 0, the target is 0, and the very first step
+     "crosses" with zero slope. *)
+  let extent = Geo.Rect.of_corner ~x:0.0 ~y:0.0 ~w:200.0 ~h:200.0 in
+  let p = Geo.Grid.create ~nx:8 ~ny:8 ~extent in
+  let cfg = { Thermal.Mesh.default_config with Thermal.Mesh.nx = 8; ny = 8 } in
+  let r =
+    Thermal.Transient.step_response cfg ~power:p ~dt_s:2e-5 ~steps:20 ()
+  in
+  Alcotest.(check bool) "tau finite on a flat response" true
+    (Float.is_finite r.Thermal.Transient.tau_63_s);
+  check_float "flat response settles at zero rise" 0.0
+    r.Thermal.Transient.steady_peak_k
+
 (* --- spice export ------------------------------------------------------------ *)
 
 (* Parse the emitted netlist back into a conductance matrix and verify it
@@ -709,6 +725,96 @@ let prop_mesh_superposition =
          (Array.mapi (fun i v -> v +. t2.(i)) t1)
          t12)
 
+(* --- multigrid ------------------------------------------------------------------ *)
+
+let test_mg_standalone_matches_cg () =
+  Thermal.Mesh.cache_clear ();
+  let p = uniform_power ~nx:10 ~ny:10 ~total:0.02 in
+  let problem = Thermal.Mesh.build small_cfg ~power:p in
+  let h = Thermal.Mesh.multigrid problem in
+  let out = Thermal.Multigrid.solve h ~b:(Thermal.Mesh.rhs problem) () in
+  Alcotest.(check bool) "standalone solve converged" true
+    out.Thermal.Multigrid.converged;
+  let cg = Thermal.Mesh.solve ~tol:1e-12 problem in
+  Array.iteri
+    (fun i v ->
+       if Float.abs (v -. out.Thermal.Multigrid.x.(i))
+          > 1e-7 *. (1.0 +. Float.abs v)
+       then Alcotest.failf "node %d: cg %g vs mg %g" i v
+           out.Thermal.Multigrid.x.(i))
+    cg.Thermal.Mesh.temp
+
+let test_mg_precond_parity_and_iterations () =
+  (* fig-6 resolution: the default 40x40x9 mesh *)
+  Thermal.Mesh.cache_clear ();
+  let p = uniform_power ~nx:40 ~ny:40 ~total:0.2 in
+  let cfg =
+    { Thermal.Mesh.default_config with Thermal.Mesh.nx = 40; ny = 40 }
+  in
+  let problem = Thermal.Mesh.build cfg ~power:p in
+  let ssor = Thermal.Mesh.solve ~precond:(Thermal.Cg.Ssor 1.2) problem in
+  let precond = Thermal.Mesh.precond_of_choice problem Thermal.Mesh.Pc_mg in
+  let mg = Thermal.Mesh.solve ~precond problem in
+  Alcotest.(check bool)
+    (Printf.sprintf "mg iterations (%d) below ssor (%d)"
+       mg.Thermal.Mesh.cg_iterations ssor.Thermal.Mesh.cg_iterations)
+    true
+    (mg.Thermal.Mesh.cg_iterations < ssor.Thermal.Mesh.cg_iterations);
+  Array.iteri
+    (fun i v ->
+       if Float.abs (v -. mg.Thermal.Mesh.temp.(i))
+          > 1e-6 *. (1.0 +. Float.abs v)
+       then Alcotest.failf "node %d: ssor %g vs mg %g" i v
+           mg.Thermal.Mesh.temp.(i))
+    ssor.Thermal.Mesh.temp
+
+let test_mg_hierarchy_cached () =
+  Thermal.Mesh.cache_clear ();
+  let p = uniform_power ~nx:10 ~ny:10 ~total:0.02 in
+  let p1 = Thermal.Mesh.build small_cfg ~power:p in
+  let h1 = Thermal.Mesh.multigrid p1 in
+  Alcotest.(check bool) "same problem reuses hierarchy" true
+    (h1 == Thermal.Mesh.multigrid p1);
+  (* a cache hit on the mesh entry shares the hierarchy too *)
+  let p2 = Thermal.Mesh.build small_cfg ~power:p in
+  Alcotest.(check bool) "cache hit shares hierarchy" true
+    (h1 == Thermal.Mesh.multigrid p2)
+
+let test_mg_dimension_mismatch_rejected () =
+  Thermal.Mesh.cache_clear ();
+  let p = uniform_power ~nx:10 ~ny:10 ~total:0.02 in
+  let problem = Thermal.Mesh.build small_cfg ~power:p in
+  let h = Thermal.Mesh.multigrid problem in
+  let m = poisson_1d 8 in
+  (match
+     Thermal.Cg.solve m ~b:(Array.make 8 1.0)
+       ~precond:(Thermal.Cg.Multigrid h) ()
+   with
+   | _ -> Alcotest.fail "dimension mismatch accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_mg_escalation_recovers () =
+  Thermal.Mesh.cache_clear ();
+  let p = uniform_power ~nx:10 ~ny:10 ~total:0.02 in
+  let problem = Thermal.Mesh.build small_cfg ~power:p in
+  let precond = Thermal.Mesh.precond_of_choice problem Thermal.Mesh.Pc_mg in
+  let esc =
+    Robust.Faults.with_fault Robust.Faults.Cg_stall (fun () ->
+        Thermal.Cg.solve_escalating
+          (Thermal.Mesh.matrix problem)
+          ~b:(Thermal.Mesh.rhs problem) ~precond ())
+  in
+  (match esc.Thermal.Cg.esc_status with
+   | Thermal.Cg.Recovered rung ->
+     (* an MG-preconditioned first attempt gets the cold-Jacobi rung *)
+     Alcotest.(check string) "recovering rung" "jacobi" rung
+   | Thermal.Cg.Clean -> Alcotest.fail "stall not injected"
+   | Thermal.Cg.Degraded -> Alcotest.fail "ladder failed to recover");
+  Alcotest.(check (list string)) "rungs recorded" [ "jacobi" ]
+    esc.Thermal.Cg.esc_rungs;
+  Alcotest.(check bool) "recovered outcome converged" true
+    esc.Thermal.Cg.esc_outcome.Thermal.Cg.converged
+
 (* --- robustness ----------------------------------------------------------------- *)
 
 (* [[1, 3], [3, 1]] is symmetric with positive diagonal but indefinite:
@@ -861,7 +967,20 @@ let () =
            test_transient_approaches_steady_state;
          Alcotest.test_case "time constant >> clock (paper SII)" `Quick
            test_transient_time_constant_validates_paper;
-         Alcotest.test_case "validation" `Quick test_transient_validation ]);
+         Alcotest.test_case "validation" `Quick test_transient_validation;
+         Alcotest.test_case "flat tau stays finite" `Quick
+           test_transient_flat_tau_is_finite ]);
+      ("multigrid",
+       [ Alcotest.test_case "standalone solve matches cg" `Quick
+           test_mg_standalone_matches_cg;
+         Alcotest.test_case "precond parity and iterations" `Quick
+           test_mg_precond_parity_and_iterations;
+         Alcotest.test_case "hierarchy cached" `Quick
+           test_mg_hierarchy_cached;
+         Alcotest.test_case "dimension mismatch rejected" `Quick
+           test_mg_dimension_mismatch_rejected;
+         Alcotest.test_case "escalation recovers under mg" `Quick
+           test_mg_escalation_recovers ]);
       ("spice",
        [ Alcotest.test_case "round trip" `Quick test_spice_roundtrip;
          Alcotest.test_case "element counts" `Quick test_spice_counts ]);
