@@ -40,6 +40,19 @@ let j_i v = Obs.Json.Int v
 let j_s v = Obs.Json.String v
 let j_b v = Obs.Json.Bool v
 
+(* Percentile summary of a recorded histogram: the reservoir keeps an
+   unbiased sample of the whole stream, so p50/p90/p99 describe the full
+   run, not its first 4096 observations. *)
+let hist_percentiles name =
+  match Obs.Metrics.histogram name with
+  | None -> Obs.Json.Null
+  | Some h ->
+    j_obj
+      [ ("count", j_i h.Obs.Metrics.count);
+        ("p50", j_f (Obs.Metrics.percentile h 0.50));
+        ("p90", j_f (Obs.Metrics.percentile h 0.90));
+        ("p99", j_f (Obs.Metrics.percentile h 0.99)) ]
+
 let point_json (p : Postplace.Experiment.point) =
   j_obj
     [ ("scheme", j_s p.Postplace.Experiment.scheme);
@@ -636,6 +649,7 @@ let run_cg () =
     "n/a (engineering): incremental + parallel solve engine vs seed \
      behaviour";
   let saved_jobs = Parallel.Pool.jobs () in
+  Obs.Metrics.reset ();
   let fl = Lazy.force flow1 in
   let base = fl.Postplace.Flow.base_placement in
   let cfg = fl.Postplace.Flow.mesh_config in
@@ -743,7 +757,13 @@ let run_cg () =
            ("seed_peak_k", j_f seed_peak);
            ("engine_peak_k", j_f r1.Postplace.Optimizer.predicted_peak_k);
            ("plans_agree", j_b plans_agree);
-           ("parallel_bit_identical", j_b parallel_identical) ]) ]
+           ("parallel_bit_identical", j_b parallel_identical) ]);
+      ("telemetry",
+       j_obj
+         [ ("cold_iterations",
+            hist_percentiles "thermal.cg.cold.iterations");
+           ("warm_iterations",
+            hist_percentiles "thermal.cg.warm.iterations") ]) ]
 
 (* --- MG ENGINE --------------------------------------------------------------------- *)
 
@@ -756,6 +776,7 @@ let run_mg () =
     "n/a (engineering): multigrid-preconditioned CG vs Jacobi/SSOR-CG \
      across mesh sizes";
   let saved_jobs = Parallel.Pool.jobs () in
+  Obs.Metrics.reset ();
   let fl = Lazy.force flow1 in
   let base = fl.Postplace.Flow.base_placement in
   let problem_at nx =
@@ -873,7 +894,17 @@ let run_mg () =
     [ ("sizes", j_list size_rows);
       ("speedup_vs_ssor_160", j_f !speedup_160);
       ("plans_agree", j_b plans_agree);
-      ("parallel_bit_identical", j_b parallel_identical) ]
+      ("parallel_bit_identical", j_b parallel_identical);
+      ("telemetry",
+       j_obj
+         [ ("cold_iterations",
+            hist_percentiles "thermal.cg.cold.iterations");
+           ("vcycle_count",
+            match Obs.Metrics.counter_value "thermal.mg.cycles" with
+            | None -> Obs.Json.Null
+            | Some n -> j_i n);
+           ("vcycles_per_solve",
+            hist_percentiles "thermal.mg.solve.cycles") ]) ]
 
 (* --- dispatch ---------------------------------------------------------------------- *)
 

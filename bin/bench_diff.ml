@@ -1,0 +1,134 @@
+(* bench_diff [--threshold F] [--scale-times F] BASELINE FRESH
+
+   Regression gate over the BENCH_<name>.json summaries: walks both files
+   key-by-key and fails (exit 1) when
+
+     - a wall-clock key (ending in "_ms") regressed by more than the
+       threshold (default 0.15 = +15%) against the baseline, or
+     - a boolean invariant that held in the baseline (plans_agree,
+       parallel_bit_identical, the fig6 checks, ...) flipped to false, or
+     - a baseline key is missing from the fresh run.
+
+   Fresh keys absent from the baseline are ignored (new metrics may land
+   before their baseline is refreshed), and a false -> true flip is an
+   improvement, not a failure. --scale-times multiplies the fresh run's
+   "_ms" values before comparison; scripts/check.sh uses it to prove the
+   gate actually trips on a simulated slowdown. Exit codes: 0 clean,
+   1 regression, 2 usage / parse error. *)
+
+let threshold = ref 0.15
+let scale_times = ref 1.0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file path =
+  match Obs.Json.of_string (read_file path) with
+  | Ok json -> json
+  | Error msg ->
+    Printf.eprintf "bench_diff: %s: invalid JSON: %s\n" path msg;
+    exit 2
+  | exception Sys_error msg ->
+    Printf.eprintf "bench_diff: %s\n" msg;
+    exit 2
+
+let is_time_key path =
+  let n = String.length path in
+  n >= 3 && String.sub path (n - 3) 3 = "_ms"
+
+let failures = ref []
+let fail path fmt =
+  Printf.ksprintf (fun msg -> failures := (path, msg) :: !failures) fmt
+
+(* Baseline-driven walk: every leaf of the baseline must still be present
+   (and not regressed) in the fresh run. *)
+let rec diff path (base : Obs.Json.t) (fresh : Obs.Json.t option) =
+  match base, fresh with
+  | _, None -> fail path "missing from fresh run"
+  | Obs.Json.Obj fields, Some fresh ->
+    List.iter
+      (fun (k, v) ->
+         let sub = if path = "" then k else path ^ "." ^ k in
+         diff sub v (Obs.Json.member k fresh))
+      fields
+  | Obs.Json.List items, Some fresh ->
+    (match Obs.Json.to_list fresh with
+     | None -> fail path "baseline is a list, fresh run is not"
+     | Some fresh_items ->
+       if List.length fresh_items <> List.length items then
+         fail path "list length changed (%d -> %d)" (List.length items)
+           (List.length fresh_items)
+       else
+         List.iteri
+           (fun i v ->
+              diff (Printf.sprintf "%s[%d]" path i) v
+                (Some (List.nth fresh_items i)))
+           items)
+  | Obs.Json.Bool true, Some fresh ->
+    (match fresh with
+     | Obs.Json.Bool false -> fail path "invariant flipped true -> false"
+     | Obs.Json.Bool true -> ()
+     | _ -> fail path "baseline is a boolean, fresh run is not")
+  | Obs.Json.Bool false, Some _ -> ()
+  | (Obs.Json.Int _ | Obs.Json.Float _), Some fresh when is_time_key path ->
+    let b = Option.get (Obs.Json.to_float base) in
+    (match Obs.Json.to_float fresh with
+     | None -> fail path "baseline is a number, fresh run is not"
+     | Some f ->
+       let f = f *. !scale_times in
+       if b > 0.0 && Float.is_finite b && Float.is_finite f
+          && f > b *. (1.0 +. !threshold)
+       then
+         fail path "wall-clock regression: %.2f ms -> %.2f ms (%+.0f%%, \
+                    threshold +%.0f%%)"
+           b f (100.0 *. (f -. b) /. b) (100.0 *. !threshold)
+       else if b > 0.0 && Float.is_finite b && Float.is_finite f then
+         Printf.printf "  ok %-55s %10.2f -> %10.2f ms (%+.0f%%)\n" path b f
+           (100.0 *. (f -. b) /. b))
+  | _, Some _ -> ()  (* non-timing scalars are informational only *)
+
+let () =
+  let rec parse_args acc = function
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some t when t > 0.0 -> threshold := t
+       | _ ->
+         prerr_endline "bench_diff: --threshold expects a positive number";
+         exit 2);
+      parse_args acc rest
+    | "--scale-times" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some s when s > 0.0 -> scale_times := s
+       | _ ->
+         prerr_endline "bench_diff: --scale-times expects a positive number";
+         exit 2);
+      parse_args acc rest
+    | x :: rest -> parse_args (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  match parse_args [] (List.tl (Array.to_list Sys.argv)) with
+  | [ baseline_path; fresh_path ] ->
+    let baseline = parse_file baseline_path in
+    let fresh = parse_file fresh_path in
+    Printf.printf "bench_diff: %s vs %s (threshold +%.0f%%%s)\n"
+      baseline_path fresh_path (100.0 *. !threshold)
+      (if !scale_times <> 1.0 then
+         Printf.sprintf ", fresh times scaled x%g" !scale_times
+       else "");
+    diff "" baseline (Some fresh);
+    (match List.rev !failures with
+     | [] ->
+       Printf.printf "bench_diff: OK\n"
+     | fs ->
+       List.iter
+         (fun (path, msg) ->
+            Printf.eprintf "bench_diff: FAIL %s: %s\n" path msg)
+         fs;
+       exit 1)
+  | _ ->
+    prerr_endline
+      "usage: bench_diff [--threshold F] [--scale-times F] BASELINE FRESH";
+    exit 2

@@ -1,7 +1,15 @@
 (* json_check FILE [KEY ...]: parse FILE with Obs.Json and require each KEY
    to be present at the top level. Exits non-zero with a diagnostic on parse
    failure or a missing key. Used by scripts/check.sh to validate --report
-   output without external JSON tooling. *)
+   output without external JSON tooling.
+
+   json_check --trace FILE [MIN_TRACKS]: validate FILE as a Chrome
+   trace-event array (the --perfetto output): every event must be a
+   complete "X" span with a string name, finite non-negative ts/dur and an
+   integer tid, and spans sharing a tid must nest properly (no partial
+   overlap). With MIN_TRACKS, additionally require at least that many
+   distinct tids (e.g. 2 proves worker-domain spans survived the merge).
+   Prints the event and track counts on success. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -9,30 +17,60 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let parse_file path =
+  let text =
+    try read_file path
+    with Sys_error msg ->
+      Printf.eprintf "json_check: %s\n" msg;
+      exit 1
+  in
+  match Obs.Json.of_string text with
+  | Error msg ->
+    Printf.eprintf "json_check: %s: invalid JSON: %s\n" path msg;
+    exit 1
+  | Ok json -> json
+
+let check_trace path min_tracks =
+  match Obs.Perfetto.validate (parse_file path) with
+  | Ok stats ->
+    let tracks = List.length stats.Obs.Perfetto.tids in
+    if tracks < min_tracks then begin
+      Printf.eprintf
+        "json_check: %s: expected >= %d tracks (distinct tids), got %d\n"
+        path min_tracks tracks;
+      exit 1
+    end;
+    Printf.printf "%s: valid trace-event JSON (%d events, %d tracks: %s)\n"
+      path stats.Obs.Perfetto.events tracks
+      (String.concat ", "
+         (List.map string_of_int stats.Obs.Perfetto.tids))
+  | Error msg ->
+    Printf.eprintf "json_check: %s: invalid trace: %s\n" path msg;
+    exit 1
+
+let check_report path keys =
+  let json = parse_file path in
+  let missing = List.filter (fun k -> Obs.Json.member k json = None) keys in
+  if missing <> [] then begin
+    Printf.eprintf "json_check: %s: missing top-level keys: %s\n" path
+      (String.concat ", " missing);
+    exit 1
+  end;
+  Printf.printf "%s: valid JSON (%d top-level keys)\n" path
+    (List.length (Obs.Json.keys json))
+
 let () =
   match Array.to_list Sys.argv with
-  | _ :: path :: keys ->
-    let text =
-      try read_file path
-      with Sys_error msg ->
-        Printf.eprintf "json_check: %s\n" msg;
-        exit 1
-    in
-    (match Obs.Json.of_string text with
-     | Error msg ->
-       Printf.eprintf "json_check: %s: invalid JSON: %s\n" path msg;
-       exit 1
-     | Ok json ->
-       let missing =
-         List.filter (fun k -> Obs.Json.member k json = None) keys
-       in
-       if missing <> [] then begin
-         Printf.eprintf "json_check: %s: missing top-level keys: %s\n" path
-           (String.concat ", " missing);
-         exit 1
-       end;
-       Printf.printf "%s: valid JSON (%d top-level keys)\n" path
-         (List.length (Obs.Json.keys json)))
+  | _ :: "--trace" :: [ path ] -> check_trace path 1
+  | _ :: "--trace" :: [ path; min_tracks ] ->
+    (match int_of_string_opt min_tracks with
+     | Some n when n >= 1 -> check_trace path n
+     | _ ->
+       prerr_endline "json_check: MIN_TRACKS must be an integer >= 1";
+       exit 2)
+  | _ :: path :: keys when path <> "--trace" -> check_report path keys
   | _ ->
-    prerr_endline "usage: json_check FILE [REQUIRED_KEY ...]";
+    prerr_endline
+      "usage: json_check FILE [REQUIRED_KEY ...]\n\
+      \       json_check --trace FILE [MIN_TRACKS]";
     exit 2

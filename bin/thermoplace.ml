@@ -5,11 +5,14 @@
      thermoplace report   -- netlist / placement / power / thermal summary
      thermoplace maps     -- dump power and thermal maps (matrix or ascii)
      thermoplace sweep    -- Default/ERI/HW reduction-vs-overhead sweep
+     thermoplace optimize -- greedy row-budget optimizer (parallel evals)
      thermoplace check    -- run the design invariant suite
      thermoplace export   -- Verilog / LEF / DEF / SPICE / SVG dump
 
-   Every subcommand accepts --trace (span tree to stderr) and
-   --report FILE (machine-readable JSON run report).
+   Every subcommand accepts --trace (span tree to stderr), --report FILE
+   (machine-readable JSON run report) and --perfetto FILE (Chrome
+   trace-event JSON of the merged cross-domain span forest, loadable in
+   Perfetto / chrome://tracing).
 
    Structured failures (Robust.Error) exit with stable per-class codes:
    solver divergence 10, invariant violation 11, worker failure 12,
@@ -132,6 +135,16 @@ let report_arg =
   Arg.(value & opt (some string) None
        & info [ "report" ] ~docv:"FILE" ~doc)
 
+let perfetto_arg =
+  let doc =
+    "Write the run's span forest as Chrome trace-event JSON to $(docv). \
+     Spans from every domain appear as separate tracks (tid = domain id); \
+     open the file in ui.perfetto.dev or chrome://tracing. Implies span \
+     recording, like $(b,--trace)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "perfetto" ] ~docv:"FILE" ~doc)
+
 let prepare ~seed ~cycles ~utilization ~test_set ~precond =
   let precond = precond_choice precond in
   match test_set with
@@ -151,11 +164,13 @@ let prepare ~seed ~cycles ~utilization ~test_set ~precond =
 
 (* --- observability wiring ------------------------------------------------- *)
 
-let obs_begin ~trace ~report =
-  if trace || report <> None then Obs.Trace.set_enabled true;
+let obs_begin ~trace ~report ~perfetto =
+  if trace || report <> None || perfetto <> None then
+    Obs.Trace.set_enabled true;
   Obs.Trace.reset ();
   Obs.Metrics.reset ();
-  Obs.Log.reset ()
+  Obs.Log.reset ();
+  Thermal.Cg.clear_histories ()
 
 let base_config ~seed ~cycles ~utilization ~test_set ~precond =
   [ ("seed", Obs.Json.Int seed);
@@ -178,23 +193,41 @@ let eval_json (ev : Postplace.Flow.evaluation) =
        Obs.Json.Float
          (Place.Placement.utilization ev.Postplace.Flow.placement)) ]
 
-(* Returns the process exit status so an unwritable --report path surfaces
-   as a clean error instead of an uncaught Sys_error. *)
-let obs_end ~command ~trace ~report ~config ~sections =
+(* Returns the process exit status so an unwritable --report or --perfetto
+   path surfaces as a clean error instead of an uncaught Sys_error. *)
+let obs_end ~command ~trace ~report ~perfetto ~config ~sections =
   if trace then Format.eprintf "%a" Obs.Trace.pp_tree ();
-  match report with
-  | None -> 0
-  | Some path ->
-    (match
-       Obs.Report.write_file path
-         (Obs.Report.make ~command ~config ~sections ())
-     with
-     | () ->
-       Printf.printf "wrote report %s\n" path;
-       0
-     | exception Sys_error msg ->
-       Printf.eprintf "thermoplace: cannot write report: %s\n" msg;
-       1)
+  let perfetto_status =
+    match perfetto with
+    | None -> 0
+    | Some path ->
+      (match Obs.Perfetto.write_file path with
+       | () ->
+         Printf.printf "wrote perfetto trace %s\n" path;
+         0
+       | exception Sys_error msg ->
+         Printf.eprintf "thermoplace: cannot write perfetto trace: %s\n" msg;
+         1)
+  in
+  let report_status =
+    match report with
+    | None -> 0
+    | Some path ->
+      let sections =
+        sections @ [ ("convergence", Thermal.Cg.histories_json ()) ]
+      in
+      (match
+         Obs.Report.write_file path
+           (Obs.Report.make ~command ~config ~sections ())
+       with
+       | () ->
+         Printf.printf "wrote report %s\n" path;
+         0
+       | exception Sys_error msg ->
+         Printf.eprintf "thermoplace: cannot write report: %s\n" msg;
+         1)
+  in
+  if report_status <> 0 then report_status else perfetto_status
 
 (* --- flow ---------------------------------------------------------------- *)
 
@@ -213,10 +246,10 @@ let overhead_arg =
        & info [ "overhead" ] ~docv:"F" ~doc)
 
 let run_flow seed cycles utilization test_set precond technique overhead
-    jobs trace report =
+    jobs trace report perfetto =
   with_structured_errors @@ fun () ->
   Parallel.Pool.set_jobs jobs;
-  obs_begin ~trace ~report;
+  obs_begin ~trace ~report ~perfetto;
   let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
   let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
   Format.printf "base: %a@." Place.Placement.pp_summary
@@ -285,7 +318,7 @@ let run_flow seed cycles utilization test_set precond technique overhead
              ("timing_overhead_pct", Obs.Json.Float timing_pct);
              ("after", eval_json ev) ]) ]
   in
-  obs_end ~command:"flow" ~trace ~report
+  obs_end ~command:"flow" ~trace ~report ~perfetto
     ~config:
       (base_config ~seed ~cycles ~utilization ~test_set ~precond
        @ [ ("technique", Obs.Json.String technique);
@@ -295,9 +328,10 @@ let run_flow seed cycles utilization test_set precond technique overhead
 
 (* --- report ---------------------------------------------------------------- *)
 
-let run_report seed cycles utilization test_set precond trace report =
+let run_report seed cycles utilization test_set precond trace report
+    perfetto =
   with_structured_errors @@ fun () ->
-  obs_begin ~trace ~report;
+  obs_begin ~trace ~report ~perfetto;
   let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
   let nl = flow.Postplace.Flow.bench.Netgen.Benchmark.netlist in
   Format.printf "%a@."
@@ -326,7 +360,7 @@ let run_report seed cycles utilization test_set precond trace report =
          (List.length h.Postplace.Hotspot.cells)
          h.Postplace.Hotspot.peak_rise_k)
     base.Postplace.Flow.hotspots;
-  obs_end ~command:"report" ~trace ~report
+  obs_end ~command:"report" ~trace ~report ~perfetto
     ~config:(base_config ~seed ~cycles ~utilization ~test_set ~precond)
     ~sections:[ ("base", eval_json base) ]
 
@@ -336,9 +370,10 @@ let ascii_arg =
   let doc = "Render maps as terminal shading instead of numeric matrices." in
   Arg.(value & flag & info [ "ascii" ] ~doc)
 
-let run_maps seed cycles utilization test_set precond ascii trace report =
+let run_maps seed cycles utilization test_set precond ascii trace report
+    perfetto =
   with_structured_errors @@ fun () ->
-  obs_begin ~trace ~report;
+  obs_begin ~trace ~report ~perfetto;
   let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
   let power, thermal = Postplace.Experiment.fig5_maps flow in
   let dump name g =
@@ -349,7 +384,7 @@ let run_maps seed cycles utilization test_set precond ascii trace report =
   in
   dump "power [W/tile]" power;
   dump "thermal rise [K]" thermal;
-  obs_end ~command:"maps" ~trace ~report
+  obs_end ~command:"maps" ~trace ~report ~perfetto
     ~config:(base_config ~seed ~cycles ~utilization ~test_set ~precond)
     ~sections:
       [ ("thermal", Thermal.Metrics.to_json (Thermal.Metrics.of_map thermal)) ]
@@ -360,9 +395,10 @@ let outdir_arg =
   let doc = "Directory for the exported files (created if missing)." in
   Arg.(value & opt string "export" & info [ "outdir"; "o" ] ~docv:"DIR" ~doc)
 
-let run_export seed cycles utilization test_set precond outdir trace report =
+let run_export seed cycles utilization test_set precond outdir trace report
+    perfetto =
   with_structured_errors @@ fun () ->
-  obs_begin ~trace ~report;
+  obs_begin ~trace ~report ~perfetto;
   let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
   if not (Sys.file_exists outdir) then Unix.mkdir outdir 0o755;
   let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
@@ -392,7 +428,7 @@ let run_export seed cycles utilization test_set precond outdir trace report =
     (Netlist.Types.num_cells nl)
     (List.length fillers)
     (Thermal.Spice.count_resistors problem);
-  obs_end ~command:"export" ~trace ~report
+  obs_end ~command:"export" ~trace ~report ~perfetto
     ~config:
       (base_config ~seed ~cycles ~utilization ~test_set ~precond
        @ [ ("outdir", Obs.Json.String outdir) ])
@@ -421,10 +457,10 @@ let checkpoint_arg =
        & info [ "checkpoint" ] ~docv:"FILE" ~doc)
 
 let run_sweep seed cycles utilization test_set precond jobs checkpoint trace
-    report =
+    report perfetto =
   with_structured_errors @@ fun () ->
   Parallel.Pool.set_jobs jobs;
-  obs_begin ~trace ~report;
+  obs_begin ~trace ~report ~perfetto;
   let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
   let fig6 = Postplace.Experiment.run_fig6 ?checkpoint flow in
   let points =
@@ -440,7 +476,7 @@ let run_sweep seed cycles utilization test_set precond jobs checkpoint trace
          p.Postplace.Experiment.scheme p.area_overhead_pct
          p.temp_reduction_pct p.timing_overhead_pct)
     points;
-  obs_end ~command:"sweep" ~trace ~report
+  obs_end ~command:"sweep" ~trace ~report ~perfetto
     ~config:
       (base_config ~seed ~cycles ~utilization ~test_set ~precond
        @ [ ("jobs", Obs.Json.Int jobs) ])
@@ -448,11 +484,65 @@ let run_sweep seed cycles utilization test_set precond jobs checkpoint trace
       [ ("base", eval_json fig6.Postplace.Experiment.base_eval);
         ("points", Obs.Json.List (List.map point_json points)) ]
 
+(* --- optimize ---------------------------------------------------------------- *)
+
+let rows_arg =
+  let doc = "Empty-row budget to allocate greedily (>= 1)." in
+  Arg.(value & opt (int_min ~min:1 "--rows") 2
+       & info [ "rows" ] ~docv:"N" ~doc)
+
+let run_optimize seed cycles utilization test_set precond rows jobs trace
+    report perfetto =
+  with_structured_errors @@ fun () ->
+  Parallel.Pool.set_jobs jobs;
+  obs_begin ~trace ~report ~perfetto;
+  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
+  let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
+  Format.printf "base thermal: %a@." Thermal.Metrics.pp
+    base.Postplace.Flow.metrics;
+  let r = Postplace.Optimizer.greedy_rows flow ~rows () in
+  let pl = r.Postplace.Optimizer.plan.Postplace.Technique.eri_placement in
+  let ev = Postplace.Flow.evaluate flow pl in
+  let area_pct =
+    Postplace.Technique.area_overhead_pct ~base:base.Postplace.Flow.placement
+      pl
+  in
+  let red_pct =
+    Thermal.Metrics.reduction_pct ~before:base.Postplace.Flow.metrics
+      ~after:ev.Postplace.Flow.metrics
+  in
+  Format.printf "optimized: %a@." Thermal.Metrics.pp
+    ev.Postplace.Flow.metrics;
+  Format.printf
+    "rows %d, evaluations %d, area overhead %.1f%%, peak reduction %.2f%%@."
+    rows r.Postplace.Optimizer.evaluations area_pct red_pct;
+  obs_end ~command:"optimize" ~trace ~report ~perfetto
+    ~config:
+      (base_config ~seed ~cycles ~utilization ~test_set ~precond
+       @ [ ("rows", Obs.Json.Int rows); ("jobs", Obs.Json.Int jobs) ])
+    ~sections:
+      [ ("base", eval_json base);
+        ("result",
+         Obs.Json.Obj
+           [ ("rows", Obs.Json.Int rows);
+             ("evaluations", Obs.Json.Int r.Postplace.Optimizer.evaluations);
+             ("predicted_peak_k",
+              Obs.Json.Float r.Postplace.Optimizer.predicted_peak_k);
+             ("inserted_after",
+              Obs.Json.List
+                (List.map (fun i -> Obs.Json.Int i)
+                   r.Postplace.Optimizer.plan.Postplace.Technique
+                     .inserted_after));
+             ("area_overhead_pct", Obs.Json.Float area_pct);
+             ("peak_reduction_pct", Obs.Json.Float red_pct);
+             ("after", eval_json ev) ]) ]
+
 (* --- check ------------------------------------------------------------------- *)
 
-let run_check seed cycles utilization test_set precond trace report =
+let run_check seed cycles utilization test_set precond trace report
+    perfetto =
   with_structured_errors @@ fun () ->
-  obs_begin ~trace ~report;
+  obs_begin ~trace ~report ~perfetto;
   let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
   let outcomes =
     Postplace.Flow.check_design flow flow.Postplace.Flow.base_placement
@@ -479,7 +569,7 @@ let run_check seed cycles utilization test_set precond trace report =
          | Some d -> Obs.Json.String d) ]
   in
   let status =
-    obs_end ~command:"check" ~trace ~report
+    obs_end ~command:"check" ~trace ~report ~perfetto
       ~config:(base_config ~seed ~cycles ~utilization ~test_set ~precond)
       ~sections:[ ("checks", Obs.Json.List (List.map outcome_json outcomes)) ]
   in
@@ -500,25 +590,26 @@ let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc)
     Term.(const run_flow $ seed $ cycles $ utilization $ test_set
           $ precond_arg $ technique_arg $ overhead_arg $ jobs_arg $ trace_arg
-          $ report_arg)
+          $ report_arg $ perfetto_arg)
 
 let report_cmd =
   let doc = "Print netlist, placement, power and thermal summaries." in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(const run_report $ seed $ cycles $ utilization $ test_set
-          $ precond_arg $ trace_arg $ report_arg)
+          $ precond_arg $ trace_arg $ report_arg $ perfetto_arg)
 
 let maps_cmd =
   let doc = "Dump power and thermal maps (Fig. 5 data)." in
   Cmd.v (Cmd.info "maps" ~doc)
     Term.(const run_maps $ seed $ cycles $ utilization $ test_set
-          $ precond_arg $ ascii_arg $ trace_arg $ report_arg)
+          $ precond_arg $ ascii_arg $ trace_arg $ report_arg $ perfetto_arg)
 
 let sweep_cmd =
   let doc = "Reduction-vs-overhead sweep for all three schemes (Fig. 6)." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run_sweep $ seed $ cycles $ utilization $ test_set
-          $ precond_arg $ jobs_arg $ checkpoint_arg $ trace_arg $ report_arg)
+          $ precond_arg $ jobs_arg $ checkpoint_arg $ trace_arg $ report_arg
+          $ perfetto_arg)
 
 let check_cmd =
   let doc =
@@ -528,7 +619,18 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run_check $ seed $ cycles $ utilization $ test_set
-          $ precond_arg $ trace_arg $ report_arg)
+          $ precond_arg $ trace_arg $ report_arg $ perfetto_arg)
+
+let optimize_cmd =
+  let doc =
+    "Allocate an empty-row budget with the greedy row-budget optimizer \
+     (true thermal solves per candidate, evaluated in parallel on the \
+     domain pool)."
+  in
+  Cmd.v (Cmd.info "optimize" ~doc)
+    Term.(const run_optimize $ seed $ cycles $ utilization $ test_set
+          $ precond_arg $ rows_arg $ jobs_arg $ trace_arg $ report_arg
+          $ perfetto_arg)
 
 let export_cmd =
   let doc =
@@ -537,7 +639,7 @@ let export_cmd =
   in
   Cmd.v (Cmd.info "export" ~doc)
     Term.(const run_export $ seed $ cycles $ utilization $ test_set
-          $ precond_arg $ outdir_arg $ trace_arg $ report_arg)
+          $ precond_arg $ outdir_arg $ trace_arg $ report_arg $ perfetto_arg)
 
 let () =
   (match Robust.Faults.init_from_env () with
@@ -550,5 +652,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ flow_cmd; report_cmd; maps_cmd; sweep_cmd; check_cmd;
-            export_cmd ]))
+          [ flow_cmd; report_cmd; maps_cmd; sweep_cmd; optimize_cmd;
+            check_cmd; export_cmd ]))

@@ -1,0 +1,31 @@
+(* A monotonic timestamp source built on the wall clock.
+
+   [Unix.gettimeofday] can step backwards (NTP slew, manual clock set,
+   VM migration); a span whose start was sampled before such a step and
+   whose end after it would get a negative duration, and a merged
+   multi-domain trace would show events out of order. Instead of a new
+   dependency for CLOCK_MONOTONIC we ratchet the wall clock through a
+   process-global high-water mark: every sample is clamped to be >= the
+   largest timestamp any domain has handed out so far. Durations are
+   then non-negative by construction, across domains, while timestamps
+   stay wall-clock-shaped (seconds, epoch-anchored), which keeps the
+   epoch-relative JSON shape of the trace output unchanged. *)
+
+let default_source = Unix.gettimeofday
+
+(* Test hook: lets the suite feed a clock that steps backwards and watch
+   the ratchet hold the line. *)
+let source = ref default_source
+let set_source f = source := (match f with Some f -> f | None -> default_source)
+
+(* The watermark is a boxed float behind [Atomic]; compare-and-set on the
+   box is enough because we retry on contention and only ever move the
+   value up. *)
+let watermark = Atomic.make neg_infinity
+
+let rec now () =
+  let t = !source () in
+  let w = Atomic.get watermark in
+  if t <= w then w
+  else if Atomic.compare_and_set watermark w t then t
+  else now ()

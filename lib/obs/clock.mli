@@ -1,0 +1,16 @@
+(** Monotonic timestamps for tracing.
+
+    Wall-clock seconds ratcheted through a process-global high-water
+    mark: {!now} never returns a value smaller than any value it has
+    already returned, on any domain, even if the underlying wall clock
+    steps backwards. Span durations computed from two {!now} samples are
+    therefore always non-negative, and timestamps from different domains
+    merge into one consistent timeline. *)
+
+val now : unit -> float
+(** Current time in seconds. Non-decreasing across all domains. *)
+
+val set_source : (unit -> float) option -> unit
+(** Test hook: replace the raw clock ([None] restores
+    [Unix.gettimeofday]). The ratchet still applies — a source that
+    steps backwards yields repeated, never decreasing, samples. *)

@@ -13,20 +13,29 @@ type value =
   | Gauge of float
   | Histogram of histogram
 
-(* mutable in-registry representation; histograms keep samples reversed *)
+(* mutable in-registry representation *)
 type cell =
   | C_counter of int ref
   | C_gauge of float ref
   | C_hist of hist_state
 
+(* Samples beyond the cap are kept via reservoir sampling (Algorithm R):
+   after n observations each one is retained with probability cap/n, so
+   the retained set is an unbiased sample of the whole stream and the
+   percentiles computed from it do not suffer the first-N truncation
+   bias (a stream whose values drift would otherwise report only its
+   opening regime). The RNG is a splitmix64 stream seeded from the
+   metric name, so runs are reproducible per metric and independent of
+   registration order. *)
 and hist_state = {
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
   mutable h_last : float;
-  mutable h_rev_samples : float list;
-  mutable h_dropped : int;
+  h_samples : float array;  (* reservoir; first h_len entries live *)
+  mutable h_len : int;
+  mutable h_rng : int64;
 }
 
 let max_samples = 4096
@@ -50,6 +59,36 @@ let type_error name expected =
     (Printf.sprintf "Obs.Metrics: %S already registered with another type \
                      (expected %s)"
        name expected)
+
+(* --- deterministic per-name RNG ----------------------------------------- *)
+
+let fnv1a64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+       h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+           0x100000001B3L)
+    s;
+  !h
+
+(* one splitmix64 step: returns (output, next state) *)
+let splitmix64 state =
+  let open Int64 in
+  let state = add state 0x9E3779B97F4A7C15L in
+  let z = state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (logxor z (shift_right_logical z 31), state)
+
+(* uniform-enough draw in [0, n): the modulo bias over a 63-bit range is
+   immaterial for sampling decisions *)
+let rand_below state n =
+  let out, state = splitmix64 state in
+  (Int64.to_int (Int64.rem (Int64.shift_right_logical out 1)
+                   (Int64.of_int n)),
+   state)
+
+(* ------------------------------------------------------------------------ *)
 
 let count ?(by = 1) name =
   if !enabled_flag then
@@ -77,20 +116,30 @@ let observe name v =
           if v < h.h_min then h.h_min <- v;
           if v > h.h_max then h.h_max <- v;
           h.h_last <- v;
-          if h.h_count - h.h_dropped <= max_samples then
-            h.h_rev_samples <- v :: h.h_rev_samples
-          else h.h_dropped <- h.h_dropped + 1
+          if h.h_len < max_samples then begin
+            h.h_samples.(h.h_len) <- v;
+            h.h_len <- h.h_len + 1
+          end
+          else begin
+            let j, rng = rand_below h.h_rng h.h_count in
+            h.h_rng <- rng;
+            if j < max_samples then h.h_samples.(j) <- v
+          end
         | Some _ -> type_error name "histogram"
         | None ->
-          Hashtbl.replace registry name
-            (C_hist
-               { h_count = 1; h_sum = v; h_min = v; h_max = v; h_last = v;
-                 h_rev_samples = [ v ]; h_dropped = 0 }))
+          let h =
+            { h_count = 1; h_sum = v; h_min = v; h_max = v; h_last = v;
+              h_samples = Array.make max_samples 0.0; h_len = 1;
+              h_rng = fnv1a64 name }
+          in
+          h.h_samples.(0) <- v;
+          Hashtbl.replace registry name (C_hist h))
 
 let freeze_hist h =
   { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max;
-    last = h.h_last; samples = List.rev h.h_rev_samples;
-    dropped = h.h_dropped }
+    last = h.h_last;
+    samples = Array.to_list (Array.sub h.h_samples 0 h.h_len);
+    dropped = h.h_count - h.h_len }
 
 let counter_value name =
   locked (fun () ->
@@ -111,6 +160,18 @@ let histogram name =
       | _ -> None)
 
 let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+(* Nearest-rank percentile over the retained reservoir. *)
+let percentile h q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Obs.Metrics.percentile: q not in [0,1]";
+  match h.samples with
+  | [] -> Float.nan
+  | samples ->
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    let n = Array.length a in
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    a.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
 
 let snapshot () =
   locked (fun () ->
@@ -143,6 +204,9 @@ let to_json () =
                 ("min", Json.Float h.min);
                 ("max", Json.Float h.max);
                 ("mean", Json.Float (mean h));
+                ("p50", Json.Float (percentile h 0.50));
+                ("p90", Json.Float (percentile h 0.90));
+                ("p99", Json.Float (percentile h 0.99));
                 ("last", Json.Float h.last);
                 ("samples", Json.List (List.map (fun s -> Json.Float s) h.samples));
                 ("dropped", Json.Int h.dropped) ]

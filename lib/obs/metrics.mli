@@ -13,8 +13,11 @@ type histogram = {
   min : float;
   max : float;
   last : float;
-  samples : float list;  (** per-observation values, in recording order *)
-  dropped : int;  (** observations beyond the sample cap (stats still exact) *)
+  samples : float list;
+  (** retained reservoir. Below {!max_samples} observations this is every
+      value in recording order; beyond it, an unbiased uniform sample of
+      the whole stream (Algorithm R, deterministic per metric name). *)
+  dropped : int;  (** observations not retained (stats still exact) *)
 }
 
 type value =
@@ -35,10 +38,14 @@ val gauge : string -> float -> unit
 (** Set a gauge to its latest value. *)
 
 val observe : string -> float -> unit
-(** Record one observation into a histogram. The first
-    {!max_samples} observations are kept verbatim (so per-event values —
-    e.g. CG iterations for every solve — survive into the report); summary
-    statistics remain exact beyond that. *)
+(** Record one observation into a histogram. The first {!max_samples}
+    observations are kept verbatim; past the cap, reservoir sampling
+    keeps an unbiased uniform sample of the {e whole} stream (each of
+    the [n] observations retained with probability [max_samples / n]),
+    so percentiles stay representative instead of freezing on the
+    stream's opening regime. The replacement RNG is seeded from the
+    metric name — identical runs retain identical samples. Summary
+    statistics (count/sum/min/max/mean) remain exact at any volume. *)
 
 val max_samples : int
 
@@ -47,6 +54,11 @@ val gauge_value : string -> float option
 val histogram : string -> histogram option
 val mean : histogram -> float
 
+val percentile : histogram -> float -> float
+(** [percentile h q] with [q] in [0, 1]: nearest-rank percentile of the
+    retained samples ([q = 0.5] is the median). [nan] on an empty
+    sample set; raises [Invalid_argument] on [q] outside [0, 1]. *)
+
 val snapshot : unit -> (string * value) list
 (** Registry contents sorted by metric name. *)
 
@@ -54,5 +66,6 @@ val to_json : unit -> Json.t
 (** Object keyed by metric name. Counters become
     [{"type":"counter","value":n}]; gauges
     [{"type":"gauge","value":v}]; histograms
-    [{"type":"histogram","count","sum","min","max","mean","last",
-      "samples","dropped"}]. *)
+    [{"type":"histogram","count","sum","min","max","mean",
+      "p50","p90","p99","last","samples","dropped"}] with the
+    percentiles computed from the retained reservoir. *)

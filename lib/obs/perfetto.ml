@@ -1,0 +1,134 @@
+(* Chrome trace-event ("Trace Event Format") export of the span forest,
+   loadable by Perfetto / chrome://tracing. Each completed span becomes
+   one complete ("X") event; the recording domain's id is the event's
+   tid, so a parallel run renders as one track per domain. Timestamps
+   are microseconds relative to the trace epoch. *)
+
+let us s = s *. 1e6
+
+let event_of_span (sp : Trace.span) =
+  let args =
+    [ ("gc_minor_words", Json.Float sp.Trace.gc.Trace.minor_words);
+      ("gc_major_words", Json.Float sp.Trace.gc.Trace.major_words);
+      ("gc_minor_collections",
+       Json.Int sp.Trace.gc.Trace.minor_collections);
+      ("gc_major_collections",
+       Json.Int sp.Trace.gc.Trace.major_collections) ]
+    @ List.map (fun (k, v) -> (k, Json.Float v)) sp.Trace.metrics
+  in
+  Json.Obj
+    [ ("name", Json.String sp.Trace.name);
+      ("cat", Json.String "span");
+      ("ph", Json.String "X");
+      ("ts", Json.Float (us sp.Trace.start_s));
+      ("dur", Json.Float (us sp.Trace.duration_s));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int sp.Trace.tid);
+      ("args", Json.Obj args) ]
+
+let of_trace () =
+  let rec flatten acc sp =
+    List.fold_left flatten (event_of_span sp :: acc) sp.Trace.children
+  in
+  let events =
+    List.fold_left
+      (fun acc (_, roots) -> List.fold_left flatten acc roots)
+      [] (Trace.all_roots ())
+  in
+  Json.List (List.rev events)
+
+let write_file path =
+  Report.write_string_atomic path
+    (Json.to_string ~pretty:true (of_trace ()) ^ "\n")
+
+(* --- validation ---------------------------------------------------------- *)
+
+(* Structural check used by [json_check --trace] and the test-suite: the
+   document must be a JSON array of events, every event must carry the
+   required fields with the right types, and events sharing a tid must
+   form a proper stack — fully nested or disjoint, never partially
+   overlapping (Perfetto renders partial overlap as garbage tracks). *)
+
+type stats = { events : int; tids : int list }
+
+let validate json =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let* events =
+    match json with
+    | Json.List l -> Ok l
+    | _ -> Error "top-level value is not an array"
+  in
+  let* parsed =
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | e :: rest ->
+        let field name = Json.member name e in
+        let* name =
+          match Option.bind (field "name") Json.to_string_opt with
+          | Some n -> Ok n
+          | None -> err "event %d: missing or non-string \"name\"" i
+        in
+        let* () =
+          match Option.bind (field "ph") Json.to_string_opt with
+          | Some "X" -> Ok ()
+          | Some ph -> err "event %d (%s): ph %S, expected \"X\"" i name ph
+          | None -> err "event %d (%s): missing \"ph\"" i name
+        in
+        let* ts =
+          match Option.bind (field "ts") Json.to_float with
+          | Some t when Float.is_finite t && t >= 0.0 -> Ok t
+          | Some t -> err "event %d (%s): bad ts %g" i name t
+          | None -> err "event %d (%s): missing numeric \"ts\"" i name
+        in
+        let* dur =
+          match Option.bind (field "dur") Json.to_float with
+          | Some d when Float.is_finite d && d >= 0.0 -> Ok d
+          | Some d -> err "event %d (%s): bad dur %g" i name d
+          | None -> err "event %d (%s): missing numeric \"dur\"" i name
+        in
+        let* tid =
+          match Option.bind (field "tid") Json.to_int with
+          | Some t -> Ok t
+          | None -> err "event %d (%s): missing integer \"tid\"" i name
+        in
+        go (i + 1) ((tid, ts, dur, name) :: acc) rest
+    in
+    go 0 [] events
+  in
+  (* group by tid, then require proper nesting per tid *)
+  let tids = List.sort_uniq compare (List.map (fun (t, _, _, _) -> t) parsed) in
+  let eps = 1e-3 (* a nanosecond, in trace microseconds *) in
+  let* () =
+    List.fold_left
+      (fun acc tid ->
+         let* () = acc in
+         let evs =
+           List.filter (fun (t, _, _, _) -> t = tid) parsed
+           |> List.sort (fun (_, ts1, d1, _) (_, ts2, d2, _) ->
+               match compare ts1 ts2 with
+               | 0 -> compare d2 d1 (* longer first: parent before child *)
+               | c -> c)
+         in
+         let rec scan stack = function
+           | [] -> Ok ()
+           | (_, ts, dur, name) :: rest ->
+             (* close finished enclosing spans *)
+             let rec unwind = function
+               | (ts0, dur0, _) :: tl when ts0 +. dur0 <= ts +. eps ->
+                 unwind tl
+               | stack -> stack
+             in
+             let stack = unwind stack in
+             (match stack with
+              | (ts0, dur0, name0) :: _
+                when ts +. dur > ts0 +. dur0 +. eps ->
+                err
+                  "tid %d: %S [%g, %g] partially overlaps %S [%g, %g]"
+                  tid name ts (ts +. dur) name0 ts0 (ts0 +. dur0)
+              | _ -> scan ((ts, dur, name) :: stack) rest)
+         in
+         scan [] evs)
+      (Ok ()) tids
+  in
+  Ok { events = List.length parsed; tids }

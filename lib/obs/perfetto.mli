@@ -1,0 +1,25 @@
+(** Chrome trace-event / Perfetto JSON export of the span forest.
+
+    {!of_trace} flattens the merged multi-domain forest of {!Trace} into
+    an array of complete ("X") trace events — one per span, [tid] set to
+    the recording domain's id, timestamps in microseconds relative to
+    the trace epoch, GC deltas and per-span metrics in [args] — loadable
+    by Perfetto ({: https://ui.perfetto.dev}) or [chrome://tracing].
+    Every CLI subcommand exposes it as [--perfetto FILE]. *)
+
+val of_trace : unit -> Json.t
+(** The current trace as a JSON array of trace events. *)
+
+val write_file : string -> unit
+(** Pretty-print {!of_trace} to the given path (atomically, via
+    {!Report.write_string_atomic}). *)
+
+type stats = { events : int; tids : int list }
+
+val validate : Json.t -> (stats, string) result
+(** Structural validation used by [json_check --trace] and the tests:
+    the value must be an array of events each carrying a string ["name"],
+    [ph = "X"], finite non-negative numeric ["ts"] and ["dur"], and an
+    integer ["tid"]; events of the same tid must be properly nested
+    (fully contained or disjoint — partial overlap is an error). Returns
+    the event count and the distinct tids. *)

@@ -61,6 +61,10 @@ let rec worker_step p =
       worker_step p
 
 let worker p () =
+  (* Register this domain's trace recorder up front so spans opened inside
+     chunk bodies land in a per-domain buffer and surface in the merged
+     export (Perfetto) under this domain's tid. *)
+  Obs.Trace.register_domain ();
   Domain.DLS.get busy_key := true;
   Mutex.lock p.m;
   worker_step p;

@@ -16,7 +16,10 @@
     Telemetry: [set_jobs] records the [parallel.jobs] gauge; every pooled
     invocation bumps [parallel.invocations] and updates the
     [parallel.pool.utilization] gauge (share of chunks executed by worker
-    domains rather than the caller) plus a same-named histogram. *)
+    domains rather than the caller) plus a same-named histogram. Each
+    worker domain registers an [Obs.Trace] recorder on spawn, so trace
+    spans opened inside chunk bodies appear in the merged export under
+    the worker's own tid. *)
 
 val default_jobs : unit -> int
 (** [max 1 (Domain.recommended_domain_count () - 1)]: leave one core for

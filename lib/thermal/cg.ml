@@ -10,6 +10,100 @@ type precond = Jacobi | Ssor of float | Multigrid of Multigrid.t
 
 let default_tol = 1e-10
 
+(* --- convergence telemetry ------------------------------------------------
+   Every solve logs its per-iteration relative residuals into a bounded
+   per-solve buffer (stride-doubling downsample: when the buffer fills,
+   every other entry is dropped and the sampling stride doubles, so the
+   trajectory shape survives at any iteration count), and the finished
+   history lands in a small process-global ring. The ring is what the CLI
+   report's "convergence" section and the tests read: the last
+   [history_ring_capacity] solves, escalation rungs included, each tagged
+   with its preconditioner label and warm/cold start. *)
+
+let residual_log_capacity = 256
+
+type res_log = {
+  rl_buf : float array;
+  mutable rl_len : int;
+  mutable rl_stride : int;  (* every stride-th iteration is retained *)
+  mutable rl_seen : int;
+}
+
+let log_create () =
+  { rl_buf = Array.make residual_log_capacity 0.0; rl_len = 0;
+    rl_stride = 1; rl_seen = 0 }
+
+let log_push l r =
+  if l.rl_seen mod l.rl_stride = 0 then begin
+    if l.rl_len = residual_log_capacity then begin
+      (* keep every other entry; retained entries stay stride-aligned
+         because the capacity is even *)
+      for i = 0 to (residual_log_capacity / 2) - 1 do
+        l.rl_buf.(i) <- l.rl_buf.(2 * i)
+      done;
+      l.rl_len <- residual_log_capacity / 2;
+      l.rl_stride <- l.rl_stride * 2
+    end;
+    l.rl_buf.(l.rl_len) <- r;
+    l.rl_len <- l.rl_len + 1
+  end;
+  l.rl_seen <- l.rl_seen + 1
+
+type history = {
+  h_label : string;        (* preconditioner / escalation-rung tag *)
+  h_warm : bool;
+  h_iterations : int;
+  h_converged : bool;
+  h_breakdown : string option;
+  h_stride : int;
+  h_residuals : float array;
+}
+
+let history_ring_capacity = 32
+
+let ring : history option array = Array.make history_ring_capacity None
+let ring_mutex = Mutex.create ()
+let ring_pos = ref 0
+let ring_total = ref 0
+
+let push_history h =
+  Mutex.protect ring_mutex (fun () ->
+      ring.(!ring_pos) <- Some h;
+      ring_pos := (!ring_pos + 1) mod history_ring_capacity;
+      incr ring_total)
+
+let recent_histories () =
+  Mutex.protect ring_mutex (fun () ->
+      let n = min !ring_total history_ring_capacity in
+      List.init n (fun i ->
+          Option.get
+            ring.((!ring_pos - n + i + (2 * history_ring_capacity))
+                  mod history_ring_capacity)))
+
+let clear_histories () =
+  Mutex.protect ring_mutex (fun () ->
+      Array.fill ring 0 history_ring_capacity None;
+      ring_pos := 0;
+      ring_total := 0)
+
+let history_json h =
+  Obs.Json.Obj
+    [ ("label", Obs.Json.String h.h_label);
+      ("warm_start", Obs.Json.Bool h.h_warm);
+      ("iterations", Obs.Json.Int h.h_iterations);
+      ("converged", Obs.Json.Bool h.h_converged);
+      ("breakdown",
+       (match h.h_breakdown with
+        | None -> Obs.Json.Null
+        | Some b -> Obs.Json.String b));
+      ("residual_stride", Obs.Json.Int h.h_stride);
+      ("residuals",
+       Obs.Json.List
+         (Array.to_list (Array.map (fun r -> Obs.Json.Float r) h.h_residuals))) ]
+
+let histories_json () =
+  Obs.Json.List (List.map history_json (recent_histories ()))
+
 (* Vector ops are chunked on a fixed grid (independent of the pool size)
    and reductions combine per-chunk partials in chunk-index order, so a
    parallel solve is bit-identical to a sequential one: same partial sums,
@@ -82,6 +176,7 @@ let stall_window = 200
 let divergence_factor = 1e8
 
 let solve_raw m ~b ~tol ?max_iter ?x0 ?(precond = Jacobi) () =
+  let rlog = log_create () in
   let n = Sparse.dim m in
   if Array.length b <> n then invalid_arg "Cg.solve: rhs dimension mismatch";
   (match precond with
@@ -100,9 +195,10 @@ let solve_raw m ~b ~tol ?max_iter ?x0 ?(precond = Jacobi) () =
     diag;
   if Robust.Faults.consume Robust.Faults.Cg_stall then
     (* injected non-convergence: report failure with an untouched iterate *)
-    { x = (match x0 with Some v -> Array.copy v | None -> Array.make n 0.0);
-      iterations = 0; residual = 1.0; converged = false;
-      breakdown = Some "injected: cg_stall" }
+    ({ x = (match x0 with Some v -> Array.copy v | None -> Array.make n 0.0);
+       iterations = 0; residual = 1.0; converged = false;
+       breakdown = Some "injected: cg_stall" },
+     rlog)
   else begin
   let partials = Array.make (n_chunks n) 0.0 in
   let norm a = sqrt (dot partials a a) in
@@ -131,8 +227,9 @@ let solve_raw m ~b ~tol ?max_iter ?x0 ?(precond = Jacobi) () =
       for i = lo to hi do r.(i) <- b.(i) -. r.(i) done);
   let bnorm = norm b in
   if bnorm = 0.0 then
-    { x = Array.make n 0.0; iterations = 0; residual = 0.0;
-      converged = true; breakdown = None }
+    ({ x = Array.make n 0.0; iterations = 0; residual = 0.0;
+       converged = true; breakdown = None },
+     rlog)
   else begin
     let z = Array.make n 0.0 in
     apply_precond r z;
@@ -140,7 +237,9 @@ let solve_raw m ~b ~tol ?max_iter ?x0 ?(precond = Jacobi) () =
     let ap = Array.make n 0.0 in
     let rz = ref (dot partials r z) in
     let iterations = ref 0 in
-    let converged = ref (norm r /. bnorm <= tol) in
+    let rn0 = norm r /. bnorm in
+    log_push rlog rn0;
+    let converged = ref (rn0 <= tol) in
     let breakdown = ref None in
     let best_rn = ref infinity in
     let since_best = ref 0 in
@@ -162,6 +261,7 @@ let solve_raw m ~b ~tol ?max_iter ?x0 ?(precond = Jacobi) () =
         if not (Float.is_finite rn) then
           breakdown := Some "non-finite residual"
         else begin
+          log_push rlog (rn /. bnorm);
           if rn < !best_rn then begin
             best_rn := rn;
             since_best := 0
@@ -218,14 +318,42 @@ let solve_raw m ~b ~tol ?max_iter ?x0 ?(precond = Jacobi) () =
       let d = b.(i) -. ap.(i) in
       res := !res +. (d *. d)
     done;
-    { x; iterations = !iterations; residual = sqrt !res /. bnorm;
-      converged = !converged; breakdown = !breakdown }
+    ({ x; iterations = !iterations; residual = sqrt !res /. bnorm;
+       converged = !converged; breakdown = !breakdown },
+     rlog)
   end
   end
 
-let solve m ~b ?(tol = default_tol) ?max_iter ?x0 ?precond () =
+let precond_label = function
+  | None | Some Jacobi -> "jacobi"
+  | Some (Ssor _) -> "ssor"
+  | Some (Multigrid _) -> "mg"
+
+let solve m ~b ?(tol = default_tol) ?max_iter ?x0 ?precond ?label () =
   Obs.Trace.with_span "thermal.cg.solve" (fun () ->
-      let out = record (solve_raw m ~b ~tol ?max_iter ?x0 ?precond ()) in
+      let label =
+        match label with Some l -> l | None -> precond_label precond
+      in
+      let out, rlog = solve_raw m ~b ~tol ?max_iter ?x0 ?precond () in
+      let out = record out in
+      push_history
+        { h_label = label; h_warm = Option.is_some x0;
+          h_iterations = out.iterations; h_converged = out.converged;
+          h_breakdown = out.breakdown; h_stride = rlog.rl_stride;
+          h_residuals = Array.sub rlog.rl_buf 0 rlog.rl_len };
+      (* residual-trajectory metrics: initial and final relative residual
+         plus the geometric per-iteration reduction rate, so sweeps can
+         audit convergence quality, not just iteration counts *)
+      if rlog.rl_len > 0 then begin
+        let r0 = rlog.rl_buf.(0) in
+        Obs.Metrics.observe "thermal.cg.residual.initial" r0;
+        Obs.Metrics.observe "thermal.cg.residual.final" out.residual;
+        if out.iterations > 0 && r0 > 0.0 && out.residual > 0.0 then
+          Obs.Metrics.observe "thermal.cg.residual.rate"
+            ((out.residual /. r0) ** (1.0 /. float_of_int out.iterations))
+      end;
+      Obs.Trace.add_metric "cg.iterations" (float_of_int out.iterations);
+      Obs.Trace.add_metric "cg.residual" out.residual;
       (* Warm-start savings are measured against cold solves of the same
          system (Mesh tracks the pairing); here we just split the
          iteration histogram by start kind. *)
@@ -274,15 +402,16 @@ let solve_escalating m ~b ?(tol = default_tol) ?max_iter ?x0 ?precond () =
        else
          [ ("jacobi",
             fun () ->
-              solve m ~b ~tol ~max_iter:base_iter ~precond:Jacobi ()) ])
+              solve m ~b ~tol ~max_iter:base_iter ~precond:Jacobi
+                ~label:"esc:jacobi" ()) ])
       @ [ ("ssor",
            fun () ->
              solve m ~b ~tol ~max_iter:(2 * base_iter)
-               ~precond:(Ssor 1.2) ());
+               ~precond:(Ssor 1.2) ~label:"esc:ssor" ());
           ("restart",
            fun () ->
              solve m ~b ~tol ~max_iter:(4 * base_iter)
-               ~precond:Jacobi ()) ]
+               ~precond:Jacobi ~label:"esc:restart" ()) ]
     in
     let rec go attempted best = function
       | [] ->

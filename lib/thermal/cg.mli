@@ -36,8 +36,46 @@ val default_tol : float
 (** 1e-10 relative — the single convergence default shared by {!solve}
     and [Mesh.solve]. *)
 
+(** {1 Convergence telemetry}
+
+    Every solve records its per-iteration relative residual trajectory
+    into a bounded per-solve buffer (stride-doubling downsample, at most
+    {!residual_log_capacity} points whatever the iteration count) and
+    publishes the finished history into a process-global ring holding
+    the last {!history_ring_capacity} solves — escalation-ladder rungs
+    included, each tagged with its label. The CLI report's
+    ["convergence"] section is {!histories_json}. *)
+
+type history = {
+  h_label : string;
+  (** preconditioner ("jacobi" / "ssor" / "mg"), an escalation rung
+      ("esc:jacobi", ...) or a caller-supplied [?label] *)
+  h_warm : bool;           (** was an [x0] supplied? *)
+  h_iterations : int;
+  h_converged : bool;
+  h_breakdown : string option;
+  h_stride : int;
+  (** residuals were retained every [h_stride]-th iteration *)
+  h_residuals : float array;
+  (** relative residuals, oldest first; index [i] is iteration
+      [i * h_stride] *)
+}
+
+val residual_log_capacity : int
+val history_ring_capacity : int
+
+val recent_histories : unit -> history list
+(** The ring contents, oldest first (thread-safe). *)
+
+val clear_histories : unit -> unit
+
+val histories_json : unit -> Obs.Json.t
+(** {!recent_histories} as a JSON list of
+    [{"label","warm_start","iterations","converged","breakdown",
+      "residual_stride","residuals"}]. *)
+
 val solve : Sparse.t -> b:float array -> ?tol:float -> ?max_iter:int ->
-  ?x0:float array -> ?precond:precond -> unit -> outcome
+  ?x0:float array -> ?precond:precond -> ?label:string -> unit -> outcome
 (** Defaults: [tol] {!default_tol}, [max_iter] 4 * dim, [x0] zero,
     [precond] {!Jacobi}. Raises [Invalid_argument] on dimension mismatch,
     a non-positive diagonal entry (the preconditioners need positivity,

@@ -1,11 +1,13 @@
 #!/bin/sh
 # Full repository gate: build everything, run the test suites and the
 # quickstart example, smoke-run the solver-engine and multigrid benches
-# (cache + warm-start + preconditioner + pool) and the CLI with --report,
-# validate the JSON
-# both write, exercise the invariant-check subcommand and the
-# fault-injection harness (structured exit codes), and prove the sweep
-# checkpoint resumes. Run from anywhere inside the repository.
+# (cache + warm-start + preconditioner + pool) and gate them against the
+# committed bench/baselines via bench_diff (wall-clock regressions and
+# invariant flips fail the run), smoke the CLI with --report and
+# --perfetto, validate the JSON both write, exercise the invariant-check
+# subcommand and the fault-injection harness (structured exit codes), and
+# prove the sweep checkpoint resumes. Run from anywhere inside the
+# repository.
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -28,14 +30,43 @@ echo "== multigrid bench smoke"
 dune exec bench/main.exe -- --jobs 2 mg >/dev/null
 dune exec bin/json_check.exe -- BENCH_mg.json experiment summary
 
+echo "== bench regression gate (bench_diff vs committed baselines)"
+# A generous threshold absorbs machine-to-machine noise; invariant flips
+# (plans_agree, parallel_bit_identical, ...) fail at any threshold.
+dune exec bin/bench_diff.exe -- --threshold 0.60 \
+  bench/baselines/cg.json BENCH_cg.json >/dev/null
+dune exec bin/bench_diff.exe -- --threshold 0.60 \
+  bench/baselines/mg.json BENCH_mg.json >/dev/null
+# Sanity of the gate itself: clean against itself, trips on a simulated
+# +100% slowdown.
+dune exec bin/bench_diff.exe -- \
+  bench/baselines/cg.json bench/baselines/cg.json >/dev/null
+rc=0
+dune exec bin/bench_diff.exe -- --scale-times 2.0 \
+  bench/baselines/cg.json bench/baselines/cg.json >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "bench_diff: expected exit 1 on simulated slowdown, got $rc" >&2
+  exit 1
+fi
+
 echo "== thermoplace --report smoke"
 report=$(mktemp /tmp/thermoplace-report.XXXXXX.json)
 ckpt=$(mktemp /tmp/thermoplace-ckpt.XXXXXX.json)
-trap 'rm -f "$report" "$ckpt"' EXIT
+perfetto=$(mktemp /tmp/thermoplace-perfetto.XXXXXX.json)
+trap 'rm -f "$report" "$ckpt" "$perfetto"' EXIT
 dune exec bin/thermoplace.exe -- \
   flow --test-set small --cycles 200 --report "$report" >/dev/null
 dune exec bin/json_check.exe -- \
-  "$report" schema_version config spans metrics warnings base result
+  "$report" schema_version config spans metrics warnings base result \
+  convergence
+
+echo "== perfetto trace smoke"
+# A parallel optimizer run must yield a valid Chrome trace-event file with
+# spans from more than one domain (json_check --trace checks both).
+dune exec bin/thermoplace.exe -- \
+  optimize --test-set small --cycles 200 --rows 2 --jobs 4 \
+  --perfetto "$perfetto" >/dev/null
+dune exec bin/json_check.exe -- --trace "$perfetto" 2
 
 echo "== invariant checks (thermoplace check)"
 dune exec bin/thermoplace.exe -- check --test-set small --cycles 200 >/dev/null

@@ -64,6 +64,91 @@ let test_trace_exception_safe () =
     [ "raiser"; "after" ]
     (List.map (fun s -> s.Obs.Trace.name) (Obs.Trace.roots ()))
 
+(* A frame is abandoned when a non-local exit skips its [finish] — here an
+   effect handler that never resumes the continuation, so [Fun.protect]'s
+   finally is skipped. The abandoned frame's *completed* children are real
+   measurements and must be reparented to the nearest surviving ancestor,
+   not dropped. *)
+type _ Effect.t += Abandon : unit Effect.t
+
+let test_trace_reparent_abandoned () =
+  with_tracing @@ fun () ->
+  Obs.Trace.with_span "outer" (fun () ->
+      Effect.Deep.try_with
+        (fun () ->
+           Obs.Trace.with_span "abandoned" (fun () ->
+               Obs.Trace.with_span "kept" (fun () -> ());
+               Effect.perform Abandon))
+        ()
+        { effc =
+            (fun (type a) (eff : a Effect.t) ->
+               match eff with
+               | Abandon ->
+                 (* drop the continuation: "abandoned"'s finish never runs *)
+                 Some
+                   (fun (k : (a, _) Effect.Deep.continuation) -> ignore k)
+               | _ -> None) });
+  match Obs.Trace.roots () with
+  | [ outer ] ->
+    Alcotest.(check string) "surviving root" "outer" outer.Obs.Trace.name;
+    Alcotest.(check (list string))
+      "completed child of the abandoned frame reparented" [ "kept" ]
+      (List.map (fun s -> s.Obs.Trace.name) outer.Obs.Trace.children);
+    Alcotest.(check int) "abandoned frame itself not recorded" 2
+      (Obs.Trace.span_count ())
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+(* --- clock ------------------------------------------------------------------ *)
+
+let test_clock_ratchet () =
+  (* fake wall clock slightly ahead of real time so the global watermark
+     recovers immediately after the test *)
+  let base = Unix.gettimeofday () +. 0.02 in
+  let t = ref base in
+  Obs.Clock.set_source (Some (fun () -> !t));
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Clock.set_source None;
+      (* let the real clock pass the fake watermark before later tests
+         measure durations *)
+      Unix.sleepf 0.05)
+    (fun () ->
+       let a = Obs.Clock.now () in
+       Alcotest.(check (float 0.0)) "tracks the source" base a;
+       t := base -. 10.0;
+       let b = Obs.Clock.now () in
+       Alcotest.(check (float 0.0)) "backwards step clamps to watermark" a b;
+       t := base +. 0.01;
+       let c = Obs.Clock.now () in
+       Alcotest.(check (float 0.0)) "resumes once the source passes"
+         (base +. 0.01) c;
+       Alcotest.(check bool) "never decreases" true (b >= a && c >= b))
+
+(* Spans timed across a backwards clock step must still have non-negative
+   durations and non-decreasing start times. *)
+let test_clock_spans_survive_backstep () =
+  let base = Unix.gettimeofday () +. 0.02 in
+  let t = ref base in
+  Obs.Clock.set_source (Some (fun () -> !t));
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Clock.set_source None;
+      Unix.sleepf 0.05)
+    (fun () ->
+       with_tracing @@ fun () ->
+       Obs.Trace.with_span "across-backstep" (fun () ->
+           t := base -. 5.0 (* the wall clock steps back mid-span *));
+       t := base +. 0.001;
+       Obs.Trace.with_span "after" (fun () -> ());
+       match Obs.Trace.roots () with
+       | [ s1; s2 ] ->
+         Alcotest.(check bool) "duration non-negative" true
+           (s1.Obs.Trace.duration_s >= 0.0);
+         Alcotest.(check bool) "starts non-decreasing" true
+           (s2.Obs.Trace.start_s >= s1.Obs.Trace.start_s)
+       | roots ->
+         Alcotest.failf "expected two roots, got %d" (List.length roots))
+
 (* --- metrics ---------------------------------------------------------------- *)
 
 let test_metrics_counters () =
@@ -117,6 +202,74 @@ let test_metrics_sample_cap () =
     Alcotest.(check (float 1e-6)) "sum exact past cap"
       (float_of_int (n * (n + 1) / 2))
       h.Obs.Metrics.sum
+
+(* Regression: the histogram used to keep the *first* 4096 observations
+   and drop the rest, so percentiles of a drifting stream described only
+   its opening regime. With reservoir sampling, a 100k-observation ramp
+   must yield percentiles near the true stream percentiles, and retain
+   samples from the tail at all. *)
+let test_metrics_reservoir_unbiased () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  let n = 100_000 in
+  for i = 1 to n do
+    Obs.Metrics.observe "stream" (float_of_int i)
+  done;
+  match Obs.Metrics.histogram "stream" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    Alcotest.(check int) "count exact" n h.Obs.Metrics.count;
+    Alcotest.(check int) "reservoir full" Obs.Metrics.max_samples
+      (List.length h.Obs.Metrics.samples);
+    Alcotest.(check int) "dropped" (n - Obs.Metrics.max_samples)
+      h.Obs.Metrics.dropped;
+    (* first-4096 retention would pin p50 at <= 4096 (4% of the stream);
+       an unbiased reservoir of 4096 has p50 within ~800 of the true
+       median at one sigma — 5000 is a >6-sigma band, and the seeded RNG
+       makes the draw deterministic anyway *)
+    let p50 = Obs.Metrics.percentile h 0.50 in
+    let p99 = Obs.Metrics.percentile h 0.99 in
+    Alcotest.(check bool) "p50 near the true median" true
+      (Float.abs (p50 -. 50_000.0) < 5_000.0);
+    Alcotest.(check bool) "p99 near the true p99" true
+      (Float.abs (p99 -. 99_000.0) < 1_000.0);
+    Alcotest.(check bool) "tail samples retained" true
+      (List.exists (fun v -> v > 90_000.0) h.Obs.Metrics.samples)
+
+(* The replacement RNG is seeded from the metric name: identical streams
+   retain identical samples, run to run. *)
+let test_metrics_reservoir_deterministic () =
+  Obs.Metrics.set_enabled true;
+  let run () =
+    Obs.Metrics.reset ();
+    for i = 1 to 20_000 do
+      Obs.Metrics.observe "det" (float_of_int i)
+    done;
+    match Obs.Metrics.histogram "det" with
+    | Some h -> h.Obs.Metrics.samples
+    | None -> Alcotest.fail "histogram missing"
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check bool) "identical retained samples across runs" true (a = b)
+
+let test_metrics_percentile_edges () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  List.iter (Obs.Metrics.observe "p") [ 30.0; 10.0; 40.0; 20.0 ];
+  (match Obs.Metrics.histogram "p" with
+   | None -> Alcotest.fail "histogram missing"
+   | Some h ->
+     Alcotest.(check (float 0.0)) "p0 is the min" 10.0
+       (Obs.Metrics.percentile h 0.0);
+     Alcotest.(check (float 0.0)) "p50 nearest-rank" 20.0
+       (Obs.Metrics.percentile h 0.5);
+     Alcotest.(check (float 0.0)) "p100 is the max" 40.0
+       (Obs.Metrics.percentile h 1.0);
+     (try
+        ignore (Obs.Metrics.percentile h 1.5);
+        Alcotest.fail "q outside [0,1] accepted"
+      with Invalid_argument _ -> ()))
 
 let test_metrics_disabled_noop () =
   Obs.Metrics.reset ();
@@ -323,6 +476,111 @@ let test_atomic_write () =
        Alcotest.(check string) "previous content intact" "second"
          (read_file path))
 
+(* --- perfetto ---------------------------------------------------------------- *)
+
+let test_perfetto_export_validates () =
+  with_tracing @@ fun () ->
+  Obs.Trace.with_span "a" (fun () ->
+      Obs.Trace.add_metric "x" 1.5;
+      Obs.Trace.with_span "b" (fun () -> ()));
+  Obs.Trace.with_span "c" (fun () -> ());
+  let j = Obs.Perfetto.of_trace () in
+  (match Obs.Perfetto.validate j with
+   | Error e -> Alcotest.failf "export invalid: %s" e
+   | Ok stats ->
+     Alcotest.(check int) "one event per span" 3 stats.Obs.Perfetto.events;
+     Alcotest.(check bool) "at least the caller's track" true
+       (stats.Obs.Perfetto.tids <> []));
+  (* the file representation (print + reparse) must validate too, and the
+     span metric must survive into the event args *)
+  match Obs.Json.of_string (Obs.Json.to_string ~pretty:true j) with
+  | Error e -> Alcotest.failf "export not reparsable: %s" e
+  | Ok j' ->
+    (match Obs.Perfetto.validate j' with
+     | Error e -> Alcotest.failf "reparsed export invalid: %s" e
+     | Ok _ -> ());
+    let has_metric =
+      match j' with
+      | Obs.Json.List evs ->
+        List.exists
+          (fun ev ->
+             match Obs.Json.member "args" ev with
+             | Some args ->
+               Option.bind (Obs.Json.member "x" args) Obs.Json.to_float
+               = Some 1.5
+             | None -> false)
+          evs
+      | _ -> false
+    in
+    Alcotest.(check bool) "span metric lands in args" true has_metric
+
+let test_perfetto_write_file () =
+  let path = Filename.temp_file "perfetto" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       with_tracing (fun () ->
+           Obs.Trace.with_span "root" (fun () ->
+               Obs.Trace.with_span "leaf" (fun () -> ()));
+           Obs.Perfetto.write_file path);
+       match Obs.Json.of_string (read_file path) with
+       | Error e -> Alcotest.failf "written trace unparsable: %s" e
+       | Ok j ->
+         (match Obs.Perfetto.validate j with
+          | Ok stats ->
+            Alcotest.(check int) "events" 2 stats.Obs.Perfetto.events
+          | Error e -> Alcotest.failf "written trace invalid: %s" e))
+
+let test_perfetto_validate_rejects () =
+  let ev ?(name = Obs.Json.String "s") ?(ph = Obs.Json.String "X")
+      ?(ts = Obs.Json.Float 0.0) ?(dur = Obs.Json.Float 10.0)
+      ?(tid = Obs.Json.Int 0) () =
+    Obs.Json.Obj
+      [ ("name", name); ("cat", Obs.Json.String "span"); ("ph", ph);
+        ("ts", ts); ("dur", dur); ("pid", Obs.Json.Int 1); ("tid", tid) ]
+  in
+  let expect_error what j =
+    match Obs.Perfetto.validate j with
+    | Ok _ -> Alcotest.failf "%s accepted" what
+    | Error _ -> ()
+  in
+  expect_error "non-array" (Obs.Json.Obj []);
+  expect_error "non-X phase" (Obs.Json.List [ ev ~ph:(Obs.Json.String "B") () ]);
+  expect_error "non-string name" (Obs.Json.List [ ev ~name:(Obs.Json.Int 3) () ]);
+  expect_error "negative dur"
+    (Obs.Json.List [ ev ~dur:(Obs.Json.Float (-1.0)) () ]);
+  expect_error "non-finite ts"
+    (Obs.Json.List [ ev ~ts:(Obs.Json.Float Float.nan) () ]);
+  expect_error "missing tid"
+    (Obs.Json.List
+       [ Obs.Json.Obj
+           [ ("name", Obs.Json.String "s"); ("ph", Obs.Json.String "X");
+             ("ts", Obs.Json.Float 0.0); ("dur", Obs.Json.Float 1.0) ] ]);
+  (* partial overlap on one tid is rejected; the same intervals on
+     different tids are independent tracks and fine *)
+  let overlap tid2 =
+    Obs.Json.List
+      [ ev ~ts:(Obs.Json.Float 0.0) ~dur:(Obs.Json.Float 10.0) ();
+        ev ~ts:(Obs.Json.Float 5.0) ~dur:(Obs.Json.Float 10.0)
+          ~tid:(Obs.Json.Int tid2) () ]
+  in
+  expect_error "partial overlap on one tid" (overlap 0);
+  (match Obs.Perfetto.validate (overlap 1) with
+   | Ok stats ->
+     Alcotest.(check (list int)) "two tracks" [ 0; 1 ]
+       stats.Obs.Perfetto.tids
+   | Error e -> Alcotest.failf "cross-tid intervals rejected: %s" e);
+  (* proper nesting and disjoint spans on one tid are fine in any order *)
+  match
+    Obs.Perfetto.validate
+      (Obs.Json.List
+         [ ev ~ts:(Obs.Json.Float 2.0) ~dur:(Obs.Json.Float 3.0) ();
+           ev ~ts:(Obs.Json.Float 0.0) ~dur:(Obs.Json.Float 10.0) ();
+           ev ~ts:(Obs.Json.Float 12.0) ~dur:(Obs.Json.Float 1.0) () ])
+  with
+  | Ok stats -> Alcotest.(check int) "nested accepted" 3 stats.Obs.Perfetto.events
+  | Error e -> Alcotest.failf "proper nesting rejected: %s" e
+
 let () =
   Alcotest.run "obs"
     [ ("trace",
@@ -332,12 +590,24 @@ let () =
          Alcotest.test_case "timing monotone" `Quick
            test_trace_timing_monotone;
          Alcotest.test_case "exception safe" `Quick
-           test_trace_exception_safe ]);
+           test_trace_exception_safe;
+         Alcotest.test_case "reparent abandoned frames" `Quick
+           test_trace_reparent_abandoned ]);
+      ("clock",
+       [ Alcotest.test_case "ratchet" `Quick test_clock_ratchet;
+         Alcotest.test_case "spans survive a backwards step" `Quick
+           test_clock_spans_survive_backstep ]);
       ("metrics",
        [ Alcotest.test_case "counters and gauges" `Quick
            test_metrics_counters;
          Alcotest.test_case "histogram" `Quick test_metrics_histogram;
          Alcotest.test_case "sample cap" `Quick test_metrics_sample_cap;
+         Alcotest.test_case "reservoir unbiased at 100k" `Quick
+           test_metrics_reservoir_unbiased;
+         Alcotest.test_case "reservoir deterministic" `Quick
+           test_metrics_reservoir_deterministic;
+         Alcotest.test_case "percentile edges" `Quick
+           test_metrics_percentile_edges;
          Alcotest.test_case "disabled no-op" `Quick
            test_metrics_disabled_noop ]);
       ("log", [ Alcotest.test_case "retention" `Quick test_log_retention ]);
@@ -352,4 +622,10 @@ let () =
        [ Alcotest.test_case "structure and file round-trip" `Quick
            test_report_structure;
          Alcotest.test_case "atomic publication" `Quick
-           test_atomic_write ]) ]
+           test_atomic_write ]);
+      ("perfetto",
+       [ Alcotest.test_case "export validates" `Quick
+           test_perfetto_export_validates;
+         Alcotest.test_case "write file" `Quick test_perfetto_write_file;
+         Alcotest.test_case "validator rejects malformed traces" `Quick
+           test_perfetto_validate_rejects ]) ]

@@ -153,6 +153,55 @@ let test_mg_bit_identical_across_jobs () =
       Alcotest.(check bool) "bit-identical solution" true
         (par.Thermal.Mesh.temp = seq.Thermal.Mesh.temp))
 
+(* Spans opened inside pooled chunks must land in the worker domains' own
+   recorders and surface in the merged export under distinct tids — the
+   contract behind thermoplace --perfetto --jobs N. *)
+let test_cross_domain_trace () =
+  Obs.Trace.set_enabled true;
+  Obs.Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Trace.reset ())
+    (fun () ->
+       with_jobs 4 (fun () ->
+           Parallel.Pool.parallel_for ~chunks:64 (fun i ->
+               Obs.Trace.with_span "chunk" (fun () ->
+                   (* a little work so every worker claims some chunks *)
+                   let t0 = Unix.gettimeofday () in
+                   while Unix.gettimeofday () -. t0 < 2e-4 do () done;
+                   ignore i)));
+       let groups = Obs.Trace.all_roots () in
+       Alcotest.(check bool) "spans recorded on >= 2 domains" true
+         (List.length groups >= 2);
+       let total =
+         List.fold_left
+           (fun acc (_, roots) -> acc + List.length roots)
+           0 groups
+       in
+       Alcotest.(check int) "no chunk span lost" 64 total;
+       List.iter
+         (fun (tid, roots) ->
+            List.iter
+              (fun (s : Obs.Trace.span) ->
+                 Alcotest.(check int) "span tid matches its group" tid
+                   s.Obs.Trace.tid)
+              roots)
+         groups;
+       (* tids are sorted and distinct in the merged view *)
+       let tids = List.map fst groups in
+       Alcotest.(check bool) "tids sorted distinct" true
+         (tids = List.sort_uniq compare tids);
+       (* and the Perfetto export of the same forest validates with the
+          same track set *)
+       match Obs.Perfetto.validate (Obs.Perfetto.of_trace ()) with
+       | Ok stats ->
+         Alcotest.(check (list int)) "export tracks match recorders" tids
+           stats.Obs.Perfetto.tids;
+         Alcotest.(check int) "export event count" 64
+           stats.Obs.Perfetto.events
+       | Error e -> Alcotest.failf "perfetto export invalid: %s" e)
+
 let test_mul_par_matches_mul () =
   let n = 4096 in
   let b = Thermal.Sparse.builder ~n in
@@ -190,4 +239,7 @@ let () =
          Alcotest.test_case "mg bit-identical across jobs" `Quick
            test_mg_bit_identical_across_jobs;
          Alcotest.test_case "mul_par matches mul" `Quick
-           test_mul_par_matches_mul ]) ]
+           test_mul_par_matches_mul ]);
+      ("tracing",
+       [ Alcotest.test_case "cross-domain spans merge by tid" `Quick
+           test_cross_domain_trace ]) ]

@@ -870,6 +870,115 @@ let test_cg_escalation_recovers () =
    | _ -> Alcotest.fail "clean solve escalated");
   Alcotest.(check (list string)) "no rungs" [] clean.Thermal.Cg.esc_rungs
 
+(* --- convergence telemetry --------------------------------------------------- *)
+
+(* 1-D chain Laplacian with a Dirichlet anchor: SPD, and at [n] in the
+   hundreds the unpreconditioned-Jacobi solve needs well over
+   [residual_log_capacity] iterations, exercising the stride-doubling
+   downsample. *)
+let chain_system n =
+  let b = Thermal.Sparse.builder ~n in
+  for i = 0 to n - 1 do
+    Thermal.Sparse.add b i i (if i = 0 then 3.0 else 2.0);
+    if i > 0 then Thermal.Sparse.add b i (i - 1) (-1.0);
+    if i < n - 1 then Thermal.Sparse.add b i (i + 1) (-1.0)
+  done;
+  (Thermal.Sparse.of_builder b, Array.make n 1.0)
+
+let test_cg_history_ring () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Thermal.Cg.clear_histories ();
+  Alcotest.(check int) "ring starts empty" 0
+    (List.length (Thermal.Cg.recent_histories ()));
+  let m, rhs = chain_system 16 in
+  let cold = Thermal.Cg.solve m ~b:rhs () in
+  let _warm = Thermal.Cg.solve m ~b:rhs ~x0:cold.Thermal.Cg.x () in
+  (match Thermal.Cg.recent_histories () with
+   | [ h_cold; h_warm ] ->
+     Alcotest.(check string) "label defaults to the preconditioner"
+       "jacobi" h_cold.Thermal.Cg.h_label;
+     Alcotest.(check bool) "cold marked cold" false h_cold.Thermal.Cg.h_warm;
+     Alcotest.(check bool) "warm marked warm" true h_warm.Thermal.Cg.h_warm;
+     Alcotest.(check bool) "converged" true h_cold.Thermal.Cg.h_converged;
+     Alcotest.(check int) "iterations recorded"
+       cold.Thermal.Cg.iterations h_cold.Thermal.Cg.h_iterations;
+     let r = h_cold.Thermal.Cg.h_residuals in
+     Alcotest.(check bool) "residual trajectory present" true
+       (Array.length r >= 2);
+     Alcotest.(check bool) "trajectory ends far below its start" true
+       (r.(Array.length r - 1) < r.(0) /. 1e6)
+   | hs -> Alcotest.failf "expected 2 histories, got %d" (List.length hs));
+  (* residual metrics land in the registry *)
+  (match Obs.Metrics.histogram "thermal.cg.residual.rate" with
+   | Some h ->
+     Alcotest.(check bool) "contraction rate in (0, 1)" true
+       (h.Obs.Metrics.last > 0.0 && h.Obs.Metrics.last < 1.0)
+   | None -> Alcotest.fail "thermal.cg.residual.rate not recorded");
+  (match Obs.Metrics.histogram "thermal.cg.residual.final" with
+   | Some _ -> ()
+   | None -> Alcotest.fail "thermal.cg.residual.final not recorded");
+  (* escalation rungs get their own labeled entries *)
+  Thermal.Cg.clear_histories ();
+  let esc =
+    Robust.Faults.with_fault Robust.Faults.Cg_stall (fun () ->
+        Thermal.Cg.solve_escalating m ~b:rhs ())
+  in
+  (match esc.Thermal.Cg.esc_status with
+   | Thermal.Cg.Recovered _ -> ()
+   | _ -> Alcotest.fail "stall not recovered");
+  let labels =
+    List.map (fun h -> h.Thermal.Cg.h_label) (Thermal.Cg.recent_histories ())
+  in
+  Alcotest.(check bool) "escalation rung labeled" true
+    (List.exists
+       (fun l ->
+          String.length l > 4 && String.sub l 0 4 = "esc:")
+       labels);
+  (* the ring is bounded: overfill it and count *)
+  Thermal.Cg.clear_histories ();
+  let m16, rhs16 = chain_system 8 in
+  for _ = 1 to Thermal.Cg.history_ring_capacity + 5 do
+    ignore (Thermal.Cg.solve m16 ~b:rhs16 ())
+  done;
+  Alcotest.(check int) "ring bounded" Thermal.Cg.history_ring_capacity
+    (List.length (Thermal.Cg.recent_histories ()));
+  (* histories_json mirrors the ring *)
+  match Thermal.Cg.histories_json () with
+  | Obs.Json.List l ->
+    Alcotest.(check int) "json entry per history"
+      Thermal.Cg.history_ring_capacity (List.length l);
+    (match l with
+     | entry :: _ ->
+       List.iter
+         (fun k ->
+            if Obs.Json.member k entry = None then
+              Alcotest.failf "history json missing key %s" k)
+         [ "label"; "warm_start"; "iterations"; "converged"; "breakdown";
+           "residual_stride"; "residuals" ]
+     | [] -> ())
+  | _ -> Alcotest.fail "histories_json is not a list"
+
+let test_cg_residual_log_bounded () =
+  Thermal.Cg.clear_histories ();
+  let m, rhs = chain_system 600 in
+  let out = Thermal.Cg.solve m ~b:rhs ~tol:1e-12 () in
+  Alcotest.(check bool) "long solve actually exceeds the buffer" true
+    (out.Thermal.Cg.iterations + 1 > Thermal.Cg.residual_log_capacity);
+  match Thermal.Cg.recent_histories () with
+  | [ h ] ->
+    let len = Array.length h.Thermal.Cg.h_residuals in
+    Alcotest.(check bool) "buffer bounded" true
+      (len <= Thermal.Cg.residual_log_capacity);
+    Alcotest.(check bool) "stride doubled" true
+      (h.Thermal.Cg.h_stride > 1);
+    (* the downsampled trajectory still covers the whole run *)
+    Alcotest.(check bool) "coverage" true
+      (len * h.Thermal.Cg.h_stride >= out.Thermal.Cg.iterations + 1);
+    Alcotest.(check bool) "still a contraction" true
+      (h.Thermal.Cg.h_residuals.(len - 1) < h.Thermal.Cg.h_residuals.(0))
+  | hs -> Alcotest.failf "expected 1 history, got %d" (List.length hs)
+
 let test_mesh_stale_cache_defense () =
   Obs.Metrics.set_enabled true;
   Obs.Metrics.reset ();
@@ -992,6 +1101,10 @@ let () =
            test_cg_breakdown_indefinite;
          Alcotest.test_case "escalation recovers from stall" `Quick
            test_cg_escalation_recovers;
+         Alcotest.test_case "history ring telemetry" `Quick
+           test_cg_history_ring;
+         Alcotest.test_case "residual log bounded on long solves" `Quick
+           test_cg_residual_log_bounded;
          Alcotest.test_case "stale cache hit repaired" `Quick
            test_mesh_stale_cache_defense;
          Alcotest.test_case "perturbed matrix fails loudly" `Quick
