@@ -17,6 +17,7 @@
      dune exec bench/main.exe -- perf    -- bechamel kernels
      dune exec bench/main.exe -- cg      -- solve-engine speedup study
      dune exec bench/main.exe -- mg      -- multigrid preconditioner study
+     dune exec bench/main.exe -- fft     -- FFT blur screening-tier study
 
    `--jobs N` anywhere on the line sizes the domain pool. *)
 
@@ -644,13 +645,19 @@ let seed_greedy fl ~rows ~chunk ~stride ~coarse_nx =
   (final.Postplace.Technique.inserted_after,
    peak_of final.Postplace.Technique.eri_placement)
 
+(* The cg and mg suites benchmark the *exact* candidate-evaluation path
+   (their baselines predate fft screening), so they pin the screening tier
+   to exact; the fft suite below measures the screening tier itself. *)
+let exact_screen fl =
+  { fl with Postplace.Flow.screen = Postplace.Flow.Screen_exact }
+
 let run_cg () =
   header "CG ENGINE -- matrix cache, warm starts, preconditioning, domains"
     "n/a (engineering): incremental + parallel solve engine vs seed \
      behaviour";
   let saved_jobs = Parallel.Pool.jobs () in
   Obs.Metrics.reset ();
-  let fl = Lazy.force flow1 in
+  let fl = exact_screen (Lazy.force flow1) in
   let base = fl.Postplace.Flow.base_placement in
   let cfg = fl.Postplace.Flow.mesh_config in
   let power =
@@ -777,7 +784,7 @@ let run_mg () =
      across mesh sizes";
   let saved_jobs = Parallel.Pool.jobs () in
   Obs.Metrics.reset ();
-  let fl = Lazy.force flow1 in
+  let fl = exact_screen (Lazy.force flow1) in
   let base = fl.Postplace.Flow.base_placement in
   let problem_at nx =
     let cfg =
@@ -906,6 +913,302 @@ let run_mg () =
            ("vcycles_per_solve",
             hist_percentiles "thermal.mg.solve.cycles") ]) ]
 
+(* --- FFT SCREENING ----------------------------------------------------------------- *)
+
+(* Green's-function power blurring (Kemper et al.) as the O(n log n)
+   screening tier: FFT parity against a naive DFT, kernel characterization
+   cost, per-candidate blur vs warm MG-CG cost at 160x160, screening rank
+   fidelity at the optimizer's grid, and end-to-end greedy_rows under
+   Screen_fft vs Screen_exact. *)
+
+let run_fft () =
+  header "FFT SCREENING -- Green's-function power blurring tier"
+    "n/a (engineering): FFT-blurred candidate ranking + exact leader \
+     re-scoring vs all-exact evaluation";
+  let saved_jobs = Parallel.Pool.jobs () in
+  Obs.Metrics.reset ();
+  let fl = exact_screen (Lazy.force flow1) in
+  let base = fl.Postplace.Flow.base_placement in
+  let num_rows = base.Place.Placement.fp.Place.Floorplan.num_rows in
+  Parallel.Pool.set_jobs 1;
+  (* FFT parity vs a naive O(n^2) DFT at radix-2 and Bluestein lengths *)
+  let naive_dft re im =
+    let n = Array.length re in
+    let outr = Array.make n 0.0 and outi = Array.make n 0.0 in
+    for k = 0 to n - 1 do
+      let sr = ref 0.0 and si = ref 0.0 in
+      for t = 0 to n - 1 do
+        let ang =
+          -2.0 *. Float.pi *. float_of_int (k * t) /. float_of_int n
+        in
+        sr := !sr +. (re.(t) *. cos ang) -. (im.(t) *. sin ang);
+        si := !si +. (re.(t) *. sin ang) +. (im.(t) *. cos ang)
+      done;
+      outr.(k) <- !sr;
+      outi.(k) <- !si
+    done;
+    (outr, outi)
+  in
+  let parity_err n =
+    let st = Random.State.make [| 1997; n |] in
+    let re = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+    let im = Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) in
+    let dr, di = naive_dft re im in
+    let fr = Array.copy re and fi = Array.copy im in
+    Thermal.Fft.fft ~re:fr ~im:fi;
+    let scale = ref 0.0 and err = ref 0.0 in
+    for k = 0 to n - 1 do
+      scale := Float.max !scale (Float.hypot dr.(k) di.(k));
+      err :=
+        Float.max !err (Float.hypot (fr.(k) -. dr.(k)) (fi.(k) -. di.(k)))
+    done;
+    !err /. !scale
+  in
+  let parity = List.map (fun n -> (n, parity_err n)) [ 8; 40; 60; 127 ] in
+  let parity_max =
+    List.fold_left (fun a (_, e) -> Float.max a e) 0.0 parity
+  in
+  List.iter
+    (fun (n, e) -> Printf.printf "fft vs naive dft, n=%-3d: %.2e\n" n e)
+    parity;
+  Printf.printf "check: fft parity <= 1e-9:                       %b\n"
+    (parity_max <= 1e-9);
+  (* per-candidate cost at 160x160: one blurred peak vs one warm
+     rank-tolerance MG-CG solve -- the two things the optimizer can spend
+     on a candidate. Mirrors a greedy round: kernel and hierarchy built on
+     the trial extent, solves warm-started from the base incumbent. *)
+  let rank_tol = 1e-6 in
+  let nx = 160 in
+  let cfg160 =
+    { fl.Postplace.Flow.mesh_config with Thermal.Mesh.nx; ny = nx }
+  in
+  let power_of ~nx after =
+    let r = Postplace.Technique.apply_row_insertions base after in
+    Power.Map.power_map r.Postplace.Technique.eri_placement
+      ~per_cell_w:fl.Postplace.Flow.per_cell_w ~nx ~ny:nx
+  in
+  let chunk_plan cand = List.init 4 (fun _ -> cand) in
+  let cands8 = List.init 8 (fun i -> i * max 1 (num_rows / 8)) in
+  Thermal.Mesh.cache_clear ();
+  let p_base = Thermal.Mesh.build cfg160 ~power:(power_of ~nx []) in
+  let h_base = Thermal.Mesh.multigrid p_base in
+  let inc =
+    Thermal.Mesh.solve ~tol:rank_tol ~precond:(Thermal.Cg.Multigrid h_base)
+      p_base
+  in
+  let p_first =
+    Thermal.Mesh.build cfg160
+      ~power:(power_of ~nx (chunk_plan (List.hd cands8)))
+  in
+  let hier, t_mg_build = time (fun () -> Thermal.Mesh.multigrid p_first) in
+  let kernel, t_char = time (fun () -> Thermal.Mesh.blur p_first) in
+  let sum_ex = ref 0.0 and sum_bl = ref 0.0 and err160 = ref 0.0 in
+  List.iter
+    (fun cand ->
+       let power = power_of ~nx (chunk_plan cand) in
+       let problem = Thermal.Mesh.build cfg160 ~power in
+       let sol, t_ex =
+         time (fun () ->
+             Thermal.Mesh.solve ~tol:rank_tol
+               ~precond:(Thermal.Cg.Multigrid hier)
+               ~x0:inc.Thermal.Mesh.temp problem)
+       in
+       let bl, t_bl = time (fun () -> Thermal.Blur.peak kernel ~power) in
+       let ex =
+         (Thermal.Metrics.of_map (Thermal.Mesh.active_layer_grid sol))
+           .Thermal.Metrics.peak_rise_k
+       in
+       err160 := Float.max !err160 (Float.abs (bl -. ex) /. ex);
+       sum_ex := !sum_ex +. t_ex;
+       sum_bl := !sum_bl +. t_bl)
+    cands8;
+  let n8 = float_of_int (List.length cands8) in
+  let exact_eval_ms = !sum_ex /. n8 *. 1e3 in
+  let blur_eval_ms = !sum_bl /. n8 *. 1e3 in
+  let per_cand_speedup = exact_eval_ms /. blur_eval_ms in
+  Printf.printf
+    "kernel at %dx%d: mg build %.1f ms, characterize %.1f ms\n\
+     per-candidate: exact %.2f ms, blur %.2f ms, speedup %.1fx, max peak \
+     rel err %.2e\n"
+    nx nx (t_mg_build *. 1e3) (t_char *. 1e3) exact_eval_ms blur_eval_ms
+    per_cand_speedup !err160;
+  Printf.printf "check: per-candidate speedup >= 5x:              %b\n"
+    (per_cand_speedup >= 5.0);
+  (* screening rank fidelity: does the blurred ordering keep the exact
+     winner inside the leader set the optimizer re-scores? *)
+  let rank_nx = 40 in
+  let cfg40 =
+    { fl.Postplace.Flow.mesh_config with Thermal.Mesh.nx = rank_nx;
+      ny = rank_nx }
+  in
+  Thermal.Mesh.cache_clear ();
+  let p40 = Thermal.Mesh.build cfg40 ~power:(power_of ~nx:rank_nx []) in
+  let h40b = Thermal.Mesh.multigrid p40 in
+  let inc40 =
+    Thermal.Mesh.solve ~tol:rank_tol ~precond:(Thermal.Cg.Multigrid h40b)
+      p40
+  in
+  let cands40 =
+    let rec collect r acc =
+      if r >= num_rows then List.rev acc else collect (r + 4) (r :: acc)
+    in
+    collect 0 []
+  in
+  let first40 =
+    Thermal.Mesh.build cfg40
+      ~power:(power_of ~nx:rank_nx (chunk_plan (List.hd cands40)))
+  in
+  let h40 = Thermal.Mesh.multigrid first40 in
+  let k40 = Thermal.Mesh.blur first40 in
+  let scored =
+    List.map
+      (fun cand ->
+         let power = power_of ~nx:rank_nx (chunk_plan cand) in
+         let problem = Thermal.Mesh.build cfg40 ~power in
+         let sol =
+           Thermal.Mesh.solve ~tol:rank_tol
+             ~precond:(Thermal.Cg.Multigrid h40)
+             ~x0:inc40.Thermal.Mesh.temp problem
+         in
+         let ex =
+           (Thermal.Metrics.of_map (Thermal.Mesh.active_layer_grid sol))
+             .Thermal.Metrics.peak_rise_k
+         in
+         (ex, Thermal.Blur.peak k40 ~power))
+      cands40
+  in
+  (* rank.(i) = position of candidate i sorted ascending, ties by index *)
+  let rank_positions scores =
+    let sorted = List.sort compare (List.mapi (fun i s -> (s, i)) scores) in
+    let pos = Array.make (List.length scores) 0 in
+    List.iteri (fun r (_, i) -> pos.(i) <- r) sorted;
+    pos
+  in
+  let ex_rank = rank_positions (List.map fst scored) in
+  let bl_rank = rank_positions (List.map snd scored) in
+  let max_disp = ref 0 and winner_blur_rank = ref 0 and err40 = ref 0.0 in
+  Array.iteri
+    (fun i r ->
+       max_disp := max !max_disp (abs (r - bl_rank.(i)));
+       if r = 0 then winner_blur_rank := bl_rank.(i))
+    ex_rank;
+  List.iter
+    (fun (ex, bl) -> err40 := Float.max !err40 (Float.abs (bl -. ex) /. ex))
+    scored;
+  let leaders = 3 in
+  Printf.printf
+    "screening at %dx%d over %d candidates: exact winner at blur rank %d, \
+     max rank displacement %d, max peak rel err %.2e\n"
+    rank_nx rank_nx (List.length cands40) !winner_blur_rank !max_disp
+    !err40;
+  Printf.printf "check: exact winner within %d leaders:            %b\n"
+    leaders (!winner_blur_rank < leaders);
+  (* end-to-end: greedy_rows with fft screening vs the exact tier, cold
+     (empty mesh cache) and warm (matrices, hierarchies and blur kernels
+     already cached) *)
+  let rows = 8 and chunk = 4 in
+  let stride = max 1 (num_rows / 20) in
+  let coarse_nx = 160 in
+  let fl_mg =
+    { fl with Postplace.Flow.mesh_precond = Some Thermal.Mesh.Pc_mg }
+  in
+  let fl_fft =
+    { fl_mg with Postplace.Flow.screen = Postplace.Flow.Screen_fft }
+  in
+  let run f =
+    Postplace.Optimizer.greedy_rows f ~rows ~chunk ~stride ~coarse_nx ()
+  in
+  Thermal.Mesh.cache_clear ();
+  let r_ex_cold, t_ex_cold = time (fun () -> run fl_mg) in
+  let r_ex_warm, t_ex_warm = time (fun () -> run fl_mg) in
+  Thermal.Mesh.cache_clear ();
+  let r_ff_cold, t_ff_cold = time (fun () -> run fl_fft) in
+  let r_ff_warm, t_ff_warm = time (fun () -> run fl_fft) in
+  Parallel.Pool.set_jobs saved_jobs;
+  let plan_of (r : Postplace.Optimizer.result) =
+    r.Postplace.Optimizer.plan.Postplace.Technique.inserted_after
+  in
+  let plans_agree =
+    plan_of r_ff_cold = plan_of r_ex_cold
+    && plan_of r_ff_warm = plan_of r_ex_warm
+  in
+  let peaks_identical =
+    r_ff_warm.Postplace.Optimizer.predicted_peak_k
+    = r_ex_warm.Postplace.Optimizer.predicted_peak_k
+  in
+  let speedup_cold = t_ex_cold /. t_ff_cold in
+  let speedup_warm = t_ex_warm /. t_ff_warm in
+  Printf.printf
+    "optimizer (%d rows, stride %d, %dx%d grid):\n\
+    \  exact tier  cold %8.1f ms   warm %8.1f ms  (%d solves)\n\
+    \  fft tier    cold %8.1f ms   warm %8.1f ms  (%d solves + %d blurs)\n\
+    \  speedup     cold %.2fx  warm %.2fx\n"
+    rows stride coarse_nx coarse_nx (t_ex_cold *. 1e3) (t_ex_warm *. 1e3)
+    r_ex_warm.Postplace.Optimizer.evaluations (t_ff_cold *. 1e3)
+    (t_ff_warm *. 1e3) r_ff_warm.Postplace.Optimizer.evaluations
+    r_ff_warm.Postplace.Optimizer.blur_evaluations speedup_cold
+    speedup_warm;
+  Printf.printf "check: fft and exact tiers pick the same plan:   %b\n"
+    plans_agree;
+  Printf.printf "check: end-to-end speedup (warm) >= 2x:          %b\n"
+    (speedup_warm >= 2.0);
+  let counter name =
+    match Obs.Metrics.counter_value name with
+    | None -> Obs.Json.Null
+    | Some n -> j_i n
+  in
+  j_obj
+    [ ("fft_parity",
+       j_obj
+         [ ("sizes", j_list (List.map (fun (n, _) -> j_i n) parity));
+           ("max_rel_err", j_f parity_max);
+           ("within_1e9", j_b (parity_max <= 1e-9)) ]);
+      ("kernel",
+       j_obj
+         [ ("nx", j_i nx);
+           ("mg_build_ms", j_f (t_mg_build *. 1e3));
+           ("characterize_ms", j_f (t_char *. 1e3));
+           ("exact_eval_ms", j_f exact_eval_ms);
+           ("blur_eval_ms", j_f blur_eval_ms);
+           ("per_candidate_speedup", j_f per_cand_speedup);
+           ("max_peak_rel_err", j_f !err160) ]);
+      ("screening",
+       j_obj
+         [ ("nx", j_i rank_nx);
+           ("candidates", j_i (List.length cands40));
+           ("leaders", j_i leaders);
+           ("winner_blur_rank", j_i !winner_blur_rank);
+           ("max_rank_displacement", j_i !max_disp);
+           ("max_peak_rel_err", j_f !err40);
+           ("winner_within_leaders", j_b (!winner_blur_rank < leaders)) ]);
+      ("optimizer",
+       j_obj
+         [ ("rows", j_i rows);
+           ("stride", j_i stride);
+           ("coarse_nx", j_i coarse_nx);
+           ("exact_cold_ms", j_f (t_ex_cold *. 1e3));
+           ("exact_warm_ms", j_f (t_ex_warm *. 1e3));
+           ("fft_cold_ms", j_f (t_ff_cold *. 1e3));
+           ("fft_warm_ms", j_f (t_ff_warm *. 1e3));
+           ("speedup_cold", j_f speedup_cold);
+           ("speedup_warm", j_f speedup_warm);
+           ("exact_evaluations", j_i r_ex_warm.Postplace.Optimizer.evaluations);
+           ("fft_evaluations", j_i r_ff_warm.Postplace.Optimizer.evaluations);
+           ("fft_blur_evaluations",
+            j_i r_ff_warm.Postplace.Optimizer.blur_evaluations);
+           ("exact_peak_k",
+            j_f r_ex_warm.Postplace.Optimizer.predicted_peak_k);
+           ("fft_peak_k", j_f r_ff_warm.Postplace.Optimizer.predicted_peak_k);
+           ("plans_agree", j_b plans_agree);
+           ("peaks_identical", j_b peaks_identical) ]);
+      ("telemetry",
+       j_obj
+         [ ("fft_radix2", counter "thermal.fft.radix2");
+           ("fft_bluestein", counter "thermal.fft.bluestein");
+           ("blur_kernels", counter "thermal.blur.kernels");
+           ("blur_evals", counter "thermal.blur.evals");
+           ("cache_evictions", counter "thermal.mesh.cache.evictions") ]) ]
+
 (* --- dispatch ---------------------------------------------------------------------- *)
 
 let experiments =
@@ -951,11 +1254,12 @@ let () =
   | [ "perf" ] -> run_and_emit ("perf", run_perf)
   | [ "cg" ] -> run_and_emit ("cg", run_cg)
   | [ "mg" ] -> run_and_emit ("mg", run_mg)
+  | [ "fft" ] -> run_and_emit ("fft", run_fft)
   | [ name ] when List.mem_assoc name experiments ->
     run_and_emit (name, List.assoc name experiments)
   | other ->
     Printf.eprintf
-      "unknown experiment %s; expected one of all, perf, cg, mg, %s\n"
+      "unknown experiment %s; expected one of all, perf, cg, mg, fft, %s\n"
       (String.concat " " other)
       (String.concat ", " (List.map fst experiments));
     exit 2

@@ -1,7 +1,9 @@
 (* json_check FILE [KEY ...]: parse FILE with Obs.Json and require each KEY
-   to be present at the top level. Exits non-zero with a diagnostic on parse
-   failure or a missing key. Used by scripts/check.sh to validate --report
-   output without external JSON tooling.
+   to be present. A KEY may be a dotted path ("summary.screening") which is
+   resolved through nested objects; a plain name checks the top level as
+   before. Exits non-zero with a diagnostic on parse failure or a missing
+   key. Used by scripts/check.sh to validate --report output without
+   external JSON tooling.
 
    json_check --trace FILE [MIN_TRACKS]: validate FILE as a Chrome
    trace-event array (the --perfetto output): every event must be a
@@ -48,11 +50,20 @@ let check_trace path min_tracks =
     Printf.eprintf "json_check: %s: invalid trace: %s\n" path msg;
     exit 1
 
+let lookup_path json key =
+  List.fold_left
+    (fun acc part ->
+       match acc with
+       | None -> None
+       | Some j -> Obs.Json.member part j)
+    (Some json)
+    (String.split_on_char '.' key)
+
 let check_report path keys =
   let json = parse_file path in
-  let missing = List.filter (fun k -> Obs.Json.member k json = None) keys in
+  let missing = List.filter (fun k -> lookup_path json k = None) keys in
   if missing <> [] then begin
-    Printf.eprintf "json_check: %s: missing top-level keys: %s\n" path
+    Printf.eprintf "json_check: %s: missing keys: %s\n" path
       (String.concat ", " missing);
     exit 1
   end;

@@ -114,6 +114,37 @@ let precond_choice = function
   | "mg" -> Some Thermal.Mesh.Pc_mg
   | _ -> assert false (* the enum converter rejects everything else *)
 
+let screen_arg =
+  let doc =
+    "Optimizer candidate-screening tier: $(b,auto) (fft unless a fault is \
+     armed), $(b,fft) (rank candidates with the O(n log n) Green's-function \
+     power blurring, re-score only the leaders with MG-CG), or $(b,exact) \
+     (full solve for every candidate). The emitted plan is bit-identical \
+     across tiers whenever the blur leader set contains the exact winner."
+  in
+  let screens = [ ("auto", "auto"); ("fft", "fft"); ("exact", "exact") ] in
+  Arg.(value & opt (enum screens) "auto"
+       & info [ "screen" ] ~docv:"S" ~doc)
+
+let screen_choice = function
+  | "auto" -> Postplace.Flow.Screen_auto
+  | "fft" -> Postplace.Flow.Screen_fft
+  | "exact" -> Postplace.Flow.Screen_exact
+  | _ -> assert false (* the enum converter rejects everything else *)
+
+let cache_slots_arg =
+  let doc =
+    "Capacity of the thermal-mesh matrix MRU cache (>= 1; default 8, or \
+     the THERMOPLACE_CACHE_SLOTS environment variable). Each entry also \
+     carries the multigrid hierarchy and the fft screening kernel, so \
+     sweeps over many mesh extents benefit from more slots."
+  in
+  Arg.(value & opt (some (int_min ~min:1 "--cache-slots")) None
+       & info [ "cache-slots" ] ~docv:"N" ~doc)
+
+let apply_cache_slots slots =
+  Option.iter Thermal.Mesh.set_cache_capacity slots
+
 let jobs_arg =
   let doc =
     "Worker domains for parallel candidate evaluation and sweep points \
@@ -145,21 +176,24 @@ let perfetto_arg =
   Arg.(value & opt (some string) None
        & info [ "perfetto" ] ~docv:"FILE" ~doc)
 
-let prepare ~seed ~cycles ~utilization ~test_set ~precond =
+let prepare ?(screen = "auto") ~seed ~cycles ~utilization ~test_set ~precond
+    () =
   let precond = precond_choice precond in
+  let screen = screen_choice screen in
   match test_set with
   | "scattered" ->
     let bench = Netgen.Benchmark.nine_unit () in
     Postplace.Flow.prepare ~seed ~utilization ~sim_cycles:cycles ?precond
-      bench (Logicsim.Workload.scattered_hotspots ~hot_units:[ 0; 4; 6; 8 ])
+      ~screen bench
+      (Logicsim.Workload.scattered_hotspots ~hot_units:[ 0; 4; 6; 8 ])
   | "concentrated" ->
     let bench = Netgen.Benchmark.nine_unit () in
     Postplace.Flow.prepare ~seed ~utilization ~sim_cycles:cycles ?precond
-      bench (Logicsim.Workload.concentrated_hotspot ~hot_unit:2)
+      ~screen bench (Logicsim.Workload.concentrated_hotspot ~hot_unit:2)
   | "small" ->
     let bench = Netgen.Benchmark.small () in
     Postplace.Flow.prepare ~seed ~utilization ~sim_cycles:cycles ?precond
-      bench (Logicsim.Workload.make ~default:0.05 ~hot:[ (0, 0.5) ])
+      ~screen bench (Logicsim.Workload.make ~default:0.05 ~hot:[ (0, 0.5) ])
   | _ -> assert false (* the enum converter rejects everything else *)
 
 (* --- observability wiring ------------------------------------------------- *)
@@ -245,12 +279,13 @@ let overhead_arg =
        & opt (float_range ~min:0.0 ~max_inclusive:4.0 "--overhead") 0.2
        & info [ "overhead" ] ~docv:"F" ~doc)
 
-let run_flow seed cycles utilization test_set precond technique overhead
-    jobs trace report perfetto =
+let run_flow seed cycles utilization test_set precond cache_slots technique
+    overhead jobs trace report perfetto =
   with_structured_errors @@ fun () ->
   Parallel.Pool.set_jobs jobs;
+  apply_cache_slots cache_slots;
   obs_begin ~trace ~report ~perfetto;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
+  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond () in
   let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
   Format.printf "base: %a@." Place.Placement.pp_summary
     base.Postplace.Flow.placement;
@@ -332,7 +367,7 @@ let run_report seed cycles utilization test_set precond trace report
     perfetto =
   with_structured_errors @@ fun () ->
   obs_begin ~trace ~report ~perfetto;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
+  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond () in
   let nl = flow.Postplace.Flow.bench.Netgen.Benchmark.netlist in
   Format.printf "%a@."
     Netlist.Stats.pp
@@ -374,7 +409,7 @@ let run_maps seed cycles utilization test_set precond ascii trace report
     perfetto =
   with_structured_errors @@ fun () ->
   obs_begin ~trace ~report ~perfetto;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
+  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond () in
   let power, thermal = Postplace.Experiment.fig5_maps flow in
   let dump name g =
     Format.printf "# %s (%dx%d, top row first)@." name (Geo.Grid.nx g)
@@ -399,7 +434,7 @@ let run_export seed cycles utilization test_set precond outdir trace report
     perfetto =
   with_structured_errors @@ fun () ->
   obs_begin ~trace ~report ~perfetto;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
+  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond () in
   if not (Sys.file_exists outdir) then Unix.mkdir outdir 0o755;
   let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
   let pl = base.Postplace.Flow.placement in
@@ -456,12 +491,13 @@ let checkpoint_arg =
   Arg.(value & opt (some string) None
        & info [ "checkpoint" ] ~docv:"FILE" ~doc)
 
-let run_sweep seed cycles utilization test_set precond jobs checkpoint trace
-    report perfetto =
+let run_sweep seed cycles utilization test_set precond cache_slots jobs
+    checkpoint trace report perfetto =
   with_structured_errors @@ fun () ->
   Parallel.Pool.set_jobs jobs;
+  apply_cache_slots cache_slots;
   obs_begin ~trace ~report ~perfetto;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
+  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond () in
   let fig6 = Postplace.Experiment.run_fig6 ?checkpoint flow in
   let points =
     fig6.Postplace.Experiment.default_points
@@ -491,12 +527,15 @@ let rows_arg =
   Arg.(value & opt (int_min ~min:1 "--rows") 2
        & info [ "rows" ] ~docv:"N" ~doc)
 
-let run_optimize seed cycles utilization test_set precond rows jobs trace
-    report perfetto =
+let run_optimize seed cycles utilization test_set precond screen cache_slots
+    rows jobs trace report perfetto =
   with_structured_errors @@ fun () ->
   Parallel.Pool.set_jobs jobs;
+  apply_cache_slots cache_slots;
   obs_begin ~trace ~report ~perfetto;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
+  let flow =
+    prepare ~screen ~seed ~cycles ~utilization ~test_set ~precond ()
+  in
   let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
   Format.printf "base thermal: %a@." Thermal.Metrics.pp
     base.Postplace.Flow.metrics;
@@ -519,13 +558,17 @@ let run_optimize seed cycles utilization test_set precond rows jobs trace
   obs_end ~command:"optimize" ~trace ~report ~perfetto
     ~config:
       (base_config ~seed ~cycles ~utilization ~test_set ~precond
-       @ [ ("rows", Obs.Json.Int rows); ("jobs", Obs.Json.Int jobs) ])
+       @ [ ("rows", Obs.Json.Int rows); ("jobs", Obs.Json.Int jobs);
+           ("screen", Obs.Json.String screen);
+           ("cache_slots", Obs.Json.Int (Thermal.Mesh.cache_capacity ())) ])
     ~sections:
       [ ("base", eval_json base);
         ("result",
          Obs.Json.Obj
            [ ("rows", Obs.Json.Int rows);
              ("evaluations", Obs.Json.Int r.Postplace.Optimizer.evaluations);
+             ("blur_evaluations",
+              Obs.Json.Int r.Postplace.Optimizer.blur_evaluations);
              ("predicted_peak_k",
               Obs.Json.Float r.Postplace.Optimizer.predicted_peak_k);
              ("inserted_after",
@@ -543,7 +586,7 @@ let run_check seed cycles utilization test_set precond trace report
     perfetto =
   with_structured_errors @@ fun () ->
   obs_begin ~trace ~report ~perfetto;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond in
+  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond () in
   let outcomes =
     Postplace.Flow.check_design flow flow.Postplace.Flow.base_placement
   in
@@ -589,8 +632,8 @@ let flow_cmd =
   let doc = "Run the flow and apply one temperature-reduction technique." in
   Cmd.v (Cmd.info "flow" ~doc)
     Term.(const run_flow $ seed $ cycles $ utilization $ test_set
-          $ precond_arg $ technique_arg $ overhead_arg $ jobs_arg $ trace_arg
-          $ report_arg $ perfetto_arg)
+          $ precond_arg $ cache_slots_arg $ technique_arg $ overhead_arg
+          $ jobs_arg $ trace_arg $ report_arg $ perfetto_arg)
 
 let report_cmd =
   let doc = "Print netlist, placement, power and thermal summaries." in
@@ -608,8 +651,8 @@ let sweep_cmd =
   let doc = "Reduction-vs-overhead sweep for all three schemes (Fig. 6)." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run_sweep $ seed $ cycles $ utilization $ test_set
-          $ precond_arg $ jobs_arg $ checkpoint_arg $ trace_arg $ report_arg
-          $ perfetto_arg)
+          $ precond_arg $ cache_slots_arg $ jobs_arg $ checkpoint_arg
+          $ trace_arg $ report_arg $ perfetto_arg)
 
 let check_cmd =
   let doc =
@@ -629,8 +672,8 @@ let optimize_cmd =
   in
   Cmd.v (Cmd.info "optimize" ~doc)
     Term.(const run_optimize $ seed $ cycles $ utilization $ test_set
-          $ precond_arg $ rows_arg $ jobs_arg $ trace_arg $ report_arg
-          $ perfetto_arg)
+          $ precond_arg $ screen_arg $ cache_slots_arg $ rows_arg $ jobs_arg
+          $ trace_arg $ report_arg $ perfetto_arg)
 
 let export_cmd =
   let doc =
@@ -647,6 +690,18 @@ let () =
    | Error msg ->
      Printf.eprintf "thermoplace: %s\n" msg;
      exit 2);
+  (* environment-level default for the mesh cache capacity; an explicit
+     --cache-slots flag runs later and overrides it *)
+  (match Sys.getenv_opt "THERMOPLACE_CACHE_SLOTS" with
+   | None -> ()
+   | Some s ->
+     (match int_of_string_opt s with
+      | Some n when n >= 1 -> Thermal.Mesh.set_cache_capacity n
+      | _ ->
+        Printf.eprintf
+          "thermoplace: THERMOPLACE_CACHE_SLOTS must be an integer >= 1 \
+           (got %S)\n" s;
+        exit 2));
   let doc = "post-placement temperature reduction (Liu & Nannarelli, DATE'10)" in
   let info = Cmd.info "thermoplace" ~version:"1.0.0" ~doc in
   exit

@@ -1,17 +1,17 @@
-let test_set_1 ?(seed = 42) ?(sim_cycles = 1000) ?precond () =
+let test_set_1 ?(seed = 42) ?(sim_cycles = 1000) ?precond ?screen () =
   let bench = Netgen.Benchmark.nine_unit () in
   (* mul16a (0), div16 (4), add64 (6) and cmp32 (8) sit in different
      corners/edges of the 3x3 region grid -> four scattered hotspots *)
   let workload =
     Logicsim.Workload.scattered_hotspots ~hot_units:[ 0; 4; 6; 8 ]
   in
-  Flow.prepare ~seed ~sim_cycles ?precond bench workload
+  Flow.prepare ~seed ~sim_cycles ?precond ?screen bench workload
 
-let test_set_2 ?(seed = 42) ?(sim_cycles = 1000) ?precond () =
+let test_set_2 ?(seed = 42) ?(sim_cycles = 1000) ?precond ?screen () =
   let bench = Netgen.Benchmark.nine_unit () in
   (* mul20 (tag 2) is the largest unit: one big concentrated hotspot *)
   let workload = Logicsim.Workload.concentrated_hotspot ~hot_unit:2 in
-  Flow.prepare ~seed ~sim_cycles ?precond bench workload
+  Flow.prepare ~seed ~sim_cycles ?precond ?screen bench workload
 
 type point = {
   scheme : string;

@@ -5,14 +5,17 @@
     claims). The bench executable formats these results. *)
 
 val test_set_1 : ?seed:int -> ?sim_cycles:int ->
-  ?precond:Thermal.Mesh.precond_choice -> unit -> Flow.t
+  ?precond:Thermal.Mesh.precond_choice -> ?screen:Flow.screen_choice ->
+  unit -> Flow.t
 (** Four scattered small hotspots: units mul16a, div16, add64 and cmp32 run
     hot (they sit in different corners of the 3 x 3 region grid), the rest
     are nearly idle. [?precond] selects the thermal-solve preconditioner
-    for every evaluation in the flow (see [Flow.prepare]). *)
+    for every evaluation in the flow, [?screen] the optimizer's
+    candidate-screening tier (see [Flow.prepare]). *)
 
 val test_set_2 : ?seed:int -> ?sim_cycles:int ->
-  ?precond:Thermal.Mesh.precond_choice -> unit -> Flow.t
+  ?precond:Thermal.Mesh.precond_choice -> ?screen:Flow.screen_choice ->
+  unit -> Flow.t
 (** One large concentrated hotspot: the 20x20 multiplier (the biggest unit)
     runs hot. *)
 

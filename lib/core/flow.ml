@@ -1,5 +1,12 @@
 module P = Place.Placement
 
+type screen_choice = Screen_auto | Screen_fft | Screen_exact
+
+let screen_choice_name = function
+  | Screen_auto -> "auto"
+  | Screen_fft -> "fft"
+  | Screen_exact -> "exact"
+
 type t = {
   bench : Netgen.Benchmark.t;
   tech : Celllib.Tech.t;
@@ -15,6 +22,7 @@ type t = {
   base_utilization : float;
   mesh_config : Thermal.Mesh.config;
   mesh_precond : Thermal.Mesh.precond_choice option;
+  screen : screen_choice;
 }
 
 let unit_cell_ids nl tag = Array.of_list (Netlist.Types.cells_of_unit nl tag)
@@ -40,7 +48,7 @@ let compute_unit_areas tech bench =
 
 let prepare ?(seed = 42) ?(utilization = 0.85) ?(sim_cycles = 1000)
     ?(warmup_cycles = 64) ?(mesh_config = Thermal.Mesh.default_config)
-    ?precond bench workload =
+    ?precond ?(screen = Screen_auto) bench workload =
   Obs.Trace.with_span "flow.prepare" @@ fun () ->
   let tech = Celllib.Tech.default_65nm in
   let nl = bench.Netgen.Benchmark.netlist in
@@ -77,7 +85,8 @@ let prepare ?(seed = 42) ?(utilization = 0.85) ?(sim_cycles = 1000)
   { bench; tech; workload; activity; unit_areas; base_placement;
     base_regions = regions; positions;
     per_cell_w = power.Power.Model.per_cell_w; power_report = power; seed;
-    base_utilization = utilization; mesh_config; mesh_precond = precond }
+    base_utilization = utilization; mesh_config; mesh_precond = precond;
+    screen }
 
 type evaluation = {
   placement : P.t;

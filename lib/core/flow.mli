@@ -9,6 +9,18 @@
     power consumption unchanged": per-cell powers are computed once on the
     base placement and re-binned (not re-estimated) after each transform. *)
 
+type screen_choice = Screen_auto | Screen_fft | Screen_exact
+(** Candidate-screening tier for the optimizer's greedy sweep.
+    [Screen_fft] ranks candidates with the O(n log n) power-blurring
+    convolution ({!Thermal.Blur}) and re-scores only the leaders with the
+    exact MG-CG solver; [Screen_exact] solves every candidate exactly;
+    [Screen_auto] (the default) picks fft unless a fault is armed —
+    injected faults must reach the exact solve path they target, so
+    fault-injected runs always fall back to exact screening. *)
+
+val screen_choice_name : screen_choice -> string
+(** ["auto"], ["fft"] or ["exact"] — for reports and config echoes. *)
+
 type t = {
   bench : Netgen.Benchmark.t;
   tech : Celllib.Tech.t;
@@ -29,6 +41,10 @@ type t = {
       SSOR in the optimizer's candidate ranking). [Some Pc_mg] switches
       evaluation, checking and optimization to the geometric multigrid
       V-cycle — the fast choice at high mesh resolution. *)
+  screen : screen_choice;
+  (** Screening tier for optimizer candidate ranking (see
+      {!screen_choice}). Only the optimizer consults this: full
+      evaluations, checks and sweeps always solve exactly. *)
 }
 
 val cells_of_region : t -> int -> Netlist.Types.cell_id array
@@ -40,12 +56,14 @@ val prepare :
   ?warmup_cycles:int ->
   ?mesh_config:Thermal.Mesh.config ->
   ?precond:Thermal.Mesh.precond_choice ->
+  ?screen:screen_choice ->
   Netgen.Benchmark.t ->
   Logicsim.Workload.t ->
   t
 (** Defaults: seed 42, utilization 0.85 (the compact base placement),
     1000 measured cycles after 64 warm-up cycles, 40 x 40 x 9 mesh,
-    stage-default preconditioners (see the [mesh_precond] field). *)
+    stage-default preconditioners (see the [mesh_precond] field),
+    [Screen_auto] candidate screening. *)
 
 type evaluation = {
   placement : Place.Placement.t;

@@ -2,6 +2,7 @@ type result = {
   plan : Technique.eri_result;
   predicted_peak_k : float;
   evaluations : int;
+  blur_evaluations : int;
 }
 
 let peak_of flow pl ~nx =
@@ -31,17 +32,19 @@ let eval_precond = Thermal.Cg.Ssor 1.6
    this alone saves ~40% of the ranking iterations. *)
 let rank_tol = 1e-6
 
+(* The power map of a trial plan — all a blur screening pass needs. *)
+let trial_power flow ~after ~nx =
+  let r = Technique.apply_row_insertions flow.Flow.base_placement after in
+  Power.Map.power_map r.Technique.eri_placement
+    ~per_cell_w:flow.Flow.per_cell_w ~nx ~ny:nx
+
 (* One candidate evaluation, warm-started from the incumbent temperature
    field [x0]. All trial placements share the die extent (same number of
    inserted rows), so every solve in a round reuses one cached matrix and
    a good starting point — most of the optimizer's speedup lives here. *)
-let eval_trial flow ~after ~nx ~x0 ~tol =
-  let r = Technique.apply_row_insertions flow.Flow.base_placement after in
+let eval_trial_sol flow ~after ~nx ~x0 ~tol =
   let cfg = { flow.Flow.mesh_config with Thermal.Mesh.nx; ny = nx } in
-  let power =
-    Power.Map.power_map r.Technique.eri_placement
-      ~per_cell_w:flow.Flow.per_cell_w ~nx ~ny:nx
-  in
+  let power = trial_power flow ~after ~nx in
   let problem = Thermal.Mesh.build cfg ~power in
   let precond =
     match flow.Flow.mesh_precond with
@@ -53,11 +56,27 @@ let eval_trial flow ~after ~nx ~x0 ~tol =
     (Thermal.Metrics.of_map (Thermal.Mesh.active_layer_grid solution))
       .Thermal.Metrics.peak_rise_k
   in
+  (peak, solution)
+
+let eval_trial flow ~after ~nx ~x0 ~tol =
+  let peak, solution = eval_trial_sol flow ~after ~nx ~x0 ~tol in
   (peak, solution.Thermal.Mesh.temp)
 
-let greedy_rows flow ~rows ?(chunk = 4) ?(stride = 4) ?(coarse_nx = 20) () =
+(* The blur kernel is characterized from a fault-free exact solve and
+   then trusted for thousands of evaluations, so any armed fault —
+   whichever stage it targets — forces the exact tier: injected faults
+   must reach the solve path they are aimed at, not be blurred away. *)
+let screening_enabled flow =
+  match flow.Flow.screen with
+  | Flow.Screen_exact -> false
+  | Flow.Screen_fft -> true
+  | Flow.Screen_auto ->
+    not (List.exists Robust.Faults.armed Robust.Faults.all)
+
+let greedy_rows flow ~rows ?(chunk = 4) ?(stride = 4) ?(coarse_nx = 20)
+    ?(leaders = 3) () =
   if rows <= 0 then invalid_arg "Optimizer.greedy_rows: non-positive budget";
-  if chunk <= 0 || stride <= 0 || coarse_nx <= 0 then
+  if chunk <= 0 || stride <= 0 || coarse_nx <= 0 || leaders <= 0 then
     invalid_arg "Optimizer.greedy_rows: non-positive parameter";
   Obs.Trace.with_span "optimizer.greedy_rows" @@ fun () ->
   let base = flow.Flow.base_placement in
@@ -68,7 +87,13 @@ let greedy_rows flow ~rows ?(chunk = 4) ?(stride = 4) ?(coarse_nx = 20) () =
     in
     collect 0 []
   in
+  let num_cands = List.length candidates in
+  (* screening pays one kernel characterization per round; with no more
+     candidates than leaders every candidate gets an exact solve anyway,
+     so the blur tier cannot win and is skipped *)
+  let screen = screening_enabled flow && num_cands > leaders in
   let evaluations = ref 0 in
+  let blur_evaluations = ref 0 in
   (* the plan is kept reversed: committing a chunk is a prepend, and
      [Technique.apply_row_insertions] sorts its input, so order is free *)
   let rev_plan = ref [] in
@@ -82,24 +107,103 @@ let greedy_rows flow ~rows ?(chunk = 4) ?(stride = 4) ?(coarse_nx = 20) () =
   while !remaining > 0 do
     let step = min chunk !remaining in
     let x0 = Some !warm in
+    let trial_of cand =
+      List.rev_append (List.init step (fun _ -> cand)) !rev_plan
+    in
     (* candidate trials are independent: evaluate them on the pool. The
        list order is preserved, and selection below walks it sequentially
        with the seed's tie-break (strict improvement wins), so parallel
-       and sequential runs pick identical plans. *)
+       and sequential runs pick identical plans. Under fft screening the
+       non-leader entries are [None]; the leaders are solved with exactly
+       the inputs the exact tier would use (same x0, tolerance and
+       preconditioner), so whenever the leader set contains the exact
+       argmin the committed plan is bit-identical to exact screening. *)
     let outcomes =
-      Parallel.Pool.map_list candidates ~f:(fun cand ->
-          let trial =
-            List.rev_append (List.init step (fun _ -> cand)) !rev_plan
+      if screen then begin
+        Obs.Trace.with_span "optimizer.screen" @@ fun () ->
+        (* every trial in this round shares (config, extent), so the
+           kernel characterized from the first candidate's mesh serves
+           all of them (and is cached on the mesh MRU entry) *)
+        let first = List.hd candidates in
+        let first_power =
+          trial_power flow ~after:(trial_of first) ~nx:coarse_nx
+        in
+        let kernel =
+          let cfg =
+            { flow.Flow.mesh_config with
+              Thermal.Mesh.nx = coarse_nx; ny = coarse_nx }
           in
-          eval_trial flow ~after:trial ~nx:coarse_nx ~x0 ~tol:rank_tol)
+          Thermal.Mesh.blur ?precond:flow.Flow.mesh_precond
+            (Thermal.Mesh.build cfg ~power:first_power)
+        in
+        (* anchor the round with one exact (rank-tolerance) solve of the
+           first candidate and rank by blur corrected with the anchor's
+           exact-minus-blurred error field. Under the default adiabatic
+           walls the transfer is exact and the correction is only CG
+           residual noise; it is kept because it is cheap (one of the
+           round's solves) and makes the screen a control variate: the
+           transfer is linear in the power map, so if the model ever
+           degrades (non-zero side-wall conductance breaks translation
+           invariance) estimates err only by the model error of the
+           *difference* between candidate power maps, not by its
+           absolute error. *)
+        let first_peak, first_sol =
+          eval_trial_sol flow ~after:(trial_of first) ~nx:coarse_nx ~x0
+            ~tol:rank_tol
+        in
+        let correction =
+          Geo.Grid.map2 (Thermal.Mesh.active_layer_grid first_sol)
+            (Thermal.Blur.field kernel ~power:first_power) ~f:( -. )
+        in
+        let blurred =
+          Parallel.Pool.map_list candidates ~f:(fun cand ->
+              Thermal.Blur.peak kernel ~correction
+                ~power:(trial_power flow ~after:(trial_of cand)
+                          ~nx:coarse_nx))
+        in
+        blur_evaluations := !blur_evaluations + num_cands + 1;
+        (* stable top-k on (corrected peak, candidate index): equal peaks
+           keep candidate order, matching the exact tier's first-wins
+           tie-break *)
+        let ranked =
+          List.sort compare (List.mapi (fun i p -> (p, i)) blurred)
+        in
+        let is_leader = Array.make num_cands false in
+        List.iteri
+          (fun rank (_, i) -> if rank < leaders then is_leader.(i) <- true)
+          ranked;
+        (* the anchor solve is reused below when candidate 0 leads (the
+           generic outcome counter picks it up there); otherwise it was
+           an extra exact solve and is accounted for here *)
+        if not is_leader.(0) then incr evaluations;
+        Parallel.Pool.map_list
+          (List.mapi (fun i c -> (i, c)) candidates)
+          ~f:(fun (i, cand) ->
+              if not is_leader.(i) then None
+              else if i = 0 then
+                (* the anchor solve used the leader inputs already *)
+                Some (first_peak, first_sol.Thermal.Mesh.temp)
+              else
+                Some
+                  (eval_trial flow ~after:(trial_of cand) ~nx:coarse_nx ~x0
+                     ~tol:rank_tol))
+      end
+      else
+        Parallel.Pool.map_list candidates ~f:(fun cand ->
+            Some
+              (eval_trial flow ~after:(trial_of cand) ~nx:coarse_nx ~x0
+                 ~tol:rank_tol))
     in
-    evaluations := !evaluations + List.length candidates;
+    List.iter (fun o -> if o <> None then incr evaluations) outcomes;
     let best = ref None in
     List.iter2
-      (fun cand (peak, temp) ->
-         match !best with
-         | Some (_, best_peak, _) when best_peak <= peak -> ()
-         | _ -> best := Some (cand, peak, temp))
+      (fun cand outcome ->
+         match outcome with
+         | None -> ()
+         | Some (peak, temp) ->
+           (match !best with
+            | Some (_, best_peak, _) when best_peak <= peak -> ()
+            | _ -> best := Some (cand, peak, temp)))
       candidates outcomes;
     (match !best with
      | Some (cand, _, temp) ->
@@ -118,9 +222,13 @@ let greedy_rows flow ~rows ?(chunk = 4) ?(stride = 4) ?(coarse_nx = 20) () =
   in
   incr evaluations;
   let result =
-    { plan = final; predicted_peak_k = peak; evaluations = !evaluations }
+    { plan = final; predicted_peak_k = peak; evaluations = !evaluations;
+      blur_evaluations = !blur_evaluations }
   in
   Obs.Metrics.count "optimizer.thermal_solves" ~by:result.evaluations;
+  if result.blur_evaluations > 0 then
+    Obs.Metrics.count "optimizer.blur_evaluations"
+      ~by:result.blur_evaluations;
   Obs.Metrics.observe "optimizer.predicted_peak_k" result.predicted_peak_k;
   Obs.Metrics.count "optimizer.rows_inserted" ~by:rows;
   result

@@ -12,7 +12,12 @@
 type result = {
   plan : Technique.eri_result;      (** the chosen insertions applied *)
   predicted_peak_k : float;         (** coarse-mesh peak of the final plan *)
-  evaluations : int;                (** thermal solves spent *)
+  evaluations : int;
+  (** exact thermal solves spent (initial seed, candidate/leader solves
+      and the final re-score; kernel characterization solves are traced
+      separately as [thermal.blur.characterize]) *)
+  blur_evaluations : int;
+  (** FFT blur screenings spent; 0 when the exact tier ran *)
 }
 
 val greedy_rows :
@@ -21,20 +26,33 @@ val greedy_rows :
   ?chunk:int ->
   ?stride:int ->
   ?coarse_nx:int ->
+  ?leaders:int ->
   unit ->
   result
 (** [greedy_rows flow ~rows ()] allocates [rows] empty rows on the flow's
     base placement. [chunk] rows are committed per greedy step (default 4),
     candidate positions are every [stride]-th row (default 4), and candidate
     evaluation uses a [coarse_nx] x [coarse_nx] thermal grid (default 20).
-    Raises [Invalid_argument] on a non-positive budget.
+    Raises [Invalid_argument] on a non-positive budget or parameter.
 
     Candidate solves within a round run concurrently on the
     {!Parallel.Pool}, share the round's cached conductance matrix, and are
     warm-started from the incumbent plan's temperature field. Selection
     walks candidates in their fixed order with a strict-improvement
     tie-break, so the chosen plan is identical for any pool size
-    (including sequential). *)
+    (including sequential).
+
+    When the flow's [screen] tier resolves to fft (see
+    {!Flow.screen_choice}), each round solves the first candidate exactly
+    once (the anchor), ranks every candidate by the peak of its blurred
+    power map corrected by the anchor's exact-minus-blurred error field
+    (a control variate — see {!Thermal.Blur.peak}), then runs the exact
+    warm-started solve only for the [leaders] best-ranked candidates
+    (default 3; ties keep candidate order). Anchor and leader solves use
+    exactly the inputs the exact tier would, so the committed plan is
+    bit-identical to [Screen_exact] whenever the leader set contains the
+    exact winner. Screening is skipped when a round has no more
+    candidates than [leaders]. *)
 
 val evaluate_plan : Flow.t -> after:int list -> nx:int -> float
 (** Peak temperature rise (K) of the base placement with the given

@@ -1,0 +1,61 @@
+(** Green's-function power blurring (Kemper et al., "Ultrafast
+    Temperature Profile Calculation in IC Chips"), sharpened into an
+    exact spectral transfer: for the linear steady-state RC network the
+    active-layer temperature rise is a convolution of the power map with
+    the network's point-source response. Characterize that response once
+    with the full MG-CG solver (see {!Mesh.blur}) and every subsequent
+    candidate power map costs a single O(n log n) FFT pass instead of an
+    iterative solve.
+
+    The stack's lateral stencil is translation-invariant and the die
+    walls are adiabatic by default ([h_side_w_m2k = 0] — Neumann BC via
+    half-sample reflection), so on the 2n-periodic even extension of the
+    die the power-to-temperature map is a true cyclic convolution. The
+    kernel spectrum is recovered by *deconvolving* the characterized
+    corner-impulse response by the impulse's own spectrum, which makes
+    evaluation exact for the discrete operator: blurred fields match
+    full solves to characterization tolerance (~1e-9 relative), not just
+    to a screening tolerance. If the stack is configured with non-zero
+    side-wall conductance the boundary stencil loses translation
+    invariance and evaluations degrade to estimates; rank-then-re-score
+    (what [Optimizer.greedy_rows] does under the fft screen tier) keeps
+    committed plans exact either way.
+
+    Evaluation uses a Hermitian half-spectrum pipeline on the 2nx x 2ny
+    extension: rows are transformed two at a time as one complex FFT,
+    column transforms run only for kx <= nx (the rest follow from
+    conjugate symmetry), and inverse rows are recovered pairwise the
+    same way — roughly halving the FFT count per candidate. Extension
+    lengths are rarely powers of two; the {!Fft} Bluestein path handles
+    them without padding (padding would break the exact cyclicity). A
+    [t] is immutable after characterization and safe to share across
+    pool workers; every evaluation allocates its own scratch. *)
+
+type t
+
+val of_response : response:Geo.Grid.t -> t
+(** Characterize the spectral transfer from the active-layer response to
+    a unit (1 W) impulse injected at tile (0, 0) of the same grid. The
+    response's FFT is divided by the corner impulse's analytic spectrum
+    (zero only on modes every even-extended field lacks), and the result
+    is stored transformed — the only FFT-of-the-kernel ever paid. Raises
+    [Invalid_argument] on grids smaller than 2x2. *)
+
+val nx : t -> int
+val ny : t -> int
+val extent : t -> Geo.Rect.t
+
+val field : t -> power:Geo.Grid.t -> Geo.Grid.t
+(** Temperature-rise field for [power] (same dims as the characterized
+    grid, checked). One extended FFT convolution, traced as the
+    [thermal.blur.eval] span. *)
+
+val peak : ?correction:Geo.Grid.t -> t -> power:Geo.Grid.t -> float
+(** Maximum of {!field} without materializing the grid. With
+    [correction] (same dims, checked), the maximum of
+    [field + correction] instead: pass the exact-minus-blurred error
+    field of a reference power map to screen with a control variate.
+    The transfer is linear in the power map, so a corrected estimate
+    errs only by the model error of the *difference* from the reference
+    — zero when the transfer is exact, and still small under non-zero
+    side-wall conductance. *)

@@ -1,0 +1,244 @@
+(* Split-array complex FFT. Two algorithms cover every length:
+
+   - power-of-two lengths run the iterative radix-2 Cooley-Tukey with a
+     precomputed bit-reversal permutation and a single table of the n/2
+     roots e^{-2 pi i k / n} (each stage strides through it);
+   - every other length runs Bluestein's chirp-z transform, which
+     re-expresses the DFT as a circular convolution of length
+     next_pow2(2n-1) and so reduces to three radix-2 transforms.
+
+   Tables are memoized per length in mutex-protected registries: the
+   convolution path in Blur calls these from pool workers, and the
+   tables are immutable once published so a benign double-build under
+   contention is safe. *)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* --- memoized per-size tables ------------------------------------------- *)
+
+type pow2_tables = {
+  t_rev : int array;        (* bit-reversal permutation, length n *)
+  t_cos : float array;      (* cos(-2 pi k / n), k < n/2 *)
+  t_sin : float array;      (* sin(-2 pi k / n), k < n/2 *)
+}
+
+(* Bluestein data for length n: the chirp c_k = e^{-i pi k^2 / n} and the
+   forward transform (length m = next_pow2(2n-1)) of the wrapped
+   conjugate chirp b, with b_0 = 1, b_k = b_{m-k} = e^{+i pi k^2 / n}. *)
+type bluestein_tables = {
+  z_m : int;
+  z_chirp_re : float array; (* length n *)
+  z_chirp_im : float array;
+  z_b_re : float array;     (* FFT(b), length m *)
+  z_b_im : float array;
+}
+
+let tables_mutex = Mutex.create ()
+let pow2_registry : (int, pow2_tables) Hashtbl.t = Hashtbl.create 8
+let bluestein_registry : (int, bluestein_tables) Hashtbl.t = Hashtbl.create 8
+
+let bit_reverse_table n =
+  let bits =
+    let rec go b p = if p >= n then b else go (b + 1) (p * 2) in
+    go 0 1
+  in
+  Array.init n (fun i ->
+      let r = ref 0 and v = ref i in
+      for _ = 1 to bits do
+        r := (!r lsl 1) lor (!v land 1);
+        v := !v lsr 1
+      done;
+      !r)
+
+let build_pow2 n =
+  let half = n / 2 in
+  let t_cos = Array.make (max half 1) 1.0 in
+  let t_sin = Array.make (max half 1) 0.0 in
+  for k = 0 to half - 1 do
+    let a = -2.0 *. Float.pi *. float_of_int k /. float_of_int n in
+    t_cos.(k) <- cos a;
+    t_sin.(k) <- sin a
+  done;
+  { t_rev = bit_reverse_table n; t_cos; t_sin }
+
+let pow2_tables n =
+  match
+    Mutex.protect tables_mutex (fun () -> Hashtbl.find_opt pow2_registry n)
+  with
+  | Some t -> t
+  | None ->
+    (* build outside the lock (cheap, immutable); last write wins *)
+    let t = build_pow2 n in
+    Mutex.protect tables_mutex (fun () ->
+        match Hashtbl.find_opt pow2_registry n with
+        | Some t -> t
+        | None -> Hashtbl.replace pow2_registry n t; t)
+
+(* In-place radix-2 on a power-of-two length; the workhorse under both
+   public entry points. *)
+let fft_pow2 t ~re ~im =
+  let n = Array.length re in
+  let rev = t.t_rev in
+  for i = 0 to n - 1 do
+    let j = rev.(i) in
+    if j > i then begin
+      let tr = re.(i) in re.(i) <- re.(j); re.(j) <- tr;
+      let ti = im.(i) in im.(i) <- im.(j); im.(j) <- ti
+    end
+  done;
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let stride = n / !len in
+    let base = ref 0 in
+    while !base < n do
+      for k = 0 to half - 1 do
+        let wr = t.t_cos.(k * stride) and wi = t.t_sin.(k * stride) in
+        let i0 = !base + k and i1 = !base + k + half in
+        let xr = re.(i1) and xi = im.(i1) in
+        let tr = (wr *. xr) -. (wi *. xi) in
+        let ti = (wr *. xi) +. (wi *. xr) in
+        re.(i1) <- re.(i0) -. tr;
+        im.(i1) <- im.(i0) -. ti;
+        re.(i0) <- re.(i0) +. tr;
+        im.(i0) <- im.(i0) +. ti
+      done;
+      base := !base + !len
+    done;
+    len := !len * 2
+  done
+
+(* The chirp phase is pi * k^2 / n; computing it as
+   pi * ((k*k) mod 2n) / n keeps the argument of cos/sin small so the
+   table stays accurate at large k (k^2 overflows double precision's
+   exact-integer range long before k does modular arithmetic's). *)
+let chirp_phase ~n k =
+  let m2 = 2 * n in
+  Float.pi *. float_of_int (k * k mod m2) /. float_of_int n
+
+let build_bluestein n =
+  let m = next_pow2 ((2 * n) - 1) in
+  let z_chirp_re = Array.make n 0.0 in
+  let z_chirp_im = Array.make n 0.0 in
+  let z_b_re = Array.make m 0.0 in
+  let z_b_im = Array.make m 0.0 in
+  for k = 0 to n - 1 do
+    let a = chirp_phase ~n k in
+    (* forward chirp e^{-i a} *)
+    z_chirp_re.(k) <- cos a;
+    z_chirp_im.(k) <- -.sin a;
+    (* wrapped conjugate chirp e^{+i a} at k and m-k *)
+    z_b_re.(k) <- cos a;
+    z_b_im.(k) <- sin a;
+    if k > 0 then begin
+      z_b_re.(m - k) <- cos a;
+      z_b_im.(m - k) <- sin a
+    end
+  done;
+  fft_pow2 (pow2_tables m) ~re:z_b_re ~im:z_b_im;
+  { z_m = m; z_chirp_re; z_chirp_im; z_b_re; z_b_im }
+
+let bluestein_tables n =
+  match
+    Mutex.protect tables_mutex (fun () ->
+        Hashtbl.find_opt bluestein_registry n)
+  with
+  | Some t -> t
+  | None ->
+    let t = build_bluestein n in
+    Mutex.protect tables_mutex (fun () ->
+        match Hashtbl.find_opt bluestein_registry n with
+        | Some t -> t
+        | None -> Hashtbl.replace bluestein_registry n t; t)
+
+let fft_bluestein z ~re ~im =
+  let n = Array.length re in
+  let m = z.z_m in
+  let t = pow2_tables m in
+  let ar = Array.make m 0.0 and ai = Array.make m 0.0 in
+  for k = 0 to n - 1 do
+    let cr = z.z_chirp_re.(k) and ci = z.z_chirp_im.(k) in
+    ar.(k) <- (re.(k) *. cr) -. (im.(k) *. ci);
+    ai.(k) <- (re.(k) *. ci) +. (im.(k) *. cr)
+  done;
+  fft_pow2 t ~re:ar ~im:ai;
+  (* pointwise multiply by FFT(b) *)
+  for k = 0 to m - 1 do
+    let br = z.z_b_re.(k) and bi = z.z_b_im.(k) in
+    let xr = ar.(k) and xi = ai.(k) in
+    ar.(k) <- (xr *. br) -. (xi *. bi);
+    ai.(k) <- (xr *. bi) +. (xi *. br)
+  done;
+  (* inverse length-m FFT via the conjugation trick *)
+  for k = 0 to m - 1 do ai.(k) <- -.ai.(k) done;
+  fft_pow2 t ~re:ar ~im:ai;
+  let inv_m = 1.0 /. float_of_int m in
+  for k = 0 to n - 1 do
+    let xr = ar.(k) *. inv_m and xi = -.(ai.(k) *. inv_m) in
+    let cr = z.z_chirp_re.(k) and ci = z.z_chirp_im.(k) in
+    re.(k) <- (xr *. cr) -. (xi *. ci);
+    im.(k) <- (xr *. ci) +. (xi *. cr)
+  done
+
+let check_args ~re ~im =
+  let n = Array.length re in
+  if n = 0 then invalid_arg "Fft: empty input";
+  if Array.length im <> n then invalid_arg "Fft: re/im length mismatch";
+  n
+
+let fft ~re ~im =
+  let n = check_args ~re ~im in
+  if n = 1 then ()
+  else if is_pow2 n then begin
+    Obs.Metrics.count "thermal.fft.radix2";
+    fft_pow2 (pow2_tables n) ~re ~im
+  end
+  else begin
+    Obs.Metrics.count "thermal.fft.bluestein";
+    fft_bluestein (bluestein_tables n) ~re ~im
+  end
+
+let ifft ~re ~im =
+  let n = check_args ~re ~im in
+  for k = 0 to n - 1 do im.(k) <- -.im.(k) done;
+  fft ~re ~im;
+  let inv_n = 1.0 /. float_of_int n in
+  for k = 0 to n - 1 do
+    re.(k) <- re.(k) *. inv_n;
+    im.(k) <- -.(im.(k) *. inv_n)
+  done
+
+(* --- 2-D transforms ------------------------------------------------------ *)
+
+let transform2 tr1 ~nx ~ny ~re ~im =
+  if nx <= 0 || ny <= 0 then invalid_arg "Fft: non-positive 2-D dims";
+  if Array.length re <> nx * ny || Array.length im <> nx * ny then
+    invalid_arg "Fft: 2-D array size mismatch";
+  let row_re = Array.make nx 0.0 and row_im = Array.make nx 0.0 in
+  for iy = 0 to ny - 1 do
+    let off = iy * nx in
+    Array.blit re off row_re 0 nx;
+    Array.blit im off row_im 0 nx;
+    tr1 ~re:row_re ~im:row_im;
+    Array.blit row_re 0 re off nx;
+    Array.blit row_im 0 im off nx
+  done;
+  let col_re = Array.make ny 0.0 and col_im = Array.make ny 0.0 in
+  for ix = 0 to nx - 1 do
+    for iy = 0 to ny - 1 do
+      col_re.(iy) <- re.((iy * nx) + ix);
+      col_im.(iy) <- im.((iy * nx) + ix)
+    done;
+    tr1 ~re:col_re ~im:col_im;
+    for iy = 0 to ny - 1 do
+      re.((iy * nx) + ix) <- col_re.(iy);
+      im.((iy * nx) + ix) <- col_im.(iy)
+    done
+  done
+
+let fft2 ~nx ~ny ~re ~im = transform2 fft ~nx ~ny ~re ~im
+let ifft2 ~nx ~ny ~re ~im = transform2 ifft ~nx ~ny ~re ~im

@@ -1,0 +1,38 @@
+(** Pure-OCaml complex FFT: iterative radix-2 Cooley-Tukey for
+    power-of-two lengths and the Bluestein chirp-z transform for every
+    other length, so arbitrary mesh extents (40x40, 60x60, prime sizes)
+    transform exactly — no dependency on the grid being a power of two.
+
+    All transforms operate in place on split re/im arrays of equal
+    length. The forward transform uses the e^{-2 pi i k n / N} kernel and
+    is unnormalized; {!ifft} applies the 1/N factor, so
+    [ifft (fft x) = x] to rounding. Twiddle factors, bit-reversal
+    permutations and Bluestein chirps are memoized per length behind a
+    mutex, so transforms are cheap to repeat and safe to run from pool
+    workers.
+
+    This is the kernel under {!Blur}'s Green's-function power blurring:
+    one candidate-evaluation convolution costs O(n log n) against the
+    O(n^1.x) of an MG-CG solve. *)
+
+val is_pow2 : int -> bool
+
+val next_pow2 : int -> int
+(** Smallest power of two >= the argument (>= 1). *)
+
+val fft : re:float array -> im:float array -> unit
+(** In-place forward DFT of any positive length. Radix-2 when the length
+    is a power of two ([thermal.fft.radix2] counter), Bluestein otherwise
+    ([thermal.fft.bluestein]). Raises [Invalid_argument] on empty or
+    mismatched arrays. *)
+
+val ifft : re:float array -> im:float array -> unit
+(** In-place inverse DFT (normalized by 1/N). *)
+
+val fft2 : nx:int -> ny:int -> re:float array -> im:float array -> unit
+(** In-place forward 2-D DFT of an [nx] x [ny] field stored x-major
+    (index [iy * nx + ix]): rows first, then columns. Either dimension
+    may be any positive length. *)
+
+val ifft2 : nx:int -> ny:int -> re:float array -> im:float array -> unit
+(** In-place inverse 2-D DFT, normalized by 1/(nx*ny). *)

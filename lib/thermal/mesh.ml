@@ -18,6 +18,10 @@ type problem = {
   p_mg : Multigrid.t option ref;
   (* lazily built multigrid hierarchy for this matrix, shared the same way
      so an optimizer run builds it once per cached mesh *)
+  p_blur : Blur.t option ref;
+  (* lazily characterized power-blurring kernel (unit-impulse response),
+     shared across the cache entry so screening pays characterization once
+     per (config, extent) *)
 }
 
 let matrix p = p.p_matrix
@@ -115,11 +119,29 @@ type cache_entry = {
   ce_matrix : Sparse.t;
   ce_cold_iters : int option ref;
   ce_mg : Multigrid.t option ref;
+  ce_blur : Blur.t option ref;
 }
 
-let cache_capacity = 8
+(* Default of 8 slots covers the optimizer (one extent per inserted-row
+   count) plus a package sweep; larger sweeps can widen it via
+   [set_cache_capacity] / THERMOPLACE_CACHE_SLOTS now that an entry also
+   carries the MG hierarchy and the blur kernel, both expensive to
+   recharacterize after a thrash. *)
+let cache_capacity_ref = ref 8
 let cache_mutex = Mutex.create ()
 let cache_entries : ((config * Geo.Rect.t) * cache_entry) list ref = ref []
+
+let cache_capacity () = !cache_capacity_ref
+
+let set_cache_capacity n =
+  if n < 1 then invalid_arg "Mesh.set_cache_capacity: capacity must be >= 1";
+  Mutex.protect cache_mutex (fun () ->
+      cache_capacity_ref := n;
+      let len = List.length !cache_entries in
+      if len > n then begin
+        cache_entries := List.filteri (fun i _ -> i < n) !cache_entries;
+        Obs.Metrics.count "thermal.mesh.cache.evictions" ~by:(len - n)
+      end)
 
 let cache_clear () =
   Mutex.protect cache_mutex (fun () -> cache_entries := [])
@@ -139,9 +161,14 @@ let cache_insert key e =
       match List.assoc_opt key !cache_entries with
       | Some existing -> existing (* a racing build won; reuse its entry *)
       | None ->
+        let cap = !cache_capacity_ref in
+        let len = List.length !cache_entries in
         let kept =
-          List.filteri (fun i _ -> i < cache_capacity - 1) !cache_entries
+          List.filteri (fun i _ -> i < cap - 1) !cache_entries
         in
+        if len > cap - 1 then
+          Obs.Metrics.count "thermal.mesh.cache.evictions"
+            ~by:(len - (cap - 1));
         cache_entries := (key, e) :: kept;
         e)
 
@@ -155,7 +182,7 @@ let stale_probe () =
   let b = Sparse.builder ~n:1 in
   Sparse.add b 0 0 1.0;
   { ce_matrix = Sparse.of_builder b; ce_cold_iters = ref None;
-    ce_mg = ref None }
+    ce_mg = ref None; ce_blur = ref None }
 
 let build ?(cache = true) cfg ~power =
   Obs.Trace.with_span "thermal.mesh.build" @@ fun () ->
@@ -173,7 +200,7 @@ let build ?(cache = true) cfg ~power =
        healthy builds, and a healthy cached matrix must not mask the fault *)
     if not cache || Robust.Faults.armed Robust.Faults.Perturb_matrix then
       { ce_matrix = assemble cfg ~extent; ce_cold_iters = ref None;
-        ce_mg = ref None }
+        ce_mg = ref None; ce_blur = ref None }
     else begin
       let key = (cfg, extent) in
       match cache_lookup key with
@@ -197,7 +224,7 @@ let build ?(cache = true) cfg ~power =
           cache_remove key;
           cache_insert key
             { ce_matrix = assemble cfg ~extent; ce_cold_iters = ref None;
-              ce_mg = ref None }
+              ce_mg = ref None; ce_blur = ref None }
         end
         else begin
           Obs.Metrics.count "thermal.mesh.cache.hits";
@@ -209,7 +236,7 @@ let build ?(cache = true) cfg ~power =
            assemble the same matrix and one is dropped *)
         cache_insert key
           { ce_matrix = assemble cfg ~extent; ce_cold_iters = ref None;
-            ce_mg = ref None }
+            ce_mg = ref None; ce_blur = ref None }
     end
   in
   let rhs = Array.make n 0.0 in
@@ -218,7 +245,7 @@ let build ?(cache = true) cfg ~power =
       rhs.(node_index cfg ~ix ~iy ~iz:zp) <- w);
   { p_config = cfg; p_extent = extent; p_matrix = entry.ce_matrix;
     p_rhs = rhs; p_cold_iters = entry.ce_cold_iters;
-    p_mg = entry.ce_mg }
+    p_mg = entry.ce_mg; p_blur = entry.ce_blur }
 
 let multigrid p =
   match !(p.p_mg) with
@@ -304,3 +331,38 @@ let layer_grid s ~iz =
 
 let active_layer_grid s =
   layer_grid s ~iz:s.config.stack.Stack.power_layer
+
+(* Characterization tolerance: the transfer deconvolved from this solve
+   is *exact* for the discrete operator (the lateral stencil is
+   translation-invariant with adiabatic walls), so solver error is the
+   only error screening estimates inherit — solve the impulse tight and
+   the kernel repays it across thousands of evaluations. *)
+let blur_tol = 1e-10
+
+let blur ?(precond = Pc_mg) p =
+  let cfg = p.p_config in
+  match !(p.p_blur) with
+  | Some b when Blur.nx b = cfg.nx && Blur.ny b = cfg.ny -> b
+  | _ ->
+    Obs.Trace.with_span "thermal.blur.characterize" @@ fun () ->
+    let n = Array.length p.p_rhs in
+    let rhs = Array.make n 0.0 in
+    (* corner tile: its extension images sit at indices 0 and 2n-1 per
+       axis, whose spectrum never vanishes on an informative mode — see
+       Blur.of_response. (A center impulse would zero out near half the
+       spectrum and make the deconvolution singular.) *)
+    rhs.(node_index cfg ~ix:0 ~iy:0 ~iz:cfg.stack.Stack.power_layer) <- 1.0;
+    let ip = { p with p_rhs = rhs } in
+    (* the explicit zero x0 is numerically a cold start but keeps the
+       impulse solve out of the warm-start bookkeeping: its iteration
+       count must not become the cache entry's cold baseline *)
+    let solution =
+      solve ~tol:blur_tol ~precond:(precond_of_choice ip precond)
+        ~x0:(Array.make n 0.0) ip
+    in
+    let b = Blur.of_response ~response:(active_layer_grid solution) in
+    (* benign race, same policy as [multigrid]: concurrent characterizers
+       derive the kernel from the same matrix, so the last write wins and
+       either kernel is valid *)
+    p.p_blur := Some b;
+    b

@@ -40,8 +40,20 @@ val build : ?cache:bool -> config -> power:Geo.Grid.t -> problem
     entirely so the poisoned matrix is never published. *)
 
 val cache_clear : unit -> unit
-(** Drop every cached matrix (and the cold-iteration baselines that ride
-    with them). Mainly for tests and benchmarks. *)
+(** Drop every cached matrix (and the cold-iteration baselines, multigrid
+    hierarchies and blur kernels that ride with them). Mainly for tests
+    and benchmarks. *)
+
+val cache_capacity : unit -> int
+(** Current MRU capacity (default 8 entries). *)
+
+val set_cache_capacity : int -> unit
+(** Resize the matrix MRU cache (minimum 1; [Invalid_argument] below
+    that). Shrinking evicts the least-recently-used entries immediately.
+    Every eviction — here or on insert overflow — is counted in
+    [thermal.mesh.cache.evictions]. Reachable from the CLI via
+    [--cache-slots] or the THERMOPLACE_CACHE_SLOTS environment
+    variable. *)
 
 val matrix : problem -> Sparse.t
 val rhs : problem -> float array
@@ -105,3 +117,12 @@ val layer_grid : solution -> iz:int -> Geo.Grid.t
 
 val active_layer_grid : solution -> Geo.Grid.t
 (** The thermal map of the paper's figures: the power-injection layer. *)
+
+val blur : ?precond:precond_choice -> problem -> Blur.t
+(** The power-blurring screening kernel for this problem's mesh: the
+    active-layer response to a 1 W impulse at tile (nx/2, ny/2), solved
+    once at 1e-8 with the chosen preconditioner (default [Pc_mg]) and
+    characterized by {!Blur.of_response}. Cached on the problem's MRU
+    entry next to the multigrid hierarchy, so an optimizer run
+    characterizes once per (config, extent) and every pool worker shares
+    the kernel. Traced as [thermal.blur.characterize]. *)

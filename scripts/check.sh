@@ -1,9 +1,10 @@
 #!/bin/sh
 # Full repository gate: build everything, run the test suites and the
-# quickstart example, smoke-run the solver-engine and multigrid benches
-# (cache + warm-start + preconditioner + pool) and gate them against the
-# committed bench/baselines via bench_diff (wall-clock regressions and
-# invariant flips fail the run), smoke the CLI with --report and
+# quickstart example, smoke-run the solver-engine, multigrid and
+# fft-screening benches (cache + warm-start + preconditioner + pool +
+# blur tier) and gate them against the committed bench/baselines via
+# bench_diff (wall-clock regressions and invariant flips fail the run),
+# smoke the CLI with --report and
 # --perfetto, validate the JSON both write, exercise the invariant-check
 # subcommand and the fault-injection harness (structured exit codes), and
 # prove the sweep checkpoint resumes. Run from anywhere inside the
@@ -30,6 +31,11 @@ echo "== multigrid bench smoke"
 dune exec bench/main.exe -- --jobs 2 mg >/dev/null
 dune exec bin/json_check.exe -- BENCH_mg.json experiment summary
 
+echo "== fft screening bench smoke"
+dune exec bench/main.exe -- --jobs 2 fft >/dev/null
+dune exec bin/json_check.exe -- \
+  BENCH_fft.json experiment summary summary.screening summary.optimizer
+
 echo "== bench regression gate (bench_diff vs committed baselines)"
 # A generous threshold absorbs machine-to-machine noise; invariant flips
 # (plans_agree, parallel_bit_identical, ...) fail at any threshold.
@@ -37,6 +43,8 @@ dune exec bin/bench_diff.exe -- --threshold 0.60 \
   bench/baselines/cg.json BENCH_cg.json >/dev/null
 dune exec bin/bench_diff.exe -- --threshold 0.60 \
   bench/baselines/mg.json BENCH_mg.json >/dev/null
+dune exec bin/bench_diff.exe -- --threshold 0.60 \
+  bench/baselines/fft.json BENCH_fft.json >/dev/null
 # Sanity of the gate itself: clean against itself, trips on a simulated
 # +100% slowdown.
 dune exec bin/bench_diff.exe -- \

@@ -469,6 +469,47 @@ let test_optimizer_validation () =
    | _ -> Alcotest.fail "rows=0 accepted"
    | exception Invalid_argument _ -> ())
 
+let test_optimizer_fft_screening_parity () =
+  let fl = Lazy.force flow in
+  Parallel.Pool.set_jobs 1;
+  let run screen =
+    Thermal.Mesh.cache_clear ();
+    Postplace.Optimizer.greedy_rows
+      { fl with Postplace.Flow.screen }
+      ~rows:4 ~chunk:2 ~stride:2 ~coarse_nx:16 ()
+  in
+  let ex = run Postplace.Flow.Screen_exact in
+  let ff = run Postplace.Flow.Screen_fft in
+  Alcotest.(check (list int)) "fft tier picks the exact tier's plan"
+    ex.Postplace.Optimizer.plan.Postplace.Technique.inserted_after
+    ff.Postplace.Optimizer.plan.Postplace.Technique.inserted_after;
+  (* bit-identical: leader solves use exactly the exact tier's inputs *)
+  Alcotest.(check bool) "same predicted peak" true
+    (ex.Postplace.Optimizer.predicted_peak_k
+     = ff.Postplace.Optimizer.predicted_peak_k);
+  Alcotest.(check int) "exact tier never blurs" 0
+    ex.Postplace.Optimizer.blur_evaluations;
+  Alcotest.(check bool) "fft tier screened every candidate" true
+    (ff.Postplace.Optimizer.blur_evaluations > 0);
+  Alcotest.(check bool) "fft tier spends fewer exact solves" true
+    (ff.Postplace.Optimizer.evaluations
+     < ex.Postplace.Optimizer.evaluations)
+
+let test_optimizer_fault_forces_exact_tier () =
+  let fl = Lazy.force flow in
+  Parallel.Pool.set_jobs 1;
+  Thermal.Mesh.cache_clear ();
+  (* Screen_auto with any armed fault must fall back to the exact tier:
+     injected faults have to reach the solve path they target *)
+  let r =
+    Robust.Faults.with_fault Robust.Faults.Stale_mesh_cache (fun () ->
+        Postplace.Optimizer.greedy_rows
+          { fl with Postplace.Flow.screen = Postplace.Flow.Screen_auto }
+          ~rows:2 ~chunk:2 ~stride:2 ~coarse_nx:16 ())
+  in
+  Alcotest.(check int) "auto tier does not blur under armed faults" 0
+    r.Postplace.Optimizer.blur_evaluations
+
 (* --- parallel determinism --------------------------------------------------------- *)
 
 let with_jobs n f =
@@ -616,7 +657,11 @@ let () =
            test_optimizer_reduces_peak;
          Alcotest.test_case "validation" `Quick test_optimizer_validation;
          Alcotest.test_case "parallel identical to sequential" `Quick
-           test_optimizer_parallel_identical ]);
+           test_optimizer_parallel_identical;
+         Alcotest.test_case "fft screening parity" `Quick
+           test_optimizer_fft_screening_parity;
+         Alcotest.test_case "faults force the exact tier" `Quick
+           test_optimizer_fault_forces_exact_tier ]);
       ("experiment",
        [ Alcotest.test_case "fig6 parallel identical" `Quick
            test_fig6_parallel_identical ]);

@@ -1022,6 +1022,227 @@ let test_mesh_perturbed_matrix_not_cached () =
   Alcotest.(check bool) "healthy build after fault" true
     (Array.for_all Float.is_finite s.Thermal.Mesh.temp)
 
+(* --- fft / blur -------------------------------------------------------------------- *)
+
+(* Reference O(n^2) DFT for parity checks. *)
+let naive_dft re im =
+  let n = Array.length re in
+  let outr = Array.make n 0.0 and outi = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    let sr = ref 0.0 and si = ref 0.0 in
+    for t = 0 to n - 1 do
+      let ang = -2.0 *. Float.pi *. float_of_int (k * t) /. float_of_int n in
+      sr := !sr +. (re.(t) *. cos ang) -. (im.(t) *. sin ang);
+      si := !si +. (re.(t) *. sin ang) +. (im.(t) *. cos ang)
+    done;
+    outr.(k) <- !sr;
+    outi.(k) <- !si
+  done;
+  (outr, outi)
+
+let random_signal ~seed n =
+  let st = Random.State.make [| seed; n |] in
+  ( Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0),
+    Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0) )
+
+let test_fft_parity_vs_dft () =
+  (* 8/128 take the radix-2 path, 40/60/127 exercise Bluestein *)
+  List.iter
+    (fun n ->
+       let re, im = random_signal ~seed:7 n in
+       let dr, di = naive_dft re im in
+       let fr = Array.copy re and fi = Array.copy im in
+       Thermal.Fft.fft ~re:fr ~im:fi;
+       let scale = ref 0.0 and err = ref 0.0 in
+       for k = 0 to n - 1 do
+         scale := Float.max !scale (Float.hypot dr.(k) di.(k));
+         err :=
+           Float.max !err
+             (Float.hypot (fr.(k) -. dr.(k)) (fi.(k) -. di.(k)))
+       done;
+       if !err /. !scale > 1e-9 then
+         Alcotest.failf "n=%d: fft deviates from dft by %.2e rel" n
+           (!err /. !scale))
+    [ 8; 40; 60; 127; 128 ]
+
+let test_fft_roundtrip () =
+  List.iter
+    (fun n ->
+       let re, im = random_signal ~seed:11 n in
+       let fr = Array.copy re and fi = Array.copy im in
+       Thermal.Fft.fft ~re:fr ~im:fi;
+       Thermal.Fft.ifft ~re:fr ~im:fi;
+       Array.iteri
+         (fun k v -> check_float "re roundtrip" v fr.(k)) re;
+       Array.iteri
+         (fun k v -> check_float "im roundtrip" v fi.(k)) im)
+    [ 1; 2; 96; 100 ];
+  (* 2-D roundtrip with distinct non-pow2 dims *)
+  let nx = 12 and ny = 20 in
+  let re, im = random_signal ~seed:13 (nx * ny) in
+  let fr = Array.copy re and fi = Array.copy im in
+  Thermal.Fft.fft2 ~nx ~ny ~re:fr ~im:fi;
+  Thermal.Fft.ifft2 ~nx ~ny ~re:fr ~im:fi;
+  Array.iteri (fun k v -> check_float "fft2 roundtrip" v fr.(k)) re;
+  Array.iteri (fun k v -> check_float "fft2 roundtrip im" v fi.(k)) im
+
+let test_fft_linearity () =
+  let n = 60 in
+  let xr, xi = random_signal ~seed:17 n in
+  let yr, yi = random_signal ~seed:19 n in
+  let a = 1.75 and b = -0.4 in
+  let zr = Array.init n (fun k -> (a *. xr.(k)) +. (b *. yr.(k))) in
+  let zi = Array.init n (fun k -> (a *. xi.(k)) +. (b *. yi.(k))) in
+  Thermal.Fft.fft ~re:xr ~im:xi;
+  Thermal.Fft.fft ~re:yr ~im:yi;
+  Thermal.Fft.fft ~re:zr ~im:zi;
+  for k = 0 to n - 1 do
+    check_float ~eps:1e-10 "linear re"
+      ((a *. xr.(k)) +. (b *. yr.(k))) zr.(k);
+    check_float ~eps:1e-10 "linear im"
+      ((a *. xi.(k)) +. (b *. yi.(k))) zi.(k)
+  done
+
+let test_fft_validation () =
+  (match Thermal.Fft.fft ~re:[||] ~im:[||] with
+   | _ -> Alcotest.fail "empty input accepted"
+   | exception Invalid_argument _ -> ());
+  (match Thermal.Fft.fft ~re:(Array.make 4 0.0) ~im:(Array.make 3 0.0) with
+   | _ -> Alcotest.fail "mismatched lengths accepted"
+   | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "next_pow2" 64 (Thermal.Fft.next_pow2 33);
+  Alcotest.(check bool) "is_pow2" true (Thermal.Fft.is_pow2 64);
+  Alcotest.(check bool) "not pow2" false (Thermal.Fft.is_pow2 48)
+
+(* a 24x24 mesh: even, non-power-of-two, big enough for a localized
+   kernel *)
+let blur_cfg =
+  { Thermal.Mesh.default_config with Thermal.Mesh.nx = 24; ny = 24 }
+
+let point_power sources =
+  let extent = Geo.Rect.of_corner ~x:0.0 ~y:0.0 ~w:200.0 ~h:200.0 in
+  let g = Geo.Grid.create ~nx:24 ~ny:24 ~extent in
+  List.iter (fun (ix, iy, w) -> Geo.Grid.set g ~ix ~iy w) sources;
+  g
+
+let test_blur_reproduces_impulse_response () =
+  Thermal.Mesh.cache_clear ();
+  (* a 1 W delta far from the characterization corner: the deconvolved
+     transfer is exact for the discrete operator, so the blurred field
+     must match a full solve to characterization tolerance *)
+  let power = point_power [ (12, 12, 1.0) ] in
+  let problem = Thermal.Mesh.build blur_cfg ~power in
+  let kernel = Thermal.Mesh.blur problem in
+  let exact = Thermal.Mesh.solve problem in
+  let g = Thermal.Mesh.active_layer_grid exact in
+  let peak = Geo.Grid.max_value g in
+  let field = Thermal.Blur.field kernel ~power in
+  let max_rel = ref 0.0 in
+  Geo.Grid.iteri g ~f:(fun ~ix ~iy v ->
+      let d = Float.abs (Geo.Grid.get field ~ix ~iy -. v) /. peak in
+      if d > !max_rel then max_rel := d);
+  Alcotest.(check bool)
+    (Printf.sprintf "off-corner delta matches exact solve (got %.2e)"
+       !max_rel)
+    true (!max_rel <= 1e-7)
+
+let test_blur_screens_composed_sources () =
+  Thermal.Mesh.cache_clear ();
+  (* off-center sources, including one near a wall: boundary placement
+     is the regime where naive shift-invariant blurring breaks down; the
+     exact transfer must not care *)
+  let power = point_power [ (8, 14, 0.5); (16, 10, 0.3); (2, 4, 0.4) ] in
+  let problem = Thermal.Mesh.build blur_cfg ~power in
+  let kernel = Thermal.Mesh.blur problem in
+  let exact = Thermal.Mesh.solve problem in
+  let g = Thermal.Mesh.active_layer_grid exact in
+  let peak = Geo.Grid.max_value g in
+  let field = Thermal.Blur.field kernel ~power in
+  let max_rel = ref 0.0 in
+  Geo.Grid.iteri g ~f:(fun ~ix ~iy v ->
+      let d = Float.abs (Geo.Grid.get field ~ix ~iy -. v) /. peak in
+      if d > !max_rel then max_rel := d);
+  Alcotest.(check bool)
+    (Printf.sprintf "composed near-wall sources match exact (got %.2e)"
+       !max_rel)
+    true (!max_rel <= 1e-7)
+
+let test_blur_linearity () =
+  Thermal.Mesh.cache_clear ();
+  let p1 = point_power [ (6, 6, 0.4) ] in
+  let p2 = point_power [ (18, 15, 0.7) ] in
+  let sum = Geo.Grid.map2 p1 p2 ~f:( +. ) in
+  let kernel = Thermal.Mesh.blur (Thermal.Mesh.build blur_cfg ~power:sum) in
+  let f1 = Thermal.Blur.field kernel ~power:p1 in
+  let f2 = Thermal.Blur.field kernel ~power:p2 in
+  let fs = Thermal.Blur.field kernel ~power:sum in
+  let peak = Geo.Grid.max_value fs in
+  Geo.Grid.iteri fs ~f:(fun ~ix ~iy v ->
+      let s = Geo.Grid.get f1 ~ix ~iy +. Geo.Grid.get f2 ~ix ~iy in
+      if Float.abs (v -. s) /. peak > 1e-12 then
+        Alcotest.failf "convolution not linear at (%d,%d)" ix iy);
+  (* peak agrees with field's max *)
+  check_float ~eps:1e-12 "peak = max of field" peak
+    (Thermal.Blur.peak kernel ~power:sum)
+
+let test_blur_validation () =
+  Thermal.Mesh.cache_clear ();
+  let power = point_power [ (12, 12, 1.0) ] in
+  let kernel = Thermal.Mesh.blur (Thermal.Mesh.build blur_cfg ~power) in
+  let extent = Geo.Rect.of_corner ~x:0.0 ~y:0.0 ~w:200.0 ~h:200.0 in
+  let wrong = Geo.Grid.create ~nx:10 ~ny:10 ~extent in
+  (match Thermal.Blur.field kernel ~power:wrong with
+   | _ -> Alcotest.fail "dimension mismatch accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_blur_kernel_cached () =
+  Thermal.Mesh.cache_clear ();
+  let power = point_power [ (12, 12, 1.0) ] in
+  let p1 = Thermal.Mesh.build blur_cfg ~power in
+  let k1 = Thermal.Mesh.blur p1 in
+  (* a cache-hitting rebuild hands back the same characterized kernel *)
+  let p2 = Thermal.Mesh.build blur_cfg ~power in
+  let k2 = Thermal.Mesh.blur p2 in
+  Alcotest.(check bool) "kernel physically shared via the mesh cache" true
+    (k1 == k2)
+
+let test_mesh_cache_capacity () =
+  let saved = Thermal.Mesh.cache_capacity () in
+  Fun.protect
+    ~finally:(fun () -> Thermal.Mesh.set_cache_capacity saved)
+    (fun () ->
+       Obs.Metrics.set_enabled true;
+       Obs.Metrics.reset ();
+       Thermal.Mesh.cache_clear ();
+       Thermal.Mesh.set_cache_capacity 2;
+       Alcotest.(check int) "capacity set" 2
+         (Thermal.Mesh.cache_capacity ());
+       let build nx =
+         let p = uniform_power ~nx ~ny:nx ~total:0.01 in
+         Thermal.Mesh.build
+           { Thermal.Mesh.default_config with Thermal.Mesh.nx; ny = nx }
+           ~power:p
+       in
+       ignore (build 8);
+       ignore (build 10);
+       let p12 = build 12 in
+       (* 3 distinct extents through a 2-slot cache: at least one eviction *)
+       (match Obs.Metrics.counter_value "thermal.mesh.cache.evictions" with
+        | Some n when n >= 1 -> ()
+        | v ->
+          Alcotest.failf "expected evictions, got %s"
+            (match v with None -> "none" | Some n -> string_of_int n));
+       (* the most recent entry is still resident *)
+       let p12' = build 12 in
+       Alcotest.(check bool) "MRU entry survives" true
+         (Thermal.Mesh.matrix p12 == Thermal.Mesh.matrix p12');
+       (* shrinking trims immediately; invalid capacities are rejected *)
+       Thermal.Mesh.set_cache_capacity 1;
+       Alcotest.(check int) "shrunk" 1 (Thermal.Mesh.cache_capacity ());
+       match Thermal.Mesh.set_cache_capacity 0 with
+       | _ -> Alcotest.fail "capacity 0 accepted"
+       | exception Invalid_argument _ -> ())
+
 let () =
   Alcotest.run "thermal"
     [ ("sparse",
@@ -1090,6 +1311,23 @@ let () =
            test_mg_dimension_mismatch_rejected;
          Alcotest.test_case "escalation recovers under mg" `Quick
            test_mg_escalation_recovers ]);
+      ("fft",
+       [ Alcotest.test_case "parity vs naive dft" `Quick
+           test_fft_parity_vs_dft;
+         Alcotest.test_case "roundtrip" `Quick test_fft_roundtrip;
+         Alcotest.test_case "linearity" `Quick test_fft_linearity;
+         Alcotest.test_case "validation" `Quick test_fft_validation ]);
+      ("blur",
+       [ Alcotest.test_case "impulse reproduces response" `Quick
+           test_blur_reproduces_impulse_response;
+         Alcotest.test_case "composed sources within tolerance" `Quick
+           test_blur_screens_composed_sources;
+         Alcotest.test_case "linearity" `Quick test_blur_linearity;
+         Alcotest.test_case "validation" `Quick test_blur_validation;
+         Alcotest.test_case "kernel cached on mesh entry" `Quick
+           test_blur_kernel_cached;
+         Alcotest.test_case "cache capacity and eviction" `Quick
+           test_mesh_cache_capacity ]);
       ("spice",
        [ Alcotest.test_case "round trip" `Quick test_spice_roundtrip;
          Alcotest.test_case "element counts" `Quick test_spice_counts ]);
