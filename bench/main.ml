@@ -19,7 +19,13 @@
      dune exec bench/main.exe -- mg      -- multigrid preconditioner study
      dune exec bench/main.exe -- fft     -- FFT blur screening-tier study
 
-   `--jobs N` anywhere on the line sizes the domain pool. *)
+   `--jobs N` anywhere on the line sizes the domain pool. `--trials N`
+   runs each selected suite N times and replaces every wall-clock
+   ("_ms") leaf of the summary with {median, min, max, iqr, trials}
+   statistics, so bench_diff can gate medians inside a noise-aware band
+   instead of a single sample; boolean invariants are ANDed across
+   trials. Every suite also appends one record to the run ledger
+   (THERMOPLACE_LEDGER; "none" disables). *)
 
 let line = String.make 78 '-'
 
@@ -1219,37 +1225,137 @@ let experiments =
     ("baselines", run_baselines); ("glitch", run_glitch);
     ("transient", run_transient) ]
 
-(* Runs an experiment and writes its summary to BENCH_<name>.json alongside
-   the text table, so downstream tooling can diff runs without scraping
-   stdout. *)
+(* --- trial statistics --------------------------------------------------- *)
+
+let is_time_key k =
+  let n = String.length k in
+  n >= 3 && String.sub k (n - 3) 3 = "_ms"
+
+(* Nearest-rank quantile of a sorted array. *)
+let quantile a q =
+  let n = Array.length a in
+  let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+  a.(max 0 (min (n - 1) (rank - 1)))
+
+(* Merge N structurally-identical trial summaries: "_ms" leaves become
+   {median, min, max, iqr, trials} statistics objects, booleans are
+   ANDed (one flaky false must still trip the gate), everything else
+   keeps the first trial's value. Shapes recurse; a list whose length
+   varies across trials falls back to the first trial verbatim. *)
+let rec merge_trials key vals =
+  match vals with
+  | [] -> Obs.Json.Null
+  | first :: _ ->
+    let floats = List.map Obs.Json.to_float vals in
+    if is_time_key key && List.for_all Option.is_some floats then begin
+      let a = Array.of_list (List.map Option.get floats) in
+      Array.sort compare a;
+      let n = Array.length a in
+      j_obj
+        [ ("median", j_f (quantile a 0.50));
+          ("min", j_f a.(0));
+          ("max", j_f a.(n - 1));
+          ("iqr", j_f (quantile a 0.75 -. quantile a 0.25));
+          ("trials", j_i n) ]
+    end
+    else
+      match first with
+      | Obs.Json.Obj fields ->
+        Obs.Json.Obj
+          (List.map
+             (fun (k, _) ->
+                (k, merge_trials k (List.filter_map (Obs.Json.member k) vals)))
+             fields)
+      | Obs.Json.List items ->
+        let lists = List.filter_map Obs.Json.to_list vals in
+        if
+          List.length lists = List.length vals
+          && List.for_all
+               (fun l -> List.length l = List.length items)
+               lists
+        then
+          Obs.Json.List
+            (List.mapi
+               (fun i _ -> merge_trials key (List.map (fun l -> List.nth l i) lists))
+               items)
+        else first
+      | Obs.Json.Bool _ ->
+        Obs.Json.Bool
+          (List.for_all
+             (function Obs.Json.Bool b -> b | _ -> true)
+             vals)
+      | v -> v
+
+let trials = ref 1
+
+(* Runs an experiment --trials times and writes the (merged) summary to
+   BENCH_<name>.json alongside the text table, so downstream tooling can
+   diff runs without scraping stdout; appends one ledger record per
+   suite so the perf trajectory accumulates across invocations. *)
 let run_and_emit (name, f) =
-  let summary = f () in
+  let t0 = Unix.gettimeofday () in
+  let summaries = List.init !trials (fun _ -> f ()) in
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let summary =
+    match summaries with
+    | [ one ] -> one
+    | many -> merge_trials "summary" many
+  in
   let path = Printf.sprintf "BENCH_%s.json" name in
   let json =
-    Obs.Json.Obj [ ("experiment", j_s name); ("summary", summary) ]
+    Obs.Json.Obj
+      [ ("experiment", j_s name); ("trials", j_i !trials);
+        ("summary", summary) ]
   in
   let oc = open_out path in
   output_string oc (Obs.Json.to_string ~pretty:true json);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "[wrote %s]\n" path
+  Printf.printf "[wrote %s]\n" path;
+  match Obs.Ledger.resolve_path () with
+  | None -> ()
+  | Some ledger ->
+    let record =
+      Obs.Ledger.make_record
+        ~command:("bench:" ^ name)
+        ~fingerprint:
+          (Printf.sprintf "bench=%s|trials=%d|jobs=%d" name !trials
+             (Parallel.Pool.jobs ()))
+        ~config:
+          [ ("experiment", j_s name); ("trials", j_i !trials);
+            ("jobs", j_i (Parallel.Pool.jobs ())) ]
+        ~phases_ms:[ ("bench_ms", elapsed_ms); ("total_ms", elapsed_ms) ]
+        ~metrics:(Obs.Metrics.summary_json ()) ~outcome:"ok" ~exit_code:0 ()
+    in
+    (try Obs.Ledger.append ~path:ledger record
+     with e ->
+       Printf.eprintf "bench: cannot append to ledger %s: %s\n" ledger
+         (Printexc.to_string e))
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  (* --jobs N anywhere on the line configures the domain pool *)
-  let rec strip_jobs = function
+  (* --jobs N / --trials N anywhere on the line *)
+  let rec strip_opts = function
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with
        | Some k when k >= 1 ->
          Parallel.Pool.set_jobs k;
-         strip_jobs rest
+         strip_opts rest
        | _ ->
          Printf.eprintf "--jobs expects an integer >= 1, got %S\n" n;
          exit 2)
-    | x :: rest -> x :: strip_jobs rest
+    | "--trials" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some k when k >= 1 ->
+         trials := k;
+         strip_opts rest
+       | _ ->
+         Printf.eprintf "--trials expects an integer >= 1, got %S\n" n;
+         exit 2)
+    | x :: rest -> x :: strip_opts rest
     | [] -> []
   in
-  match strip_jobs args with
+  match strip_opts args with
   | [] | [ "all" ] -> List.iter run_and_emit experiments
   | [ "perf" ] -> run_and_emit ("perf", run_perf)
   | [ "cg" ] -> run_and_emit ("cg", run_cg)

@@ -11,7 +11,14 @@
    integer tid, and spans sharing a tid must nest properly (no partial
    overlap). With MIN_TRACKS, additionally require at least that many
    distinct tids (e.g. 2 proves worker-domain spans survived the merge).
-   Prints the event and track counts on success. *)
+   Prints the event and track counts on success.
+
+   json_check --jsonl FILE [MIN_RECORDS]: validate FILE as line-delimited
+   JSON (the run-ledger format): every non-blank line must parse as a
+   JSON object carrying an integer "schema_version" field. With
+   MIN_RECORDS, additionally require at least that many records — the
+   check.sh smoke uses it to assert the ledger grew by the expected
+   count. Prints the record count on success. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -50,6 +57,21 @@ let check_trace path min_tracks =
     Printf.eprintf "json_check: %s: invalid trace: %s\n" path msg;
     exit 1
 
+let check_jsonl path min_records =
+  match Obs.Ledger.load path with
+  | Error msg ->
+    Printf.eprintf "json_check: %s: invalid JSONL: %s\n" path msg;
+    exit 1
+  | Ok records ->
+    let n = List.length records in
+    if n < min_records then begin
+      Printf.eprintf "json_check: %s: expected >= %d records, got %d\n" path
+        min_records n;
+      exit 1
+    end;
+    Printf.printf "%s: valid JSONL (%d records, schema v%d)\n" path n
+      Obs.Ledger.schema_version
+
 let lookup_path json key =
   List.fold_left
     (fun acc part ->
@@ -79,9 +101,18 @@ let () =
      | _ ->
        prerr_endline "json_check: MIN_TRACKS must be an integer >= 1";
        exit 2)
-  | _ :: path :: keys when path <> "--trace" -> check_report path keys
+  | _ :: "--jsonl" :: [ path ] -> check_jsonl path 0
+  | _ :: "--jsonl" :: [ path; min_records ] ->
+    (match int_of_string_opt min_records with
+     | Some n when n >= 0 -> check_jsonl path n
+     | _ ->
+       prerr_endline "json_check: MIN_RECORDS must be an integer >= 0";
+       exit 2)
+  | _ :: path :: keys when path <> "--trace" && path <> "--jsonl" ->
+    check_report path keys
   | _ ->
     prerr_endline
       "usage: json_check FILE [REQUIRED_KEY ...]\n\
-      \       json_check --trace FILE [MIN_TRACKS]";
+      \       json_check --trace FILE [MIN_TRACKS]\n\
+      \       json_check --jsonl FILE [MIN_RECORDS]";
     exit 2

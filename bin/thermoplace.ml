@@ -9,10 +9,17 @@
      thermoplace check    -- run the design invariant suite
      thermoplace export   -- Verilog / LEF / DEF / SPICE / SVG dump
 
+     thermoplace history  -- list / show / diff / trend over the run ledger
+
    Every subcommand accepts --trace (span tree to stderr), --report FILE
-   (machine-readable JSON run report) and --perfetto FILE (Chrome
+   (machine-readable JSON run report), --perfetto FILE (Chrome
    trace-event JSON of the merged cross-domain span forest, loadable in
-   Perfetto / chrome://tracing).
+   Perfetto / chrome://tracing) and --prom FILE (Prometheus text
+   exposition of the metrics registry). Every run also appends one
+   record to the JSONL run ledger (config fingerprint, per-phase
+   timings, CG iteration totals, peak temperature, plan hash, metrics
+   summary, outcome) — --ledger FILE / THERMOPLACE_LEDGER override the
+   path, "none" disables.
 
    Structured failures (Robust.Error) exit with stable per-class codes:
    solver divergence 10, invariant violation 11, worker failure 12,
@@ -20,14 +27,98 @@
 
 open Cmdliner
 
+(* --- run ledger context ---------------------------------------------------
+
+   Process-global because a thermoplace invocation is exactly one run:
+   the subcommand fills it in as the run unfolds (fingerprint once the
+   flow exists, phases as they complete, peak/plan hash once known) and
+   the structured-error boundary flushes one ledger record on every
+   exit path — success, invariant failure, or solver breakdown. *)
+
+module Run = struct
+  let command = ref ""
+  let ledger_path : string option ref = ref None
+  let fingerprint = ref ""
+  let config : (string * Obs.Json.t) list ref = ref []
+  let phases : (string * float) list ref = ref []
+  let peak_rise_k : float option ref = ref None
+  let plan_hash : string option ref = ref None
+  let t0 = ref 0.0
+  let recorded = ref false
+
+  let begin_ ~command:c ~ledger ~config:cfg =
+    command := c;
+    ledger_path := Obs.Ledger.resolve_path ?path:ledger ();
+    fingerprint := "";
+    config := cfg;
+    phases := [];
+    peak_rise_k := None;
+    plan_hash := None;
+    t0 := Unix.gettimeofday ();
+    recorded := false
+
+  let phase name f =
+    let s = Unix.gettimeofday () in
+    let r = f () in
+    phases := !phases @ [ (name ^ "_ms", (Unix.gettimeofday () -. s) *. 1e3) ];
+    r
+
+  let set_fingerprint fp = fingerprint := fp
+  let set_peak k = peak_rise_k := Some k
+
+  (* Committed-plan identity: the MD5 of the canonical plan rendering,
+     so "did these two configs commit the same plan?" is one string
+     comparison in [history diff]. *)
+  let set_plan inserted_after =
+    plan_hash :=
+      Some
+        (Digest.to_hex
+           (Digest.string
+              (String.concat "," (List.map string_of_int inserted_after))))
+
+  let record ?error ~outcome ~exit_code () =
+    match !ledger_path with
+    | None -> ()
+    | Some _ when !recorded -> ()
+    | Some path ->
+      recorded := true;
+      let cg_iterations =
+        Option.map
+          (fun h -> int_of_float h.Obs.Metrics.sum)
+          (Obs.Metrics.histogram "thermal.cg.iterations")
+      in
+      let phases_ms =
+        !phases
+        @ [ ("total_ms", (Unix.gettimeofday () -. !t0) *. 1e3) ]
+      in
+      let record =
+        Obs.Ledger.make_record ~command:!command ~fingerprint:!fingerprint
+          ~config:!config ~phases_ms ?cg_iterations
+          ?peak_rise_k:!peak_rise_k ?plan_hash:!plan_hash
+          ~metrics:(Obs.Metrics.summary_json ()) ?error ~outcome ~exit_code
+          ()
+      in
+      (try Obs.Ledger.append ~path record
+       with e ->
+         Printf.eprintf "thermoplace: cannot append to ledger %s: %s\n" path
+           (Printexc.to_string e))
+end
+
 (* Catch structured errors at the subcommand boundary and turn them into
-   a one-line stderr message plus the class's stable exit code. *)
+   a one-line stderr message plus the class's stable exit code; flush
+   the ledger record on both paths. *)
 let with_structured_errors run =
   match run () with
-  | status -> status
+  | status ->
+    Run.record ~outcome:(if status = 0 then "ok" else "error")
+      ~exit_code:status ();
+    status
   | exception Robust.Error.Error e ->
     Printf.eprintf "thermoplace: %s\n" (Robust.Error.to_string e);
-    Robust.Error.exit_code e
+    let code = Robust.Error.exit_code e in
+    Run.record ~error:(Robust.Error.to_string e) ~outcome:"error"
+      ~exit_code:code ();
+    code
 
 (* --- validated option converters ----------------------------------------- *)
 
@@ -176,6 +267,22 @@ let perfetto_arg =
   Arg.(value & opt (some string) None
        & info [ "perfetto" ] ~docv:"FILE" ~doc)
 
+let prom_arg =
+  let doc =
+    "Write the final metrics registry in Prometheus text exposition \
+     format to $(docv): labelled counters and gauges directly, histogram \
+     aggregates as companion gauges plus p50/p90/p99 quantile series."
+  in
+  Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"FILE" ~doc)
+
+let ledger_arg =
+  let doc =
+    "Append this run's record to the JSONL ledger at $(docv) instead of \
+     the default (thermoplace.ledger.jsonl, or the THERMOPLACE_LEDGER \
+     environment variable). $(b,none) disables the ledger."
+  in
+  Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
+
 let prepare ?(screen = "auto") ~seed ~cycles ~utilization ~test_set ~precond
     () =
   let precond = precond_choice precond in
@@ -198,13 +305,14 @@ let prepare ?(screen = "auto") ~seed ~cycles ~utilization ~test_set ~precond
 
 (* --- observability wiring ------------------------------------------------- *)
 
-let obs_begin ~trace ~report ~perfetto =
+let obs_begin ~command ~ledger ~config ~trace ~report ~perfetto =
   if trace || report <> None || perfetto <> None then
     Obs.Trace.set_enabled true;
   Obs.Trace.reset ();
   Obs.Metrics.reset ();
   Obs.Log.reset ();
-  Thermal.Cg.clear_histories ()
+  Thermal.Cg.clear_histories ();
+  Run.begin_ ~command ~ledger ~config
 
 let base_config ~seed ~cycles ~utilization ~test_set ~precond =
   [ ("seed", Obs.Json.Int seed);
@@ -227,10 +335,24 @@ let eval_json (ev : Postplace.Flow.evaluation) =
        Obs.Json.Float
          (Place.Placement.utilization ev.Postplace.Flow.placement)) ]
 
-(* Returns the process exit status so an unwritable --report or --perfetto
-   path surfaces as a clean error instead of an uncaught Sys_error. *)
-let obs_end ~command ~trace ~report ~perfetto ~config ~sections =
+(* Returns the process exit status so an unwritable --report, --perfetto
+   or --prom path surfaces as a clean error instead of an uncaught
+   Sys_error. *)
+let obs_end ~command ~trace ~report ~perfetto ~prom ~config ~sections =
   if trace then Format.eprintf "%a" Obs.Trace.pp_tree ();
+  let prom_status =
+    match prom with
+    | None -> 0
+    | Some path ->
+      (match Obs.Prom.write_file path with
+       | () ->
+         Printf.printf "wrote prometheus metrics %s\n" path;
+         0
+       | exception Sys_error msg ->
+         Printf.eprintf "thermoplace: cannot write prometheus metrics: %s\n"
+           msg;
+         1)
+  in
   let perfetto_status =
     match perfetto with
     | None -> 0
@@ -261,7 +383,9 @@ let obs_end ~command ~trace ~report ~perfetto ~config ~sections =
          Printf.eprintf "thermoplace: cannot write report: %s\n" msg;
          1)
   in
-  if report_status <> 0 then report_status else perfetto_status
+  if report_status <> 0 then report_status
+  else if perfetto_status <> 0 then perfetto_status
+  else prom_status
 
 (* --- flow ---------------------------------------------------------------- *)
 
@@ -280,18 +404,37 @@ let overhead_arg =
        & info [ "overhead" ] ~docv:"F" ~doc)
 
 let run_flow seed cycles utilization test_set precond cache_slots technique
-    overhead jobs trace report perfetto =
+    overhead jobs trace report perfetto prom ledger =
   with_structured_errors @@ fun () ->
   Parallel.Pool.set_jobs jobs;
   apply_cache_slots cache_slots;
-  obs_begin ~trace ~report ~perfetto;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond () in
-  let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
+  let config =
+    base_config ~seed ~cycles ~utilization ~test_set ~precond
+    @ [ ("technique", Obs.Json.String technique);
+        ("overhead", Obs.Json.Float overhead);
+        ("jobs", Obs.Json.Int jobs);
+        ("cache_slots", Obs.Json.Int (Thermal.Mesh.cache_capacity ())) ]
+  in
+  obs_begin ~command:"flow" ~ledger ~config ~trace ~report ~perfetto;
+  let flow =
+    Run.phase "prepare" @@ fun () ->
+    prepare ~seed ~cycles ~utilization ~test_set ~precond ()
+  in
+  Run.set_fingerprint
+    (Postplace.Flow.fingerprint
+       ~extra:[ ("technique", technique); ("jobs", string_of_int jobs) ]
+       flow);
+  let base =
+    Run.phase "evaluate" @@ fun () ->
+    Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement
+  in
+  Run.set_peak base.Postplace.Flow.metrics.Thermal.Metrics.peak_rise_k;
   Format.printf "base: %a@." Place.Placement.pp_summary
     base.Postplace.Flow.placement;
   Format.printf "base thermal: %a@." Thermal.Metrics.pp
     base.Postplace.Flow.metrics;
   let transformed =
+    Run.phase "technique" @@ fun () ->
     match technique with
     | "none" -> None
     | "default" ->
@@ -308,6 +451,7 @@ let run_flow seed cycles utilization test_set precond cache_slots technique
                      .Place.Floorplan.num_rows))
       in
       let r = Postplace.Flow.apply_eri flow ~base ~rows in
+      Run.set_plan r.Postplace.Technique.inserted_after;
       Some r.Postplace.Technique.eri_placement
     | "hw" ->
       let d =
@@ -322,7 +466,11 @@ let run_flow seed cycles utilization test_set precond cache_slots technique
     match transformed with
     | None -> []
     | Some pl ->
-      let ev = Postplace.Flow.evaluate flow pl in
+      let ev =
+        Run.phase "evaluate_after" @@ fun () ->
+        Postplace.Flow.evaluate flow pl
+      in
+      Run.set_peak ev.Postplace.Flow.metrics.Thermal.Metrics.peak_rise_k;
       let area_pct =
         Postplace.Technique.area_overhead_pct
           ~base:base.Postplace.Flow.placement pl
@@ -353,21 +501,21 @@ let run_flow seed cycles utilization test_set precond cache_slots technique
              ("timing_overhead_pct", Obs.Json.Float timing_pct);
              ("after", eval_json ev) ]) ]
   in
-  obs_end ~command:"flow" ~trace ~report ~perfetto
-    ~config:
-      (base_config ~seed ~cycles ~utilization ~test_set ~precond
-       @ [ ("technique", Obs.Json.String technique);
-           ("overhead", Obs.Json.Float overhead);
-           ("jobs", Obs.Json.Int jobs) ])
+  obs_end ~command:"flow" ~trace ~report ~perfetto ~prom ~config
     ~sections:([ ("base", eval_json base) ] @ result_section)
 
 (* --- report ---------------------------------------------------------------- *)
 
 let run_report seed cycles utilization test_set precond trace report
-    perfetto =
+    perfetto prom ledger =
   with_structured_errors @@ fun () ->
-  obs_begin ~trace ~report ~perfetto;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond () in
+  let config = base_config ~seed ~cycles ~utilization ~test_set ~precond in
+  obs_begin ~command:"report" ~ledger ~config ~trace ~report ~perfetto;
+  let flow =
+    Run.phase "prepare" @@ fun () ->
+    prepare ~seed ~cycles ~utilization ~test_set ~precond ()
+  in
+  Run.set_fingerprint (Postplace.Flow.fingerprint flow);
   let nl = flow.Postplace.Flow.bench.Netgen.Benchmark.netlist in
   Format.printf "%a@."
     Netlist.Stats.pp
@@ -379,7 +527,11 @@ let run_report seed cycles utilization test_set precond trace report
          u.Netgen.Benchmark.unit_name (List.length cells)
          u.Netgen.Benchmark.description)
     flow.Postplace.Flow.bench.Netgen.Benchmark.units;
-  let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
+  let base =
+    Run.phase "evaluate" @@ fun () ->
+    Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement
+  in
+  Run.set_peak base.Postplace.Flow.metrics.Thermal.Metrics.peak_rise_k;
   Format.printf "placement: %a@." Place.Placement.pp_summary
     base.Postplace.Flow.placement;
   Format.printf "thermal:   %a@." Thermal.Metrics.pp
@@ -395,8 +547,7 @@ let run_report seed cycles utilization test_set precond trace report
          (List.length h.Postplace.Hotspot.cells)
          h.Postplace.Hotspot.peak_rise_k)
     base.Postplace.Flow.hotspots;
-  obs_end ~command:"report" ~trace ~report ~perfetto
-    ~config:(base_config ~seed ~cycles ~utilization ~test_set ~precond)
+  obs_end ~command:"report" ~trace ~report ~perfetto ~prom ~config
     ~sections:[ ("base", eval_json base) ]
 
 (* --- maps ------------------------------------------------------------------- *)
@@ -406,11 +557,19 @@ let ascii_arg =
   Arg.(value & flag & info [ "ascii" ] ~doc)
 
 let run_maps seed cycles utilization test_set precond ascii trace report
-    perfetto =
+    perfetto prom ledger =
   with_structured_errors @@ fun () ->
-  obs_begin ~trace ~report ~perfetto;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond () in
-  let power, thermal = Postplace.Experiment.fig5_maps flow in
+  let config = base_config ~seed ~cycles ~utilization ~test_set ~precond in
+  obs_begin ~command:"maps" ~ledger ~config ~trace ~report ~perfetto;
+  let flow =
+    Run.phase "prepare" @@ fun () ->
+    prepare ~seed ~cycles ~utilization ~test_set ~precond ()
+  in
+  Run.set_fingerprint (Postplace.Flow.fingerprint flow);
+  let power, thermal =
+    Run.phase "maps" @@ fun () -> Postplace.Experiment.fig5_maps flow
+  in
+  Run.set_peak (Thermal.Metrics.of_map thermal).Thermal.Metrics.peak_rise_k;
   let dump name g =
     Format.printf "# %s (%dx%d, top row first)@." name (Geo.Grid.nx g)
       (Geo.Grid.ny g);
@@ -419,8 +578,7 @@ let run_maps seed cycles utilization test_set precond ascii trace report
   in
   dump "power [W/tile]" power;
   dump "thermal rise [K]" thermal;
-  obs_end ~command:"maps" ~trace ~report ~perfetto
-    ~config:(base_config ~seed ~cycles ~utilization ~test_set ~precond)
+  obs_end ~command:"maps" ~trace ~report ~perfetto ~prom ~config
     ~sections:
       [ ("thermal", Thermal.Metrics.to_json (Thermal.Metrics.of_map thermal)) ]
 
@@ -431,31 +589,47 @@ let outdir_arg =
   Arg.(value & opt string "export" & info [ "outdir"; "o" ] ~docv:"DIR" ~doc)
 
 let run_export seed cycles utilization test_set precond outdir trace report
-    perfetto =
+    perfetto prom ledger =
   with_structured_errors @@ fun () ->
-  obs_begin ~trace ~report ~perfetto;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond () in
+  let config =
+    base_config ~seed ~cycles ~utilization ~test_set ~precond
+    @ [ ("outdir", Obs.Json.String outdir) ]
+  in
+  obs_begin ~command:"export" ~ledger ~config ~trace ~report ~perfetto;
+  let flow =
+    Run.phase "prepare" @@ fun () ->
+    prepare ~seed ~cycles ~utilization ~test_set ~precond ()
+  in
+  Run.set_fingerprint (Postplace.Flow.fingerprint flow);
   if not (Sys.file_exists outdir) then Unix.mkdir outdir 0o755;
-  let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
+  let base =
+    Run.phase "evaluate" @@ fun () ->
+    Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement
+  in
+  Run.set_peak base.Postplace.Flow.metrics.Thermal.Metrics.peak_rise_k;
   let pl = base.Postplace.Flow.placement in
   let nl = flow.Postplace.Flow.bench.Netgen.Benchmark.netlist in
   let path name = Filename.concat outdir name in
-  Netlist.Verilog.write_file (path "design.v") ~module_name:"design" nl;
-  Celllib.Lef.write_file (path "cells.lef") flow.Postplace.Flow.tech;
-  let fillers = Place.Filler.fill pl in
-  Place.Def_writer.write_file (path "design.def") ~fillers pl;
-  let problem =
-    Thermal.Mesh.build flow.Postplace.Flow.mesh_config
-      ~power:base.Postplace.Flow.power_map
+  let fillers, problem =
+    Run.phase "export" @@ fun () ->
+    Netlist.Verilog.write_file (path "design.v") ~module_name:"design" nl;
+    Celllib.Lef.write_file (path "cells.lef") flow.Postplace.Flow.tech;
+    let fillers = Place.Filler.fill pl in
+    Place.Def_writer.write_file (path "design.def") ~fillers pl;
+    let problem =
+      Thermal.Mesh.build flow.Postplace.Flow.mesh_config
+        ~power:base.Postplace.Flow.power_map
+    in
+    Thermal.Spice.write_file (path "thermal.sp") problem;
+    let overlay =
+      { Place.Svg.heat = Some base.Postplace.Flow.thermal_map;
+        outlines =
+          List.map (fun h -> h.Postplace.Hotspot.rect)
+            base.Postplace.Flow.hotspots }
+    in
+    Place.Svg.write_file (path "layout.svg") ~fillers ~overlay pl;
+    (fillers, problem)
   in
-  Thermal.Spice.write_file (path "thermal.sp") problem;
-  let overlay =
-    { Place.Svg.heat = Some base.Postplace.Flow.thermal_map;
-      outlines =
-        List.map (fun h -> h.Postplace.Hotspot.rect)
-          base.Postplace.Flow.hotspots }
-  in
-  Place.Svg.write_file (path "layout.svg") ~fillers ~overlay pl;
   Format.printf
     "wrote %s/design.v (%d cells), cells.lef, design.def (%d fillers), \
      thermal.sp (%d resistors), layout.svg@."
@@ -463,10 +637,7 @@ let run_export seed cycles utilization test_set precond outdir trace report
     (Netlist.Types.num_cells nl)
     (List.length fillers)
     (Thermal.Spice.count_resistors problem);
-  obs_end ~command:"export" ~trace ~report ~perfetto
-    ~config:
-      (base_config ~seed ~cycles ~utilization ~test_set ~precond
-       @ [ ("outdir", Obs.Json.String outdir) ])
+  obs_end ~command:"export" ~trace ~report ~perfetto ~prom ~config
     ~sections:[ ("base", eval_json base) ]
 
 (* --- sweep ------------------------------------------------------------------- *)
@@ -492,13 +663,28 @@ let checkpoint_arg =
        & info [ "checkpoint" ] ~docv:"FILE" ~doc)
 
 let run_sweep seed cycles utilization test_set precond cache_slots jobs
-    checkpoint trace report perfetto =
+    checkpoint trace report perfetto prom ledger =
   with_structured_errors @@ fun () ->
   Parallel.Pool.set_jobs jobs;
   apply_cache_slots cache_slots;
-  obs_begin ~trace ~report ~perfetto;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond () in
-  let fig6 = Postplace.Experiment.run_fig6 ?checkpoint flow in
+  let config =
+    base_config ~seed ~cycles ~utilization ~test_set ~precond
+    @ [ ("jobs", Obs.Json.Int jobs);
+        ("cache_slots", Obs.Json.Int (Thermal.Mesh.cache_capacity ())) ]
+  in
+  obs_begin ~command:"sweep" ~ledger ~config ~trace ~report ~perfetto;
+  let flow =
+    Run.phase "prepare" @@ fun () ->
+    prepare ~seed ~cycles ~utilization ~test_set ~precond ()
+  in
+  Run.set_fingerprint
+    (Postplace.Flow.fingerprint ~extra:[ ("jobs", string_of_int jobs) ] flow);
+  let fig6 =
+    Run.phase "sweep" @@ fun () -> Postplace.Experiment.run_fig6 ?checkpoint flow
+  in
+  Run.set_peak
+    fig6.Postplace.Experiment.base_eval.Postplace.Flow.metrics
+      .Thermal.Metrics.peak_rise_k;
   let points =
     fig6.Postplace.Experiment.default_points
     @ fig6.Postplace.Experiment.eri_points
@@ -512,10 +698,7 @@ let run_sweep seed cycles utilization test_set precond cache_slots jobs
          p.Postplace.Experiment.scheme p.area_overhead_pct
          p.temp_reduction_pct p.timing_overhead_pct)
     points;
-  obs_end ~command:"sweep" ~trace ~report ~perfetto
-    ~config:
-      (base_config ~seed ~cycles ~utilization ~test_set ~precond
-       @ [ ("jobs", Obs.Json.Int jobs) ])
+  obs_end ~command:"sweep" ~trace ~report ~perfetto ~prom ~config
     ~sections:
       [ ("base", eval_json fig6.Postplace.Experiment.base_eval);
         ("points", Obs.Json.List (List.map point_json points)) ]
@@ -528,20 +711,45 @@ let rows_arg =
        & info [ "rows" ] ~docv:"N" ~doc)
 
 let run_optimize seed cycles utilization test_set precond screen cache_slots
-    rows jobs trace report perfetto =
+    rows jobs trace report perfetto prom ledger =
   with_structured_errors @@ fun () ->
   Parallel.Pool.set_jobs jobs;
   apply_cache_slots cache_slots;
-  obs_begin ~trace ~report ~perfetto;
+  let config =
+    base_config ~seed ~cycles ~utilization ~test_set ~precond
+    @ [ ("rows", Obs.Json.Int rows); ("jobs", Obs.Json.Int jobs);
+        ("screen", Obs.Json.String screen);
+        ("cache_slots", Obs.Json.Int (Thermal.Mesh.cache_capacity ())) ]
+  in
+  obs_begin ~command:"optimize" ~ledger ~config ~trace ~report ~perfetto;
   let flow =
+    Run.phase "prepare" @@ fun () ->
     prepare ~screen ~seed ~cycles ~utilization ~test_set ~precond ()
   in
-  let base = Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement in
+  Run.set_fingerprint
+    (Postplace.Flow.fingerprint
+       ~extra:
+         [ ("rows", string_of_int rows); ("jobs", string_of_int jobs);
+           ("cache_slots",
+            string_of_int (Thermal.Mesh.cache_capacity ())) ]
+       flow);
+  let base =
+    Run.phase "evaluate" @@ fun () ->
+    Postplace.Flow.evaluate flow flow.Postplace.Flow.base_placement
+  in
   Format.printf "base thermal: %a@." Thermal.Metrics.pp
     base.Postplace.Flow.metrics;
-  let r = Postplace.Optimizer.greedy_rows flow ~rows () in
+  let r =
+    Run.phase "optimize" @@ fun () ->
+    Postplace.Optimizer.greedy_rows flow ~rows ()
+  in
+  Run.set_plan
+    r.Postplace.Optimizer.plan.Postplace.Technique.inserted_after;
   let pl = r.Postplace.Optimizer.plan.Postplace.Technique.eri_placement in
-  let ev = Postplace.Flow.evaluate flow pl in
+  let ev =
+    Run.phase "evaluate_after" @@ fun () -> Postplace.Flow.evaluate flow pl
+  in
+  Run.set_peak ev.Postplace.Flow.metrics.Thermal.Metrics.peak_rise_k;
   let area_pct =
     Postplace.Technique.area_overhead_pct ~base:base.Postplace.Flow.placement
       pl
@@ -555,12 +763,7 @@ let run_optimize seed cycles utilization test_set precond screen cache_slots
   Format.printf
     "rows %d, evaluations %d, area overhead %.1f%%, peak reduction %.2f%%@."
     rows r.Postplace.Optimizer.evaluations area_pct red_pct;
-  obs_end ~command:"optimize" ~trace ~report ~perfetto
-    ~config:
-      (base_config ~seed ~cycles ~utilization ~test_set ~precond
-       @ [ ("rows", Obs.Json.Int rows); ("jobs", Obs.Json.Int jobs);
-           ("screen", Obs.Json.String screen);
-           ("cache_slots", Obs.Json.Int (Thermal.Mesh.cache_capacity ())) ])
+  obs_end ~command:"optimize" ~trace ~report ~perfetto ~prom ~config
     ~sections:
       [ ("base", eval_json base);
         ("result",
@@ -583,11 +786,17 @@ let run_optimize seed cycles utilization test_set precond screen cache_slots
 (* --- check ------------------------------------------------------------------- *)
 
 let run_check seed cycles utilization test_set precond trace report
-    perfetto =
+    perfetto prom ledger =
   with_structured_errors @@ fun () ->
-  obs_begin ~trace ~report ~perfetto;
-  let flow = prepare ~seed ~cycles ~utilization ~test_set ~precond () in
+  let config = base_config ~seed ~cycles ~utilization ~test_set ~precond in
+  obs_begin ~command:"check" ~ledger ~config ~trace ~report ~perfetto;
+  let flow =
+    Run.phase "prepare" @@ fun () ->
+    prepare ~seed ~cycles ~utilization ~test_set ~precond ()
+  in
+  Run.set_fingerprint (Postplace.Flow.fingerprint flow);
   let outcomes =
+    Run.phase "check" @@ fun () ->
     Postplace.Flow.check_design flow flow.Postplace.Flow.base_placement
   in
   List.iter
@@ -612,8 +821,7 @@ let run_check seed cycles utilization test_set precond trace report
          | Some d -> Obs.Json.String d) ]
   in
   let status =
-    obs_end ~command:"check" ~trace ~report ~perfetto
-      ~config:(base_config ~seed ~cycles ~utilization ~test_set ~precond)
+    obs_end ~command:"check" ~trace ~report ~perfetto ~prom ~config
       ~sections:[ ("checks", Obs.Json.List (List.map outcome_json outcomes)) ]
   in
   if status <> 0 then status
@@ -626,6 +834,253 @@ let run_check seed cycles utilization test_set precond trace report
            { check = o.Robust.Validate.check_name;
              detail = Option.value o.Robust.Validate.failure ~default:"" })
 
+(* --- history ----------------------------------------------------------------- *)
+
+(* Regression forensics over the run ledger: list runs, show one record,
+   diff two records' config/timings, or trend one numeric key. Records
+   are addressed by the index `history list` prints; negative indexes
+   count from the end (-1 = latest). *)
+
+let history_ledger_arg =
+  let doc =
+    "Ledger file to read (default thermoplace.ledger.jsonl, or the \
+     THERMOPLACE_LEDGER environment variable)."
+  in
+  Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
+
+let last_arg =
+  let doc = "Only consider the last $(docv) records." in
+  Arg.(value & opt (some (int_min ~min:1 "--last")) None
+       & info [ "last" ] ~docv:"N" ~doc)
+
+let load_ledger ledger =
+  match Obs.Ledger.resolve_path ?path:ledger () with
+  | None -> Error "ledger disabled (path \"none\")"
+  | Some path ->
+    (match Obs.Ledger.load path with
+     | Ok records -> Ok (path, records)
+     | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let take_last n l =
+  match n with
+  | None -> l
+  | Some n ->
+    let len = List.length l in
+    if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let nth_record records idx =
+  let n = List.length records in
+  let i = if idx < 0 then n + idx else idx in
+  if i < 0 || i >= n then
+    Error (Printf.sprintf "record %d out of range (ledger has %d)" idx n)
+  else Ok (i, List.nth records i)
+
+let format_time ts =
+  if Float.is_nan ts then "?"
+  else
+    let tm = Unix.localtime ts in
+    Printf.sprintf "%04d-%02d-%02d %02d:%02d:%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+
+let total_ms r =
+  List.assoc_opt "total_ms" (Obs.Ledger.phases_ms r)
+
+let with_ledger ledger f =
+  match load_ledger ledger with
+  | Error msg ->
+    Printf.eprintf "thermoplace: history: %s\n" msg;
+    1
+  | Ok (path, records) -> f path records
+
+let run_history_list ledger last =
+  with_ledger ledger @@ fun path records ->
+  Printf.printf "ledger %s: %d record(s)\n" path (List.length records);
+  let base = List.length records - List.length (take_last last records) in
+  List.iteri
+    (fun i r ->
+       Printf.printf "#%-3d %s  %-8s %-5s exit=%-2d %10s  %s\n" (base + i)
+         (format_time (Obs.Ledger.timestamp_s r))
+         (Obs.Ledger.command r) (Obs.Ledger.outcome r)
+         (Obs.Ledger.exit_code r)
+         (match total_ms r with
+          | Some ms -> Printf.sprintf "%.1fms" ms
+          | None -> "-")
+         (Obs.Ledger.fingerprint r))
+    (take_last last records);
+  0
+
+let run_history_show ledger idx =
+  with_ledger ledger @@ fun _path records ->
+  match nth_record records idx with
+  | Error msg ->
+    Printf.eprintf "thermoplace: history: %s\n" msg;
+    1
+  | Ok (_, r) ->
+    print_endline (Obs.Json.to_string ~pretty:true r);
+    0
+
+let run_history_diff ledger idx_a idx_b =
+  with_ledger ledger @@ fun _path records ->
+  match (nth_record records idx_a, nth_record records idx_b) with
+  | Error msg, _ | _, Error msg ->
+    Printf.eprintf "thermoplace: history: %s\n" msg;
+    1
+  | Ok (ia, a), Ok (ib, b) ->
+    Printf.printf "a: #%d %s %s  %s\n" ia (format_time (Obs.Ledger.timestamp_s a))
+      (Obs.Ledger.command a) (Obs.Ledger.fingerprint a);
+    Printf.printf "b: #%d %s %s  %s\n" ib (format_time (Obs.Ledger.timestamp_s b))
+      (Obs.Ledger.command b) (Obs.Ledger.fingerprint b);
+    (* config delta: union of keys, a's order first *)
+    let cfg_a = Obs.Ledger.config_fields a in
+    let cfg_b = Obs.Ledger.config_fields b in
+    let keys =
+      List.map fst cfg_a
+      @ List.filter (fun k -> not (List.mem_assoc k cfg_a)) (List.map fst cfg_b)
+    in
+    let render = function
+      | None -> "-"
+      | Some j -> Obs.Json.to_string j
+    in
+    let changed =
+      List.filter
+        (fun k -> List.assoc_opt k cfg_a <> List.assoc_opt k cfg_b)
+        keys
+    in
+    if changed = [] then print_endline "config: identical"
+    else begin
+      print_endline "config:";
+      List.iter
+        (fun k ->
+           Printf.printf "  %-14s %s -> %s\n" k
+             (render (List.assoc_opt k cfg_a))
+             (render (List.assoc_opt k cfg_b)))
+        changed
+    end;
+    (* per-phase timing delta *)
+    let ph_a = Obs.Ledger.phases_ms a in
+    let ph_b = Obs.Ledger.phases_ms b in
+    let phase_keys =
+      List.map fst ph_a
+      @ List.filter (fun k -> not (List.mem_assoc k ph_a)) (List.map fst ph_b)
+    in
+    if phase_keys <> [] then begin
+      Printf.printf "%-18s %12s %12s %10s\n" "phase" "a[ms]" "b[ms]" "delta";
+      List.iter
+        (fun k ->
+           match (List.assoc_opt k ph_a, List.assoc_opt k ph_b) with
+           | Some va, Some vb ->
+             let pct =
+               if va > 0.0 then Printf.sprintf "%+.1f%%" ((vb -. va) /. va *. 100.0)
+               else "-"
+             in
+             Printf.printf "%-18s %12.1f %12.1f %10s\n" k va vb pct
+           | Some va, None -> Printf.printf "%-18s %12.1f %12s %10s\n" k va "-" "-"
+           | None, Some vb -> Printf.printf "%-18s %12s %12.1f %10s\n" k "-" vb "-"
+           | None, None -> ())
+        phase_keys
+    end;
+    let scalar name get render =
+      match (get a, get b) with
+      | None, None -> ()
+      | va, vb when va = vb ->
+        Printf.printf "%-18s %s (same)\n" name (render va)
+      | va, vb ->
+        Printf.printf "%-18s %s -> %s\n" name (render va) (render vb)
+    in
+    let render_float = function
+      | None -> "-"
+      | Some v -> Printf.sprintf "%.6g" v
+    in
+    let render_str = function None -> "-" | Some s -> s in
+    scalar "cg_iterations"
+      (fun r -> Option.bind (Obs.Json.member "cg_iterations" r) Obs.Json.to_float)
+      render_float;
+    scalar "peak_rise_k"
+      (fun r -> Option.bind (Obs.Json.member "peak_rise_k" r) Obs.Json.to_float)
+      render_float;
+    scalar "plan_hash"
+      (fun r ->
+         Option.bind (Obs.Json.member "plan_hash" r) Obs.Json.to_string_opt)
+      render_str;
+    0
+
+(* A trend key is a phases_ms entry first, then any numeric top-level
+   record field (peak_rise_k, cg_iterations, exit_code...). *)
+let trend_value key r =
+  match List.assoc_opt key (Obs.Ledger.phases_ms r) with
+  | Some v -> Some v
+  | None -> Option.bind (Obs.Json.member key r) Obs.Json.to_float
+
+let trend_key_arg =
+  let doc =
+    "Numeric key to trend: a phases_ms entry (optimize_ms, total_ms, ...) \
+     or a top-level record field (peak_rise_k, cg_iterations)."
+  in
+  Arg.(value & opt string "total_ms" & info [ "key" ] ~docv:"KEY" ~doc)
+
+let run_history_trend ledger key last =
+  with_ledger ledger @@ fun _path records ->
+  let points =
+    List.filter_map
+      (fun r -> Option.map (fun v -> (r, v)) (trend_value key r))
+      (take_last last records)
+  in
+  (match points with
+   | [] -> Printf.printf "no records carry key %S\n" key
+   | points ->
+     let vmax =
+       List.fold_left (fun m (_, v) -> Float.max m v) Float.neg_infinity
+         points
+     in
+     Printf.printf "%-20s %12s  %-30s %s\n" "time" key "" "fingerprint";
+     List.iter
+       (fun (r, v) ->
+          let width =
+            if vmax > 0.0 then
+              int_of_float (Float.round (v /. vmax *. 30.0))
+            else 0
+          in
+          Printf.printf "%-20s %12.2f  %-30s %s\n"
+            (format_time (Obs.Ledger.timestamp_s r))
+            v
+            (String.make (max 0 (min 30 width)) '#')
+            (Obs.Ledger.fingerprint r))
+       points);
+  0
+
+let history_cmd =
+  let list_cmd =
+    let doc = "List ledger records (index, time, command, outcome, total)." in
+    Cmd.v (Cmd.info "list" ~doc)
+      Term.(const run_history_list $ history_ledger_arg $ last_arg)
+  in
+  let idx_pos n docv =
+    Arg.(required & pos n (some int) None & info [] ~docv)
+  in
+  let show_cmd =
+    let doc = "Pretty-print one ledger record (negative index = from end)." in
+    Cmd.v (Cmd.info "show" ~doc)
+      Term.(const run_history_show $ history_ledger_arg $ idx_pos 0 "IDX")
+  in
+  let diff_cmd =
+    let doc =
+      "Diff two ledger records: config delta, per-phase timing delta, CG \
+       iteration / peak temperature / plan-hash changes."
+    in
+    Cmd.v (Cmd.info "diff" ~doc)
+      Term.(const run_history_diff $ history_ledger_arg $ idx_pos 0 "A"
+            $ idx_pos 1 "B")
+  in
+  let trend_cmd =
+    let doc = "Print one numeric key across records with an ASCII bar." in
+    Cmd.v (Cmd.info "trend" ~doc)
+      Term.(const run_history_trend $ history_ledger_arg $ trend_key_arg
+            $ last_arg)
+  in
+  let doc = "Inspect the cross-run ledger (list, show, diff, trend)." in
+  Cmd.group (Cmd.info "history" ~doc) [ list_cmd; show_cmd; diff_cmd; trend_cmd ]
+
 (* --- command wiring ------------------------------------------------------------ *)
 
 let flow_cmd =
@@ -633,26 +1088,29 @@ let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc)
     Term.(const run_flow $ seed $ cycles $ utilization $ test_set
           $ precond_arg $ cache_slots_arg $ technique_arg $ overhead_arg
-          $ jobs_arg $ trace_arg $ report_arg $ perfetto_arg)
+          $ jobs_arg $ trace_arg $ report_arg $ perfetto_arg $ prom_arg
+          $ ledger_arg)
 
 let report_cmd =
   let doc = "Print netlist, placement, power and thermal summaries." in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(const run_report $ seed $ cycles $ utilization $ test_set
-          $ precond_arg $ trace_arg $ report_arg $ perfetto_arg)
+          $ precond_arg $ trace_arg $ report_arg $ perfetto_arg $ prom_arg
+          $ ledger_arg)
 
 let maps_cmd =
   let doc = "Dump power and thermal maps (Fig. 5 data)." in
   Cmd.v (Cmd.info "maps" ~doc)
     Term.(const run_maps $ seed $ cycles $ utilization $ test_set
-          $ precond_arg $ ascii_arg $ trace_arg $ report_arg $ perfetto_arg)
+          $ precond_arg $ ascii_arg $ trace_arg $ report_arg $ perfetto_arg
+          $ prom_arg $ ledger_arg)
 
 let sweep_cmd =
   let doc = "Reduction-vs-overhead sweep for all three schemes (Fig. 6)." in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(const run_sweep $ seed $ cycles $ utilization $ test_set
           $ precond_arg $ cache_slots_arg $ jobs_arg $ checkpoint_arg
-          $ trace_arg $ report_arg $ perfetto_arg)
+          $ trace_arg $ report_arg $ perfetto_arg $ prom_arg $ ledger_arg)
 
 let check_cmd =
   let doc =
@@ -662,7 +1120,8 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run_check $ seed $ cycles $ utilization $ test_set
-          $ precond_arg $ trace_arg $ report_arg $ perfetto_arg)
+          $ precond_arg $ trace_arg $ report_arg $ perfetto_arg $ prom_arg
+          $ ledger_arg)
 
 let optimize_cmd =
   let doc =
@@ -673,7 +1132,7 @@ let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc)
     Term.(const run_optimize $ seed $ cycles $ utilization $ test_set
           $ precond_arg $ screen_arg $ cache_slots_arg $ rows_arg $ jobs_arg
-          $ trace_arg $ report_arg $ perfetto_arg)
+          $ trace_arg $ report_arg $ perfetto_arg $ prom_arg $ ledger_arg)
 
 let export_cmd =
   let doc =
@@ -682,7 +1141,8 @@ let export_cmd =
   in
   Cmd.v (Cmd.info "export" ~doc)
     Term.(const run_export $ seed $ cycles $ utilization $ test_set
-          $ precond_arg $ outdir_arg $ trace_arg $ report_arg $ perfetto_arg)
+          $ precond_arg $ outdir_arg $ trace_arg $ report_arg $ perfetto_arg
+          $ prom_arg $ ledger_arg)
 
 let () =
   (match Robust.Faults.init_from_env () with
@@ -708,4 +1168,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ flow_cmd; report_cmd; maps_cmd; sweep_cmd; optimize_cmd;
-            check_cmd; export_cmd ]))
+            check_cmd; export_cmd; history_cmd ]))

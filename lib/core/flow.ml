@@ -25,6 +25,25 @@ type t = {
   screen : screen_choice;
 }
 
+let mesh_name t =
+  Printf.sprintf "%dx%dx%d" t.mesh_config.Thermal.Mesh.nx
+    t.mesh_config.Thermal.Mesh.ny
+    (Thermal.Stack.num_layers t.mesh_config.Thermal.Mesh.stack)
+
+let precond_name t =
+  match t.mesh_precond with
+  | None -> "auto"
+  | Some c -> Thermal.Mesh.precond_choice_name c
+
+let fingerprint ?(extra = []) t =
+  String.concat "|"
+    ([ "mesh=" ^ mesh_name t;
+       "precond=" ^ precond_name t;
+       "screen=" ^ screen_choice_name t.screen;
+       Printf.sprintf "seed=%d" t.seed;
+       Printf.sprintf "util=%g" t.base_utilization ]
+     @ List.map (fun (k, v) -> k ^ "=" ^ v) extra)
+
 let unit_cell_ids nl tag = Array.of_list (Netlist.Types.cells_of_unit nl tag)
 
 let cells_of_region t tag = unit_cell_ids t.bench.Netgen.Benchmark.netlist tag
@@ -140,6 +159,9 @@ let evaluate_result t pl =
     (List.fold_left (fun acc h -> acc +. Geo.Rect.area h.Hotspot.rect) 0.0
        hotspots);
   Obs.Metrics.observe "flow.peak_rise_k" metrics.Thermal.Metrics.peak_rise_k;
+  Obs.Metrics.observe "flow.evaluate.peak_rise_k"
+    ~labels:[ ("mesh", mesh_name t); ("precond", precond_name t) ]
+    metrics.Thermal.Metrics.peak_rise_k;
   let timing =
     Obs.Trace.with_span "sta.analyze" @@ fun () ->
     Sta.Timing.analyze pl ~thermal_map ()

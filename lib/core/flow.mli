@@ -49,6 +49,20 @@ type t = {
 
 val cells_of_region : t -> int -> Netlist.Types.cell_id array
 
+val mesh_name : t -> string
+(** ["40x40x9"]-style mesh dimensions, for fingerprints and metric
+    labels. *)
+
+val precond_name : t -> string
+(** The configured preconditioner choice (["auto"] when unset). *)
+
+val fingerprint : ?extra:(string * string) list -> t -> string
+(** Readable pipe-joined configuration fingerprint:
+    [mesh=…|precond=…|screen=…|seed=…|util=…], with [extra] key/value
+    pairs appended in order. Two runs with equal fingerprints solved the
+    same configured problem — the identity the run ledger records and
+    [thermoplace history diff] compares. *)
+
 val prepare :
   ?seed:int ->
   ?utilization:float ->

@@ -13,6 +13,12 @@ type value =
   | Gauge of float
   | Histogram of histogram
 
+type series = {
+  name : string;
+  labels : (string * string) list;
+  value : value;
+}
+
 (* mutable in-registry representation *)
 type cell =
   | C_counter of int ref
@@ -25,8 +31,8 @@ type cell =
    percentiles computed from it do not suffer the first-N truncation
    bias (a stream whose values drift would otherwise report only its
    opening regime). The RNG is a splitmix64 stream seeded from the
-   metric name, so runs are reproducible per metric and independent of
-   registration order. *)
+   series key (metric name + labels), so runs are reproducible per
+   series and independent of registration order. *)
 and hist_state = {
   mutable h_count : int;
   mutable h_sum : float;
@@ -44,23 +50,104 @@ let enabled_flag = ref true
 let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
 
+(* --- labels -------------------------------------------------------------- *)
+
+(* Labels are canonicalized (sorted by key) on every recording call so
+   [("a","1");("b","2")] and [("b","2");("a","1")] address the same
+   series. Duplicate label keys would render an invalid Prometheus
+   exposition, so they are rejected at the recording site. *)
+let canon_labels = function
+  | [] -> []
+  | labels ->
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+    let rec check = function
+      | (a, _) :: ((b, _) :: _ as rest) ->
+        if a = b then
+          invalid_arg
+            (Printf.sprintf "Obs.Metrics: duplicate label key %S" a);
+        check rest
+      | _ -> ()
+    in
+    check sorted;
+    sorted
+
+(* Prometheus label-value escaping: backslash, double-quote and newline
+   are the three characters the text exposition format escapes. The same
+   rendering doubles as the series key in {!to_json} output. *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\n' -> Buffer.add_string buf "\\n"
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape_label_value s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let rec go i =
+    if i >= n then Some (Buffer.contents buf)
+    else if s.[i] = '\\' then
+      if i + 1 >= n then None
+      else begin
+        (match s.[i + 1] with
+         | '\\' -> Buffer.add_char buf '\\'
+         | '"' -> Buffer.add_char buf '"'
+         | 'n' -> Buffer.add_char buf '\n'
+         | _ -> raise Exit);
+        go (i + 2)
+      end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  try go 0 with Exit -> None
+
+let series_key name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+    let parts =
+      List.map
+        (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+        labels
+    in
+    name ^ "{" ^ String.concat "," parts ^ "}"
+
 (* The registry is shared across domains (solver chunks, parallel sweep
    points); one mutex around every access keeps recording race-free.
-   Recording stays per-event (never per-element), so the lock is cold. *)
+   Recording stays per-event (never per-element), so the lock is cold.
+   Keys are (name, canonical labels); a separate name -> kind table
+   enforces one metric type per name across all label sets, which the
+   Prometheus exporter's one-TYPE-line-per-name output relies on. *)
 let registry_mutex = Mutex.create ()
-let registry : (string, cell) Hashtbl.t = Hashtbl.create 64
+let registry : (string * (string * string) list, cell) Hashtbl.t =
+  Hashtbl.create 64
+let name_kinds : (string, string) Hashtbl.t = Hashtbl.create 64
 
 let locked f = Mutex.protect registry_mutex f
 
-let reset () = locked (fun () -> Hashtbl.reset registry)
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset registry;
+      Hashtbl.reset name_kinds)
 
-let type_error name expected =
-  invalid_arg
-    (Printf.sprintf "Obs.Metrics: %S already registered with another type \
-                     (expected %s)"
-       name expected)
+let check_kind name kind =
+  match Hashtbl.find_opt name_kinds name with
+  | None -> Hashtbl.replace name_kinds name kind
+  | Some k when k = kind -> ()
+  | Some k ->
+    invalid_arg
+      (Printf.sprintf
+         "Obs.Metrics: %S already registered as a %s (expected %s)" name k
+         kind)
 
-(* --- deterministic per-name RNG ----------------------------------------- *)
+(* --- deterministic per-series RNG ---------------------------------------- *)
 
 let fnv1a64 s =
   let h = ref 0xCBF29CE484222325L in
@@ -90,26 +177,43 @@ let rand_below state n =
 
 (* ------------------------------------------------------------------------ *)
 
-let count ?(by = 1) name =
-  if !enabled_flag then
+let count ?(by = 1) ?(labels = []) name =
+  if !enabled_flag then begin
+    let labels = canon_labels labels in
     locked (fun () ->
-        match Hashtbl.find_opt registry name with
+        match Hashtbl.find_opt registry (name, labels) with
         | Some (C_counter r) -> r := !r + by
-        | Some _ -> type_error name "counter"
-        | None -> Hashtbl.replace registry name (C_counter (ref by)))
+        | Some _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Obs.Metrics: %S already registered with another type \
+                (expected counter)" name)
+        | None ->
+          check_kind name "counter";
+          Hashtbl.replace registry (name, labels) (C_counter (ref by)))
+  end
 
-let gauge name v =
-  if !enabled_flag then
+let gauge ?(labels = []) name v =
+  if !enabled_flag then begin
+    let labels = canon_labels labels in
     locked (fun () ->
-        match Hashtbl.find_opt registry name with
+        match Hashtbl.find_opt registry (name, labels) with
         | Some (C_gauge r) -> r := v
-        | Some _ -> type_error name "gauge"
-        | None -> Hashtbl.replace registry name (C_gauge (ref v)))
+        | Some _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Obs.Metrics: %S already registered with another type \
+                (expected gauge)" name)
+        | None ->
+          check_kind name "gauge";
+          Hashtbl.replace registry (name, labels) (C_gauge (ref v)))
+  end
 
-let observe name v =
-  if !enabled_flag then
+let observe ?(labels = []) name v =
+  if !enabled_flag then begin
+    let labels = canon_labels labels in
     locked (fun () ->
-        match Hashtbl.find_opt registry name with
+        match Hashtbl.find_opt registry (name, labels) with
         | Some (C_hist h) ->
           h.h_count <- h.h_count + 1;
           h.h_sum <- h.h_sum +. v;
@@ -125,15 +229,21 @@ let observe name v =
             h.h_rng <- rng;
             if j < max_samples then h.h_samples.(j) <- v
           end
-        | Some _ -> type_error name "histogram"
+        | Some _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Obs.Metrics: %S already registered with another type \
+                (expected histogram)" name)
         | None ->
+          check_kind name "histogram";
           let h =
             { h_count = 1; h_sum = v; h_min = v; h_max = v; h_last = v;
               h_samples = Array.make max_samples 0.0; h_len = 1;
-              h_rng = fnv1a64 name }
+              h_rng = fnv1a64 (series_key name labels) }
           in
           h.h_samples.(0) <- v;
-          Hashtbl.replace registry name (C_hist h))
+          Hashtbl.replace registry (name, labels) (C_hist h))
+  end
 
 let freeze_hist h =
   { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max;
@@ -141,21 +251,24 @@ let freeze_hist h =
     samples = Array.to_list (Array.sub h.h_samples 0 h.h_len);
     dropped = h.h_count - h.h_len }
 
-let counter_value name =
+let counter_value ?(labels = []) name =
+  let labels = canon_labels labels in
   locked (fun () ->
-      match Hashtbl.find_opt registry name with
+      match Hashtbl.find_opt registry (name, labels) with
       | Some (C_counter r) -> Some !r
       | _ -> None)
 
-let gauge_value name =
+let gauge_value ?(labels = []) name =
+  let labels = canon_labels labels in
   locked (fun () ->
-      match Hashtbl.find_opt registry name with
+      match Hashtbl.find_opt registry (name, labels) with
       | Some (C_gauge r) -> Some !r
       | _ -> None)
 
-let histogram name =
+let histogram ?(labels = []) name =
+  let labels = canon_labels labels in
   locked (fun () ->
-      match Hashtbl.find_opt registry name with
+      match Hashtbl.find_opt registry (name, labels) with
       | Some (C_hist h) -> Some (freeze_hist h)
       | _ -> None)
 
@@ -163,7 +276,8 @@ let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
 
 (* Nearest-rank percentile over the retained reservoir. *)
 let percentile h q =
-  if q < 0.0 || q > 1.0 then invalid_arg "Obs.Metrics.percentile: q not in [0,1]";
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Obs.Metrics.percentile: q not in [0,1]";
   match h.samples with
   | [] -> Float.nan
   | samples ->
@@ -176,40 +290,48 @@ let percentile h q =
 let snapshot () =
   locked (fun () ->
       Hashtbl.fold
-        (fun name cell acc ->
-           let v =
+        (fun (name, labels) cell acc ->
+           let value =
              match cell with
              | C_counter r -> Counter !r
              | C_gauge r -> Gauge !r
              | C_hist h -> Histogram (freeze_hist h)
            in
-           (name, v) :: acc)
+           { name; labels; value } :: acc)
         registry [])
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels))
 
-let to_json () =
+let json_of_value ~samples v =
+  let fields =
+    match v with
+    | Counter n ->
+      [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+    | Gauge g ->
+      [ ("type", Json.String "gauge"); ("value", Json.Float g) ]
+    | Histogram h ->
+      [ ("type", Json.String "histogram");
+        ("count", Json.Int h.count);
+        ("sum", Json.Float h.sum);
+        ("min", Json.Float h.min);
+        ("max", Json.Float h.max);
+        ("mean", Json.Float (mean h));
+        ("p50", Json.Float (percentile h 0.50));
+        ("p90", Json.Float (percentile h 0.90));
+        ("p99", Json.Float (percentile h 0.99));
+        ("last", Json.Float h.last) ]
+      @ (if samples then
+           [ ("samples",
+              Json.List (List.map (fun s -> Json.Float s) h.samples)) ]
+         else [])
+      @ [ ("dropped", Json.Int h.dropped) ]
+  in
+  Json.Obj fields
+
+let registry_json ~samples () =
   Json.Obj
     (List.map
-       (fun (name, v) ->
-          let fields =
-            match v with
-            | Counter n ->
-              [ ("type", Json.String "counter"); ("value", Json.Int n) ]
-            | Gauge g ->
-              [ ("type", Json.String "gauge"); ("value", Json.Float g) ]
-            | Histogram h ->
-              [ ("type", Json.String "histogram");
-                ("count", Json.Int h.count);
-                ("sum", Json.Float h.sum);
-                ("min", Json.Float h.min);
-                ("max", Json.Float h.max);
-                ("mean", Json.Float (mean h));
-                ("p50", Json.Float (percentile h 0.50));
-                ("p90", Json.Float (percentile h 0.90));
-                ("p99", Json.Float (percentile h 0.99));
-                ("last", Json.Float h.last);
-                ("samples", Json.List (List.map (fun s -> Json.Float s) h.samples));
-                ("dropped", Json.Int h.dropped) ]
-          in
-          (name, Json.Obj fields))
+       (fun s -> (series_key s.name s.labels, json_of_value ~samples s.value))
        (snapshot ()))
+
+let to_json () = registry_json ~samples:true ()
+let summary_json () = registry_json ~samples:false ()

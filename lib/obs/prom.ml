@@ -1,0 +1,128 @@
+(* Prometheus text exposition of the metrics registry.
+
+   Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]* so the dotted
+   registry names are sanitized (every invalid character becomes '_');
+   label names get the same treatment minus ':'. Label values carry the
+   format's three escapes (backslash, double-quote, newline) via
+   Metrics.escape_label_value. Histograms have no native single-scrape
+   form, so each one exports exact aggregates as companion gauges
+   (_count/_sum/_min/_max) plus reservoir quantiles as a gauge with a
+   "quantile" label, mirroring the summary convention. *)
+
+let escape_label_value = Metrics.escape_label_value
+let unescape_label_value = Metrics.unescape_label_value
+
+let sanitize_char ~allow_colon c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | '0' .. '9' -> c
+  | ':' when allow_colon -> c
+  | _ -> '_'
+
+(* A leading digit is kept but prefixed with '_' (dropping it would
+   collapse distinct names like "2x" and "5x"). *)
+let sanitize ~allow_colon name =
+  if name = "" then "_"
+  else
+    let s = String.map (sanitize_char ~allow_colon) name in
+    match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+let sanitize_name name = sanitize ~allow_colon:true name
+let sanitize_label_name name = sanitize ~allow_colon:false name
+
+(* Prometheus accepts standard float syntax plus NaN / +Inf / -Inf. *)
+let number v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    let parts =
+      List.map
+        (fun (k, v) ->
+           Printf.sprintf "%s=\"%s\"" (sanitize_label_name k)
+             (escape_label_value v))
+        labels
+    in
+    "{" ^ String.concat "," parts ^ "}"
+
+let add_series buf name labels value =
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s %s\n" name (render_labels labels) value)
+
+let add_type buf name kind =
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+
+(* One # TYPE line per exported metric name, then every series of that
+   name: group the (sorted) snapshot by metric name. *)
+let group_by_name series =
+  List.fold_right
+    (fun (s : Metrics.series) groups ->
+       match groups with
+       | (name, members) :: rest when name = s.name ->
+         (name, s :: members) :: rest
+       | _ -> (s.name, [ s ]) :: groups)
+    series []
+
+let quantiles = [ ("0.5", 0.50); ("0.9", 0.90); ("0.99", 0.99) ]
+
+let to_string () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, members) ->
+       let base = sanitize_name name in
+       match (List.hd members).Metrics.value with
+       | Metrics.Counter _ ->
+         add_type buf base "counter";
+         List.iter
+           (fun (s : Metrics.series) ->
+              match s.value with
+              | Metrics.Counter n ->
+                add_series buf base s.labels (string_of_int n)
+              | _ -> ())
+           members
+       | Metrics.Gauge _ ->
+         add_type buf base "gauge";
+         List.iter
+           (fun (s : Metrics.series) ->
+              match s.value with
+              | Metrics.Gauge v -> add_series buf base s.labels (number v)
+              | _ -> ())
+           members
+       | Metrics.Histogram _ ->
+         let aggregate suffix kind extract =
+           add_type buf (base ^ suffix) kind;
+           List.iter
+             (fun (s : Metrics.series) ->
+                match s.value with
+                | Metrics.Histogram h ->
+                  add_series buf (base ^ suffix) s.labels (extract h)
+                | _ -> ())
+             members
+         in
+         aggregate "_count" "gauge" (fun h ->
+             string_of_int h.Metrics.count);
+         aggregate "_sum" "gauge" (fun h -> number h.Metrics.sum);
+         aggregate "_min" "gauge" (fun h -> number h.Metrics.min);
+         aggregate "_max" "gauge" (fun h -> number h.Metrics.max);
+         add_type buf base "gauge";
+         List.iter
+           (fun (s : Metrics.series) ->
+              match s.value with
+              | Metrics.Histogram h ->
+                List.iter
+                  (fun (q_label, q) ->
+                     add_series buf base
+                       (s.labels @ [ ("quantile", q_label) ])
+                       (number (Metrics.percentile h q)))
+                  quantiles
+              | _ -> ())
+           members)
+    (group_by_name (Metrics.snapshot ()));
+  Buffer.contents buf
+
+let write_file path = Report.write_string_atomic path (to_string ())

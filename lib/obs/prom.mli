@@ -1,0 +1,35 @@
+(** Prometheus text-exposition export of the {!Metrics} registry.
+
+    One scrape-ready snapshot of every registered series. Dotted metric
+    names are sanitized to the Prometheus charset (dots become
+    underscores), label values are escaped per the text format, and each
+    metric name gets exactly one [# TYPE] line ahead of all its labelled
+    series — the invariant {!Metrics}'s one-type-per-name rule exists to
+    guarantee. Counters and gauges export directly; a histogram has no
+    native single-scrape text form, so its exact aggregates appear as
+    companion gauges ([_count]/[_sum]/[_min]/[_max]) and its reservoir
+    quantiles (p50/p90/p99) as a gauge carrying a [quantile] label,
+    mirroring the summary-metric convention. *)
+
+val sanitize_name : string -> string
+(** Map a metric name onto [[a-zA-Z_:][a-zA-Z0-9_:]*]: every invalid
+    character (including ['.']) becomes ['_']; a leading digit is kept
+    but prefixed with ['_']; [""] becomes ["_"]. *)
+
+val sanitize_label_name : string -> string
+(** Same, for label names — the charset additionally excludes [':']. *)
+
+val escape_label_value : string -> string
+(** Re-export of {!Metrics.escape_label_value}. *)
+
+val unescape_label_value : string -> string option
+(** Re-export of {!Metrics.unescape_label_value}. *)
+
+val to_string : unit -> string
+(** Render the current registry snapshot in text exposition format.
+    Series appear sorted by metric name then labels; non-finite values
+    print as [NaN] / [+Inf] / [-Inf]. *)
+
+val write_file : string -> unit
+(** Render and publish atomically (tmp + rename) via
+    {!Report.write_string_atomic}. *)

@@ -4,15 +4,27 @@
 # fft-screening benches (cache + warm-start + preconditioner + pool +
 # blur tier) and gate them against the committed bench/baselines via
 # bench_diff (wall-clock regressions and invariant flips fail the run),
-# smoke the CLI with --report and
-# --perfetto, validate the JSON both write, exercise the invariant-check
-# subcommand and the fault-injection harness (structured exit codes), and
-# prove the sweep checkpoint resumes. Run from anywhere inside the
-# repository.
+# smoke the CLI with --report, --perfetto and --prom, validate the JSON
+# all three write, exercise the invariant-check subcommand and the
+# fault-injection harness (structured exit codes), prove the sweep
+# checkpoint resumes, and smoke the run ledger end to end (every run —
+# including the fault-injected failures — must append a valid JSONL
+# record, and thermoplace history must read them back). Run from
+# anywhere inside the repository.
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$root"
+
+# Route every run's ledger record to a scratch file so the smoke can
+# assert exact growth without touching the working directory's ledger.
+ledger=$(mktemp /tmp/thermoplace-ledger.XXXXXX.jsonl)
+rm -f "$ledger"
+THERMOPLACE_LEDGER="$ledger"
+export THERMOPLACE_LEDGER
+
+echo "== ledger file is git-ignored"
+grep -qx 'thermoplace.ledger.jsonl' .gitignore
 
 echo "== dune build"
 dune build @all
@@ -23,9 +35,9 @@ dune runtest
 echo "== quickstart example"
 dune exec examples/quickstart.exe >/dev/null
 
-echo "== solver engine bench smoke"
-dune exec bench/main.exe -- --jobs 2 cg >/dev/null
-dune exec bin/json_check.exe -- BENCH_cg.json experiment summary
+echo "== solver engine bench smoke (2 trials)"
+dune exec bench/main.exe -- --jobs 2 --trials 2 cg >/dev/null
+dune exec bin/json_check.exe -- BENCH_cg.json experiment trials summary
 
 echo "== multigrid bench smoke"
 dune exec bench/main.exe -- --jobs 2 mg >/dev/null
@@ -36,17 +48,24 @@ dune exec bench/main.exe -- --jobs 2 fft >/dev/null
 dune exec bin/json_check.exe -- \
   BENCH_fft.json experiment summary summary.screening summary.optimizer
 
+# Each bench run appended one ledger record.
+dune exec bin/json_check.exe -- --jsonl "$ledger" 3
+
 echo "== bench regression gate (bench_diff vs committed baselines)"
-# A generous threshold absorbs machine-to-machine noise; invariant flips
-# (plans_agree, parallel_bit_identical, ...) fail at any threshold.
-dune exec bin/bench_diff.exe -- --threshold 0.60 \
+# A generous threshold absorbs machine-to-machine noise on top of the
+# baselines' own measured IQR; invariant flips (plans_agree,
+# parallel_bit_identical, ...) fail at any threshold.
+verdict=$(mktemp /tmp/thermoplace-verdict.XXXXXX.json)
+dune exec bin/bench_diff.exe -- --threshold 0.60 --json "$verdict" \
   bench/baselines/cg.json BENCH_cg.json >/dev/null
+dune exec bin/json_check.exe -- "$verdict" baseline fresh ok failed keys
 dune exec bin/bench_diff.exe -- --threshold 0.60 \
   bench/baselines/mg.json BENCH_mg.json >/dev/null
 dune exec bin/bench_diff.exe -- --threshold 0.60 \
   bench/baselines/fft.json BENCH_fft.json >/dev/null
 # Sanity of the gate itself: clean against itself, trips on a simulated
-# +100% slowdown.
+# +100% slowdown (medians compared, so this holds for statistics
+# baselines exactly as it did for legacy scalars).
 dune exec bin/bench_diff.exe -- \
   bench/baselines/cg.json bench/baselines/cg.json >/dev/null
 rc=0
@@ -56,17 +75,24 @@ if [ "$rc" -ne 1 ]; then
   echo "bench_diff: expected exit 1 on simulated slowdown, got $rc" >&2
   exit 1
 fi
+rm -f "$verdict"
 
-echo "== thermoplace --report smoke"
+echo "== thermoplace --report / --prom smoke"
 report=$(mktemp /tmp/thermoplace-report.XXXXXX.json)
 ckpt=$(mktemp /tmp/thermoplace-ckpt.XXXXXX.json)
 perfetto=$(mktemp /tmp/thermoplace-perfetto.XXXXXX.json)
-trap 'rm -f "$report" "$ckpt" "$perfetto"' EXIT
+prom=$(mktemp /tmp/thermoplace-metrics.XXXXXX.prom)
+hist=$(mktemp /tmp/thermoplace-history.XXXXXX.jsonl)
+trap 'rm -f "$report" "$ckpt" "$perfetto" "$prom" "$hist" "$ledger"' EXIT
 dune exec bin/thermoplace.exe -- \
-  flow --test-set small --cycles 200 --report "$report" >/dev/null
+  flow --test-set small --cycles 200 --report "$report" \
+  --prom "$prom" >/dev/null
 dune exec bin/json_check.exe -- \
   "$report" schema_version config spans metrics warnings base result \
   convergence
+# The Prometheus exposition must carry typed series from the same run.
+grep -q '^# TYPE thermal_cg_iterations_count gauge$' "$prom"
+grep -q '^thermal_cg_iterations{quantile="0.5"}' "$prom"
 
 echo "== perfetto trace smoke"
 # A parallel optimizer run must yield a valid Chrome trace-event file with
@@ -118,5 +144,37 @@ dune exec bin/json_check.exe -- "$ckpt" schema_version kind key entries
 # file, so the rerun must also succeed (and is near-instant).
 dune exec bin/thermoplace.exe -- \
   sweep --test-set small --cycles 200 --checkpoint "$ckpt" >/dev/null
+
+echo "== run ledger + history smoke"
+# Every run above — 3 benches, 6 thermoplace runs (2 of them
+# fault-injected failures) and the 2 sweeps — appended exactly one
+# record to the scratch ledger.
+dune exec bin/json_check.exe -- --jsonl "$ledger" 11
+# Two optimize runs differing only in preconditioner, into a fresh
+# ledger (the explicit --ledger flag beats THERMOPLACE_LEDGER), so
+# history diff sees exactly the config delta.
+rm -f "$hist"
+dune exec bin/thermoplace.exe -- \
+  optimize --test-set small --cycles 200 --rows 1 --jobs 1 \
+  --ledger "$hist" >/dev/null
+dune exec bin/thermoplace.exe -- \
+  optimize --test-set small --cycles 200 --rows 1 --jobs 1 --precond mg \
+  --ledger "$hist" >/dev/null
+dune exec bin/json_check.exe -- --jsonl "$hist" 2
+dune exec bin/thermoplace.exe -- history list --ledger "$hist" >/dev/null
+diff_out=$(dune exec bin/thermoplace.exe -- \
+  history diff --ledger "$hist" 0 1)
+echo "$diff_out" | grep -q 'precond' || {
+  echo "history diff: expected a precond config delta" >&2
+  exit 1
+}
+dune exec bin/thermoplace.exe -- \
+  history trend --ledger "$hist" --key optimize_ms >/dev/null
+# history subcommands only read — the ledgers must not have grown.
+dune exec bin/json_check.exe -- --jsonl "$hist" 2
+wc -l <"$hist" | grep -qx '2' || {
+  echo "history smoke: expected exactly 2 records" >&2
+  exit 1
+}
 
 echo "== OK"

@@ -271,6 +271,76 @@ let test_metrics_percentile_edges () =
         Alcotest.fail "q outside [0,1] accepted"
       with Invalid_argument _ -> ()))
 
+let test_metrics_percentile_degenerate () =
+  (* an empty sample set (possible on a hand-built histogram, or one whose
+     reservoir was emptied) yields nan, not an exception *)
+  let empty =
+    { Obs.Metrics.count = 0; sum = 0.0; min = Float.infinity;
+      max = Float.neg_infinity; last = Float.nan; samples = []; dropped = 0 }
+  in
+  Alcotest.(check bool) "empty sample set is nan" true
+    (Float.is_nan (Obs.Metrics.percentile empty 0.5));
+  (* a single sample is every percentile *)
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Obs.Metrics.observe "single" 7.5;
+  (match Obs.Metrics.histogram "single" with
+   | None -> Alcotest.fail "histogram missing"
+   | Some h ->
+     List.iter
+       (fun q ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "p%g of one sample" (q *. 100.0))
+            7.5 (Obs.Metrics.percentile h q))
+       [ 0.0; 0.5; 1.0 ];
+     List.iter
+       (fun q ->
+          try
+            ignore (Obs.Metrics.percentile h q);
+            Alcotest.failf "q=%g accepted" q
+          with Invalid_argument _ -> ())
+       [ -0.01; 1.01; Float.nan ])
+
+let test_metrics_labels_separate_series () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Obs.Metrics.count "solves" ~labels:[ ("precond", "mg") ];
+  Obs.Metrics.count "solves" ~labels:[ ("precond", "jacobi") ] ~by:3;
+  Obs.Metrics.count "solves";
+  Alcotest.(check (option int)) "mg series" (Some 1)
+    (Obs.Metrics.counter_value "solves" ~labels:[ ("precond", "mg") ]);
+  Alcotest.(check (option int)) "jacobi series" (Some 3)
+    (Obs.Metrics.counter_value "solves" ~labels:[ ("precond", "jacobi") ]);
+  Alcotest.(check (option int)) "unlabelled series" (Some 1)
+    (Obs.Metrics.counter_value "solves");
+  Alcotest.(check int) "three distinct series" 3
+    (List.length (Obs.Metrics.snapshot ()));
+  (* label order never splits a series: recording under a permuted label
+     list lands in the same canonical cell *)
+  Obs.Metrics.gauge "pos" ~labels:[ ("x", "1"); ("y", "2") ] 1.0;
+  Obs.Metrics.gauge "pos" ~labels:[ ("y", "2"); ("x", "1") ] 5.0;
+  Alcotest.(check (option (float 0.0))) "permuted labels merge" (Some 5.0)
+    (Obs.Metrics.gauge_value "pos" ~labels:[ ("x", "1"); ("y", "2") ]);
+  (match
+     List.find_opt (fun s -> s.Obs.Metrics.name = "pos")
+       (Obs.Metrics.snapshot ())
+   with
+   | None -> Alcotest.fail "pos series missing from snapshot"
+   | Some s ->
+     Alcotest.(check (list (pair string string))) "labels canonicalized"
+       [ ("x", "1"); ("y", "2") ] s.Obs.Metrics.labels);
+  (* duplicate label keys are a programming error *)
+  (try
+     Obs.Metrics.count "dup" ~labels:[ ("k", "a"); ("k", "b") ];
+     Alcotest.fail "duplicate label keys accepted"
+   with Invalid_argument _ -> ());
+  (* one type per metric name, across all label sets — the Prom exporter's
+     single-TYPE-line invariant *)
+  try
+    Obs.Metrics.gauge "solves" ~labels:[ ("precond", "ssor") ] 1.0;
+    Alcotest.fail "type change under a new label set accepted"
+  with Invalid_argument _ -> ()
+
 let test_metrics_disabled_noop () =
   Obs.Metrics.reset ();
   Obs.Metrics.set_enabled false;
@@ -581,6 +651,192 @@ let test_perfetto_validate_rejects () =
   | Ok stats -> Alcotest.(check int) "nested accepted" 3 stats.Obs.Perfetto.events
   | Error e -> Alcotest.failf "proper nesting rejected: %s" e
 
+(* --- prometheus export ------------------------------------------------------ *)
+
+let test_prom_escaping_roundtrip () =
+  List.iter
+    (fun s ->
+       match Obs.Prom.unescape_label_value (Obs.Prom.escape_label_value s) with
+       | Some s' ->
+         Alcotest.(check string)
+           (Printf.sprintf "round trip of %S" s) s s'
+       | None ->
+         Alcotest.failf "escape of %S does not unescape" s)
+    [ ""; "plain"; "has \"quotes\""; "back\\slash"; "new\nline";
+      "\\\"\n"; "trailing\\"; "\"\"\""; "mix \\n of \"all\"\nthree" ];
+  (* escaped forms are single-line (quotes survive, but always behind a
+     backslash) — safe inside the exposition format's value quotes *)
+  let esc = Obs.Prom.escape_label_value "a\"b\\c\nd" in
+  Alcotest.(check string) "escaped form" "a\\\"b\\\\c\\nd" esc;
+  Alcotest.(check bool) "no raw newline" false (String.contains esc '\n');
+  (* dangling or unknown escapes do not decode *)
+  List.iter
+    (fun bad ->
+       Alcotest.(check (option string))
+         (Printf.sprintf "invalid escape %S" bad) None
+         (Obs.Prom.unescape_label_value bad))
+    [ "\\"; "a\\"; "\\x"; "\\t" ]
+
+let prop_prom_escape_roundtrip =
+  QCheck.Test.make ~name:"prom label escaping round trips" ~count:500
+    QCheck.string (fun s ->
+        Obs.Prom.unescape_label_value (Obs.Prom.escape_label_value s)
+        = Some s)
+
+let test_prom_sanitize_names () =
+  Alcotest.(check string) "dots become underscores"
+    "thermal_cg_iterations" (Obs.Prom.sanitize_name "thermal.cg.iterations");
+  Alcotest.(check string) "colons survive in metric names" "a:b"
+    (Obs.Prom.sanitize_name "a:b");
+  Alcotest.(check string) "leading digit replaced" "_2x"
+    (Obs.Prom.sanitize_name "2x");
+  Alcotest.(check string) "empty name" "_" (Obs.Prom.sanitize_name "");
+  Alcotest.(check string) "label names exclude colons" "a_b"
+    (Obs.Prom.sanitize_label_name "a:b")
+
+let test_prom_render () =
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.reset ();
+  Obs.Metrics.count "flow.solves" ~labels:[ ("precond", "mg") ] ~by:2;
+  Obs.Metrics.count "flow.solves" ~labels:[ ("precond", "evil\"\\\n") ];
+  Obs.Metrics.gauge "peak.rise" 3.5;
+  List.iter (Obs.Metrics.observe "cg.iters") [ 10.0; 20.0; 30.0 ];
+  let text = Obs.Prom.to_string () in
+  let lines = String.split_on_char '\n' text in
+  let has l = List.mem l lines in
+  let count_type_lines name =
+    List.length
+      (List.filter
+         (fun l -> l = Printf.sprintf "# TYPE %s counter" name
+                   || l = Printf.sprintf "# TYPE %s gauge" name)
+         lines)
+  in
+  Alcotest.(check bool) "labelled counter series" true
+    (has "flow_solves{precond=\"mg\"} 2");
+  Alcotest.(check bool) "escaped label value" true
+    (has "flow_solves{precond=\"evil\\\"\\\\\\n\"} 1");
+  Alcotest.(check int) "one TYPE line for flow_solves" 1
+    (count_type_lines "flow_solves");
+  Alcotest.(check bool) "gauge value" true (has "peak_rise 3.5");
+  Alcotest.(check bool) "histogram count companion" true
+    (has "cg_iters_count 3");
+  Alcotest.(check bool) "histogram sum companion" true (has "cg_iters_sum 60");
+  Alcotest.(check bool) "histogram median quantile" true
+    (has "cg_iters{quantile=\"0.5\"} 20");
+  Alcotest.(check bool) "ends with a newline" true
+    (text <> "" && text.[String.length text - 1] = '\n')
+
+(* --- ledger ------------------------------------------------------------------ *)
+
+let test_ledger_roundtrip () =
+  let path = Filename.temp_file "ledger" ".jsonl" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+       Alcotest.(check bool) "missing file is an empty ledger" true
+         (Obs.Ledger.load path = Ok []);
+       let r1 =
+         Obs.Ledger.make_record ~timestamp_s:1700000000.25
+           ~config:[ ("precond", Obs.Json.String "mg") ]
+           ~phases_ms:[ ("evaluate_ms", 12.5); ("total_ms", 0.1 +. 0.2) ]
+           ~cg_iterations:53 ~peak_rise_k:17.625 ~plan_hash:"abc123"
+           ~command:"optimize" ~fingerprint:"mesh=40x40x9|precond=mg"
+           ~outcome:"ok" ~exit_code:0 ()
+       in
+       let r2 =
+         Obs.Ledger.make_record ~timestamp_s:1700000001.0 ~error:"boom"
+           ~command:"flow" ~fingerprint:"f" ~outcome:"error" ~exit_code:1 ()
+       in
+       Obs.Ledger.append ~path r1;
+       Obs.Ledger.append ~path r2;
+       match Obs.Ledger.load path with
+       | Error e -> Alcotest.failf "load: %s" e
+       | Ok records ->
+         Alcotest.(check int) "two records, oldest first" 2
+           (List.length records);
+         let l1 = List.nth records 0 and l2 = List.nth records 1 in
+         Alcotest.(check string) "command" "optimize"
+           (Obs.Ledger.command l1);
+         Alcotest.(check string) "fingerprint" "mesh=40x40x9|precond=mg"
+           (Obs.Ledger.fingerprint l1);
+         Alcotest.(check int) "exit code" 1 (Obs.Ledger.exit_code l2);
+         Alcotest.(check string) "outcome" "error" (Obs.Ledger.outcome l2);
+         (* the exact-float codec: 0.1 +. 0.2 survives bit-for-bit *)
+         (match List.assoc_opt "total_ms" (Obs.Ledger.phases_ms l1) with
+          | None -> Alcotest.fail "total_ms missing"
+          | Some v ->
+            Alcotest.(check int64) "float round trip is bit-exact"
+              (Int64.bits_of_float (0.1 +. 0.2)) (Int64.bits_of_float v));
+         (match List.assoc_opt "precond" (Obs.Ledger.config_fields l1) with
+          | Some (Obs.Json.String "mg") -> ()
+          | _ -> Alcotest.fail "config field lost"))
+
+let test_ledger_rejects_malformed () =
+  (* an invalid record never reaches the file *)
+  (try
+     ignore
+       (Obs.Ledger.append ~path:"/nonexistent-dir/x.jsonl"
+          (Obs.Json.Int 3));
+     Alcotest.fail "non-object record accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore
+       (Obs.Ledger.append ~path:"/nonexistent-dir/x.jsonl"
+          (Obs.Json.Obj [ ("schema_version", Obs.Json.Int 999) ]));
+     Alcotest.fail "wrong schema version accepted"
+   with Invalid_argument _ -> ());
+  (* a corrupt line fails the whole load, with its line number *)
+  let path = Filename.temp_file "ledger" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       Obs.Ledger.append ~path
+         (Obs.Ledger.make_record ~command:"c" ~fingerprint:"f" ~outcome:"ok"
+            ~exit_code:0 ());
+       let oc = open_out_gen [ Open_append ] 0o644 path in
+       output_string oc "{not json\n";
+       close_out oc;
+       match Obs.Ledger.load path with
+       | Ok _ -> Alcotest.fail "corrupt line accepted"
+       | Error msg ->
+         let contains sub =
+           let n = String.length sub and m = String.length msg in
+           let rec at i = i + n <= m
+                          && (String.sub msg i n = sub || at (i + 1)) in
+           at 0
+         in
+         Alcotest.(check bool) "error names line 2" true (contains "line 2"))
+
+let test_ledger_resolve_path () =
+  let with_env value f =
+    let old = Sys.getenv_opt Obs.Ledger.env_var in
+    (match value with
+     | Some v -> Unix.putenv Obs.Ledger.env_var v
+     | None -> Unix.putenv Obs.Ledger.env_var "");
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv Obs.Ledger.env_var (Option.value ~default:"" old))
+      f
+  in
+  with_env None (fun () ->
+      Alcotest.(check (option string)) "default"
+        (Some Obs.Ledger.default_path)
+        (Obs.Ledger.resolve_path ());
+      Alcotest.(check (option string)) "explicit path wins" (Some "x.jsonl")
+        (Obs.Ledger.resolve_path ~path:"x.jsonl" ());
+      Alcotest.(check (option string)) "explicit none disables" None
+        (Obs.Ledger.resolve_path ~path:"none" ()));
+  with_env (Some "env.jsonl") (fun () ->
+      Alcotest.(check (option string)) "env beats default"
+        (Some "env.jsonl")
+        (Obs.Ledger.resolve_path ());
+      Alcotest.(check (option string)) "explicit beats env" (Some "x.jsonl")
+        (Obs.Ledger.resolve_path ~path:"x.jsonl" ()));
+  with_env (Some "none") (fun () ->
+      Alcotest.(check (option string)) "env none disables" None
+        (Obs.Ledger.resolve_path ()))
+
 let () =
   Alcotest.run "obs"
     [ ("trace",
@@ -608,6 +864,10 @@ let () =
            test_metrics_reservoir_deterministic;
          Alcotest.test_case "percentile edges" `Quick
            test_metrics_percentile_edges;
+         Alcotest.test_case "percentile degenerate inputs" `Quick
+           test_metrics_percentile_degenerate;
+         Alcotest.test_case "labelled series" `Quick
+           test_metrics_labels_separate_series;
          Alcotest.test_case "disabled no-op" `Quick
            test_metrics_disabled_noop ]);
       ("log", [ Alcotest.test_case "retention" `Quick test_log_retention ]);
@@ -628,4 +888,19 @@ let () =
            test_perfetto_export_validates;
          Alcotest.test_case "write file" `Quick test_perfetto_write_file;
          Alcotest.test_case "validator rejects malformed traces" `Quick
-           test_perfetto_validate_rejects ]) ]
+           test_perfetto_validate_rejects ]);
+      ("prom",
+       [ Alcotest.test_case "label escaping round trips" `Quick
+           test_prom_escaping_roundtrip;
+         QCheck_alcotest.to_alcotest prop_prom_escape_roundtrip;
+         Alcotest.test_case "name sanitization" `Quick
+           test_prom_sanitize_names;
+         Alcotest.test_case "text exposition rendering" `Quick
+           test_prom_render ]);
+      ("ledger",
+       [ Alcotest.test_case "append/load round trip" `Quick
+           test_ledger_roundtrip;
+         Alcotest.test_case "rejects malformed records and lines" `Quick
+           test_ledger_rejects_malformed;
+         Alcotest.test_case "resolve_path precedence" `Quick
+           test_ledger_resolve_path ]) ]
