@@ -1215,6 +1215,202 @@ let run_fft () =
            ("blur_evals", counter "thermal.blur.evals");
            ("cache_evictions", counter "thermal.mesh.cache.evictions") ]) ]
 
+(* --- serve: batch server throughput and fault isolation ----------------- *)
+
+(* The batch server's two load-bearing claims, measured:
+   - same-fingerprint batching: N jobs sharing a config pay one flow
+     prepare (mesh + multigrid + blur state) instead of N, so a batched
+     run must beat a one-process-per-job baseline that cold-prepares
+     every job;
+   - fault isolation: adding one poisoned job to the batch changes
+     nothing — bit for bit — about its mates' result payloads, and the
+     poisoned job itself fails with the structured invariant exit. *)
+let run_serve () =
+  header "BATCH SERVE -- same-fingerprint batching, fault isolation, retry"
+    "n/a (engineering): thermoplace serve vs one process per job";
+  let n_jobs = 6 in
+  let job ?(extra = "") id =
+    Printf.sprintf
+      {|{"id":"%s","test_set":"small","technique":"eri","cycles":600%s}|} id
+      extra
+  in
+  let clean_lines = List.init n_jobs (fun i -> job (Printf.sprintf "j%d" i)) in
+  let serve_config =
+    { Serve.Server.default_config with
+      Serve.Server.ledger = None;
+      handle_sigterm = false }
+  in
+  (* One in-process server round trip over [lines]: write the request
+     file, serve it to EOF, read the response lines back. *)
+  let run_server lines =
+    let in_path = Filename.temp_file "bench_serve_in" ".jsonl" in
+    let out_path = Filename.temp_file "bench_serve_out" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () ->
+        Sys.remove in_path;
+        Sys.remove out_path)
+      (fun () ->
+        let oc = open_out in_path in
+        List.iter
+          (fun l ->
+            output_string oc l;
+            output_char oc '\n')
+          lines;
+        close_out oc;
+        let fd = Unix.openfile in_path [ Unix.O_RDONLY ] 0 in
+        let out_ch = open_out out_path in
+        let summary =
+          Fun.protect
+            ~finally:(fun () ->
+              Unix.close fd;
+              close_out out_ch)
+            (fun () ->
+              Serve.Server.run ~config:serve_config ~input:fd ~output:out_ch
+                ())
+        in
+        let ic = open_in out_path in
+        let responses = ref [] in
+        (try
+           while true do
+             responses := input_line ic :: !responses
+           done
+         with End_of_file -> ());
+        close_in ic;
+        (summary, List.rev !responses))
+  in
+  let parse_responses lines =
+    List.filter_map
+      (fun l ->
+        match Obs.Json.of_string l with
+        | Ok json ->
+          Option.bind (Obs.Json.member "id" json) Obs.Json.to_string_opt
+          |> Option.map (fun id -> (id, json))
+        | Error _ -> None)
+      lines
+  in
+  let field resp id name =
+    Option.bind (List.assoc_opt id resp) (Obs.Json.member name)
+  in
+  let outcome resp id =
+    match Option.bind (field resp id "outcome") Obs.Json.to_string_opt with
+    | Some o -> o
+    | None -> "missing"
+  in
+  (* Warm the global mesh/blur caches once so the timed batched run
+     measures steady-state serving, then time it against the per-job
+     baseline where every job pays a cold prepare (one process per job
+     shares nothing, hence the cache_clear between jobs). *)
+  Thermal.Mesh.cache_clear ();
+  ignore (run_server clean_lines);
+  let (batched_summary, batched_raw), t_batched =
+    time (fun () -> run_server clean_lines)
+  in
+  let (_ : (Serve.Server.summary * string list) list), t_per_job =
+    time (fun () ->
+        List.map
+          (fun l ->
+            Thermal.Mesh.cache_clear ();
+            run_server [ l ])
+          clean_lines)
+  in
+  let batched = parse_responses batched_raw in
+  let all_ok =
+    List.length batched = n_jobs
+    && List.for_all (fun (id, _) -> outcome batched id = "ok") batched
+  in
+  let single_batch = batched_summary.Serve.Server.batches = 1 in
+  let speedup = t_per_job /. t_batched in
+  (* Fault isolation: re-run the same file plus one nan_power-poisoned
+     mate with an identical config (same fingerprint, so it joins the
+     batch). The clean jobs' deterministic [result] payloads must be
+     bit-identical to the fault-free run; the mate alone fails. *)
+  let poisoned_lines =
+    clean_lines @ [ job ~extra:{|,"faults":"nan_power"|} "poisoned" ]
+  in
+  let _, poisoned_raw = run_server poisoned_lines in
+  let with_fault = parse_responses poisoned_raw in
+  let result_str resp id =
+    match field resp id "result" with
+    | Some j -> Obs.Json.to_string j
+    | None -> "missing:" ^ id
+  in
+  let mates_identical =
+    List.for_all
+      (fun (id, _) -> result_str batched id = result_str with_fault id)
+      batched
+  in
+  let fault_exit =
+    match Option.bind (field with_fault "poisoned" "exit_code") Obs.Json.to_int with
+    | Some c -> c
+    | None -> -1
+  in
+  let fault_isolated =
+    mates_identical
+    && outcome with_fault "poisoned" = "failed"
+    && fault_exit = 11
+  in
+  (* Retry: a transient cg_stall:8 under the default policy (2 retries)
+     recovers on the clean second attempt; with retries disabled the
+     same job fails with the solver-divergence exit. *)
+  let _, retry_raw =
+    run_server
+      [ job ~extra:{|,"faults":"cg_stall:8","max_retries":2|} "transient";
+        job ~extra:{|,"faults":"cg_stall:8","max_retries":0|} "hopeless" ]
+  in
+  let retry = parse_responses retry_raw in
+  let attempts id =
+    match Option.bind (field retry id "attempts") Obs.Json.to_int with
+    | Some n -> n
+    | None -> -1
+  in
+  let retry_recovers =
+    outcome retry "transient" = "ok" && attempts "transient" = 2
+  in
+  let no_retry_fails =
+    outcome retry "hopeless" = "failed" && attempts "hopeless" = 1
+  in
+  Printf.printf
+    "serve (%d same-fingerprint jobs, eri on small):\n\
+    \  batched     %8.1f ms  (%d batch%s)\n\
+    \  per-job     %8.1f ms  (cold prepare per job)\n\
+    \  speedup     %.2fx\n"
+    n_jobs (t_batched *. 1e3) batched_summary.Serve.Server.batches
+    (if single_batch then "" else "es")
+    (t_per_job *. 1e3) speedup;
+  Printf.printf "check: all %d batched jobs succeed:              %b\n" n_jobs
+    all_ok;
+  Printf.printf "check: batching speedup >= 1.5x:                 %b\n"
+    (speedup >= 1.5);
+  Printf.printf "check: mates bit-identical around a fault:       %b\n"
+    mates_identical;
+  Printf.printf "check: poisoned job fails structured (exit 11):  %b\n"
+    (fault_exit = 11);
+  Printf.printf "check: transient fault recovered by retry:       %b\n"
+    retry_recovers;
+  Printf.printf "check: retry disabled -> structured failure:     %b\n"
+    no_retry_fails;
+  j_obj
+    [ ("batching",
+       j_obj
+         [ ("jobs", j_i n_jobs);
+           ("batches", j_i batched_summary.Serve.Server.batches);
+           ("batched_ms", j_f (t_batched *. 1e3));
+           ("per_job_ms", j_f (t_per_job *. 1e3));
+           ("batching_speedup", j_f speedup);
+           ("all_ok", j_b all_ok);
+           ("single_batch", j_b single_batch);
+           ("speedup_ok", j_b (speedup >= 1.5)) ]);
+      ("fault_isolation",
+       j_obj
+         [ ("mates_identical", j_b mates_identical);
+           ("fault_exit_code", j_i fault_exit);
+           ("fault_isolated", j_b fault_isolated) ]);
+      ("retry",
+       j_obj
+         [ ("transient_attempts", j_i (attempts "transient"));
+           ("retry_recovers", j_b retry_recovers);
+           ("no_retry_fails", j_b no_retry_fails) ]) ]
+
 (* --- dispatch ---------------------------------------------------------------------- *)
 
 let experiments =
@@ -1361,11 +1557,12 @@ let () =
   | [ "cg" ] -> run_and_emit ("cg", run_cg)
   | [ "mg" ] -> run_and_emit ("mg", run_mg)
   | [ "fft" ] -> run_and_emit ("fft", run_fft)
+  | [ "serve" ] -> run_and_emit ("serve", run_serve)
   | [ name ] when List.mem_assoc name experiments ->
     run_and_emit (name, List.assoc name experiments)
   | other ->
     Printf.eprintf
-      "unknown experiment %s; expected one of all, perf, cg, mg, fft, %s\n"
+      "unknown experiment %s; expected one of all, perf, cg, mg, fft, serve, %s\n"
       (String.concat " " other)
       (String.concat ", " (List.map fst experiments));
     exit 2

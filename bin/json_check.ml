@@ -18,7 +18,14 @@
    JSON object carrying an integer "schema_version" field. With
    MIN_RECORDS, additionally require at least that many records — the
    check.sh smoke uses it to assert the ledger grew by the expected
-   count. Prints the record count on success. *)
+   count. Prints the record count on success.
+
+   json_check --jsonl-field FILE KEY: parse FILE as generic line-delimited
+   JSON (no ledger schema requirement — serve response streams qualify)
+   and print KEY's value per line, compact JSON, "-" when absent. KEY may
+   be a dotted path. check.sh uses this to count per-outcome serve
+   results and to diff the deterministic "result" payloads between a
+   fault-armed and a fault-free run without external JSON tooling. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -72,6 +79,44 @@ let check_jsonl path min_records =
     Printf.printf "%s: valid JSONL (%d records, schema v%d)\n" path n
       Obs.Ledger.schema_version
 
+let jsonl_field path key =
+  let lookup json =
+    List.fold_left
+      (fun acc part ->
+         match acc with
+         | None -> None
+         | Some j -> Obs.Json.member part j)
+      (Some json)
+      (String.split_on_char '.' key)
+  in
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "json_check: %s\n" msg;
+      exit 1
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+       let lineno = ref 0 in
+       try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           if String.trim line <> "" then
+             match Obs.Json.of_string line with
+             | Error msg ->
+               Printf.eprintf "json_check: %s: line %d: invalid JSON: %s\n"
+                 path !lineno msg;
+               exit 1
+             | Ok json ->
+               print_endline
+                 (match lookup json with
+                  | Some v -> Obs.Json.to_string v
+                  | None -> "-")
+         done
+       with End_of_file -> ())
+
 let lookup_path json key =
   List.fold_left
     (fun acc part ->
@@ -108,11 +153,15 @@ let () =
      | _ ->
        prerr_endline "json_check: MIN_RECORDS must be an integer >= 0";
        exit 2)
-  | _ :: path :: keys when path <> "--trace" && path <> "--jsonl" ->
+  | _ :: "--jsonl-field" :: [ path; key ] -> jsonl_field path key
+  | _ :: path :: keys
+    when path <> "--trace" && path <> "--jsonl" && path <> "--jsonl-field"
+    ->
     check_report path keys
   | _ ->
     prerr_endline
       "usage: json_check FILE [REQUIRED_KEY ...]\n\
       \       json_check --trace FILE [MIN_TRACKS]\n\
-      \       json_check --jsonl FILE [MIN_RECORDS]";
+      \       json_check --jsonl FILE [MIN_RECORDS]\n\
+      \       json_check --jsonl-field FILE KEY";
     exit 2

@@ -8,6 +8,7 @@
      thermoplace optimize -- greedy row-budget optimizer (parallel evals)
      thermoplace check    -- run the design invariant suite
      thermoplace export   -- Verilog / LEF / DEF / SPICE / SVG dump
+     thermoplace serve    -- batch JSONL job server (queue, deadlines, retry)
 
      thermoplace history  -- list / show / diff / trend over the run ledger
 
@@ -23,7 +24,9 @@
 
    Structured failures (Robust.Error) exit with stable per-class codes:
    solver divergence 10, invariant violation 11, worker failure 12,
-   corrupt checkpoint 13. THERMOPLACE_FAULTS arms fault injection. *)
+   corrupt checkpoint 13, queue full 14, deadline exceeded 15 (the last
+   two appear per job in serve responses, not as process exits).
+   THERMOPLACE_FAULTS arms fault injection. *)
 
 open Cmdliner
 
@@ -834,6 +837,133 @@ let run_check seed cycles utilization test_set precond trace report
            { check = o.Robust.Validate.check_name;
              detail = Option.value o.Robust.Validate.failure ~default:"" })
 
+(* --- serve ------------------------------------------------------------------- *)
+
+let input_arg =
+  let doc =
+    "Read JSONL job requests from $(docv) ($(b,-) = stdin). One request \
+     object per line; see the Serving section of the README for the \
+     schema."
+  in
+  Arg.(value & opt string "-" & info [ "input"; "i" ] ~docv:"FILE" ~doc)
+
+let output_arg =
+  let doc =
+    "Write JSONL responses to $(docv) ($(b,-) = stdout). Exactly one \
+     response line per request line, in completion order."
+  in
+  Arg.(value & opt string "-" & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+
+let queue_cap_arg =
+  let doc =
+    "Bounded admission-queue capacity (>= 1). A request arriving on a \
+     full queue is rejected with a structured queue-full error (exit \
+     class 14 in its response) instead of buffered without limit."
+  in
+  Arg.(value & opt (int_min ~min:1 "--queue-cap") 64
+       & info [ "queue-cap" ] ~docv:"N" ~doc)
+
+let flow_slots_arg =
+  let doc =
+    "Prepared-flow MRU cache capacity (>= 1): how many distinct config \
+     fingerprints keep their prepared flow and base evaluation warm \
+     across batches."
+  in
+  Arg.(value & opt (int_min ~min:1 "--flow-slots") 4
+       & info [ "flow-slots" ] ~docv:"N" ~doc)
+
+let max_retries_arg =
+  let doc =
+    "Retry budget for transient failures (solver divergence, worker \
+     failure) with seeded-jitter exponential backoff; validation errors \
+     are never retried. A request's own max_retries field overrides \
+     this."
+  in
+  Arg.(value & opt (int_min ~min:0 "--max-retries") 2
+       & info [ "max-retries" ] ~docv:"N" ~doc)
+
+let retry_base_ms_arg =
+  let doc = "Base delay of the exponential retry backoff, in milliseconds." in
+  Arg.(value
+       & opt (float_range ~min:0.0 ~min_exclusive:0.0 "--retry-base-ms") 25.0
+       & info [ "retry-base-ms" ] ~docv:"MS" ~doc)
+
+let run_serve input output queue_cap flow_slots max_retries retry_base_ms
+    jobs cache_slots trace report perfetto prom ledger =
+  with_structured_errors @@ fun () ->
+  apply_cache_slots cache_slots;
+  let config =
+    [ ("input", Obs.Json.String input);
+      ("output", Obs.Json.String output);
+      ("queue_cap", Obs.Json.Int queue_cap);
+      ("flow_slots", Obs.Json.Int flow_slots);
+      ("max_retries", Obs.Json.Int max_retries);
+      ("retry_base_ms", Obs.Json.Float retry_base_ms);
+      ("jobs", Obs.Json.Int jobs);
+      ("cache_slots", Obs.Json.Int (Thermal.Mesh.cache_capacity ())) ]
+  in
+  obs_begin ~command:"serve" ~ledger ~config ~trace ~report ~perfetto;
+  let in_fd =
+    if input = "-" then Unix.stdin
+    else
+      try Unix.openfile input [ Unix.O_RDONLY ] 0
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "thermoplace: cannot open %s: %s\n" input
+          (Unix.error_message e);
+        exit 2
+  in
+  let out_ch, close_output =
+    if output = "-" then (stdout, fun () -> flush stdout)
+    else
+      match open_out output with
+      | oc -> (oc, fun () -> close_out oc)
+      | exception Sys_error msg ->
+        Printf.eprintf "thermoplace: cannot open output: %s\n" msg;
+        exit 2
+  in
+  (* Per-job ledger records go to the same ledger as this run's own
+     summary record, so `history list --job ID` sees both sides. *)
+  let server_config =
+    { Serve.Server.default_config with
+      Serve.Server.queue_capacity = queue_cap;
+      flow_slots;
+      policy =
+        { Serve.Policy.default with
+          Serve.Policy.max_retries;
+          base_delay_ms = retry_base_ms };
+      ledger = !Run.ledger_path }
+  in
+  let summary =
+    Fun.protect
+      ~finally:(fun () ->
+        close_output ();
+        if input <> "-" then Unix.close in_fd)
+      (fun () ->
+         Parallel.Pool.with_pool ~jobs @@ fun () ->
+         Run.phase "serve" @@ fun () ->
+         Serve.Server.run ~config:server_config ~input:in_fd ~output:out_ch
+           ())
+  in
+  (* The summary goes to stderr: stdout may be the response stream. *)
+  Printf.eprintf "thermoplace: serve summary %s\n"
+    (Obs.Json.to_string (Serve.Server.summary_json summary));
+  obs_end ~command:"serve" ~trace ~report ~perfetto ~prom ~config
+    ~sections:[ ("summary", Serve.Server.summary_json summary) ]
+
+let serve_cmd =
+  let doc =
+    "Serve batch optimization jobs from a JSONL request stream: bounded \
+     admission queue with backpressure, same-fingerprint batching over a \
+     shared prepared flow, per-job deadlines, retry with exponential \
+     backoff, per-job fault isolation, and graceful drain on SIGTERM \
+     (stop accepting, finish everything admitted, exit 0)."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run_serve $ input_arg $ output_arg $ queue_cap_arg
+          $ flow_slots_arg $ max_retries_arg $ retry_base_ms_arg $ jobs_arg
+          $ cache_slots_arg $ trace_arg $ report_arg $ perfetto_arg
+          $ prom_arg $ ledger_arg)
+
 (* --- history ----------------------------------------------------------------- *)
 
 (* Regression forensics over the run ledger: list runs, show one record,
@@ -852,6 +982,24 @@ let last_arg =
   let doc = "Only consider the last $(docv) records." in
   Arg.(value & opt (some (int_min ~min:1 "--last")) None
        & info [ "last" ] ~docv:"N" ~doc)
+
+(* Per-job records written by `thermoplace serve` carry a job_id; the
+   --job filter narrows list/diff to one job's history (e.g. its retry
+   attempts across server runs). CLI run records have no job_id and
+   never match. Indexes printed and accepted under --job address the
+   filtered view. *)
+let job_arg =
+  let doc =
+    "Only consider records whose $(b,job_id) field equals $(docv) \
+     (per-job records written by $(b,thermoplace serve)). Record indexes \
+     then address the filtered list."
+  in
+  Arg.(value & opt (some string) None & info [ "job" ] ~docv:"ID" ~doc)
+
+let filter_job job records =
+  match job with
+  | None -> records
+  | Some id -> List.filter (fun r -> Obs.Ledger.job_id r = Some id) records
 
 let load_ledger ledger =
   match Obs.Ledger.resolve_path ?path:ledger () with
@@ -893,20 +1041,25 @@ let with_ledger ledger f =
     1
   | Ok (path, records) -> f path records
 
-let run_history_list ledger last =
+let run_history_list ledger last job =
   with_ledger ledger @@ fun path records ->
-  Printf.printf "ledger %s: %d record(s)\n" path (List.length records);
+  let records = filter_job job records in
+  Printf.printf "ledger %s: %d record(s)%s\n" path (List.length records)
+    (match job with Some id -> Printf.sprintf " for job %s" id | None -> "");
   let base = List.length records - List.length (take_last last records) in
   List.iteri
     (fun i r ->
-       Printf.printf "#%-3d %s  %-8s %-5s exit=%-2d %10s  %s\n" (base + i)
+       Printf.printf "#%-3d %s  %-10s %-5s exit=%-2d %10s  %s%s\n" (base + i)
          (format_time (Obs.Ledger.timestamp_s r))
          (Obs.Ledger.command r) (Obs.Ledger.outcome r)
          (Obs.Ledger.exit_code r)
          (match total_ms r with
           | Some ms -> Printf.sprintf "%.1fms" ms
           | None -> "-")
-         (Obs.Ledger.fingerprint r))
+         (Obs.Ledger.fingerprint r)
+         (match Obs.Ledger.job_id r with
+          | Some id when job = None -> "  job=" ^ id
+          | _ -> ""))
     (take_last last records);
   0
 
@@ -920,8 +1073,9 @@ let run_history_show ledger idx =
     print_endline (Obs.Json.to_string ~pretty:true r);
     0
 
-let run_history_diff ledger idx_a idx_b =
+let run_history_diff ledger job idx_a idx_b =
   with_ledger ledger @@ fun _path records ->
+  let records = filter_job job records in
   match (nth_record records idx_a, nth_record records idx_b) with
   | Error msg, _ | _, Error msg ->
     Printf.eprintf "thermoplace: history: %s\n" msg;
@@ -1053,7 +1207,7 @@ let history_cmd =
   let list_cmd =
     let doc = "List ledger records (index, time, command, outcome, total)." in
     Cmd.v (Cmd.info "list" ~doc)
-      Term.(const run_history_list $ history_ledger_arg $ last_arg)
+      Term.(const run_history_list $ history_ledger_arg $ last_arg $ job_arg)
   in
   let idx_pos n docv =
     Arg.(required & pos n (some int) None & info [] ~docv)
@@ -1069,8 +1223,8 @@ let history_cmd =
        iteration / peak temperature / plan-hash changes."
     in
     Cmd.v (Cmd.info "diff" ~doc)
-      Term.(const run_history_diff $ history_ledger_arg $ idx_pos 0 "A"
-            $ idx_pos 1 "B")
+      Term.(const run_history_diff $ history_ledger_arg $ job_arg
+            $ idx_pos 0 "A" $ idx_pos 1 "B")
   in
   let trend_cmd =
     let doc = "Print one numeric key across records with an ASCII bar." in
@@ -1168,4 +1322,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ flow_cmd; report_cmd; maps_cmd; sweep_cmd; optimize_cmd;
-            check_cmd; export_cmd; history_cmd ]))
+            check_cmd; export_cmd; serve_cmd; history_cmd ]))

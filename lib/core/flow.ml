@@ -25,24 +25,35 @@ type t = {
   screen : screen_choice;
 }
 
-let mesh_name t =
-  Printf.sprintf "%dx%dx%d" t.mesh_config.Thermal.Mesh.nx
-    t.mesh_config.Thermal.Mesh.ny
-    (Thermal.Stack.num_layers t.mesh_config.Thermal.Mesh.stack)
+let mesh_config_name (cfg : Thermal.Mesh.config) =
+  Printf.sprintf "%dx%dx%d" cfg.Thermal.Mesh.nx cfg.Thermal.Mesh.ny
+    (Thermal.Stack.num_layers cfg.Thermal.Mesh.stack)
 
-let precond_name t =
-  match t.mesh_precond with
+let precond_choice_name = function
   | None -> "auto"
   | Some c -> Thermal.Mesh.precond_choice_name c
 
-let fingerprint ?(extra = []) t =
+let mesh_name t = mesh_config_name t.mesh_config
+
+let precond_name t = precond_choice_name t.mesh_precond
+
+(* The fingerprint is a pure function of the configuration, so it can be
+   computed from a job request *before* paying for [prepare] — the serve
+   loop batches same-fingerprint jobs on exactly this identity. *)
+let config_fingerprint ?(extra = []) ~mesh_config ~precond ~screen ~seed
+    ~utilization () =
   String.concat "|"
-    ([ "mesh=" ^ mesh_name t;
-       "precond=" ^ precond_name t;
-       "screen=" ^ screen_choice_name t.screen;
-       Printf.sprintf "seed=%d" t.seed;
-       Printf.sprintf "util=%g" t.base_utilization ]
+    ([ "mesh=" ^ mesh_config_name mesh_config;
+       "precond=" ^ precond_choice_name precond;
+       "screen=" ^ screen_choice_name screen;
+       Printf.sprintf "seed=%d" seed;
+       Printf.sprintf "util=%g" utilization ]
      @ List.map (fun (k, v) -> k ^ "=" ^ v) extra)
+
+let fingerprint ?extra t =
+  config_fingerprint ?extra ~mesh_config:t.mesh_config
+    ~precond:t.mesh_precond ~screen:t.screen ~seed:t.seed
+    ~utilization:t.base_utilization ()
 
 let unit_cell_ids nl tag = Array.of_list (Netlist.Types.cells_of_unit nl tag)
 
@@ -69,6 +80,7 @@ let prepare ?(seed = 42) ?(utilization = 0.85) ?(sim_cycles = 1000)
     ?(warmup_cycles = 64) ?(mesh_config = Thermal.Mesh.default_config)
     ?precond ?(screen = Screen_auto) bench workload =
   Obs.Trace.with_span "flow.prepare" @@ fun () ->
+  Robust.Cancel.check ();
   let tech = Celllib.Tech.default_65nm in
   let nl = bench.Netgen.Benchmark.netlist in
   let rng = Geo.Rng.create seed in
@@ -78,6 +90,7 @@ let prepare ?(seed = 42) ?(utilization = 0.85) ?(sim_cycles = 1000)
     Logicsim.Activity.measure sim workload (Geo.Rng.split rng)
       ~warmup:warmup_cycles ~cycles:sim_cycles
   in
+  Robust.Cancel.check ();
   let unit_areas = compute_unit_areas tech bench in
   let total_area = Array.fold_left (fun s (_, a) -> s +. a) 0.0 unit_areas in
   let fp, regions =
@@ -133,6 +146,9 @@ let flow_power_map t pl =
 
 let evaluate_result t pl =
   Obs.Trace.with_span "flow.evaluate" @@ fun () ->
+  (* cancellation point: every candidate evaluation passes through here,
+     so a watchdog-requested deadline abort fires within one solve *)
+  Robust.Cancel.check ();
   let cfg = t.mesh_config in
   let power_map = flow_power_map t pl in
   let* () = Robust.Validate.first_failure [ Checks.power_map power_map ] in

@@ -63,6 +63,20 @@ val fingerprint : ?extra:(string * string) list -> t -> string
     same configured problem — the identity the run ledger records and
     [thermoplace history diff] compares. *)
 
+val config_fingerprint :
+  ?extra:(string * string) list ->
+  mesh_config:Thermal.Mesh.config ->
+  precond:Thermal.Mesh.precond_choice option ->
+  screen:screen_choice ->
+  seed:int ->
+  utilization:float ->
+  unit ->
+  string
+(** The same fingerprint computed from configuration alone, without
+    paying for {!prepare} — [fingerprint t] equals [config_fingerprint]
+    over [t]'s fields. The serve loop batches same-fingerprint job
+    requests on this identity before preparing anything. *)
+
 val prepare :
   ?seed:int ->
   ?utilization:float ->

@@ -43,6 +43,9 @@ let trial_power flow ~after ~nx =
    inserted rows), so every solve in a round reuses one cached matrix and
    a good starting point — most of the optimizer's speedup lives here. *)
 let eval_trial_sol flow ~after ~nx ~x0 ~tol =
+  (* cancellation point: candidate solves run at millisecond granularity,
+     so a deadline abort requested by the serve watchdog lands here *)
+  Robust.Cancel.check ();
   let cfg = { flow.Flow.mesh_config with Thermal.Mesh.nx; ny = nx } in
   let power = trial_power flow ~after ~nx in
   let problem = Thermal.Mesh.build cfg ~power in

@@ -24,7 +24,7 @@ let resolve_path ?path () =
   in
   if chosen = "none" then None else Some chosen
 
-let make_record ?timestamp_s ?(config = []) ?(phases_ms = [])
+let make_record ?timestamp_s ?job_id ?(config = []) ?(phases_ms = [])
     ?cg_iterations ?peak_rise_k ?plan_hash ?metrics ?error ~command
     ~fingerprint ~outcome ~exit_code () =
   let ts =
@@ -36,7 +36,9 @@ let make_record ?timestamp_s ?(config = []) ?(phases_ms = [])
   Json.Obj
     ([ ("schema_version", Json.Int schema_version);
        ("timestamp_s", Json.Float ts);
-       ("command", Json.String command);
+       ("command", Json.String command) ]
+     @ opt "job_id" (fun id -> Json.String id) job_id
+     @ [
        ("fingerprint", Json.String fingerprint);
        ("config", Json.Obj config);
        ("phases_ms",
@@ -54,7 +56,13 @@ let validate_record json =
   match json with
   | Json.Obj _ -> (
     match Option.bind (Json.member "schema_version" json) Json.to_int with
-    | Some v when v = schema_version -> Ok json
+    | Some v when v = schema_version -> (
+      (* job_id is optional (CLI runs omit it) but must be a string when
+         a serve run records it — anything else would silently break
+         [history list --job] filtering. *)
+      match Json.member "job_id" json with
+      | None | Some (Json.String _) -> Ok json
+      | Some _ -> Error "job_id field must be a string when present")
     | Some v ->
       Error (Printf.sprintf "unsupported schema_version %d (expected %d)"
                v schema_version)
@@ -124,6 +132,7 @@ let get_float name r = Option.bind (Json.member name r) Json.to_float
 let get_int name r = Option.bind (Json.member name r) Json.to_int
 
 let command r = Option.value ~default:"?" (get_string "command" r)
+let job_id r = get_string "job_id" r
 let fingerprint r = Option.value ~default:"?" (get_string "fingerprint" r)
 let timestamp_s r = Option.value ~default:Float.nan (get_float "timestamp_s" r)
 let outcome r = Option.value ~default:"?" (get_string "outcome" r)

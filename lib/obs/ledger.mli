@@ -24,6 +24,7 @@ val resolve_path : ?path:string -> unit -> string option
 
 val make_record :
   ?timestamp_s:float ->
+  ?job_id:string ->
   ?config:(string * Json.t) list ->
   ?phases_ms:(string * float) list ->
   ?cg_iterations:int ->
@@ -39,12 +40,15 @@ val make_record :
   Json.t
 (** Build one ledger record. [timestamp_s] defaults to
     [Unix.gettimeofday ()]; optional fields are omitted (not null) when
-    absent. [metrics] is expected to be {!Metrics.summary_json} — the
-    compact registry snapshot without raw reservoir samples. *)
+    absent. [job_id] identifies the served request that produced the
+    record (omitted for one-shot CLI runs). [metrics] is expected to be
+    {!Metrics.summary_json} — the compact registry snapshot without raw
+    reservoir samples. *)
 
 val validate_record : Json.t -> (Json.t, string) result
 (** A record must be a JSON object carrying an integer
-    [schema_version] equal to {!schema_version}. *)
+    [schema_version] equal to {!schema_version}; a [job_id] field, when
+    present, must be a string. *)
 
 val append : path:string -> Json.t -> unit
 (** Validate and append one record as a single line. Creates the file if
@@ -59,6 +63,10 @@ val load : string -> (Json.t list, string) result
 (** {1 Record accessors} — tolerant readers for the history CLI. *)
 
 val command : Json.t -> string
+
+val job_id : Json.t -> string option
+(** The served request id, when the record came from [thermoplace serve]. *)
+
 val fingerprint : Json.t -> string
 val timestamp_s : Json.t -> float
 val outcome : Json.t -> string

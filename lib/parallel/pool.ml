@@ -79,6 +79,11 @@ let jobs () = !jobs_ref
 
 let shutdown_pool p =
   Mutex.lock p.m;
+  (* Drain-then-join: a job may be in flight on another domain. Wait for
+     its caller to retire it (it broadcasts [idle] after clearing
+     [current]) before telling the workers to stop, so no chunk is ever
+     abandoned half-executed. *)
+  while p.current <> None do Condition.wait p.idle p.m done;
   p.stop <- true;
   Condition.broadcast p.work;
   Mutex.unlock p.m;
@@ -149,6 +154,8 @@ let run_pooled p ~chunks f =
   drive ();
   while j.active > 0 do Condition.wait p.idle p.m done;
   p.current <- None;
+  (* wake any shutdown waiting for the in-flight job to retire *)
+  Condition.broadcast p.idle;
   Mutex.unlock p.m;
   busy := false;
   Obs.Metrics.count "parallel.invocations";
@@ -184,3 +191,7 @@ let map_array ~f a =
   end
 
 let map_list ~f l = Array.to_list (map_array ~f (Array.of_list l))
+
+let with_pool ?jobs f =
+  (match jobs with Some n -> set_jobs n | None -> ());
+  Fun.protect ~finally:shutdown f

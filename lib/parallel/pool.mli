@@ -62,5 +62,14 @@ val map_list : f:('a -> 'b) -> 'a list -> 'b list
 (** List version of {!map_array}. *)
 
 val shutdown : unit -> unit
-(** Join all worker domains (idempotent; also registered [at_exit]). The
-    next pooled call respawns them. *)
+(** Join all worker domains (idempotent; also registered [at_exit]). Safe
+    to call from another domain while a job is in flight: the in-flight
+    job is drained to completion first, then the workers are told to stop
+    and joined (drain-then-join) — no chunk is ever abandoned. The next
+    pooled call respawns the workers. *)
+
+val with_pool : ?jobs:int -> (unit -> 'a) -> 'a
+(** [with_pool ?jobs f] runs [f ()] and guarantees {!shutdown} on every
+    exit path (normal return or exception), so long-running callers such
+    as [thermoplace serve] cannot leak worker domains. When [jobs] is
+    given the pool is resized first (as by {!set_jobs}). *)

@@ -1,0 +1,20 @@
+(* Cooperative cancellation: a single process-global request slot read at
+   well-known checkpoints on the hot paths (Flow evaluation, optimizer
+   candidate loops). OCaml domains cannot be killed from outside, so a
+   watchdog that wants to abort an overrunning job stores the structured
+   error here and the job raises it at its next checkpoint — inside a
+   pooled chunk that takes the pool's normal first-exception containment
+   path, so the pool itself survives the cancellation. *)
+
+let slot : Error.t option Atomic.t = Atomic.make None
+
+let request e = Atomic.set slot (Some e)
+
+let clear () = Atomic.set slot None
+
+let pending () = Atomic.get slot
+
+let check () =
+  match Atomic.get slot with
+  | None -> ()
+  | Some e -> Error.raise_ e

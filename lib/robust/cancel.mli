@@ -1,0 +1,30 @@
+(** Cooperative cancellation points for long-running jobs.
+
+    OCaml domains cannot be interrupted from outside, so deadline
+    enforcement is cooperative: a watchdog calls {!request} with the
+    structured error describing why the work must stop, and the hot paths
+    ([Flow.evaluate_result], the optimizer's candidate loops) call
+    {!check} — one atomic load when nothing is pending — which raises the
+    stored error at the next checkpoint. When the raise happens inside a
+    pooled chunk it takes {!Parallel.Pool.parallel_for}'s first-exception
+    containment path, so cancelling a job never kills the pool.
+
+    The slot is process-global and single-occupancy, matching the serve
+    loop's one-job-at-a-time execution model. Callers that arm it must
+    {!clear} it once the job settles, so a late watchdog firing cannot
+    leak into the next job (the serve watchdog serializes {!request}
+    against disarm-then-clear under its own mutex). *)
+
+val request : Error.t -> unit
+(** Ask the running job to abort with [e] at its next checkpoint. *)
+
+val clear : unit -> unit
+(** Drop any pending request (call between jobs/attempts). *)
+
+val pending : unit -> Error.t option
+(** The currently pending request, if any (does not raise). *)
+
+val check : unit -> unit
+(** Raise [Error.Error e] iff a request [e] is pending; a single atomic
+    load otherwise. Sprinkled on paths that run at millisecond
+    granularity. *)

@@ -7,6 +7,12 @@ type t =
   | Invariant_violation of { check : string; detail : string }
   | Worker_failed of { detail : string }
   | Checkpoint_corrupt of { path : string; detail : string }
+  | Queue_full of { job_id : string; depth : int; capacity : int }
+  | Deadline_exceeded of {
+      job_id : string;
+      elapsed_ms : float;
+      deadline_ms : float;
+    }
 
 exception Error of t
 
@@ -22,6 +28,12 @@ let to_string = function
   | Worker_failed { detail } -> Printf.sprintf "worker failed: %s" detail
   | Checkpoint_corrupt { path; detail } ->
     Printf.sprintf "checkpoint corrupt [%s]: %s" path detail
+  | Queue_full { job_id; depth; capacity } ->
+    Printf.sprintf "queue full: job %s rejected (depth %d / capacity %d)"
+      job_id depth capacity
+  | Deadline_exceeded { job_id; elapsed_ms; deadline_ms } ->
+    Printf.sprintf "deadline exceeded: job %s cancelled after %.1f ms (deadline %.1f ms)"
+      job_id elapsed_ms deadline_ms
 
 let to_json e =
   let open Obs.Json in
@@ -44,11 +56,25 @@ let to_json e =
       [ ("error", String "checkpoint_corrupt");
         ("path", String path);
         ("detail", String detail) ]
+  | Queue_full { job_id; depth; capacity } ->
+    Obj
+      [ ("error", String "queue_full");
+        ("job_id", String job_id);
+        ("depth", Int depth);
+        ("capacity", Int capacity) ]
+  | Deadline_exceeded { job_id; elapsed_ms; deadline_ms } ->
+    Obj
+      [ ("error", String "deadline_exceeded");
+        ("job_id", String job_id);
+        ("elapsed_ms", Float elapsed_ms);
+        ("deadline_ms", Float deadline_ms) ]
 
 let exit_code = function
   | Solver_diverged _ -> 10
   | Invariant_violation _ -> 11
   | Worker_failed _ -> 12
   | Checkpoint_corrupt _ -> 13
+  | Queue_full _ -> 14
+  | Deadline_exceeded _ -> 15
 
 let protect f = match f () with v -> Ok v | exception Error e -> Error e

@@ -31,6 +31,20 @@ type t =
     }
   (** A sweep checkpoint failed to parse, has the wrong schema, carries a
       mismatched config fingerprint, or holds an undecodable entry. *)
+  | Queue_full of {
+      job_id : string;   (** rejected request id (or a synthetic one) *)
+      depth : int;       (** queue depth at the rejection *)
+      capacity : int;    (** configured queue capacity *)
+    }
+  (** The serve job queue was at capacity; the request was rejected with
+      backpressure instead of being buffered without bound. *)
+  | Deadline_exceeded of {
+      job_id : string;
+      elapsed_ms : float;   (** wall clock burned when the watchdog fired *)
+      deadline_ms : float;  (** the job's configured deadline *)
+    }
+  (** The per-job watchdog cancelled an attempt that overran its
+      deadline; the pool stays healthy and keeps serving other jobs. *)
 
 exception Error of t
 (** The single carrier exception for code that cannot return [result]. *)
@@ -50,7 +64,7 @@ val exit_code : t -> int
 (** Stable per-class process exit codes for the CLI (and the
     fault-injection smoke in [scripts/check.sh]):
     [Solver_diverged] 10, [Invariant_violation] 11, [Worker_failed] 12,
-    [Checkpoint_corrupt] 13. *)
+    [Checkpoint_corrupt] 13, [Queue_full] 14, [Deadline_exceeded] 15. *)
 
 val protect : (unit -> 'a) -> ('a, t) result
 (** Run a thunk, catching {!Error} (only) into [Error _]. *)

@@ -1,0 +1,36 @@
+(** Retry policy: exponential backoff with seeded, deterministic jitter.
+
+    Transient failures ([Solver_diverged], [Worker_failed]) are worth a
+    clean re-run; validation errors ([Invariant_violation],
+    [Checkpoint_corrupt]) and the server's own outcomes ([Queue_full],
+    [Deadline_exceeded]) are never retried. Jitter is deterministic per
+    (seed, job id, attempt), so a replayed job file backs off on the
+    exact same schedule. *)
+
+type t = {
+  max_retries : int;      (** retries after the first attempt (>= 0) *)
+  base_delay_ms : float;  (** delay before the first retry *)
+  multiplier : float;     (** geometric growth per further retry *)
+  max_delay_ms : float;   (** cap applied before jitter *)
+  jitter : float;         (** relative half-width, e.g. 0.25 = +-25% *)
+  seed : int;             (** jitter stream seed *)
+}
+
+val default : t
+(** 2 retries, 25 ms base, x4 growth, 2 s cap, +-25% jitter, seed 42. *)
+
+val retryable : Robust.Error.t -> bool
+(** [true] only for [Solver_diverged] and [Worker_failed]. *)
+
+val delay_ms : t -> job_id:string -> attempt:int -> float
+(** Backoff before retrying after failed attempt number [attempt]
+    (1-based): [min (base * multiplier^(attempt-1)) max] scaled by a
+    deterministic jitter factor in [[1 - jitter, 1 + jitter)]. Raises
+    [Invalid_argument] when [attempt < 1]. *)
+
+val schedule : t -> job_id:string -> float list
+(** The full backoff schedule [delay_ms ~attempt:1 .. max_retries]. *)
+
+val should_retry : t -> Robust.Error.t -> attempt:int -> bool
+(** [retryable e && attempt <= max_retries] — whether failed attempt
+    [attempt] earns another try. *)

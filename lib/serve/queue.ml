@@ -1,0 +1,47 @@
+(* Bounded job queue with same-key batch extraction.
+
+   The server is single-threaded (one main loop), but the queue still
+   takes a mutex so depth reads from tests or future reader domains are
+   always consistent. Capacity is a hard bound: [try_push] refuses work
+   instead of buffering without limit — backpressure is the caller's
+   contract, not an afterthought. *)
+
+type 'a t = {
+  m : Mutex.t;
+  capacity : int;
+  mutable rev_items : 'a list;  (* newest first; reversed on pop *)
+  mutable depth : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Serve.Queue.create: capacity must be >= 1";
+  { m = Mutex.create (); capacity; rev_items = []; depth = 0 }
+
+let capacity t = t.capacity
+
+let depth t = Mutex.protect t.m (fun () -> t.depth)
+
+let is_empty t = depth t = 0
+
+let try_push t x =
+  Mutex.protect t.m (fun () ->
+      if t.depth >= t.capacity then false
+      else begin
+        t.rev_items <- x :: t.rev_items;
+        t.depth <- t.depth + 1;
+        true
+      end)
+
+let pop_batch t ~key =
+  Mutex.protect t.m (fun () ->
+      match List.rev t.rev_items with
+      | [] -> []
+      | oldest :: _ as all ->
+        let k = key oldest in
+        (* group every queued item sharing the oldest item's key, not
+           just a contiguous prefix — one prepared flow then serves the
+           whole batch, however the arrivals interleaved *)
+        let batch, rest = List.partition (fun x -> key x = k) all in
+        t.rev_items <- List.rev rest;
+        t.depth <- t.depth - List.length batch;
+        batch)

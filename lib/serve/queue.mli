@@ -1,0 +1,28 @@
+(** Bounded FIFO job queue with same-key batch extraction.
+
+    The serve loop's admission buffer. Capacity is a hard bound —
+    {!try_push} returns [false] when full and the server turns that into
+    a structured [Robust.Error.Queue_full] rejection (backpressure),
+    never unbounded buffering. {!pop_batch} removes {e every} queued item
+    sharing the oldest item's key (arrival order preserved), which is how
+    same-fingerprint jobs get batched onto one prepared flow. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val depth : 'a t -> int
+(** Items currently queued. *)
+
+val is_empty : 'a t -> bool
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue; [false] (and no side effect) when the queue is at
+    capacity. *)
+
+val pop_batch : 'a t -> key:('a -> string) -> 'a list
+(** Remove and return all items whose key equals the oldest item's key,
+    in arrival order; [[]] when empty. *)

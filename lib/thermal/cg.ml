@@ -245,6 +245,10 @@ let solve_raw m ~b ~tol ?max_iter ?x0 ?(precond = Jacobi) () =
     let since_best = ref 0 in
     while !breakdown = None && (not !converged) && !iterations < max_iter do
       incr iterations;
+      (* cooperative cancellation at iteration granularity: a deadline
+         posted by the serve watchdog aborts a long solve within a few
+         iterations instead of only between flow phases *)
+      if !iterations land 15 = 0 then Robust.Cancel.check ();
       Sparse.mul_par m p ap;
       let pap = dot partials p ap in
       if not (Float.is_finite pap) || pap <= 0.0 then

@@ -48,8 +48,14 @@ dune exec bench/main.exe -- --jobs 2 fft >/dev/null
 dune exec bin/json_check.exe -- \
   BENCH_fft.json experiment summary summary.screening summary.optimizer
 
+echo "== batch serve bench smoke"
+dune exec bench/main.exe -- --jobs 2 serve >/dev/null 2>&1
+dune exec bin/json_check.exe -- \
+  BENCH_serve.json experiment summary summary.batching \
+  summary.fault_isolation summary.retry
+
 # Each bench run appended one ledger record.
-dune exec bin/json_check.exe -- --jsonl "$ledger" 3
+dune exec bin/json_check.exe -- --jsonl "$ledger" 4
 
 echo "== bench regression gate (bench_diff vs committed baselines)"
 # A generous threshold absorbs machine-to-machine noise on top of the
@@ -63,6 +69,8 @@ dune exec bin/bench_diff.exe -- --threshold 0.60 \
   bench/baselines/mg.json BENCH_mg.json >/dev/null
 dune exec bin/bench_diff.exe -- --threshold 0.60 \
   bench/baselines/fft.json BENCH_fft.json >/dev/null
+dune exec bin/bench_diff.exe -- --threshold 0.60 \
+  bench/baselines/serve.json BENCH_serve.json >/dev/null
 # Sanity of the gate itself: clean against itself, trips on a simulated
 # +100% slowdown (medians compared, so this holds for statistics
 # baselines exactly as it did for legacy scalars).
@@ -83,7 +91,15 @@ ckpt=$(mktemp /tmp/thermoplace-ckpt.XXXXXX.json)
 perfetto=$(mktemp /tmp/thermoplace-perfetto.XXXXXX.json)
 prom=$(mktemp /tmp/thermoplace-metrics.XXXXXX.prom)
 hist=$(mktemp /tmp/thermoplace-history.XXXXXX.jsonl)
-trap 'rm -f "$report" "$ckpt" "$perfetto" "$prom" "$hist" "$ledger"' EXIT
+serve_jobs=$(mktemp /tmp/thermoplace-serve-jobs.XXXXXX.jsonl)
+serve_out=$(mktemp /tmp/thermoplace-serve-out.XXXXXX.jsonl)
+serve_out2=$(mktemp /tmp/thermoplace-serve-out2.XXXXXX.jsonl)
+serve_ledger=$(mktemp /tmp/thermoplace-serve-ledger.XXXXXX.jsonl)
+serve_err=$(mktemp /tmp/thermoplace-serve-err.XXXXXX.log)
+serve_fifo=$(mktemp -u /tmp/thermoplace-serve-fifo.XXXXXX)
+trap 'rm -f "$report" "$ckpt" "$perfetto" "$prom" "$hist" "$ledger" \
+  "$serve_jobs" "$serve_out" "$serve_out2" "$serve_ledger" "$serve_err" \
+  "$serve_fifo"' EXIT
 dune exec bin/thermoplace.exe -- \
   flow --test-set small --cycles 200 --report "$report" \
   --prom "$prom" >/dev/null
@@ -135,6 +151,94 @@ if [ "$rc" -ne 0 ]; then
   exit 1
 fi
 
+echo "== batch serve smoke (mixed outcomes)"
+# Six jobs: four clean across every technique, one poisoned with a NaN
+# power fault, one with an impossible deadline. The server must answer
+# every line (exit 0 overall), isolate the failures to their own jobs,
+# and write one ledger record per job plus one for the run itself.
+cat >"$serve_jobs" <<'EOF'
+{"id":"a1","cycles":200}
+{"id":"a2","cycles":200,"technique":"default"}
+{"id":"a3","cycles":200,"technique":"hw"}
+{"id":"a4","cycles":200,"technique":"optimize","rows":1}
+{"id":"bad","cycles":200,"faults":"nan_power"}
+{"id":"late","cycles":200,"deadline_ms":0.5}
+EOF
+rm -f "$serve_ledger"
+dune exec bin/thermoplace.exe -- serve --input "$serve_jobs" \
+  --output "$serve_out" --ledger "$serve_ledger" --jobs 2 2>/dev/null
+wc -l <"$serve_out" | grep -qx '6'
+outcomes=$(dune exec bin/json_check.exe -- --jsonl-field "$serve_out" outcome)
+test "$(echo "$outcomes" | grep -cx '"ok"')" = 4
+test "$(echo "$outcomes" | grep -cx '"failed"')" = 1
+test "$(echo "$outcomes" | grep -cx '"deadline_exceeded"')" = 1
+exits=$(dune exec bin/json_check.exe -- --jsonl-field "$serve_out" exit_code)
+echo "$exits" | grep -qx '11'
+echo "$exits" | grep -qx '15'
+# 6 per-job records plus the serve run's own record.
+dune exec bin/json_check.exe -- --jsonl "$serve_ledger" 7
+dune exec bin/thermoplace.exe -- history list --ledger "$serve_ledger" \
+  --job bad | grep -q 'serve.job'
+
+echo "== batch serve fault isolation (bit-identical mates)"
+# Re-run the same file without the poisoned job: every surviving job's
+# deterministic result payload must be bit-identical to the fault-armed
+# run — one fault degrades exactly one job.
+serve_pairs() {
+  ids=$(dune exec bin/json_check.exe -- --jsonl-field "$1" id)
+  results=$(dune exec bin/json_check.exe -- --jsonl-field "$1" result)
+  paste_a=$(mktemp); paste_b=$(mktemp)
+  echo "$ids" >"$paste_a"; echo "$results" >"$paste_b"
+  paste "$paste_a" "$paste_b" | sort
+  rm -f "$paste_a" "$paste_b"
+}
+grep -v '"id":"bad"' "$serve_jobs" >"$serve_out2.jobs"
+dune exec bin/thermoplace.exe -- serve --input "$serve_out2.jobs" \
+  --output "$serve_out2" --ledger none --jobs 2 2>/dev/null
+serve_pairs "$serve_out" | grep -v '^"bad"' >"$serve_out.pairs"
+serve_pairs "$serve_out2" >"$serve_out2.pairs"
+cmp "$serve_out.pairs" "$serve_out2.pairs"
+rm -f "$serve_out2.jobs" "$serve_out.pairs" "$serve_out2.pairs"
+
+echo "== batch serve backpressure (bounded queue)"
+# Capacity 1: the whole file is read before the first batch executes,
+# so exactly one job is admitted and the other two are rejected with
+# the structured Queue_full class (exit 14) — never silently dropped.
+printf '%s\n%s\n%s\n' '{"id":"q1","cycles":200}' \
+  '{"id":"q2","cycles":200}' '{"id":"q3","cycles":200}' >"$serve_out2.jobs"
+dune exec bin/thermoplace.exe -- serve --input "$serve_out2.jobs" \
+  --output "$serve_out2" --ledger none --queue-cap 1 2>/dev/null
+outcomes=$(dune exec bin/json_check.exe -- --jsonl-field "$serve_out2" outcome)
+test "$(echo "$outcomes" | grep -cx '"ok"')" = 1
+test "$(echo "$outcomes" | grep -cx '"rejected"')" = 2
+exits=$(dune exec bin/json_check.exe -- --jsonl-field "$serve_out2" exit_code)
+test "$(echo "$exits" | grep -cx '14')" = 2
+rm -f "$serve_out2.jobs"
+
+echo "== batch serve graceful drain (SIGTERM)"
+# SIGTERM must stop admission, drain the accepted job and exit 0 —
+# never kill work in flight. Driven through a fifo so the server is
+# mid-stream when the signal lands.
+mkfifo "$serve_fifo"
+./_build/default/bin/thermoplace.exe serve --input "$serve_fifo" \
+  --output "$serve_out2" --ledger none >/dev/null 2>"$serve_err" &
+serve_pid=$!
+exec 9>"$serve_fifo"
+printf '%s\n' '{"id":"d1","cycles":200}' >&9
+sleep 1
+kill -TERM "$serve_pid"
+exec 9>&-
+rc=0
+wait "$serve_pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "serve drain: expected exit 0 after SIGTERM, got $rc" >&2
+  exit 1
+fi
+dune exec bin/json_check.exe -- --jsonl-field "$serve_out2" outcome \
+  | grep -qx '"ok"'
+grep 'drained_on_signal' "$serve_err" | grep -q 'true'
+rm -f "$serve_fifo"
+
 echo "== sweep checkpoint smoke"
 rm -f "$ckpt"
 dune exec bin/thermoplace.exe -- \
@@ -146,10 +250,11 @@ dune exec bin/thermoplace.exe -- \
   sweep --test-set small --cycles 200 --checkpoint "$ckpt" >/dev/null
 
 echo "== run ledger + history smoke"
-# Every run above — 3 benches, 6 thermoplace runs (2 of them
+# Every run above — 4 benches, 6 thermoplace runs (2 of them
 # fault-injected failures) and the 2 sweeps — appended exactly one
-# record to the scratch ledger.
-dune exec bin/json_check.exe -- --jsonl "$ledger" 11
+# record to the scratch ledger (the serve smokes wrote to their own
+# explicit --ledger files, which beat THERMOPLACE_LEDGER).
+dune exec bin/json_check.exe -- --jsonl "$ledger" 12
 # Two optimize runs differing only in preconditioner, into a fresh
 # ledger (the explicit --ledger flag beats THERMOPLACE_LEDGER), so
 # history diff sees exactly the config delta.

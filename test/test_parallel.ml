@@ -89,6 +89,59 @@ let test_nested_runs_inline () =
           Parallel.Pool.parallel_for ~chunks:4 (fun _ -> Atomic.incr total));
       Alcotest.(check int) "all inner chunks ran" 16 (Atomic.get total))
 
+(* Drain-then-join: a shutdown racing an in-flight job (the serve
+   drain-on-SIGTERM path) must let the job finish — every chunk exactly
+   once — and must be idempotent. *)
+let test_shutdown_drains_inflight () =
+  with_jobs 4 (fun () ->
+      let chunks = 64 in
+      let hit = Array.make chunks 0 in
+      let started = Atomic.make false in
+      let killer =
+        Domain.spawn (fun () ->
+            while not (Atomic.get started) do Domain.cpu_relax () done;
+            Parallel.Pool.shutdown ())
+      in
+      Parallel.Pool.parallel_for ~chunks (fun i ->
+          Atomic.set started true;
+          (* a little work so the shutdown really races the job *)
+          let t0 = Unix.gettimeofday () in
+          while Unix.gettimeofday () -. t0 < 1e-4 do () done;
+          hit.(i) <- hit.(i) + 1);
+      Domain.join killer;
+      Array.iteri
+        (fun i n ->
+           if n <> 1 then Alcotest.failf "chunk %d executed %d times" i n)
+        hit;
+      (* idempotent, including back to back with no pool alive *)
+      Parallel.Pool.shutdown ();
+      Parallel.Pool.shutdown ();
+      (* and the next job respawns the workers *)
+      let ok = Atomic.make 0 in
+      Parallel.Pool.parallel_for ~chunks:16 (fun _ -> Atomic.incr ok);
+      Alcotest.(check int) "pool usable after shutdown" 16 (Atomic.get ok))
+
+let test_with_pool () =
+  let n = Atomic.make 0 in
+  let r =
+    Parallel.Pool.with_pool ~jobs:3 (fun () ->
+        Alcotest.(check int) "jobs applied" 3 (Parallel.Pool.jobs ());
+        Parallel.Pool.parallel_for ~chunks:8 (fun _ -> Atomic.incr n);
+        "done")
+  in
+  Alcotest.(check string) "result returned" "done" r;
+  Alcotest.(check int) "all chunks ran" 8 (Atomic.get n);
+  (* workers were joined on exit, but the pool stays usable *)
+  let again = Atomic.make 0 in
+  Parallel.Pool.parallel_for ~chunks:8 (fun _ -> Atomic.incr again);
+  Alcotest.(check int) "usable after with_pool" 8 (Atomic.get again);
+  (* the exception path shuts down too and re-raises the original *)
+  (match Parallel.Pool.with_pool (fun () -> failwith "boom") with
+   | _ -> Alcotest.fail "exception swallowed"
+   | exception Failure msg ->
+     Alcotest.(check string) "exception propagated" "boom" msg);
+  Parallel.Pool.set_jobs 1
+
 let test_set_jobs_validation () =
   (match Parallel.Pool.set_jobs 0 with
    | _ -> Alcotest.fail "jobs=0 accepted"
@@ -231,6 +284,10 @@ let () =
            test_worker_failure_contained;
          Alcotest.test_case "nested runs inline" `Quick
            test_nested_runs_inline;
+         Alcotest.test_case "shutdown drains in-flight job" `Quick
+           test_shutdown_drains_inflight;
+         Alcotest.test_case "with_pool scopes the workers" `Quick
+           test_with_pool;
          Alcotest.test_case "set_jobs validation" `Quick
            test_set_jobs_validation ]);
       ("determinism",
