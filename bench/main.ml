@@ -469,6 +469,36 @@ let run_glitch () =
                    ("event_driven", j_f r.gl_event_driven) ])
             rows)) ]
 
+(* --- GUIDE (gradient vs peak head-to-head) ----------------------------------------- *)
+
+let run_guide () =
+  header "GUIDE -- gradient-guided vs peak-guided allocation"
+    "n/a (engineering): same row budget, full-mesh committed peaks, with \
+     the ERI and HW heuristics as controls";
+  let fl = Lazy.force flow1 in
+  let rows = Postplace.Experiment.run_guide fl in
+  Printf.printf "%-22s %10s %10s %10s %8s %8s\n" "scheme" "peak K"
+    "reduce %" "area %" "solves" "adjoints";
+  List.iter
+    (fun (r : Postplace.Experiment.guide_row) ->
+       Printf.printf "%-22s %10.3f %10.2f %10.2f %8d %8d\n"
+         r.Postplace.Experiment.gd_scheme r.gd_peak_rise_k r.gd_reduction_pct
+         r.gd_area_overhead_pct r.gd_exact_solves r.gd_adjoint_solves)
+    rows;
+  j_obj
+    [ ("rows",
+       j_list
+         (List.map
+            (fun (r : Postplace.Experiment.guide_row) ->
+               j_obj
+                 [ ("scheme", j_s r.Postplace.Experiment.gd_scheme);
+                   ("peak_rise_k", j_f r.gd_peak_rise_k);
+                   ("reduction_pct", j_f r.gd_reduction_pct);
+                   ("area_overhead_pct", j_f r.gd_area_overhead_pct);
+                   ("exact_solves", j_i r.gd_exact_solves);
+                   ("adjoint_solves", j_i r.gd_adjoint_solves) ])
+            rows)) ]
+
 (* --- TRANSIENT (model validation) ------------------------------------------------- *)
 
 let run_transient () =
@@ -1215,6 +1245,167 @@ let run_fft () =
            ("blur_evals", counter "thermal.blur.evals");
            ("cache_evictions", counter "thermal.mesh.cache.evictions") ]) ]
 
+(* --- ADJOINT SENSITIVITY ------------------------------------------------------------ *)
+
+(* The gradient guide's economics: one adjoint solve prices every
+   candidate at once, where the greedy peak guide pays a rank-tolerance
+   solve per chunk. Validates the adjoint against a superposition
+   central difference, times adjoint vs forward cost, then runs the
+   optimizer head-to-head at the production 160x160 grid. *)
+
+let run_adjoint () =
+  header "ADJOINT SENSITIVITY -- gradient-guided whitespace allocation"
+    "n/a (engineering): adjoint-priced candidate ranking vs per-chunk \
+     exact evaluation";
+  let saved_jobs = Parallel.Pool.jobs () in
+  Obs.Metrics.reset ();
+  let fl = exact_screen (Lazy.force flow1) in
+  let base = fl.Postplace.Flow.base_placement in
+  let num_rows = base.Place.Placement.fp.Place.Floorplan.num_rows in
+  Parallel.Pool.set_jobs 1;
+  (* forward vs adjoint cost and a finite-difference spot check at 40x40 *)
+  let nx = 40 in
+  let cfg40 =
+    { fl.Postplace.Flow.mesh_config with Thermal.Mesh.nx; ny = nx }
+  in
+  let power40 =
+    Power.Map.power_map base ~per_cell_w:fl.Postplace.Flow.per_cell_w ~nx
+      ~ny:nx
+  in
+  Thermal.Mesh.cache_clear ();
+  let problem = Thermal.Mesh.build cfg40 ~power:power40 in
+  let precond = Thermal.Cg.Multigrid (Thermal.Mesh.multigrid problem) in
+  let fwd, t_fwd = time (fun () -> Thermal.Mesh.solve ~precond problem) in
+  let adj, t_adj =
+    time (fun () -> Thermal.Adjoint.solve ~precond ~forward:fwd problem)
+  in
+  (* superposition central difference at the most sensitive tile: the
+     system is linear, so the perturbed field is T0 +/- eps u with
+     u = G^-1 e_tile solved once (same trick as the unit tests) *)
+  let fd_rel =
+    let zp = cfg40.Thermal.Mesh.stack.Thermal.Stack.power_layer in
+    let ix, iy = Geo.Grid.argmax adj.Thermal.Adjoint.sensitivity in
+    let e = Array.make (Array.length adj.Thermal.Adjoint.lambda) 0.0 in
+    e.(Thermal.Mesh.node_index cfg40 ~ix ~iy ~iz:zp) <- 1.0;
+    let u = Thermal.Mesh.solve ~precond (Thermal.Mesh.with_rhs problem e) in
+    let shifted s =
+      Thermal.Adjoint.smoothed_peak ~sharpness:adj.Thermal.Adjoint.sharpness
+        { fwd with
+          Thermal.Mesh.temp =
+            Array.mapi
+              (fun i t -> t +. (s *. u.Thermal.Mesh.temp.(i)))
+              fwd.Thermal.Mesh.temp }
+    in
+    (* smaller step than the unit tests: at 40x40 the impulse response u
+       is large enough that beta^2 (eps u)^2 truncation dominates at
+       eps = 1e-5; the analytic evaluation tolerates the smaller step *)
+    let eps = 1e-7 in
+    let fd = (shifted eps -. shifted (-.eps)) /. (2.0 *. eps) in
+    let sens = Geo.Grid.get adj.Thermal.Adjoint.sensitivity ~ix ~iy in
+    Float.abs (fd -. sens) /. Float.max (Float.abs fd) 1e-30
+  in
+  let adjoint_vs_forward = t_adj /. t_fwd in
+  Printf.printf
+    "at %dx%d: forward %.1f ms (%d iters), adjoint %.1f ms (%d iters), \
+     ratio %.2fx\n\
+     fd spot check at argmax tile: rel err %.2e\n"
+    nx nx (t_fwd *. 1e3) fwd.Thermal.Mesh.cg_iterations (t_adj *. 1e3)
+    adj.Thermal.Adjoint.cg_iterations adjoint_vs_forward fd_rel;
+  Printf.printf "check: adjoint matches fd to 1e-6:               %b\n"
+    (fd_rel <= 1e-6);
+  (* head-to-head at the production grid: exact greedy (peak guide, exact
+     screen) vs the gradient guide, cold and warm *)
+  let rows = 8 and chunk = 4 in
+  let stride = max 1 (num_rows / 20) in
+  let coarse_nx = 160 in
+  let fl_mg =
+    { fl with Postplace.Flow.mesh_precond = Some Thermal.Mesh.Pc_mg }
+  in
+  let fl_grad =
+    { fl_mg with Postplace.Flow.guide = Postplace.Flow.Guide_gradient }
+  in
+  let run f =
+    Postplace.Optimizer.greedy_rows f ~rows ~chunk ~stride ~coarse_nx ()
+  in
+  Thermal.Mesh.cache_clear ();
+  let r_gr_cold, t_gr_cold = time (fun () -> run fl_mg) in
+  let r_gr_warm, t_gr_warm = time (fun () -> run fl_mg) in
+  Thermal.Mesh.cache_clear ();
+  let r_ad_cold, t_ad_cold = time (fun () -> run fl_grad) in
+  let r_ad_warm, t_ad_warm = time (fun () -> run fl_grad) in
+  Parallel.Pool.set_jobs saved_jobs;
+  let greedy_evals = r_gr_warm.Postplace.Optimizer.evaluations in
+  let grad_evals = r_ad_warm.Postplace.Optimizer.evaluations in
+  let grad_adjoints = r_ad_warm.Postplace.Optimizer.adjoint_evaluations in
+  let grad_total = grad_evals + grad_adjoints in
+  let solve_ratio = float_of_int greedy_evals /. float_of_int grad_total in
+  let solve_ratio_ge_3x = greedy_evals >= 3 * grad_total in
+  let peak_gr = r_gr_warm.Postplace.Optimizer.predicted_peak_k in
+  let peak_ad = r_ad_warm.Postplace.Optimizer.predicted_peak_k in
+  let peak_delta = peak_ad -. peak_gr in
+  let peak_within_tol = peak_delta <= 0.05 in
+  let speedup_cold = t_gr_cold /. t_ad_cold in
+  let speedup_warm = t_gr_warm /. t_ad_warm in
+  Printf.printf
+    "optimizer (%d rows, stride %d, %dx%d grid):\n\
+    \  greedy (peak guide)  cold %8.1f ms   warm %8.1f ms  (%d solves)\n\
+    \  gradient guide       cold %8.1f ms   warm %8.1f ms  (%d solves + %d \
+     adjoints)\n\
+    \  speedup              cold %.2fx  warm %.2fx   solve ratio %.1fx\n\
+    \  peak: greedy %.4f K, gradient %.4f K (delta %+.4f K)\n"
+    rows stride coarse_nx coarse_nx (t_gr_cold *. 1e3) (t_gr_warm *. 1e3)
+    greedy_evals (t_ad_cold *. 1e3) (t_ad_warm *. 1e3) grad_evals
+    grad_adjoints speedup_cold speedup_warm solve_ratio peak_gr peak_ad
+    peak_delta;
+  Printf.printf "check: >= 3x fewer exact solves:                 %b\n"
+    solve_ratio_ge_3x;
+  Printf.printf "check: gradient peak within +0.05 K of greedy:   %b\n"
+    peak_within_tol;
+  let counter name =
+    match Obs.Metrics.counter_value name with
+    | None -> Obs.Json.Null
+    | Some n -> j_i n
+  in
+  ignore r_gr_cold;
+  ignore r_ad_cold;
+  j_obj
+    [ ("adjoint_solve",
+       j_obj
+         [ ("nx", j_i nx);
+           ("forward_ms", j_f (t_fwd *. 1e3));
+           ("adjoint_ms", j_f (t_adj *. 1e3));
+           ("adjoint_vs_forward", j_f adjoint_vs_forward);
+           ("forward_iterations", j_i fwd.Thermal.Mesh.cg_iterations);
+           ("adjoint_iterations", j_i adj.Thermal.Adjoint.cg_iterations);
+           ("fd_rel_err", j_f fd_rel);
+           ("fd_within_1e6", j_b (fd_rel <= 1e-6)) ]);
+      ("optimizer",
+       j_obj
+         [ ("rows", j_i rows);
+           ("stride", j_i stride);
+           ("coarse_nx", j_i coarse_nx);
+           ("greedy_cold_ms", j_f (t_gr_cold *. 1e3));
+           ("greedy_warm_ms", j_f (t_gr_warm *. 1e3));
+           ("gradient_cold_ms", j_f (t_ad_cold *. 1e3));
+           ("gradient_warm_ms", j_f (t_ad_warm *. 1e3));
+           ("speedup_cold", j_f speedup_cold);
+           ("speedup_warm", j_f speedup_warm);
+           ("greedy_evaluations", j_i greedy_evals);
+           ("gradient_evaluations", j_i grad_evals);
+           ("gradient_adjoint_evaluations", j_i grad_adjoints);
+           ("solve_ratio", j_f solve_ratio);
+           ("solve_ratio_ge_3x", j_b solve_ratio_ge_3x);
+           ("greedy_peak_k", j_f peak_gr);
+           ("gradient_peak_k", j_f peak_ad);
+           ("peak_delta_k", j_f peak_delta);
+           ("peak_within_tol", j_b peak_within_tol) ]);
+      ("telemetry",
+       j_obj
+         [ ("adjoint_solves", counter "thermal.adjoint.solves");
+           ("adjoint_iterations", counter "thermal.adjoint.iterations");
+           ("optimizer_adjoint_solves", counter "optimizer.adjoint_solves");
+           ("cache_evictions", counter "thermal.mesh.cache.evictions") ]) ]
+
 (* --- serve: batch server throughput and fault isolation ----------------- *)
 
 (* The batch server's two load-bearing claims, measured:
@@ -1419,7 +1610,7 @@ let experiments =
     ("ablation", run_ablation); ("optimizer", run_optimizer);
     ("electrothermal", run_electrothermal); ("package", run_package);
     ("baselines", run_baselines); ("glitch", run_glitch);
-    ("transient", run_transient) ]
+    ("guide", run_guide); ("transient", run_transient) ]
 
 (* --- trial statistics --------------------------------------------------- *)
 
@@ -1557,12 +1748,14 @@ let () =
   | [ "cg" ] -> run_and_emit ("cg", run_cg)
   | [ "mg" ] -> run_and_emit ("mg", run_mg)
   | [ "fft" ] -> run_and_emit ("fft", run_fft)
+  | [ "adjoint" ] -> run_and_emit ("adjoint", run_adjoint)
   | [ "serve" ] -> run_and_emit ("serve", run_serve)
   | [ name ] when List.mem_assoc name experiments ->
     run_and_emit (name, List.assoc name experiments)
   | other ->
     Printf.eprintf
-      "unknown experiment %s; expected one of all, perf, cg, mg, fft, serve, %s\n"
+      "unknown experiment %s; expected one of all, perf, cg, mg, fft, \
+       adjoint, serve, %s\n"
       (String.concat " " other)
       (String.concat ", " (List.map fst experiments));
     exit 2

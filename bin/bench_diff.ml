@@ -12,10 +12,12 @@
    A "_ms" value is either a plain number (a single-trial sample) or the
    {median, min, max, iqr, trials} statistics object `bench --trials N`
    emits. The gate compares medians and is noise-aware: the allowed band
-   is baseline_median * (1 + threshold) + baseline_iqr, so a key whose
-   baseline run was noisy gets proportionally more headroom; legacy
-   scalar baselines have zero IQR and degrade to the flat threshold
-   (default 0.15 = +15%).
+   is max(baseline_median * (1 + threshold) + baseline_iqr, 1.0 ms), so a
+   key whose baseline run was noisy gets proportionally more headroom,
+   while a key whose baseline median is at or near zero is held to the
+   absolute floor instead of gating on sub-millisecond scheduler noise
+   (Obs.Gate). Legacy scalar baselines have zero IQR and degrade to the
+   flat threshold (default 0.15 = +15%).
 
    Fresh keys absent from the baseline are ignored (new metrics may land
    before their baseline is refreshed), and a false -> true flip is an
@@ -78,9 +80,15 @@ let entry path status extra =
        @ extra)
     :: !entries
 
+(* The allowed band comes from Obs.Gate: the noise-aware multiplicative
+   band with an absolute floor (Gate.absolute_floor_ms), so a zero- or
+   near-zero-median baseline is gated against the floor instead of
+   failing on (or being over-tight against) sub-millisecond noise. With
+   the floor in place, zero medians are well-defined and gate like any
+   other key. *)
 let gate_time path ~base ~base_iqr ~fresh =
   let fresh = fresh *. !scale_times in
-  let allowed = (base *. (1.0 +. !threshold)) +. base_iqr in
+  let allowed = Obs.Gate.allowed_ms ~threshold:!threshold ~median:base ~iqr:base_iqr in
   let delta_pct =
     if base > 0.0 then 100.0 *. (fresh -. base) /. base else Float.nan
   in
@@ -92,16 +100,17 @@ let gate_time path ~base ~base_iqr ~fresh =
       ("delta_pct", Obs.Json.Float delta_pct) ]
   in
   if
-    base > 0.0 && Float.is_finite base && Float.is_finite fresh
+    base >= 0.0 && Float.is_finite base && Float.is_finite fresh
     && fresh > allowed
   then begin
     entry path "fail" fields;
     fail path
       "wall-clock regression: %.2f ms -> %.2f ms (%+.0f%%, allowed %.2f ms \
-       = +%.0f%% + %.2f ms IQR)"
+       = max(+%.0f%% + %.2f ms IQR, %.1f ms floor))"
       base fresh delta_pct allowed (100.0 *. !threshold) base_iqr
+      Obs.Gate.absolute_floor_ms
   end
-  else if base > 0.0 && Float.is_finite base && Float.is_finite fresh then begin
+  else if base >= 0.0 && Float.is_finite base && Float.is_finite fresh then begin
     entry path "ok" fields;
     Printf.printf "  ok %-55s %10.2f -> %10.2f ms (%+.0f%%)\n" path base fresh
       delta_pct

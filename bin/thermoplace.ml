@@ -226,6 +226,22 @@ let screen_choice = function
   | "exact" -> Postplace.Flow.Screen_exact
   | _ -> assert false (* the enum converter rejects everything else *)
 
+let guide_arg =
+  let doc =
+    "Optimizer candidate-ranking signal: $(b,peak) (evaluate each \
+     candidate's predicted peak temperature — the paper's scheme) or \
+     $(b,gradient) (one adjoint sensitivity solve per round prices every \
+     candidate from the dT_peak/d(power) map; only the committed chunk \
+     is confirmed exactly — far fewer solves at matched quality)."
+  in
+  let guides = [ ("peak", "peak"); ("gradient", "gradient") ] in
+  Arg.(value & opt (enum guides) "peak" & info [ "guide" ] ~docv:"G" ~doc)
+
+let guide_choice = function
+  | "peak" -> Postplace.Flow.Guide_peak
+  | "gradient" -> Postplace.Flow.Guide_gradient
+  | _ -> assert false (* the enum converter rejects everything else *)
+
 let cache_slots_arg =
   let doc =
     "Capacity of the thermal-mesh matrix MRU cache (>= 1; default 8, or \
@@ -286,24 +302,26 @@ let ledger_arg =
   in
   Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
 
-let prepare ?(screen = "auto") ~seed ~cycles ~utilization ~test_set ~precond
-    () =
+let prepare ?(screen = "auto") ?(guide = "peak") ~seed ~cycles ~utilization
+    ~test_set ~precond () =
   let precond = precond_choice precond in
   let screen = screen_choice screen in
+  let guide = guide_choice guide in
   match test_set with
   | "scattered" ->
     let bench = Netgen.Benchmark.nine_unit () in
     Postplace.Flow.prepare ~seed ~utilization ~sim_cycles:cycles ?precond
-      ~screen bench
+      ~screen ~guide bench
       (Logicsim.Workload.scattered_hotspots ~hot_units:[ 0; 4; 6; 8 ])
   | "concentrated" ->
     let bench = Netgen.Benchmark.nine_unit () in
     Postplace.Flow.prepare ~seed ~utilization ~sim_cycles:cycles ?precond
-      ~screen bench (Logicsim.Workload.concentrated_hotspot ~hot_unit:2)
+      ~screen ~guide bench (Logicsim.Workload.concentrated_hotspot ~hot_unit:2)
   | "small" ->
     let bench = Netgen.Benchmark.small () in
     Postplace.Flow.prepare ~seed ~utilization ~sim_cycles:cycles ?precond
-      ~screen bench (Logicsim.Workload.make ~default:0.05 ~hot:[ (0, 0.5) ])
+      ~screen ~guide bench
+      (Logicsim.Workload.make ~default:0.05 ~hot:[ (0, 0.5) ])
   | _ -> assert false (* the enum converter rejects everything else *)
 
 (* --- observability wiring ------------------------------------------------- *)
@@ -713,8 +731,8 @@ let rows_arg =
   Arg.(value & opt (int_min ~min:1 "--rows") 2
        & info [ "rows" ] ~docv:"N" ~doc)
 
-let run_optimize seed cycles utilization test_set precond screen cache_slots
-    rows jobs trace report perfetto prom ledger =
+let run_optimize seed cycles utilization test_set precond screen guide
+    cache_slots rows jobs trace report perfetto prom ledger =
   with_structured_errors @@ fun () ->
   Parallel.Pool.set_jobs jobs;
   apply_cache_slots cache_slots;
@@ -722,12 +740,13 @@ let run_optimize seed cycles utilization test_set precond screen cache_slots
     base_config ~seed ~cycles ~utilization ~test_set ~precond
     @ [ ("rows", Obs.Json.Int rows); ("jobs", Obs.Json.Int jobs);
         ("screen", Obs.Json.String screen);
+        ("guide", Obs.Json.String guide);
         ("cache_slots", Obs.Json.Int (Thermal.Mesh.cache_capacity ())) ]
   in
   obs_begin ~command:"optimize" ~ledger ~config ~trace ~report ~perfetto;
   let flow =
     Run.phase "prepare" @@ fun () ->
-    prepare ~screen ~seed ~cycles ~utilization ~test_set ~precond ()
+    prepare ~screen ~guide ~seed ~cycles ~utilization ~test_set ~precond ()
   in
   Run.set_fingerprint
     (Postplace.Flow.fingerprint
@@ -742,6 +761,37 @@ let run_optimize seed cycles utilization test_set precond screen cache_slots
   in
   Format.printf "base thermal: %a@." Thermal.Metrics.pp
     base.Postplace.Flow.metrics;
+  (* under the gradient guide, surface the base placement's sensitivity
+     map before optimizing: where a watt buys the most peak temperature *)
+  let sens_sections =
+    match flow.Postplace.Flow.guide with
+    | Postplace.Flow.Guide_peak -> []
+    | Postplace.Flow.Guide_gradient ->
+      let adj =
+        Run.phase "sensitivity" @@ fun () ->
+        Postplace.Flow.sensitivity flow flow.Postplace.Flow.base_placement
+      in
+      let sens = adj.Thermal.Adjoint.sensitivity in
+      let ix, iy = Geo.Grid.argmax sens in
+      let gap =
+        adj.Thermal.Adjoint.smoothed_peak_k
+        -. adj.Thermal.Adjoint.peak_rise_k
+      in
+      Format.printf
+        "adjoint sensitivity: peak %.3f K/W at tile (%d, %d), smoothing \
+         gap %.3f K@."
+        (Geo.Grid.max_value sens) ix iy gap;
+      [ ("sensitivity",
+         Obs.Json.Obj
+           [ ("peak_k_per_w", Obs.Json.Float (Geo.Grid.max_value sens));
+             ("argmax_ix", Obs.Json.Int ix);
+             ("argmax_iy", Obs.Json.Int iy);
+             ("smoothed_peak_k",
+              Obs.Json.Float adj.Thermal.Adjoint.smoothed_peak_k);
+             ("smoothing_gap_k", Obs.Json.Float gap);
+             ("cg_iterations",
+              Obs.Json.Int adj.Thermal.Adjoint.cg_iterations) ]) ]
+  in
   let r =
     Run.phase "optimize" @@ fun () ->
     Postplace.Optimizer.greedy_rows flow ~rows ()
@@ -764,17 +814,22 @@ let run_optimize seed cycles utilization test_set precond screen cache_slots
   Format.printf "optimized: %a@." Thermal.Metrics.pp
     ev.Postplace.Flow.metrics;
   Format.printf
-    "rows %d, evaluations %d, area overhead %.1f%%, peak reduction %.2f%%@."
-    rows r.Postplace.Optimizer.evaluations area_pct red_pct;
+    "rows %d, evaluations %d (adjoint %d), area overhead %.1f%%, peak \
+     reduction %.2f%%@."
+    rows r.Postplace.Optimizer.evaluations
+    r.Postplace.Optimizer.adjoint_evaluations area_pct red_pct;
   obs_end ~command:"optimize" ~trace ~report ~perfetto ~prom ~config
     ~sections:
-      [ ("base", eval_json base);
-        ("result",
+      ([ ("base", eval_json base) ]
+       @ sens_sections
+       @ [ ("result",
          Obs.Json.Obj
            [ ("rows", Obs.Json.Int rows);
              ("evaluations", Obs.Json.Int r.Postplace.Optimizer.evaluations);
              ("blur_evaluations",
               Obs.Json.Int r.Postplace.Optimizer.blur_evaluations);
+             ("adjoint_evaluations",
+              Obs.Json.Int r.Postplace.Optimizer.adjoint_evaluations);
              ("predicted_peak_k",
               Obs.Json.Float r.Postplace.Optimizer.predicted_peak_k);
              ("inserted_after",
@@ -784,7 +839,7 @@ let run_optimize seed cycles utilization test_set precond screen cache_slots
                      .inserted_after));
              ("area_overhead_pct", Obs.Json.Float area_pct);
              ("peak_reduction_pct", Obs.Json.Float red_pct);
-             ("after", eval_json ev) ]) ]
+             ("after", eval_json ev) ]) ])
 
 (* --- check ------------------------------------------------------------------- *)
 
@@ -1285,8 +1340,9 @@ let optimize_cmd =
   in
   Cmd.v (Cmd.info "optimize" ~doc)
     Term.(const run_optimize $ seed $ cycles $ utilization $ test_set
-          $ precond_arg $ screen_arg $ cache_slots_arg $ rows_arg $ jobs_arg
-          $ trace_arg $ report_arg $ perfetto_arg $ prom_arg $ ledger_arg)
+          $ precond_arg $ screen_arg $ guide_arg $ cache_slots_arg
+          $ rows_arg $ jobs_arg $ trace_arg $ report_arg $ perfetto_arg
+          $ prom_arg $ ledger_arg)
 
 let export_cmd =
   let doc =

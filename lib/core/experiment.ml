@@ -1,17 +1,17 @@
-let test_set_1 ?(seed = 42) ?(sim_cycles = 1000) ?precond ?screen () =
+let test_set_1 ?(seed = 42) ?(sim_cycles = 1000) ?precond ?screen ?guide () =
   let bench = Netgen.Benchmark.nine_unit () in
   (* mul16a (0), div16 (4), add64 (6) and cmp32 (8) sit in different
      corners/edges of the 3x3 region grid -> four scattered hotspots *)
   let workload =
     Logicsim.Workload.scattered_hotspots ~hot_units:[ 0; 4; 6; 8 ]
   in
-  Flow.prepare ~seed ~sim_cycles ?precond ?screen bench workload
+  Flow.prepare ~seed ~sim_cycles ?precond ?screen ?guide bench workload
 
-let test_set_2 ?(seed = 42) ?(sim_cycles = 1000) ?precond ?screen () =
+let test_set_2 ?(seed = 42) ?(sim_cycles = 1000) ?precond ?screen ?guide () =
   let bench = Netgen.Benchmark.nine_unit () in
   (* mul20 (tag 2) is the largest unit: one big concentrated hotspot *)
   let workload = Logicsim.Workload.concentrated_hotspot ~hot_unit:2 in
-  Flow.prepare ~seed ~sim_cycles ?precond ?screen bench workload
+  Flow.prepare ~seed ~sim_cycles ?precond ?screen ?guide bench workload
 
 type point = {
   scheme : string;
@@ -422,6 +422,56 @@ let run_baselines ?(overhead = 0.2) flow =
     row_of "power-aware place" aware_ev;
     row_of "ERI (post-place)" eri_ev;
     row_of "HW (post-place)" hw_ev ]
+
+type guide_row = {
+  gd_scheme : string;
+  gd_peak_rise_k : float;
+  gd_reduction_pct : float;
+  gd_area_overhead_pct : float;
+  gd_exact_solves : int;
+  gd_adjoint_solves : int;
+}
+
+let run_guide ?(rows = 8) flow =
+  let base = Flow.evaluate flow flow.Flow.base_placement in
+  let row_of scheme ~exact ~adjoint (ev : Flow.evaluation) =
+    { gd_scheme = scheme;
+      gd_peak_rise_k = ev.Flow.metrics.Thermal.Metrics.peak_rise_k;
+      gd_reduction_pct =
+        Thermal.Metrics.reduction_pct ~before:base.Flow.metrics
+          ~after:ev.Flow.metrics;
+      gd_area_overhead_pct =
+        Technique.area_overhead_pct ~base:base.Flow.placement
+          ev.Flow.placement;
+      gd_exact_solves = exact;
+      gd_adjoint_solves = adjoint }
+  in
+  (* both optimizer guides run the exact screening tier so the solve
+     counts compare like for like *)
+  let peak_flow =
+    { flow with Flow.screen = Flow.Screen_exact; guide = Flow.Guide_peak }
+  in
+  let grad_flow =
+    { flow with Flow.screen = Flow.Screen_exact; guide = Flow.Guide_gradient }
+  in
+  let peak_r = Optimizer.greedy_rows peak_flow ~rows () in
+  let grad_r = Optimizer.greedy_rows grad_flow ~rows () in
+  let peak_ev =
+    Flow.evaluate flow peak_r.Optimizer.plan.Technique.eri_placement
+  in
+  let grad_ev =
+    Flow.evaluate flow grad_r.Optimizer.plan.Technique.eri_placement
+  in
+  (* the paper's heuristics as controls at the same row budget *)
+  let eri = Flow.apply_eri flow ~base ~rows in
+  let eri_ev = Flow.evaluate flow eri.Technique.eri_placement in
+  let hw_ev = Flow.evaluate flow (Flow.apply_hw flow ~on:base ()) in
+  [ row_of "greedy (peak guide)" ~exact:peak_r.Optimizer.evaluations
+      ~adjoint:0 peak_ev;
+    row_of "gradient guide" ~exact:grad_r.Optimizer.evaluations
+      ~adjoint:grad_r.Optimizer.adjoint_evaluations grad_ev;
+    row_of "ERI heuristic" ~exact:0 ~adjoint:0 eri_ev;
+    row_of "HW heuristic" ~exact:0 ~adjoint:0 hw_ev ]
 
 type glitch_row = {
   gl_metric : string;

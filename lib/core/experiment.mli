@@ -6,16 +6,17 @@
 
 val test_set_1 : ?seed:int -> ?sim_cycles:int ->
   ?precond:Thermal.Mesh.precond_choice -> ?screen:Flow.screen_choice ->
-  unit -> Flow.t
+  ?guide:Flow.guide_choice -> unit -> Flow.t
 (** Four scattered small hotspots: units mul16a, div16, add64 and cmp32 run
     hot (they sit in different corners of the 3 x 3 region grid), the rest
     are nearly idle. [?precond] selects the thermal-solve preconditioner
     for every evaluation in the flow, [?screen] the optimizer's
-    candidate-screening tier (see [Flow.prepare]). *)
+    candidate-screening tier and [?guide] its candidate-ranking signal
+    (see [Flow.prepare]). *)
 
 val test_set_2 : ?seed:int -> ?sim_cycles:int ->
   ?precond:Thermal.Mesh.precond_choice -> ?screen:Flow.screen_choice ->
-  unit -> Flow.t
+  ?guide:Flow.guide_choice -> unit -> Flow.t
 (** One large concentrated hotspot: the 20x20 multiplier (the biggest unit)
     runs hot. *)
 
@@ -138,6 +139,25 @@ val run_baselines : ?overhead:float -> Flow.t -> baseline_row list
 (** Post-placement vs placement-time at matched overhead (default 20 %):
     Default (uniform slack), the power-aware placement baseline, ERI and
     HW. Shows where the post-placement information advantage comes from. *)
+
+(** One scheme of the gradient-vs-peak head-to-head. *)
+type guide_row = {
+  gd_scheme : string;
+  gd_peak_rise_k : float;          (** full-mesh peak after the scheme *)
+  gd_reduction_pct : float;
+  gd_area_overhead_pct : float;
+  gd_exact_solves : int;           (** optimizer thermal solves; 0 for
+                                       the heuristic controls *)
+  gd_adjoint_solves : int;         (** adjoint solves; gradient guide only *)
+}
+
+val run_guide : ?rows:int -> Flow.t -> guide_row list
+(** Head-to-head at one row budget (default 8): the greedy optimizer
+    under the peak guide (exact screening), the same optimizer under the
+    adjoint gradient guide, and the paper's ERI and HW heuristics as
+    controls. All four placements are re-evaluated on the flow's full
+    mesh, so the rows compare end temperature, area overhead and the
+    solve budget spent to get there. *)
 
 type glitch_row = {
   gl_metric : string;

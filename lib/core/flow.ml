@@ -7,6 +7,12 @@ let screen_choice_name = function
   | Screen_fft -> "fft"
   | Screen_exact -> "exact"
 
+type guide_choice = Guide_peak | Guide_gradient
+
+let guide_choice_name = function
+  | Guide_peak -> "peak"
+  | Guide_gradient -> "gradient"
+
 type t = {
   bench : Netgen.Benchmark.t;
   tech : Celllib.Tech.t;
@@ -23,6 +29,7 @@ type t = {
   mesh_config : Thermal.Mesh.config;
   mesh_precond : Thermal.Mesh.precond_choice option;
   screen : screen_choice;
+  guide : guide_choice;
 }
 
 let mesh_config_name (cfg : Thermal.Mesh.config) =
@@ -40,19 +47,20 @@ let precond_name t = precond_choice_name t.mesh_precond
 (* The fingerprint is a pure function of the configuration, so it can be
    computed from a job request *before* paying for [prepare] — the serve
    loop batches same-fingerprint jobs on exactly this identity. *)
-let config_fingerprint ?(extra = []) ~mesh_config ~precond ~screen ~seed
-    ~utilization () =
+let config_fingerprint ?(extra = []) ~mesh_config ~precond ~screen ~guide
+    ~seed ~utilization () =
   String.concat "|"
     ([ "mesh=" ^ mesh_config_name mesh_config;
        "precond=" ^ precond_choice_name precond;
        "screen=" ^ screen_choice_name screen;
+       "guide=" ^ guide_choice_name guide;
        Printf.sprintf "seed=%d" seed;
        Printf.sprintf "util=%g" utilization ]
      @ List.map (fun (k, v) -> k ^ "=" ^ v) extra)
 
 let fingerprint ?extra t =
   config_fingerprint ?extra ~mesh_config:t.mesh_config
-    ~precond:t.mesh_precond ~screen:t.screen ~seed:t.seed
+    ~precond:t.mesh_precond ~screen:t.screen ~guide:t.guide ~seed:t.seed
     ~utilization:t.base_utilization ()
 
 let unit_cell_ids nl tag = Array.of_list (Netlist.Types.cells_of_unit nl tag)
@@ -78,7 +86,7 @@ let compute_unit_areas tech bench =
 
 let prepare ?(seed = 42) ?(utilization = 0.85) ?(sim_cycles = 1000)
     ?(warmup_cycles = 64) ?(mesh_config = Thermal.Mesh.default_config)
-    ?precond ?(screen = Screen_auto) bench workload =
+    ?precond ?(screen = Screen_auto) ?(guide = Guide_peak) bench workload =
   Obs.Trace.with_span "flow.prepare" @@ fun () ->
   Robust.Cancel.check ();
   let tech = Celllib.Tech.default_65nm in
@@ -118,7 +126,7 @@ let prepare ?(seed = 42) ?(utilization = 0.85) ?(sim_cycles = 1000)
     base_regions = regions; positions;
     per_cell_w = power.Power.Model.per_cell_w; power_report = power; seed;
     base_utilization = utilization; mesh_config; mesh_precond = precond;
-    screen }
+    screen; guide }
 
 type evaluation = {
   placement : P.t;
@@ -187,6 +195,22 @@ let evaluate_result t pl =
 let evaluate t pl =
   match evaluate_result t pl with
   | Ok e -> e
+  | Error e -> Robust.Error.raise_ e
+
+let sensitivity_result ?sharpness t pl =
+  Obs.Trace.with_span "flow.sensitivity" @@ fun () ->
+  Robust.Cancel.check ();
+  let power_map = flow_power_map t pl in
+  let* () = Robust.Validate.first_failure [ Checks.power_map power_map ] in
+  let problem = Thermal.Mesh.build t.mesh_config ~power:power_map in
+  let precond =
+    Option.map (Thermal.Mesh.precond_of_choice problem) t.mesh_precond
+  in
+  Thermal.Adjoint.solve_result ?sharpness ?precond problem
+
+let sensitivity ?sharpness t pl =
+  match sensitivity_result ?sharpness t pl with
+  | Ok a -> a
   | Error e -> Robust.Error.raise_ e
 
 let check_design t pl =

@@ -21,6 +21,19 @@ type screen_choice = Screen_auto | Screen_fft | Screen_exact
 val screen_choice_name : screen_choice -> string
 (** ["auto"], ["fft"] or ["exact"] — for reports and config echoes. *)
 
+type guide_choice = Guide_peak | Guide_gradient
+(** How the optimizer ranks whitespace-allocation candidates.
+    [Guide_peak] (the paper's scheme) evaluates candidates by their
+    predicted peak temperature — exact or screened thermal solves per
+    candidate. [Guide_gradient] ranks every candidate from one adjoint
+    sensitivity solve at the incumbent ({!Thermal.Adjoint}): the
+    per-tile [dT_peak/d(power)] map prices each candidate's power
+    redistribution without any per-candidate solve, and only the
+    committed winner is confirmed exactly. *)
+
+val guide_choice_name : guide_choice -> string
+(** ["peak"] or ["gradient"] — for reports and config echoes. *)
+
 type t = {
   bench : Netgen.Benchmark.t;
   tech : Celllib.Tech.t;
@@ -45,6 +58,9 @@ type t = {
   (** Screening tier for optimizer candidate ranking (see
       {!screen_choice}). Only the optimizer consults this: full
       evaluations, checks and sweeps always solve exactly. *)
+  guide : guide_choice;
+  (** Candidate-ranking signal for the optimizer (see {!guide_choice}).
+      Like [screen], only the optimizer consults this. *)
 }
 
 val cells_of_region : t -> int -> Netlist.Types.cell_id array
@@ -58,16 +74,17 @@ val precond_name : t -> string
 
 val fingerprint : ?extra:(string * string) list -> t -> string
 (** Readable pipe-joined configuration fingerprint:
-    [mesh=…|precond=…|screen=…|seed=…|util=…], with [extra] key/value
-    pairs appended in order. Two runs with equal fingerprints solved the
-    same configured problem — the identity the run ledger records and
-    [thermoplace history diff] compares. *)
+    [mesh=…|precond=…|screen=…|guide=…|seed=…|util=…], with [extra]
+    key/value pairs appended in order. Two runs with equal fingerprints
+    solved the same configured problem — the identity the run ledger
+    records and [thermoplace history diff] compares. *)
 
 val config_fingerprint :
   ?extra:(string * string) list ->
   mesh_config:Thermal.Mesh.config ->
   precond:Thermal.Mesh.precond_choice option ->
   screen:screen_choice ->
+  guide:guide_choice ->
   seed:int ->
   utilization:float ->
   unit ->
@@ -85,13 +102,14 @@ val prepare :
   ?mesh_config:Thermal.Mesh.config ->
   ?precond:Thermal.Mesh.precond_choice ->
   ?screen:screen_choice ->
+  ?guide:guide_choice ->
   Netgen.Benchmark.t ->
   Logicsim.Workload.t ->
   t
 (** Defaults: seed 42, utilization 0.85 (the compact base placement),
     1000 measured cycles after 64 warm-up cycles, 40 x 40 x 9 mesh,
     stage-default preconditioners (see the [mesh_precond] field),
-    [Screen_auto] candidate screening. *)
+    [Screen_auto] candidate screening, [Guide_peak] candidate ranking. *)
 
 type evaluation = {
   placement : Place.Placement.t;
@@ -114,6 +132,20 @@ val evaluate_result : t -> Place.Placement.t ->
 
 val evaluate : t -> Place.Placement.t -> evaluation
 (** {!evaluate_result}, raising [Robust.Error.Error] on failure. *)
+
+val sensitivity_result :
+  ?sharpness:float -> t -> Place.Placement.t ->
+  (Thermal.Adjoint.t, Robust.Error.t) result
+(** Adjoint sensitivity of the smoothed peak temperature at a placement:
+    re-bin power, validate it, then one forward and one adjoint solve
+    through the flow's configured mesh and preconditioner
+    ({!Thermal.Adjoint.solve_result}). The result's [sensitivity] grid is
+    the per-tile [dT_peak/d(power)] map in K/W that [Guide_gradient]
+    ranks candidates with. *)
+
+val sensitivity : ?sharpness:float -> t -> Place.Placement.t ->
+  Thermal.Adjoint.t
+(** {!sensitivity_result}, raising [Robust.Error.Error] on failure. *)
 
 val check_design : t -> Place.Placement.t -> Robust.Validate.outcome list
 (** Run the full invariant suite ({!Checks.placement},

@@ -3,6 +3,7 @@ type result = {
   predicted_peak_k : float;
   evaluations : int;
   blur_evaluations : int;
+  adjoint_evaluations : int;
 }
 
 let peak_of flow pl ~nx =
@@ -76,11 +77,9 @@ let screening_enabled flow =
   | Flow.Screen_auto ->
     not (List.exists Robust.Faults.armed Robust.Faults.all)
 
-let greedy_rows flow ~rows ?(chunk = 4) ?(stride = 4) ?(coarse_nx = 20)
-    ?(leaders = 3) () =
-  if rows <= 0 then invalid_arg "Optimizer.greedy_rows: non-positive budget";
-  if chunk <= 0 || stride <= 0 || coarse_nx <= 0 || leaders <= 0 then
-    invalid_arg "Optimizer.greedy_rows: non-positive parameter";
+(* The paper's scheme: rank candidates by their (screened or exact)
+   predicted peak. *)
+let peak_rows flow ~rows ~chunk ~stride ~coarse_nx ~leaders =
   Obs.Trace.with_span "optimizer.greedy_rows" @@ fun () ->
   let base = flow.Flow.base_placement in
   let num_rows = base.Place.Placement.fp.Place.Floorplan.num_rows in
@@ -224,14 +223,204 @@ let greedy_rows flow ~rows ?(chunk = 4) ?(stride = 4) ?(coarse_nx = 20)
       ~tol:Thermal.Cg.default_tol
   in
   incr evaluations;
+  { plan = final; predicted_peak_k = peak; evaluations = !evaluations;
+    blur_evaluations = !blur_evaluations; adjoint_evaluations = 0 }
+
+(* ---- Gradient guide ----------------------------------------------------
+
+   One adjoint solve at the incumbent prices *every* candidate: the
+   adjoint field lambda satisfies G lambda = df/dT, so for any trial
+   power map P the smoothed peak is, to first order,
+   f(P) ~ f(P_inc) + <lambda, P - P_inc>. The incumbent term is common
+   to all candidates of a round, so ranking by <lambda, P_c> needs no
+   per-candidate solve at all — only the committed chunk is confirmed
+   with one exact (rank-tolerance) re-solve. *)
+
+(* <sensitivity, power>: the candidate's first-order objective up to the
+   round-constant incumbent term. Both grids live on the coarse
+   evaluation mesh's tile counts; the candidate's die is slightly taller
+   than the incumbent's, which is part of the first-order approximation
+   the confirmation solve absorbs. *)
+let sensitivity_score sens power =
+  let acc = ref 0.0 in
+  Geo.Grid.iteri power ~f:(fun ~ix ~iy p ->
+      acc := !acc +. (Geo.Grid.get sens ~ix ~iy *. p));
+  !acc
+
+(* Euclidean projection onto the scaled simplex {x >= 0, sum x = total}
+   (sort-based: theta is the largest valid shift of the descending
+   cumulative means). *)
+let project_simplex x ~total =
+  let n = Array.length x in
+  let u = Array.copy x in
+  Array.sort (fun a b -> Float.compare b a) u;
+  let theta = ref 0.0 in
+  let css = ref 0.0 in
+  for j = 0 to n - 1 do
+    css := !css +. u.(j);
+    let t = (!css -. total) /. float_of_int (j + 1) in
+    if u.(j) -. t > 0.0 then theta := t
+  done;
+  Array.map (fun v -> Float.max 0.0 (v -. !theta)) x
+
+(* Round a continuous allocation (summing to [total]) to integers by
+   largest remainder, ties to the lower candidate index — the same
+   first-wins determinism as the peak guide's selection walk. *)
+let largest_remainder x ~total =
+  let n = Array.length x in
+  let counts = Array.map (fun v -> int_of_float (Float.floor v)) x in
+  let assigned = Array.fold_left ( + ) 0 counts in
+  let rem = Array.mapi (fun i v -> (v -. Float.floor v, i)) x in
+  Array.sort
+    (fun (a, i) (b, j) ->
+       match Float.compare b a with 0 -> compare i j | c -> c)
+    rem;
+  let missing = max 0 (min n (total - assigned)) in
+  for k = 0 to missing - 1 do
+    let _, i = rem.(k) in
+    counts.(i) <- counts.(i) + 1
+  done;
+  counts
+
+(* Distribute [step] rows over the candidates from their first-order
+   scores: projected-gradient descent of sum_i g_i x_i + (gamma/2)|x|^2
+   over {x >= 0, sum x = step}, then largest-remainder rounding. The
+   regularizer weight gamma = (g_max - g_min)/step scales the quadratic
+   pull to the score spread, so mass concentrates on the best-scoring
+   rows without collapsing onto one when several are nearly as good.
+   [prepass_steps = 0] (or a flat score vector) skips the continuous
+   phase: the whole chunk goes to the argmin score — exactly the peak
+   guide's move. *)
+let allocate scores ~step ~prepass_steps =
+  let n = Array.length scores in
+  let argmin () =
+    let best = ref 0 in
+    Array.iteri (fun i g -> if g < scores.(!best) then best := i) scores;
+    let counts = Array.make n 0 in
+    counts.(!best) <- step;
+    counts
+  in
+  let g_min = Array.fold_left Float.min infinity scores in
+  let g_max = Array.fold_left Float.max neg_infinity scores in
+  let gamma = (g_max -. g_min) /. float_of_int step in
+  if prepass_steps <= 0 || not (gamma > 0.0) then argmin ()
+  else begin
+    (* eta = 1/(2 gamma) contracts the fixed-point residual by half per
+       step, so [prepass_steps] trades allocation sharpness for work *)
+    let eta = 1.0 /. (2.0 *. gamma) in
+    let x = ref (Array.make n (float_of_int step /. float_of_int n)) in
+    for _ = 1 to prepass_steps do
+      let moved =
+        Array.mapi (fun i v -> v -. (eta *. (scores.(i) +. (gamma *. v)))) !x
+      in
+      x := project_simplex moved ~total:(float_of_int step)
+    done;
+    largest_remainder !x ~total:step
+  end
+
+let gradient_rows flow ~rows ~chunk ~stride ~coarse_nx ~prepass_steps =
+  Obs.Trace.with_span "optimizer.gradient_rows" @@ fun () ->
+  let base = flow.Flow.base_placement in
+  let num_rows = base.Place.Placement.fp.Place.Floorplan.num_rows in
+  let candidates =
+    let rec collect r acc = if r >= num_rows then List.rev acc
+      else collect (r + stride) (r :: acc)
+    in
+    Array.of_list (collect 0 [])
+  in
+  let evaluations = ref 0 in
+  let adjoint_evaluations = ref 0 in
+  let rev_plan = ref [] in
+  let remaining = ref rows in
+  let cfg =
+    { flow.Flow.mesh_config with Thermal.Mesh.nx = coarse_nx; ny = coarse_nx }
+  in
+  (* the incumbent's rank-tolerance solution doubles as the adjoint's
+     forward input and the warm start of the next round's confirmation *)
+  let _, sol0 = eval_trial_sol flow ~after:[] ~nx:coarse_nx ~x0:None
+      ~tol:rank_tol
+  in
+  incr evaluations;
+  let incumbent = ref sol0 in
+  (* warm-start the adjoint iteration from the previous round's lambda:
+     the softmax source drifts slowly between nearby plans *)
+  let lambda = ref None in
+  while !remaining > 0 do
+    Robust.Cancel.check ();
+    let step = min chunk !remaining in
+    let inc_power = trial_power flow ~after:!rev_plan ~nx:coarse_nx in
+    let problem = Thermal.Mesh.build cfg ~power:inc_power in
+    let precond =
+      match flow.Flow.mesh_precond with
+      | Some choice -> Thermal.Mesh.precond_of_choice problem choice
+      | None -> eval_precond
+    in
+    let adj =
+      Thermal.Adjoint.solve ~tol:rank_tol ~precond ?x0:!lambda
+        ~forward:!incumbent problem
+    in
+    incr adjoint_evaluations;
+    lambda := Some adj.Thermal.Adjoint.lambda;
+    let sens = adj.Thermal.Adjoint.sensitivity in
+    let trial_of cand =
+      List.rev_append (List.init step (fun _ -> cand)) !rev_plan
+    in
+    (* price every candidate with re-binned power only — no solves; the
+       pool parallelism is over the re-binning, order is preserved *)
+    let scores =
+      Array.of_list
+        (Parallel.Pool.map_list (Array.to_list candidates) ~f:(fun cand ->
+             sensitivity_score sens
+               (trial_power flow ~after:(trial_of cand) ~nx:coarse_nx)))
+    in
+    let counts = allocate scores ~step ~prepass_steps in
+    Array.iteri
+      (fun i n ->
+         if n > 0 then
+           rev_plan :=
+             List.rev_append (List.init n (fun _ -> candidates.(i))) !rev_plan)
+      counts;
+    (* confirm the committed chunk with one exact (rank-tolerance) solve,
+       warm-started from the incumbent field *)
+    let _, sol =
+      eval_trial_sol flow ~after:!rev_plan ~nx:coarse_nx
+        ~x0:(Some (!incumbent).Thermal.Mesh.temp) ~tol:rank_tol
+    in
+    incr evaluations;
+    incumbent := sol;
+    remaining := !remaining - step
+  done;
+  let plan_list = List.rev !rev_plan in
+  let final = Technique.apply_row_insertions base plan_list in
+  let peak, _ =
+    eval_trial flow ~after:plan_list ~nx:coarse_nx
+      ~x0:(Some (!incumbent).Thermal.Mesh.temp) ~tol:Thermal.Cg.default_tol
+  in
+  incr evaluations;
+  { plan = final; predicted_peak_k = peak; evaluations = !evaluations;
+    blur_evaluations = 0; adjoint_evaluations = !adjoint_evaluations }
+
+let greedy_rows flow ~rows ?(chunk = 4) ?(stride = 4) ?(coarse_nx = 20)
+    ?(leaders = 3) ?(prepass_steps = 8) () =
+  if rows <= 0 then invalid_arg "Optimizer.greedy_rows: non-positive budget";
+  if chunk <= 0 || stride <= 0 || coarse_nx <= 0 || leaders <= 0 then
+    invalid_arg "Optimizer.greedy_rows: non-positive parameter";
+  if prepass_steps < 0 then
+    invalid_arg "Optimizer.greedy_rows: negative prepass_steps";
   let result =
-    { plan = final; predicted_peak_k = peak; evaluations = !evaluations;
-      blur_evaluations = !blur_evaluations }
+    match flow.Flow.guide with
+    | Flow.Guide_peak ->
+      peak_rows flow ~rows ~chunk ~stride ~coarse_nx ~leaders
+    | Flow.Guide_gradient ->
+      gradient_rows flow ~rows ~chunk ~stride ~coarse_nx ~prepass_steps
   in
   Obs.Metrics.count "optimizer.thermal_solves" ~by:result.evaluations;
   if result.blur_evaluations > 0 then
     Obs.Metrics.count "optimizer.blur_evaluations"
       ~by:result.blur_evaluations;
+  if result.adjoint_evaluations > 0 then
+    Obs.Metrics.count "optimizer.adjoint_solves"
+      ~by:result.adjoint_evaluations;
   Obs.Metrics.observe "optimizer.predicted_peak_k" result.predicted_peak_k;
   Obs.Metrics.count "optimizer.rows_inserted" ~by:rows;
   result

@@ -18,6 +18,8 @@ type result = {
       separately as [thermal.blur.characterize]) *)
   blur_evaluations : int;
   (** FFT blur screenings spent; 0 when the exact tier ran *)
+  adjoint_evaluations : int;
+  (** adjoint sensitivity solves spent; 0 under [Guide_peak] *)
 }
 
 val greedy_rows :
@@ -27,6 +29,7 @@ val greedy_rows :
   ?stride:int ->
   ?coarse_nx:int ->
   ?leaders:int ->
+  ?prepass_steps:int ->
   unit ->
   result
 (** [greedy_rows flow ~rows ()] allocates [rows] empty rows on the flow's
@@ -52,7 +55,22 @@ val greedy_rows :
     exactly the inputs the exact tier would, so the committed plan is
     bit-identical to [Screen_exact] whenever the leader set contains the
     exact winner. Screening is skipped when a round has no more
-    candidates than [leaders]. *)
+    candidates than [leaders].
+
+    When the flow's [guide] is {!Flow.Guide_gradient}, the per-candidate
+    solves disappear entirely: each round runs one adjoint sensitivity
+    solve at the incumbent ({!Thermal.Adjoint}), prices every candidate
+    by the inner product of the adjoint map with its re-binned power map
+    (no solve — the thermal system is linear, so the inner product is
+    the candidate's first-order peak up to a round-constant), allocates
+    the chunk across candidates with a continuous projected-gradient
+    pre-pass of [prepass_steps] iterations (default 8; 0 reduces to the
+    peak guide's argmin move) rounded by largest remainder, and confirms
+    the committed chunk with a single exact warm-started solve. Exact
+    solves per run drop from O(rounds * candidates) to [rounds + 2]
+    (seed and final re-score) plus [rounds] adjoint solves. [leaders] is
+    ignored in this mode; selection remains deterministic for any pool
+    size. *)
 
 val evaluate_plan : Flow.t -> after:int list -> nx:int -> float
 (** Peak temperature rise (K) of the base placement with the given

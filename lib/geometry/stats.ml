@@ -15,9 +15,19 @@ let stddev a = sqrt (variance a)
 
 let percentile a p =
   if Array.length a = 0 then invalid_arg "Stats.percentile: empty array";
-  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg "Stats.percentile: p out of range";
+  (* Polymorphic [compare] orders NaN below every float, so a NaN in the
+     input used to silently shift every order statistic instead of
+     failing; order statistics of non-finite data are meaningless, so
+     reject them loudly. *)
+  Array.iter
+    (fun x ->
+       if not (Float.is_finite x) then
+         invalid_arg "Stats.percentile: non-finite input")
+    a;
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let pos = p *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor pos) in

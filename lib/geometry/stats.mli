@@ -10,7 +10,10 @@ val stddev : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile a p] with [p] in [\[0,1\]], linear interpolation between order
-    statistics. Raises [Invalid_argument] on the empty array. *)
+    statistics. Sorts with [Float.compare], and raises [Invalid_argument] on
+    the empty array, on a non-finite [p], or on any non-finite element — a
+    NaN would otherwise sort to a stable but meaningless position and
+    silently shift every order statistic. *)
 
 val minimum : float array -> float
 val maximum : float array -> float

@@ -1,0 +1,15 @@
+(* The regression band for wall-clock keys, shared by the bench_diff
+   executable and its unit tests.
+
+   A purely multiplicative band collapses for fast keys: a baseline with a
+   0.0 ms median (timer resolution, or a skipped phase) allows exactly
+   0.0 ms, so any measurable fresh time "regresses", and a 0.3 ms median
+   gates at fractions of a millisecond of pure scheduler noise. The
+   absolute floor gives every key at least one millisecond of headroom —
+   below that, wall-clock differences are not signal on any machine this
+   runs on. *)
+
+let absolute_floor_ms = 1.0
+
+let allowed_ms ~threshold ~median ~iqr =
+  Float.max ((median *. (1.0 +. threshold)) +. iqr) absolute_floor_ms

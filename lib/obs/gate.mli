@@ -1,0 +1,14 @@
+(** Regression-band arithmetic for the [bench_diff] wall-clock gate.
+
+    Lives in the library (rather than the executable) so the
+    zero-median / zero-IQR edge cases stay unit-testable. *)
+
+val absolute_floor_ms : float
+(** 1.0 ms — the minimum allowed band. A baseline whose median is at or
+    near zero (timer resolution, skipped phase) would otherwise gate on
+    scheduler noise: [median * (1 + threshold) + iqr] is 0 when both
+    statistics are 0, failing any measurable fresh time. *)
+
+val allowed_ms : threshold:float -> median:float -> iqr:float -> float
+(** [max (median * (1 + threshold) + iqr) absolute_floor_ms] — the fresh
+    median must stay at or below this to pass. *)

@@ -27,6 +27,8 @@ type request = {
   precond_name : string;
   screen : Flow.screen_choice;
   screen_name : string;
+  guide : Flow.guide_choice;
+  guide_name : string;
   overhead : float;
   rows : int option;
   deadline_ms : float option;
@@ -56,6 +58,11 @@ let screen_of_string = function
   | "fft" -> Ok Flow.Screen_fft
   | "exact" -> Ok Flow.Screen_exact
   | s -> Error (Printf.sprintf "unknown screen %S" s)
+
+let guide_of_string = function
+  | "peak" -> Ok Flow.Guide_peak
+  | "gradient" -> Ok Flow.Guide_gradient
+  | s -> Error (Printf.sprintf "unknown guide %S" s)
 
 let test_sets = [ "scattered"; "concentrated"; "small" ]
 
@@ -126,6 +133,10 @@ let request_of_json json =
     let* screen =
       Result.map_error (fun m -> id ^ ": " ^ m) (screen_of_string screen_name)
     in
+    let* guide_name = field_str json "guide" ~default:"peak" in
+    let* guide =
+      Result.map_error (fun m -> id ^ ": " ^ m) (guide_of_string guide_name)
+    in
     let* overhead = field_float json "overhead" ~default:0.2 in
     let* () =
       if overhead >= 0.0 && overhead <= 4.0 then Ok ()
@@ -165,8 +176,8 @@ let request_of_json json =
     in
     Ok
       { id; test_set; technique; seed; cycles; utilization; precond;
-        precond_name; screen; screen_name; overhead; rows; deadline_ms;
-        max_retries; faults; faults_spec }
+        precond_name; screen; screen_name; guide; guide_name; overhead;
+        rows; deadline_ms; max_retries; faults; faults_spec }
   | _ -> Error "request is not a JSON object"
 
 let request_of_line line =
@@ -185,6 +196,7 @@ let request_to_json r =
        ("utilization", Obs.Json.Float r.utilization);
        ("precond", Obs.Json.String r.precond_name);
        ("screen", Obs.Json.String r.screen_name);
+       ("guide", Obs.Json.String r.guide_name);
        ("overhead", Obs.Json.Float r.overhead) ]
      @ opt "rows" (fun v -> Obs.Json.Int v) r.rows
      @ opt "deadline_ms" (fun v -> Obs.Json.Float v) r.deadline_ms
@@ -203,7 +215,7 @@ let config_json r =
    groups queued jobs on this string before paying for a flow. *)
 let fingerprint r =
   Flow.config_fingerprint ~mesh_config:Thermal.Mesh.default_config
-    ~precond:r.precond ~screen:r.screen ~seed:r.seed
+    ~precond:r.precond ~screen:r.screen ~guide:r.guide ~seed:r.seed
     ~utilization:r.utilization
     ~extra:[ ("set", r.test_set); ("cycles", string_of_int r.cycles) ]
     ()
@@ -212,7 +224,8 @@ let fingerprint r =
 let prepare_flow r =
   let prep bench workload =
     Flow.prepare ~seed:r.seed ~utilization:r.utilization
-      ~sim_cycles:r.cycles ?precond:r.precond ~screen:r.screen bench workload
+      ~sim_cycles:r.cycles ?precond:r.precond ~screen:r.screen
+      ~guide:r.guide bench workload
   in
   match r.test_set with
   | "scattered" ->
@@ -307,5 +320,7 @@ let execute ~(flow : Flow.t) ~(base : Flow.evaluation) r =
       ~extra:
         [ ("evaluations", Obs.Json.Int res.Postplace.Optimizer.evaluations);
           ("blur_evaluations",
-           Obs.Json.Int res.Postplace.Optimizer.blur_evaluations) ]
+           Obs.Json.Int res.Postplace.Optimizer.blur_evaluations);
+          ("adjoint_evaluations",
+           Obs.Json.Int res.Postplace.Optimizer.adjoint_evaluations) ]
       res.Postplace.Optimizer.plan.Postplace.Technique.eri_placement

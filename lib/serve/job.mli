@@ -30,6 +30,10 @@ type request = {
   precond_name : string;
   screen : Postplace.Flow.screen_choice;
   screen_name : string;
+  guide : Postplace.Flow.guide_choice;
+  (** optimizer candidate-ranking signal; ["peak"] (default) or
+      ["gradient"] in the request JSON *)
+  guide_name : string;
   overhead : float;              (** area budget fraction, [0, 4] *)
   rows : int option;             (** explicit row budget (eri/optimize) *)
   deadline_ms : float option;    (** whole-job wall-clock budget *)

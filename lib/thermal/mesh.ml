@@ -26,6 +26,16 @@ type problem = {
 
 let matrix p = p.p_matrix
 let rhs p = p.p_rhs
+let config p = p.p_config
+let extent p = p.p_extent
+
+(* Same cached matrix (and MG hierarchy / blur kernel riding the cache
+   entry), different right-hand side — the adjoint solve and the blur
+   characterization both inject custom sources into the same operator. *)
+let with_rhs p rhs =
+  if Array.length rhs <> Array.length p.p_rhs then
+    invalid_arg "Mesh.with_rhs: rhs dimension mismatch";
+  { p with p_rhs = rhs }
 
 let node_index cfg ~ix ~iy ~iz =
   assert (ix >= 0 && ix < cfg.nx && iy >= 0 && iy < cfg.ny

@@ -57,6 +57,20 @@ val set_cache_capacity : int -> unit
 
 val matrix : problem -> Sparse.t
 val rhs : problem -> float array
+val config : problem -> config
+val extent : problem -> Geo.Rect.t
+
+val with_rhs : problem -> float array -> problem
+(** The same problem (cached matrix, shared multigrid hierarchy and blur
+    kernel) with a custom right-hand side — how the adjoint solve injects
+    the objective gradient as a source term into the same SPD operator.
+    Raises [Invalid_argument] on a dimension mismatch. *)
+
+val assemble_raw : config -> extent:Geo.Rect.t -> Sparse.t
+(** Fault-free, cache-free assembly of the conductance matrix alone. For
+    derived operators ([Transient]'s backward-Euler shifted matrix and
+    its coarse multigrid levels) that must rediscretize the same stack
+    without consuming injected faults aimed at the primary solve path. *)
 
 val multigrid : problem -> Multigrid.t
 (** The geometric multigrid hierarchy for this problem's matrix, built on

@@ -9,6 +9,7 @@ type response = {
   peak_rise_k : float array;
   steady_peak_k : float;
   tau_63_s : float;
+  cg_iterations : int;
 }
 
 let node_capacitances cfg ~extent material =
@@ -29,28 +30,59 @@ let node_capacitances cfg ~extent material =
   done;
   c
 
-(* Backward Euler: (G + C/dt) T_{k+1} = P + (C/dt) T_k. The shifted matrix
-   is SPD whenever G is, so CG applies; consecutive steps warm-start. *)
-let step_response cfg ~power ?(material = default_capacitance)
-    ?(dt_s = 2e-6) ?(steps = 60) () =
-  if dt_s <= 0.0 || steps <= 0 then
-    invalid_arg "Transient.step_response: non-positive dt or steps";
-  let problem = Mesh.build cfg ~power in
-  let g = Mesh.matrix problem in
-  let p = Mesh.rhs problem in
-  let n = Sparse.dim g in
-  let extent = Geo.Grid.extent power in
+(* The backward-Euler operator G + C/dt for one (config, extent): the
+   fault-free conductance assembly plus the capacitance diagonal. Used
+   for the fine system and, rediscretized at halved lateral resolution,
+   for the coarse multigrid levels. *)
+let shifted_matrix cfg ~extent ~material ~dt_s =
+  let g = Mesh.assemble_raw cfg ~extent in
   let caps = node_capacitances cfg ~extent material in
-  (* steady state for normalization *)
-  let steady = Cg.solve g ~b:p ~tol:1e-10 () in
-  let steady_peak_k = Array.fold_left Float.max 0.0 steady.Cg.x in
-  (* shifted matrix: G plus C/dt on the diagonal *)
+  let n = Sparse.dim g in
   let b = Sparse.builder ~n in
   for i = 0 to n - 1 do
     Sparse.iter_row g i ~f:(fun j v -> Sparse.add b i j v);
     Sparse.add b i i (caps.(i) /. dt_s)
   done;
-  let shifted = Sparse.of_builder b in
+  (Sparse.of_builder b, caps)
+
+(* Backward Euler: (G + C/dt) T_{k+1} = P + (C/dt) T_k. The shifted matrix
+   is SPD whenever G is, so CG applies; consecutive steps warm-start. *)
+let step_response cfg ~power ?(material = default_capacitance)
+    ?(dt_s = 2e-6) ?(steps = 60) ?(precond = Mesh.Pc_ssor 1.2) () =
+  if dt_s <= 0.0 || steps <= 0 then
+    invalid_arg "Transient.step_response: non-positive dt or steps";
+  let problem = Mesh.build cfg ~power in
+  let p = Mesh.rhs problem in
+  let extent = Geo.Grid.extent power in
+  let iterations = ref 0 in
+  (* steady state for normalization — through the full solve path (matrix
+     MRU cache, configured preconditioner, escalation ladder), not a raw
+     unpreconditioned CG on a privately rebuilt matrix *)
+  let steady =
+    Mesh.solve ~precond:(Mesh.precond_of_choice problem precond) problem
+  in
+  iterations := !iterations + steady.Mesh.cg_iterations;
+  let steady_peak_k = Array.fold_left Float.max 0.0 steady.Mesh.temp in
+  (* one shifted matrix assembled for the whole window; its multigrid
+     hierarchy (when requested) is built on the shifted operator itself,
+     with coarse levels rediscretizing G + C/dt at halved resolution *)
+  let shifted, caps = shifted_matrix cfg ~extent ~material ~dt_s in
+  let n = Sparse.dim shifted in
+  let step_precond =
+    match precond with
+    | Mesh.Pc_jacobi -> Cg.Jacobi
+    | Mesh.Pc_ssor omega -> Cg.Ssor omega
+    | Mesh.Pc_mg ->
+      let h =
+        Multigrid.build ~fine:shifted ~nx:cfg.Mesh.nx ~ny:cfg.Mesh.ny
+          ~nz:(Stack.num_layers cfg.Mesh.stack)
+          ~assemble:(fun ~nx ~ny ->
+              let coarse = { cfg with Mesh.nx; ny } in
+              fst (shifted_matrix coarse ~extent ~material ~dt_s))
+          ()
+      in
+      Cg.Multigrid h
+  in
   let temp = ref (Array.make n 0.0) in
   let times = Array.make (steps + 1) 0.0 in
   let peaks = Array.make (steps + 1) 0.0 in
@@ -58,11 +90,18 @@ let step_response cfg ~power ?(material = default_capacitance)
     let rhs =
       Array.init n (fun i -> p.(i) +. (caps.(i) /. dt_s *. !temp.(i)))
     in
-    let sol = Cg.solve shifted ~b:rhs ~tol:1e-10 ~x0:!temp () in
+    let sol =
+      Cg.solve shifted ~b:rhs ~tol:1e-10 ~x0:!temp ~precond:step_precond
+        ~label:"transient" ()
+    in
+    iterations := !iterations + sol.Cg.iterations;
     temp := sol.Cg.x;
     times.(k) <- float_of_int k *. dt_s;
     peaks.(k) <- Array.fold_left Float.max 0.0 !temp
   done;
+  Obs.Metrics.count "thermal.transient.steps" ~by:steps;
+  Obs.Metrics.observe "thermal.transient.iterations"
+    (float_of_int !iterations);
   (* time to 63.2% of the steady peak, linear interpolation *)
   let target = 0.632 *. steady_peak_k in
   let tau =
@@ -84,4 +123,5 @@ let step_response cfg ~power ?(material = default_capacitance)
     in
     find 1
   in
-  { times_s = times; peak_rise_k = peaks; steady_peak_k; tau_63_s = tau }
+  { times_s = times; peak_rise_k = peaks; steady_peak_k; tau_63_s = tau;
+    cg_iterations = !iterations }

@@ -23,11 +23,26 @@ type response = {
   peak_rise_k : float array;    (** peak rise at each instant *)
   steady_peak_k : float;        (** the steady-state solve's peak *)
   tau_63_s : float;             (** time to reach 63.2% of steady peak *)
+  cg_iterations : int;
+  (** total CG iterations across the steady solve and every implicit
+      step — the regression guard for the preconditioned solve path *)
 }
 
 val step_response :
   Mesh.config -> power:Geo.Grid.t -> ?material:material -> ?dt_s:float ->
-  ?steps:int -> unit -> response
+  ?steps:int -> ?precond:Mesh.precond_choice -> unit -> response
 (** Apply the power map as a step at t=0 from ambient and integrate.
-    Defaults: [dt_s] 2e-6, [steps] 60 (covering ~0.12 ms). Each implicit
-    step solves [(G + C/dt) T' = P + (C/dt) T] with CG. *)
+    Defaults: [dt_s] 2e-6, [steps] 60 (covering ~0.12 ms), [precond]
+    [Pc_ssor 1.2].
+
+    The steady-state normalization solve goes through {!Mesh.solve} —
+    matrix MRU cache, configured preconditioner (multigrid hierarchy
+    included) and the escalation ladder — instead of a raw
+    unpreconditioned CG on a privately assembled matrix. Each implicit
+    step solves [(G + C/dt) T' = P + (C/dt) T] against one shifted
+    matrix assembled once for the whole window, preconditioned per
+    [?precond]; [Pc_mg] builds a dedicated multigrid hierarchy on the
+    shifted operator (coarse levels rediscretize [G + C/dt], not [G]).
+    Step solves warm-start from the previous instant and are labelled
+    ["transient"] in the CG history ring. Counters:
+    [thermal.transient.steps] and [thermal.transient.iterations]. *)

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Full repository gate: build everything, run the test suites and the
-# quickstart example, smoke-run the solver-engine, multigrid and
-# fft-screening benches (cache + warm-start + preconditioner + pool +
-# blur tier) and gate them against the committed bench/baselines via
-# bench_diff (wall-clock regressions and invariant flips fail the run),
+# quickstart example, smoke-run the solver-engine, multigrid,
+# fft-screening and adjoint-sensitivity benches (cache + warm-start +
+# preconditioner + pool + blur tier + gradient guide) and gate them
+# against the committed bench/baselines via bench_diff (wall-clock
+# regressions and invariant flips fail the run),
 # smoke the CLI with --report, --perfetto and --prom, validate the JSON
 # all three write, exercise the invariant-check subcommand and the
 # fault-injection harness (structured exit codes), prove the sweep
@@ -48,6 +49,12 @@ dune exec bench/main.exe -- --jobs 2 fft >/dev/null
 dune exec bin/json_check.exe -- \
   BENCH_fft.json experiment summary summary.screening summary.optimizer
 
+echo "== adjoint sensitivity bench smoke"
+dune exec bench/main.exe -- --jobs 2 adjoint >/dev/null
+dune exec bin/json_check.exe -- \
+  BENCH_adjoint.json experiment summary summary.adjoint_solve \
+  summary.optimizer
+
 echo "== batch serve bench smoke"
 dune exec bench/main.exe -- --jobs 2 serve >/dev/null 2>&1
 dune exec bin/json_check.exe -- \
@@ -55,7 +62,7 @@ dune exec bin/json_check.exe -- \
   summary.fault_isolation summary.retry
 
 # Each bench run appended one ledger record.
-dune exec bin/json_check.exe -- --jsonl "$ledger" 4
+dune exec bin/json_check.exe -- --jsonl "$ledger" 5
 
 echo "== bench regression gate (bench_diff vs committed baselines)"
 # A generous threshold absorbs machine-to-machine noise on top of the
@@ -69,6 +76,8 @@ dune exec bin/bench_diff.exe -- --threshold 0.60 \
   bench/baselines/mg.json BENCH_mg.json >/dev/null
 dune exec bin/bench_diff.exe -- --threshold 0.60 \
   bench/baselines/fft.json BENCH_fft.json >/dev/null
+dune exec bin/bench_diff.exe -- --threshold 0.60 \
+  bench/baselines/adjoint.json BENCH_adjoint.json >/dev/null
 dune exec bin/bench_diff.exe -- --threshold 0.60 \
   bench/baselines/serve.json BENCH_serve.json >/dev/null
 # Sanity of the gate itself: clean against itself, trips on a simulated
@@ -117,6 +126,29 @@ dune exec bin/thermoplace.exe -- \
   optimize --test-set small --cycles 200 --rows 2 --jobs 4 \
   --perfetto "$perfetto" >/dev/null
 dune exec bin/json_check.exe -- --trace "$perfetto" 2
+
+echo "== gradient guide smoke (optimize --guide gradient)"
+# The adjoint-guided optimizer on the small mesh must produce a report
+# carrying the sensitivity section and the adjoint solve count, and its
+# predicted peak must stay within tolerance of the peak-guided plan.
+dune exec bin/thermoplace.exe -- \
+  optimize --test-set small --cycles 200 --rows 2 --guide gradient \
+  --report "$report" >/dev/null
+dune exec bin/json_check.exe -- \
+  "$report" config sensitivity result result.adjoint_evaluations
+grep -q '"guide": "gradient"' "$report"
+peak_grad=$(grep -o '"predicted_peak_k":[^,}]*' "$report" \
+  | head -1 | cut -d: -f2)
+dune exec bin/thermoplace.exe -- \
+  optimize --test-set small --cycles 200 --rows 2 --guide peak \
+  --report "$report" >/dev/null
+peak_peak=$(grep -o '"predicted_peak_k":[^,}]*' "$report" \
+  | head -1 | cut -d: -f2)
+awk -v g="$peak_grad" -v p="$peak_peak" \
+  'BEGIN { exit (g <= p + 0.05) ? 0 : 1 }' || {
+  echo "gradient guide smoke: peak $peak_grad K > peak-guide $peak_peak K + 0.05" >&2
+  exit 1
+}
 
 echo "== invariant checks (thermoplace check)"
 dune exec bin/thermoplace.exe -- check --test-set small --cycles 200 >/dev/null
@@ -250,11 +282,11 @@ dune exec bin/thermoplace.exe -- \
   sweep --test-set small --cycles 200 --checkpoint "$ckpt" >/dev/null
 
 echo "== run ledger + history smoke"
-# Every run above — 4 benches, 6 thermoplace runs (2 of them
+# Every run above — 5 benches, 8 thermoplace runs (2 of them
 # fault-injected failures) and the 2 sweeps — appended exactly one
 # record to the scratch ledger (the serve smokes wrote to their own
 # explicit --ledger files, which beat THERMOPLACE_LEDGER).
-dune exec bin/json_check.exe -- --jsonl "$ledger" 12
+dune exec bin/json_check.exe -- --jsonl "$ledger" 15
 # Two optimize runs differing only in preconditioner, into a fresh
 # ledger (the explicit --ledger flag beats THERMOPLACE_LEDGER), so
 # history diff sees exactly the config delta.

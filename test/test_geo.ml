@@ -292,9 +292,42 @@ let test_stats_percentile () =
   check_float "p0 = min" 1.0 (Geo.Stats.percentile a 0.0);
   check_float "p1 = max" 4.0 (Geo.Stats.percentile a 1.0);
   check_float "median" 2.5 (Geo.Stats.percentile a 0.5);
+  (* negative zeros and denormals must sort like ordinary floats *)
+  check_float "signed zeros" 0.0 (Geo.Stats.percentile [| 0.0; -0.0 |] 0.5);
   Alcotest.check_raises "empty raises"
     (Invalid_argument "Stats.percentile: empty array")
     (fun () -> ignore (Geo.Stats.percentile [||] 0.5))
+
+let test_stats_percentile_rejects_non_finite () =
+  (* regression: polymorphic [compare] sorts NaN below every float, so a
+     single NaN used to shift every order statistic silently — e.g. the
+     max of [|1; nan|] came back 1.0-with-a-straight-face. Non-finite
+     input is now loud. *)
+  let check_rejected name a p =
+    match Geo.Stats.percentile a p with
+    | v -> Alcotest.failf "%s accepted (returned %.3g)" name v
+    | exception Invalid_argument _ -> ()
+  in
+  check_rejected "NaN element" [| 1.0; Float.nan; 3.0 |] 0.5;
+  check_rejected "infinite element" [| 1.0; Float.infinity |] 0.5;
+  check_rejected "NaN p" [| 1.0; 2.0 |] Float.nan;
+  check_rejected "p > 1" [| 1.0; 2.0 |] 1.5
+
+let prop_stats_percentile_bounded_monotone =
+  QCheck.Test.make ~name:"percentile bounded by extrema and monotone in p"
+    ~count:300
+    (QCheck.pair
+       (QCheck.array_of_size QCheck.Gen.(int_range 1 40)
+          (QCheck.float_range (-1e6) 1e6))
+       (QCheck.pair (QCheck.float_range 0.0 1.0)
+          (QCheck.float_range 0.0 1.0)))
+    (fun (a, (p1, p2)) ->
+       let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+       let vlo = Geo.Stats.percentile a lo in
+       let vhi = Geo.Stats.percentile a hi in
+       vlo >= Geo.Stats.minimum a
+       && vhi <= Geo.Stats.maximum a
+       && vlo <= vhi +. 1e-9)
 
 let test_stats_extrema_histogram () =
   let a = [| -1.0; 5.0; 2.0 |] in
@@ -350,5 +383,8 @@ let () =
       ("stats",
        [ Alcotest.test_case "mean/var" `Quick test_stats_mean_var;
          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+         Alcotest.test_case "percentile rejects non-finite" `Quick
+           test_stats_percentile_rejects_non_finite;
          Alcotest.test_case "extrema/histogram" `Quick
-           test_stats_extrema_histogram ]) ]
+           test_stats_extrema_histogram ]
+       @ qc [ prop_stats_percentile_bounded_monotone ]) ]

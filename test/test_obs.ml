@@ -837,6 +837,36 @@ let test_ledger_resolve_path () =
       Alcotest.(check (option string)) "env none disables" None
         (Obs.Ledger.resolve_path ()))
 
+(* --- gate ----------------------------------------------------------------- *)
+
+let check_float ?(eps = 1e-12) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let test_gate_band () =
+  (* a normal baseline: multiplicative threshold plus the measured IQR *)
+  check_float "normal band" 121.5
+    (Obs.Gate.allowed_ms ~threshold:0.15 ~median:100.0 ~iqr:6.5);
+  (* the band never goes below the absolute floor *)
+  check_float "floor value" 1.0 Obs.Gate.absolute_floor_ms
+
+let test_gate_zero_median_floor () =
+  (* regression: a 0.0 ms baseline median (timer resolution, skipped
+     phase) made the allowed band exactly 0.0, so any measurable fresh
+     time "regressed"; and a 0.2 ms median gated at 0.23 ms — pure
+     scheduler noise. Both are now held to the 1.0 ms floor. *)
+  check_float "zero median, zero IQR -> floor" Obs.Gate.absolute_floor_ms
+    (Obs.Gate.allowed_ms ~threshold:0.15 ~median:0.0 ~iqr:0.0);
+  check_float "near-zero median -> floor" Obs.Gate.absolute_floor_ms
+    (Obs.Gate.allowed_ms ~threshold:0.15 ~median:0.2 ~iqr:0.0);
+  (* zero median with a real IQR above the floor keeps the IQR headroom *)
+  check_float "zero median, large IQR" 2.5
+    (Obs.Gate.allowed_ms ~threshold:0.15 ~median:0.0 ~iqr:2.5);
+  (* just above the floor the multiplicative band takes over *)
+  Alcotest.(check bool) "band grows past the floor" true
+    (Obs.Gate.allowed_ms ~threshold:0.15 ~median:2.0 ~iqr:0.0
+     > Obs.Gate.absolute_floor_ms)
+
 let () =
   Alcotest.run "obs"
     [ ("trace",
@@ -903,4 +933,8 @@ let () =
          Alcotest.test_case "rejects malformed records and lines" `Quick
            test_ledger_rejects_malformed;
          Alcotest.test_case "resolve_path precedence" `Quick
-           test_ledger_resolve_path ]) ]
+           test_ledger_resolve_path ]);
+      ("gate",
+       [ Alcotest.test_case "band arithmetic" `Quick test_gate_band;
+         Alcotest.test_case "zero-median floor" `Quick
+           test_gate_zero_median_floor ]) ]

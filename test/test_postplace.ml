@@ -510,6 +510,94 @@ let test_optimizer_fault_forces_exact_tier () =
   Alcotest.(check int) "auto tier does not blur under armed faults" 0
     r.Postplace.Optimizer.blur_evaluations
 
+(* --- gradient guide ----------------------------------------------------------------- *)
+
+let test_flow_sensitivity_smoke () =
+  let fl = Lazy.force flow in
+  let adj =
+    Postplace.Flow.sensitivity fl fl.Postplace.Flow.base_placement
+  in
+  let peak = Geo.Grid.max_value adj.Thermal.Adjoint.sensitivity in
+  Alcotest.(check bool) "positive peak sensitivity" true (peak > 0.0);
+  (* log-sum-exp upper-bounds the hard max *)
+  Alcotest.(check bool) "smoothed peak at or above hard peak" true
+    (adj.Thermal.Adjoint.smoothed_peak_k
+     >= adj.Thermal.Adjoint.peak_rise_k -. 1e-9)
+
+let test_fingerprint_encodes_guide () =
+  let fl = Lazy.force flow in
+  let fp = Postplace.Flow.fingerprint fl in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "fingerprint mentions guide" true
+    (contains fp "|guide=peak|");
+  let fp' =
+    Postplace.Flow.fingerprint
+      { fl with Postplace.Flow.guide = Postplace.Flow.Guide_gradient }
+  in
+  Alcotest.(check bool) "guide changes the fingerprint" true (fp <> fp')
+
+let test_gradient_guide_matches_peak_quality () =
+  let fl = Lazy.force flow in
+  Parallel.Pool.set_jobs 1;
+  let run guide =
+    Thermal.Mesh.cache_clear ();
+    Postplace.Optimizer.greedy_rows
+      { fl with
+        Postplace.Flow.screen = Postplace.Flow.Screen_exact;
+        guide }
+      ~rows:3 ~chunk:2 ~stride:2 ~coarse_nx:16 ()
+  in
+  let peak = run Postplace.Flow.Guide_peak in
+  let grad = run Postplace.Flow.Guide_gradient in
+  (* the gradient guide must land within a small tolerance of the
+     exhaustive greedy peak while spending far fewer exact solves *)
+  Alcotest.(check bool)
+    (Printf.sprintf "gradient peak %.4f K within 0.05 K of greedy %.4f K"
+       grad.Postplace.Optimizer.predicted_peak_k
+       peak.Postplace.Optimizer.predicted_peak_k)
+    true
+    (grad.Postplace.Optimizer.predicted_peak_k
+     <= peak.Postplace.Optimizer.predicted_peak_k +. 0.05);
+  Alcotest.(check int) "budget respected" 3
+    (List.length
+       grad.Postplace.Optimizer.plan.Postplace.Technique.inserted_after);
+  Alcotest.(check int) "legal" 0
+    (List.length
+       (P.validate
+          grad.Postplace.Optimizer.plan.Postplace.Technique.eri_placement));
+  Alcotest.(check bool) "gradient mode spends fewer exact solves" true
+    (grad.Postplace.Optimizer.evaluations
+     < peak.Postplace.Optimizer.evaluations);
+  Alcotest.(check bool) "gradient mode ran adjoint solves" true
+    (grad.Postplace.Optimizer.adjoint_evaluations > 0);
+  Alcotest.(check int) "peak mode runs no adjoints" 0
+    peak.Postplace.Optimizer.adjoint_evaluations
+
+let test_gradient_guide_parallel_identical () =
+  let fl = Lazy.force flow in
+  let run () =
+    Thermal.Mesh.cache_clear ();
+    Postplace.Optimizer.greedy_rows
+      { fl with Postplace.Flow.guide = Postplace.Flow.Guide_gradient }
+      ~rows:3 ~chunk:2 ~stride:3 ~coarse_nx:16 ()
+  in
+  Parallel.Pool.set_jobs 1;
+  let seq = run () in
+  let par =
+    Parallel.Pool.set_jobs 4;
+    Fun.protect ~finally:(fun () -> Parallel.Pool.set_jobs 1) run
+  in
+  Alcotest.(check (list int)) "same plan"
+    seq.Postplace.Optimizer.plan.Postplace.Technique.inserted_after
+    par.Postplace.Optimizer.plan.Postplace.Technique.inserted_after;
+  Alcotest.(check bool) "same predicted peak" true
+    (seq.Postplace.Optimizer.predicted_peak_k
+     = par.Postplace.Optimizer.predicted_peak_k)
+
 (* --- parallel determinism --------------------------------------------------------- *)
 
 let with_jobs n f =
@@ -662,6 +750,15 @@ let () =
            test_optimizer_fft_screening_parity;
          Alcotest.test_case "faults force the exact tier" `Quick
            test_optimizer_fault_forces_exact_tier ]);
+      ("gradient-guide",
+       [ Alcotest.test_case "flow sensitivity smoke" `Quick
+           test_flow_sensitivity_smoke;
+         Alcotest.test_case "fingerprint encodes guide" `Quick
+           test_fingerprint_encodes_guide;
+         Alcotest.test_case "matches peak-guide quality" `Quick
+           test_gradient_guide_matches_peak_quality;
+         Alcotest.test_case "parallel identical to sequential" `Quick
+           test_gradient_guide_parallel_identical ]);
       ("experiment",
        [ Alcotest.test_case "fig6 parallel identical" `Quick
            test_fig6_parallel_identical ]);

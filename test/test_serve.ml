@@ -194,7 +194,26 @@ let test_request_validation () =
   reject "bad deadline" {|{"id":"x","deadline_ms":-5}|};
   reject "bad rows" {|{"id":"x","rows":0}|};
   reject "bad faults" {|{"id":"x","faults":"warp_core"}|};
-  reject "non-string id" {|{"id":7}|}
+  reject "non-string id" {|{"id":7}|};
+  reject "unknown guide" {|{"id":"x","guide":"psychic"}|}
+
+let test_request_guide_field () =
+  let d = parse_ok {|{"id":"d"}|} in
+  Alcotest.(check string) "default guide" "peak" d.Job.guide_name;
+  Alcotest.(check bool) "default guide choice" true
+    (d.Job.guide = Postplace.Flow.Guide_peak);
+  let g = parse_ok {|{"id":"g","guide":"gradient"}|} in
+  Alcotest.(check string) "gradient guide" "gradient" g.Job.guide_name;
+  Alcotest.(check bool) "gradient guide choice" true
+    (g.Job.guide = Postplace.Flow.Guide_gradient);
+  (* encode/reparse keeps the guide *)
+  (match Job.request_of_json (Job.request_to_json g) with
+   | Ok g2 -> Alcotest.(check bool) "guide round trips" true (g = g2)
+   | Error msg -> Alcotest.failf "reparse failed: %s" msg);
+  (* the guide reshapes the optimizer's solve sequence, so it must
+     split a batch *)
+  Alcotest.(check bool) "guide splits the batch" true
+    (Job.fingerprint d <> Job.fingerprint g)
 
 let test_fingerprint_groups_configs () =
   let a = parse_ok {|{"id":"a","cycles":200}|} in
@@ -424,6 +443,7 @@ let () =
       ("codec",
        [ Alcotest.test_case "round trip" `Quick test_request_roundtrip;
          Alcotest.test_case "validation" `Quick test_request_validation;
+         Alcotest.test_case "guide field" `Quick test_request_guide_field;
          Alcotest.test_case "fingerprint batching identity" `Quick
            test_fingerprint_groups_configs ]);
       ("server",

@@ -553,6 +553,220 @@ let test_transient_flat_tau_is_finite () =
   check_float "flat response settles at zero rise" 0.0
     r.Thermal.Transient.steady_peak_k
 
+let test_transient_precond_parity_and_iterations () =
+  (* regression for the transient solve path: it used to run a raw
+     unpreconditioned CG on a privately assembled matrix, ignoring the
+     configured preconditioner entirely. The trajectories must agree
+     across preconditioners (same system, tight tolerance) and the
+     stronger smoother must pay fewer total iterations. *)
+  let p = uniform_power ~nx:8 ~ny:8 ~total:0.02 in
+  let cfg = { Thermal.Mesh.default_config with Thermal.Mesh.nx = 8; ny = 8 } in
+  let rj =
+    Thermal.Transient.step_response cfg ~power:p ~dt_s:2e-5 ~steps:40
+      ~precond:Thermal.Mesh.Pc_jacobi ()
+  in
+  let rs =
+    Thermal.Transient.step_response cfg ~power:p ~dt_s:2e-5 ~steps:40
+      ~precond:(Thermal.Mesh.Pc_ssor 1.2) ()
+  in
+  let rm =
+    Thermal.Transient.step_response cfg ~power:p ~dt_s:2e-5 ~steps:40
+      ~precond:Thermal.Mesh.Pc_mg ()
+  in
+  Array.iteri
+    (fun k pj ->
+       check_float ~eps:1e-7
+         (Printf.sprintf "jacobi/ssor parity at step %d" k) pj
+         rs.Thermal.Transient.peak_rise_k.(k);
+       check_float ~eps:1e-7
+         (Printf.sprintf "jacobi/mg parity at step %d" k) pj
+         rm.Thermal.Transient.peak_rise_k.(k))
+    rj.Thermal.Transient.peak_rise_k;
+  Alcotest.(check bool)
+    (Printf.sprintf "ssor %d iterations < jacobi %d"
+       rs.Thermal.Transient.cg_iterations rj.Thermal.Transient.cg_iterations)
+    true
+    (rs.Thermal.Transient.cg_iterations < rj.Thermal.Transient.cg_iterations)
+
+(* --- adjoint ------------------------------------------------------------------ *)
+
+(* A deliberately lopsided power map: two unequal hotspots on a warm
+   background, so the softmax objective spreads non-trivial weight over
+   several tiles. *)
+let lopsided_power ~nx ~ny ~total =
+  let extent = Geo.Rect.of_corner ~x:0.0 ~y:0.0 ~w:200.0 ~h:200.0 in
+  let g = Geo.Grid.create ~nx ~ny ~extent in
+  let base = 0.2 *. total /. float_of_int (nx * ny) in
+  Geo.Grid.iteri g ~f:(fun ~ix ~iy _ -> Geo.Grid.set g ~ix ~iy base);
+  Geo.Grid.add g ~ix:(nx / 4) ~iy:(ny / 4) (0.5 *. total);
+  Geo.Grid.add g ~ix:(3 * nx / 4) ~iy:(3 * ny / 4) (0.3 *. total);
+  g
+
+(* Central-difference validation through superposition: the system is
+   linear, so T(P + s e_tile) = T0 + s u with u = G^-1 e_tile solved
+   once, and the perturbed objective is evaluated *analytically* from the
+   two fields. The solver error then enters the difference quotient
+   linearly instead of divided by 2 eps, which is what makes a 1e-6
+   relative match attainable (a naive re-solve per perturbation cannot
+   beat ~1e-3: truncation and solver noise pull eps in opposite
+   directions). *)
+let fd_probe cfg problem (adj : Thermal.Adjoint.t) ~precond ~ix ~iy =
+  let zp = cfg.Thermal.Mesh.stack.Thermal.Stack.power_layer in
+  let n = Array.length adj.Thermal.Adjoint.lambda in
+  let e = Array.make n 0.0 in
+  e.(Thermal.Mesh.node_index cfg ~ix ~iy ~iz:zp) <- 1.0;
+  let u = Thermal.Mesh.solve ~precond (Thermal.Mesh.with_rhs problem e) in
+  let fwd = adj.Thermal.Adjoint.forward in
+  let eps = 1e-5 in
+  let shifted s =
+    Thermal.Adjoint.smoothed_peak ~sharpness:adj.Thermal.Adjoint.sharpness
+      { fwd with
+        Thermal.Mesh.temp =
+          Array.mapi
+            (fun i t -> t +. (s *. u.Thermal.Mesh.temp.(i)))
+            fwd.Thermal.Mesh.temp }
+  in
+  let fd = (shifted eps -. shifted (-.eps)) /. (2.0 *. eps) in
+  let sens = Geo.Grid.get adj.Thermal.Adjoint.sensitivity ~ix ~iy in
+  let rel = Float.abs (fd -. sens) /. Float.max (Float.abs fd) 1e-30 in
+  if rel > 1e-6 then
+    Alcotest.failf
+      "tile (%d,%d): adjoint %.12g K/W vs central difference %.12g K/W \
+       (relative %.3g > 1e-6)"
+      ix iy sens fd rel
+
+let fd_validate ~nx ~precond_choice () =
+  let cfg =
+    { Thermal.Mesh.default_config with Thermal.Mesh.nx = nx; ny = nx }
+  in
+  let power = lopsided_power ~nx ~ny:nx ~total:0.05 in
+  let problem = Thermal.Mesh.build cfg ~power in
+  let precond = Thermal.Mesh.precond_of_choice problem precond_choice in
+  let adj = Thermal.Adjoint.solve ~precond problem in
+  (* probe the most sensitive tile and a cool corner *)
+  let hx, hy = Geo.Grid.argmax adj.Thermal.Adjoint.sensitivity in
+  fd_probe cfg problem adj ~precond ~ix:hx ~iy:hy;
+  fd_probe cfg problem adj ~precond ~ix:0 ~iy:0
+
+let test_adjoint_fd_ssor_8 () =
+  fd_validate ~nx:8 ~precond_choice:(Thermal.Mesh.Pc_ssor 1.2) ()
+
+let test_adjoint_fd_mg_16 () =
+  fd_validate ~nx:16 ~precond_choice:Thermal.Mesh.Pc_mg ()
+
+let test_adjoint_fd_full_system () =
+  (* the looser sanity check the superposition trick replaces: actually
+     re-solve the perturbed system on both sides. Bounded by solver
+     noise / (2 delta), so only ~1e-3 relative is meaningful here. *)
+  let nx = 8 in
+  let cfg =
+    { Thermal.Mesh.default_config with Thermal.Mesh.nx = nx; ny = nx }
+  in
+  let power = lopsided_power ~nx ~ny:nx ~total:0.05 in
+  let adj = Thermal.Adjoint.solve (Thermal.Mesh.build cfg ~power) in
+  let ix, iy = Geo.Grid.argmax adj.Thermal.Adjoint.sensitivity in
+  let delta = 1e-3 in
+  let peak_with d =
+    let p = Geo.Grid.copy power in
+    Geo.Grid.add p ~ix ~iy d;
+    Thermal.Adjoint.smoothed_peak ~sharpness:adj.Thermal.Adjoint.sharpness
+      (Thermal.Mesh.solve (Thermal.Mesh.build cfg ~power:p))
+  in
+  let fd = (peak_with delta -. peak_with (-.delta)) /. (2.0 *. delta) in
+  let sens = Geo.Grid.get adj.Thermal.Adjoint.sensitivity ~ix ~iy in
+  let rel = Float.abs (fd -. sens) /. Float.abs fd in
+  Alcotest.(check bool)
+    (Printf.sprintf "full-system FD %.6g vs adjoint %.6g (rel %.3g)" fd sens
+       rel)
+    true (rel <= 1e-3)
+
+let test_adjoint_smoothing_bounds () =
+  let nx = 8 in
+  let cfg =
+    { Thermal.Mesh.default_config with Thermal.Mesh.nx = nx; ny = nx }
+  in
+  let power = lopsided_power ~nx ~ny:nx ~total:0.05 in
+  let adj = Thermal.Adjoint.solve (Thermal.Mesh.build cfg ~power) in
+  let gap =
+    adj.Thermal.Adjoint.smoothed_peak_k -. adj.Thermal.Adjoint.peak_rise_k
+  in
+  Alcotest.(check bool) "smoothed peak upper-bounds the true peak" true
+    (gap >= 0.0);
+  let bound =
+    log (float_of_int (nx * nx)) /. adj.Thermal.Adjoint.sharpness
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap %.4g within ln(n)/beta = %.4g" gap bound)
+    true (gap <= bound +. 1e-12);
+  (* sensitivities are a chain of softmax weights through G^-1: all
+     non-negative, and their total is the sum of the adjoint field over
+     the power layer *)
+  Geo.Grid.iteri adj.Thermal.Adjoint.sensitivity ~f:(fun ~ix ~iy v ->
+      if v < 0.0 then
+        Alcotest.failf "negative sensitivity %.3g at (%d,%d)" v ix iy)
+
+let test_adjoint_validation () =
+  let nx = 4 in
+  let cfg =
+    { Thermal.Mesh.default_config with Thermal.Mesh.nx = nx; ny = nx }
+  in
+  let power = uniform_power ~nx ~ny:nx ~total:0.01 in
+  let problem = Thermal.Mesh.build cfg ~power in
+  (match Thermal.Adjoint.solve ~sharpness:0.0 problem with
+   | _ -> Alcotest.fail "zero sharpness accepted"
+   | exception Invalid_argument _ -> ());
+  let other =
+    Thermal.Mesh.solve
+      (Thermal.Mesh.build
+         { cfg with Thermal.Mesh.nx = 8; ny = 8 }
+         ~power:(uniform_power ~nx:8 ~ny:8 ~total:0.01))
+  in
+  match Thermal.Adjoint.solve ~forward:other problem with
+  | _ -> Alcotest.fail "mismatched forward accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_adjoint_fault_structured_error () =
+  (* a clean forward passed in, the adjoint solve itself fault-armed:
+     four stalls defeat the whole escalation ladder, and the failure must
+     surface as a structured error, not an exception or a silent NaN *)
+  let nx = 8 in
+  let cfg =
+    { Thermal.Mesh.default_config with Thermal.Mesh.nx = nx; ny = nx }
+  in
+  let power = lopsided_power ~nx ~ny:nx ~total:0.05 in
+  let problem = Thermal.Mesh.build cfg ~power in
+  let fwd = Thermal.Mesh.solve problem in
+  let r =
+    Robust.Faults.with_fault ~times:4 Robust.Faults.Cg_stall (fun () ->
+        Thermal.Adjoint.solve_result ~forward:fwd problem)
+  in
+  match r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "fault-armed adjoint solve reported success"
+
+let test_adjoint_warm_start () =
+  (* warm-starting the adjoint from a previous lambda must converge to
+     the same field *)
+  let nx = 8 in
+  let cfg =
+    { Thermal.Mesh.default_config with Thermal.Mesh.nx = nx; ny = nx }
+  in
+  let power = lopsided_power ~nx ~ny:nx ~total:0.05 in
+  let problem = Thermal.Mesh.build cfg ~power in
+  let cold = Thermal.Adjoint.solve problem in
+  let warm =
+    Thermal.Adjoint.solve ~x0:cold.Thermal.Adjoint.lambda
+      ~forward:cold.Thermal.Adjoint.forward problem
+  in
+  Array.iteri
+    (fun i v ->
+       check_float ~eps:1e-8 (Printf.sprintf "lambda %d" i) v
+         warm.Thermal.Adjoint.lambda.(i))
+    cold.Thermal.Adjoint.lambda;
+  Alcotest.(check bool) "warm restart converges immediately" true
+    (warm.Thermal.Adjoint.cg_iterations
+     <= cold.Thermal.Adjoint.cg_iterations)
+
 (* --- spice export ------------------------------------------------------------ *)
 
 (* Parse the emitted netlist back into a conductance matrix and verify it
@@ -1299,7 +1513,22 @@ let () =
            test_transient_time_constant_validates_paper;
          Alcotest.test_case "validation" `Quick test_transient_validation;
          Alcotest.test_case "flat tau stays finite" `Quick
-           test_transient_flat_tau_is_finite ]);
+           test_transient_flat_tau_is_finite;
+         Alcotest.test_case "precond parity and iterations" `Quick
+           test_transient_precond_parity_and_iterations ]);
+      ("adjoint",
+       [ Alcotest.test_case "FD validation ssor 8x8" `Quick
+           test_adjoint_fd_ssor_8;
+         Alcotest.test_case "FD validation mg 16x16" `Quick
+           test_adjoint_fd_mg_16;
+         Alcotest.test_case "FD full-system sanity" `Quick
+           test_adjoint_fd_full_system;
+         Alcotest.test_case "smoothing bounds" `Quick
+           test_adjoint_smoothing_bounds;
+         Alcotest.test_case "validation" `Quick test_adjoint_validation;
+         Alcotest.test_case "fault -> structured error" `Quick
+           test_adjoint_fault_structured_error;
+         Alcotest.test_case "warm start" `Quick test_adjoint_warm_start ]);
       ("multigrid",
        [ Alcotest.test_case "standalone solve matches cg" `Quick
            test_mg_standalone_matches_cg;
